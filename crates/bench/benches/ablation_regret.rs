@@ -1,0 +1,44 @@
+//! Ablation bench: what the design choices cost in time — GreZ's regret
+//! ordering vs a plain greedy, the local-search polish, and simulated
+//! annealing, all on the default configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dve_assign::{anneal_iap, grez, improve_iap, AnnealConfig, StuckPolicy};
+use dve_bench::instance_for;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let (inst, mut rng) = instance_for("20s-80z-1000c-500cp", 42);
+    let base = grez(&inst, StuckPolicy::BestEffort).expect("grez");
+
+    group.bench_function("grez/20s-80z-1000c", |b| {
+        b.iter(|| black_box(grez(black_box(&inst), StuckPolicy::BestEffort).expect("grez")))
+    });
+    group.bench_function("local_search_polish/20s-80z", |b| {
+        b.iter(|| {
+            let mut t = base.clone();
+            improve_iap(&inst, &mut t, 50);
+            black_box(t)
+        })
+    });
+    group.bench_function("simulated_annealing_10k/20s-80z", |b| {
+        b.iter(|| {
+            let out = anneal_iap(
+                &inst,
+                &base,
+                &AnnealConfig {
+                    steps: 10_000,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 4 bench: cost of producing the delay CDF on the paper's
+//! largest configuration (30s-160z-2000c-1000cp) — solve, evaluate, and
+//! CDF extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dve_assign::{cdf_at, evaluate, fig4_grid, solve, CapAlgorithm, StuckPolicy};
+use dve_bench::instance_for;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    let (inst, mut rng) = instance_for("30s-160z-2000c-1000cp", 42);
+    let assignment = solve(&inst, CapAlgorithm::GreZGreC, StuckPolicy::BestEffort, &mut rng)
+        .expect("solve");
+    let metrics = evaluate(&inst, &assignment);
+    let grid = fig4_grid();
+
+    group.bench_function("solve+evaluate/GreZ-GreC/2000c", |b| {
+        b.iter(|| {
+            let a = solve(
+                black_box(&inst),
+                CapAlgorithm::GreZGreC,
+                StuckPolicy::BestEffort,
+                &mut rng,
+            )
+            .expect("solve");
+            black_box(evaluate(&inst, &a))
+        })
+    });
+    group.bench_function("cdf_extraction/2000_delays", |b| {
+        b.iter(|| black_box(cdf_at(black_box(&metrics.delays), black_box(&grid))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

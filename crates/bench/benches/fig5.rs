@@ -1,0 +1,47 @@
+//! Figure 5 bench: does the correlation parameter change solve cost?
+//! Benchmarks GreZ-GreC on uncorrelated (delta = 0) vs fully correlated
+//! (delta = 1) default-config instances at D = 200 ms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dve_assign::{solve, CapAlgorithm, StuckPolicy};
+use dve_sim::{build_replication, SimSetup, TopologySpec};
+use dve_topology::HierarchicalConfig;
+use dve_world::ScenarioConfig;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_correlation");
+    group.sample_size(10);
+    for delta in [0.0, 0.5, 1.0] {
+        let mut scenario = ScenarioConfig::default();
+        scenario.correlation = delta;
+        let setup = SimSetup {
+            scenario,
+            topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+            delay_bound_ms: 200.0,
+            runs: 1,
+            ..Default::default()
+        };
+        let mut rep = build_replication(&setup, 0);
+        group.bench_with_input(
+            BenchmarkId::new("GreZ-GreC", format!("delta={delta}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let a = solve(
+                        black_box(&rep.instance),
+                        CapAlgorithm::GreZGreC,
+                        StuckPolicy::BestEffort,
+                        &mut rep.rng,
+                    )
+                    .expect("solve");
+                    black_box(a)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 6 bench: solve cost under the four client distribution types
+//! of Table 2 (clustered populations change zone sizes and therefore the
+//! greedy's capacity pressure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dve_assign::{solve, CapAlgorithm, StuckPolicy};
+use dve_sim::{build_replication, SimSetup, TopologySpec};
+use dve_topology::HierarchicalConfig;
+use dve_world::{DistributionType, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_distribution");
+    group.sample_size(10);
+    for dist in DistributionType::ALL {
+        let mut scenario = ScenarioConfig::default();
+        scenario.distribution = dist;
+        let setup = SimSetup {
+            scenario,
+            topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+            runs: 1,
+            ..Default::default()
+        };
+        let mut rep = build_replication(&setup, 0);
+        group.bench_with_input(
+            BenchmarkId::new("GreZ-GreC", format!("type={}", dist.index() + 1)),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let a = solve(
+                        black_box(&rep.instance),
+                        CapAlgorithm::GreZGreC,
+                        StuckPolicy::BestEffort,
+                        &mut rep.rng,
+                    )
+                    .expect("solve");
+                    black_box(a)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Substrate micro-benches: the building blocks under every experiment —
+//! topology generation, all-pairs shortest paths (sequential Dijkstra vs
+//! the parallel harness), world population, instance construction, and
+//! the exact-solver kernels (simplex, GAP branch-and-bound).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dve_milp::{solve_lp, BbConfig, Constraint, GapInstance, LinearProgram};
+use dve_topology::{all_pairs, dijkstra, hierarchical, DelayMatrix, HierarchicalConfig};
+use dve_world::{ScenarioConfig, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_topology");
+    group.sample_size(10);
+    group.bench_function("hierarchical_500_nodes", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(hierarchical(&HierarchicalConfig::default(), &mut rng)))
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let topo = hierarchical(&HierarchicalConfig::default(), &mut rng);
+    group.bench_function("apsp_parallel_500", |b| {
+        b.iter(|| black_box(all_pairs(black_box(&topo.graph))))
+    });
+    group.bench_function("apsp_sequential_500", |b| {
+        b.iter(|| {
+            let out: Vec<Vec<f64>> = (0..topo.graph.node_count())
+                .map(|s| dijkstra(&topo.graph, s))
+                .collect();
+            black_box(out)
+        })
+    });
+    group.bench_function("delay_matrix_500", |b| {
+        b.iter(|| black_box(DelayMatrix::from_graph(&topo.graph, 500.0).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_world");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let topo = hierarchical(&HierarchicalConfig::default(), &mut rng);
+    group.bench_function("world_generate_1000c", |b| {
+        b.iter(|| {
+            black_box(
+                World::generate(
+                    &ScenarioConfig::default(),
+                    topo.node_count(),
+                    &topo.as_of_node,
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_milp");
+    group.sample_size(10);
+    // A representative LP: 60 vars, 25 constraints.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut lp = LinearProgram::new(60);
+    for v in 0..60 {
+        lp.set_objective(v, rng.gen_range(-3.0..3.0));
+        lp.add_constraint(Constraint::le(vec![(v, 1.0)], rng.gen_range(1.0..5.0)));
+    }
+    for _ in 0..25 {
+        let coeffs: Vec<(usize, f64)> = (0..60).map(|v| (v, rng.gen_range(0.0..2.0))).collect();
+        lp.add_constraint(Constraint::le(coeffs, rng.gen_range(10.0..60.0)));
+    }
+    group.bench_function("simplex_60v_85c", |b| {
+        b.iter(|| black_box(solve_lp(black_box(&lp)).unwrap()))
+    });
+
+    // A GAP of the IAP's shape for the smallest Table 1 config: 5 agents
+    // x 15 tasks.
+    let gap = GapInstance {
+        cost: (0..5)
+            .map(|_| (0..15).map(|_| rng.gen_range(0.0..15.0)).collect())
+            .collect(),
+        demand: (0..5)
+            .map(|_| (0..15).map(|_| rng.gen_range(1.0..4.0)).collect())
+            .collect(),
+        capacity: vec![15.0; 5],
+    };
+    group.bench_function("gap_branch_and_bound_5x15", |b| {
+        b.iter(|| black_box(gap.solve_exact(&BbConfig::default()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology, bench_world, bench_milp);
+criterion_main!(benches);

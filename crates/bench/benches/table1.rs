@@ -1,0 +1,64 @@
+//! Table 1 timing bench: solve time of each two-phase heuristic on each
+//! of the paper's four DVE configurations, plus the exact solver on the
+//! smallest (the paper reports heuristics < 1 s, lp_solve 0.2 s / 41.5 s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dve_assign::{solve, CapAlgorithm, StuckPolicy};
+use dve_bench::instance_for;
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_heuristics");
+    group.sample_size(10);
+    for notation in [
+        "5s-15z-200c-100cp",
+        "10s-30z-400c-200cp",
+        "20s-80z-1000c-500cp",
+        "30s-160z-2000c-1000cp",
+    ] {
+        let (inst, mut rng) = instance_for(notation, 42);
+        for algo in CapAlgorithm::HEURISTICS {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), notation),
+                &inst,
+                |b, inst| {
+                    b.iter(|| {
+                        let a = solve(
+                            black_box(inst),
+                            algo,
+                            StuckPolicy::BestEffort,
+                            &mut rng,
+                        )
+                        .expect("heuristics cannot fail");
+                        black_box(a)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_exact");
+    group.sample_size(10);
+    // The paper's lp_solve column is only feasible on small configs; we
+    // bench the smallest full config (5s-15z-200c).
+    let (inst, mut rng) = instance_for("5s-15z-200c-100cp", 42);
+    group.bench_function("lp_solve-role/5s-15z-200c-100cp", |b| {
+        b.iter(|| {
+            let a = solve(
+                black_box(&inst),
+                CapAlgorithm::Exact,
+                StuckPolicy::BestEffort,
+                &mut rng,
+            )
+            .expect("exact");
+            black_box(a)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_exact_small);
+criterion_main!(benches);

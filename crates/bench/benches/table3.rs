@@ -1,0 +1,75 @@
+//! Table 3 bench: cost of the dynamics pipeline — applying a
+//! join/leave/move batch, carrying the assignment, and re-executing the
+//! algorithm ("timely assignment decisions" are the paper's motivation
+//! for heuristics over exact solvers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dve_assign::{solve, CapAlgorithm, CapInstance, StuckPolicy};
+use dve_sim::{build_replication, carry_assignment, CarryPolicy, SimSetup};
+use dve_world::{apply_dynamics, DynamicsBatch, ErrorModel};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_dynamics");
+    group.sample_size(10);
+    let mut setup = SimSetup::default();
+    setup.scenario.correlation = 0.0;
+    let mut rep = build_replication(&setup, 0);
+    let assignment = solve(
+        &rep.instance,
+        CapAlgorithm::GreZGreC,
+        StuckPolicy::BestEffort,
+        &mut rep.rng,
+    )
+    .expect("solve");
+    let batch = DynamicsBatch::paper_default();
+
+    group.bench_function("apply_dynamics/200join-200leave-200move", |b| {
+        b.iter(|| {
+            black_box(apply_dynamics(
+                black_box(&rep.world),
+                &batch,
+                rep.topology.node_count(),
+                &mut rep.rng,
+            ))
+        })
+    });
+
+    let old_zone_of: Vec<usize> = rep.world.clients.iter().map(|c| c.zone).collect();
+    let outcome = apply_dynamics(&rep.world, &batch, rep.topology.node_count(), &mut rep.rng);
+    let new_instance = CapInstance::build(
+        &outcome.world,
+        &rep.delays,
+        0.5,
+        250.0,
+        ErrorModel::PERFECT,
+        &mut rep.rng,
+    );
+    group.bench_function("carry_assignment/1000c", |b| {
+        b.iter(|| {
+            black_box(carry_assignment(
+                black_box(&assignment),
+                &outcome.carried_from,
+                &old_zone_of,
+                &new_instance,
+                CarryPolicy::KeepContact,
+            ))
+        })
+    });
+    group.bench_function("re-execute/GreZ-GreC", |b| {
+        b.iter(|| {
+            let a = solve(
+                black_box(&new_instance),
+                CapAlgorithm::GreZGreC,
+                StuckPolicy::BestEffort,
+                &mut rep.rng,
+            )
+            .expect("solve");
+            black_box(a)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

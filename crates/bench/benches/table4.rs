@@ -1,0 +1,37 @@
+//! Table 4 bench: solve cost under delay-estimation error. The error
+//! factor changes the observed delay matrix (and thus the violating-list
+//! size that GreC must process), so solve time can shift with `e`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dve_assign::{solve, CapAlgorithm, StuckPolicy};
+use dve_sim::{build_replication, SimSetup};
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_error");
+    group.sample_size(10);
+    for e in [1.0, 1.2, 2.0] {
+        let setup = SimSetup {
+            error_factor: e,
+            runs: 1,
+            ..Default::default()
+        };
+        let mut rep = build_replication(&setup, 0);
+        group.bench_with_input(BenchmarkId::new("GreZ-GreC", format!("e={e}")), &(), |b, _| {
+            b.iter(|| {
+                let a = solve(
+                    black_box(&rep.instance),
+                    CapAlgorithm::GreZGreC,
+                    StuckPolicy::BestEffort,
+                    &mut rep.rng,
+                )
+                .expect("solve");
+                black_box(a)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs the ablation study (extension): regret ordering vs plain greedy,
+//! local-search polish, and simulated annealing on the default
+//! configuration.
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin ablations
+//! ```
+
+use dve_sim::experiments::ablation;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!("ablation: {} runs", options.runs);
+    let result = ablation::run(&options);
+    println!("{}", result.render());
+}

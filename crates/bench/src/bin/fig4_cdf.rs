@@ -1,0 +1,15 @@
+//! Regenerates Figure 4: the CDF of client→target-path delays on the
+//! `30s-160z-2000c-1000cp` configuration.
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin fig4_cdf
+//! ```
+
+use dve_sim::experiments::fig4;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!("fig4: {} runs", options.runs);
+    let result = fig4::run(&options);
+    println!("{}", result.render());
+}

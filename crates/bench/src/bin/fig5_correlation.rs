@@ -1,0 +1,15 @@
+//! Regenerates Figure 5: pQoS and resource utilisation vs the
+//! physical/virtual correlation `delta` (D = 200 ms).
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin fig5_correlation
+//! ```
+
+use dve_sim::experiments::fig5;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!("fig5: {} runs per delta", options.runs);
+    let result = fig5::run(&options);
+    println!("{}", result.render());
+}

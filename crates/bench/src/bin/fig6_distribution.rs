@@ -1,0 +1,15 @@
+//! Regenerates Figure 6: pQoS and resource utilisation vs the client
+//! distribution types of Table 2.
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin fig6_distribution
+//! ```
+
+use dve_sim::experiments::fig6;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!("fig6: {} runs per distribution type", options.runs);
+    let result = fig6::run(&options);
+    println!("{}", result.render());
+}

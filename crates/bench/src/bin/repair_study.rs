@@ -1,0 +1,15 @@
+//! Runs the incremental-repair study (extension): Never vs Full
+//! re-execution vs Repair across churn ticks.
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin repair_study
+//! ```
+
+use dve_sim::experiments::repair_study;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!("repair_study: {} runs x 10 ticks", options.runs);
+    let result = repair_study::run(&options);
+    println!("{}", result.render());
+}

@@ -1,0 +1,15 @@
+//! Runs the scaling study (extension): GreZ-GreC solve time as the DVE
+//! grows from 500 to 8000 clients.
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin scaling_study -- --runs 10
+//! ```
+
+use dve_sim::experiments::scaling;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!("scaling_study: {} runs per scale", options.runs);
+    let result = scaling::run(&options);
+    println!("{}", result.render());
+}

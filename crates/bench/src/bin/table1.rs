@@ -1,0 +1,19 @@
+//! Regenerates Table 1: `pQoS (R)` for the four DVE configurations, all
+//! heuristics plus the exact solver on the two small configurations.
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin table1            # paper scale (50 runs)
+//! cargo run --release -p dve-bench --bin table1 -- --quick # CI scale
+//! ```
+
+use dve_sim::experiments::table1;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!(
+        "table1: {} runs/config, {} exact runs (this can take a while at paper scale)",
+        options.runs, options.exact_runs
+    );
+    let result = table1::run(&options, 2);
+    println!("{}", result.render());
+}

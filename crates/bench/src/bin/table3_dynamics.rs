@@ -1,0 +1,15 @@
+//! Regenerates Table 3: pQoS before / after / re-executed around a batch
+//! of 200 joins, 200 leaves and 200 zone moves (`delta = 0`).
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin table3_dynamics
+//! ```
+
+use dve_sim::experiments::table3;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!("table3: {} runs", options.runs);
+    let result = table3::run(&options);
+    println!("{}", result.render());
+}

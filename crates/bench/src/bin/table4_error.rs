@@ -1,0 +1,15 @@
+//! Regenerates Table 4: pQoS (R) when algorithms observe delays with
+//! King-like (e = 1.2) and IDMaps-like (e = 2.0) estimation error.
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin table4_error
+//! ```
+
+use dve_sim::experiments::table4;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!("table4: {} runs per error factor", options.runs);
+    let result = table4::run(&options);
+    println!("{}", result.render());
+}

@@ -1,0 +1,16 @@
+//! Runs the topology-sensitivity study (extension): the algorithm
+//! ranking across hierarchical / transit-stub / flat-Waxman / US-backbone
+//! topologies.
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin topology_study
+//! ```
+
+use dve_sim::experiments::topologies;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!("topology_study: {} runs per family", options.runs);
+    let result = topologies::run(&options);
+    println!("{}", result.render());
+}

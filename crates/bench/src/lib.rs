@@ -1,0 +1,107 @@
+//! # dve-bench — benchmark harness
+//!
+//! Two halves:
+//!
+//! * **Criterion benches** (`benches/`) — wall-clock timing of every
+//!   algorithm and substrate, one bench file per paper table/figure plus
+//!   substrate micro-benches and the ablation comparison.
+//! * **Regenerator binaries** (`src/bin/`) — `table1`, `fig4_cdf`,
+//!   `fig5_correlation`, `fig6_distribution`, `table3_dynamics`,
+//!   `table4_error`, `ablations`, `run_all`: each re-runs the paper's
+//!   experiment and prints the corresponding rows/series.
+//!
+//! Binaries accept `--runs N`, `--exact-runs N`, `--seed S` and
+//! `--quick` (3 runs / 1 exact run).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dve_assign::CapInstance;
+use dve_sim::experiments::ExpOptions;
+use dve_sim::{build_replication, SimSetup, TopologySpec};
+use dve_topology::HierarchicalConfig;
+use dve_world::ScenarioConfig;
+use rand::rngs::StdRng;
+
+/// Builds a CAP instance for a scenario notation on the paper's default
+/// 500-node hierarchical topology, deterministically from `seed`.
+pub fn instance_for(notation: &str, seed: u64) -> (CapInstance, StdRng) {
+    let setup = SimSetup {
+        scenario: ScenarioConfig::from_notation(notation).expect("valid notation"),
+        topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+        base_seed: seed,
+        runs: 1,
+        ..Default::default()
+    };
+    let rep = build_replication(&setup, 0);
+    (rep.instance, rep.rng)
+}
+
+/// Builds a CAP instance on a scaled-down topology (5 AS x 10 routers)
+/// for micro-benchmarks that should not be dominated by APSP time.
+pub fn small_instance_for(notation: &str, seed: u64) -> (CapInstance, StdRng) {
+    let setup = SimSetup {
+        scenario: ScenarioConfig::from_notation(notation).expect("valid notation"),
+        topology: TopologySpec::Hierarchical(HierarchicalConfig {
+            as_count: 5,
+            routers_per_as: 10,
+            ..Default::default()
+        }),
+        base_seed: seed,
+        runs: 1,
+        ..Default::default()
+    };
+    let rep = build_replication(&setup, 0);
+    (rep.instance, rep.rng)
+}
+
+/// Parses the shared binary CLI flags into experiment options.
+pub fn options_from_args() -> ExpOptions {
+    let mut options = ExpOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options = ExpOptions::quick(),
+            "--runs" => {
+                let v = args.next().expect("--runs needs a value");
+                options.runs = v.parse().expect("--runs must be an integer");
+            }
+            "--exact-runs" => {
+                let v = args.next().expect("--exact-runs needs a value");
+                options.exact_runs = v.parse().expect("--exact-runs must be an integer");
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                options.base_seed = v.parse().expect("--seed must be an integer");
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; supported: --quick --runs N --exact-runs N --seed S"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_requested_shapes() {
+        let (inst, _) = small_instance_for("5s-15z-100c-100cp", 1);
+        assert_eq!(inst.num_servers(), 5);
+        assert_eq!(inst.num_zones(), 15);
+        assert_eq!(inst.num_clients(), 100);
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let (a, _) = small_instance_for("5s-15z-100c-100cp", 9);
+        let (b, _) = small_instance_for("5s-15z-100c-100cp", 9);
+        assert_eq!(a.obs_cs(0, 0), b.obs_cs(0, 0));
+        assert_eq!(a.zone_of(42), b.zone_of(42));
+    }
+}

@@ -1,0 +1,225 @@
+//! Simulated-annealing IAP baseline (extension beyond the paper).
+//!
+//! A metaheuristic reference point between the greedy heuristics and the
+//! exact solver: random shift moves over the zone→server map, accepted by
+//! the Metropolis criterion with geometric cooling. Capacity violations
+//! are admitted during the walk but penalised, so the chain can cross
+//! infeasible ridges; the best *feasible* visited state is returned.
+
+use crate::iap::iap_total_cost;
+use crate::instance::CapInstance;
+use rand::Rng;
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Initial temperature (in cost units).
+    pub t0: f64,
+    /// Geometric cooling factor per step, in (0, 1).
+    pub cooling: f64,
+    /// Total moves attempted.
+    pub steps: usize,
+    /// Penalty per bit/s of capacity violation (converted to cost units).
+    pub capacity_penalty: f64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            t0: 10.0,
+            cooling: 0.9995,
+            steps: 20_000,
+            capacity_penalty: 1e-5,
+        }
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealOutcome {
+    /// Best feasible target vector found (falls back to the initial state
+    /// when the walk never visits a feasible one).
+    pub target_of_zone: Vec<usize>,
+    /// IAP cost (eq. 4) of the returned vector.
+    pub cost: f64,
+    /// Whether the returned vector satisfies all capacities.
+    pub feasible: bool,
+    /// Accepted moves.
+    pub accepted: usize,
+}
+
+fn penalised_cost(inst: &CapInstance, target: &[usize], loads: &[f64], penalty: f64) -> f64 {
+    let over: f64 = loads
+        .iter()
+        .enumerate()
+        .map(|(s, &l)| (l - inst.capacity(s)).max(0.0))
+        .sum();
+    iap_total_cost(inst, target) + penalty * over
+}
+
+/// Runs simulated annealing from `initial` (typically a RanZ or GreZ
+/// output).
+pub fn anneal_iap<R: Rng + ?Sized>(
+    inst: &CapInstance,
+    initial: &[usize],
+    config: &AnnealConfig,
+    rng: &mut R,
+) -> AnnealOutcome {
+    assert_eq!(initial.len(), inst.num_zones());
+    let m = inst.num_servers();
+    let n = inst.num_zones();
+    if n == 0 || m <= 1 {
+        let cost = iap_total_cost(inst, initial);
+        return AnnealOutcome {
+            target_of_zone: initial.to_vec(),
+            cost,
+            feasible: true,
+            accepted: 0,
+        };
+    }
+    let mut current = initial.to_vec();
+    let mut loads = vec![0.0; m];
+    for (z, &s) in current.iter().enumerate() {
+        loads[s] += inst.zone_bps(z);
+    }
+    let mut cur_cost = penalised_cost(inst, &current, &loads, config.capacity_penalty);
+
+    let feasible_now = loads
+        .iter()
+        .enumerate()
+        .all(|(s, &l)| l <= inst.capacity(s) + 1e-9);
+    let mut best: Option<(Vec<usize>, f64)> = if feasible_now {
+        Some((current.clone(), iap_total_cost(inst, &current)))
+    } else {
+        None
+    };
+
+    let mut temp = config.t0;
+    let mut accepted = 0usize;
+    for _ in 0..config.steps {
+        let z = rng.gen_range(0..n);
+        let old_s = current[z];
+        let mut new_s = rng.gen_range(0..m - 1);
+        if new_s >= old_s {
+            new_s += 1;
+        }
+        let demand = inst.zone_bps(z);
+        loads[old_s] -= demand;
+        loads[new_s] += demand;
+        current[z] = new_s;
+        let new_cost = penalised_cost(inst, &current, &loads, config.capacity_penalty);
+        let delta = new_cost - cur_cost;
+        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-12)).exp();
+        if accept {
+            cur_cost = new_cost;
+            accepted += 1;
+            let feas = loads
+                .iter()
+                .enumerate()
+                .all(|(s, &l)| l <= inst.capacity(s) + 1e-9);
+            if feas {
+                let raw = iap_total_cost(inst, &current);
+                if best.as_ref().map_or(true, |(_, b)| raw < *b) {
+                    best = Some((current.clone(), raw));
+                }
+            }
+        } else {
+            // revert
+            loads[new_s] -= demand;
+            loads[old_s] += demand;
+            current[z] = old_s;
+        }
+        temp *= config.cooling;
+    }
+
+    match best {
+        Some((target_of_zone, cost)) => AnnealOutcome {
+            target_of_zone,
+            cost,
+            feasible: true,
+            accepted,
+        },
+        None => AnnealOutcome {
+            cost: iap_total_cost(inst, initial),
+            target_of_zone: initial.to_vec(),
+            feasible: false,
+            accepted,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iap::{grez, StuckPolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inst() -> CapInstance {
+        let cs = vec![
+            100.0, 400.0, 120.0, 420.0, 150.0, 300.0, 130.0, 310.0, 400.0, 90.0, 420.0, 80.0,
+        ];
+        CapInstance::from_raw(
+            2,
+            3,
+            vec![0, 0, 1, 1, 2, 2],
+            cs,
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0; 6],
+            vec![10_000.0, 10_000.0],
+            250.0,
+        )
+    }
+
+    #[test]
+    fn reaches_optimum_on_tiny_instance() {
+        let inst = inst();
+        let mut rng = StdRng::seed_from_u64(7);
+        let bad_start = vec![1, 1, 0];
+        let out = anneal_iap(&inst, &bad_start, &AnnealConfig::default(), &mut rng);
+        assert!(out.feasible);
+        assert_eq!(out.cost, 0.0, "annealing should find the zero-cost layout");
+    }
+
+    #[test]
+    fn never_returns_worse_than_feasible_start() {
+        let inst = inst();
+        let mut rng = StdRng::seed_from_u64(8);
+        let start = grez(&inst, StuckPolicy::Strict).unwrap();
+        let start_cost = iap_total_cost(&inst, &start);
+        let out = anneal_iap(&inst, &start, &AnnealConfig::default(), &mut rng);
+        assert!(out.cost <= start_cost + 1e-9);
+        assert!(out.feasible);
+    }
+
+    #[test]
+    fn single_server_is_noop() {
+        let inst = CapInstance::from_raw(
+            1,
+            2,
+            vec![0, 1],
+            vec![100.0, 300.0],
+            vec![0.0],
+            vec![1000.0, 1000.0],
+            vec![10_000.0],
+            250.0,
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = anneal_iap(&inst, &[0, 0], &AnnealConfig::default(), &mut rng);
+        assert_eq!(out.target_of_zone, vec![0, 0]);
+        assert_eq!(out.accepted, 0);
+    }
+
+    #[test]
+    fn result_respects_capacity() {
+        let inst = inst();
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = anneal_iap(&inst, &[0, 0, 0], &AnnealConfig::default(), &mut rng);
+        assert!(out.feasible);
+        let mut loads = [0.0f64; 2];
+        for (z, &s) in out.target_of_zone.iter().enumerate() {
+            loads[s] += inst.zone_bps(z);
+        }
+        assert!(loads[0] <= 10_000.0 + 1e-9 && loads[1] <= 10_000.0 + 1e-9);
+    }
+}

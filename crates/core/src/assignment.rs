@@ -1,0 +1,191 @@
+//! Assignment results and feasibility validation.
+//!
+//! A complete CAP solution names a *target server* for every zone (the IAP
+//! output) and a *contact server* for every client (the RAP output). The
+//! server-side resource accounting follows Section 2.1 of the paper: a
+//! zone costs `R_z` on its target server; a client whose contact differs
+//! from its target additionally costs `R^C_c = 2 R^T_c` on the contact.
+
+use crate::instance::CapInstance;
+
+/// A complete two-phase assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Target server of each zone.
+    pub target_of_zone: Vec<usize>,
+    /// Contact server of each client.
+    pub contact_of_client: Vec<usize>,
+}
+
+/// A feasibility violation found by [`Assignment::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A zone's target server index is out of range.
+    BadTarget {
+        /// Zone with the bad target.
+        zone: usize,
+    },
+    /// A client's contact server index is out of range.
+    BadContact {
+        /// Client with the bad contact.
+        client: usize,
+    },
+    /// A server's load exceeds its capacity.
+    OverCapacity {
+        /// Overloaded server.
+        server: usize,
+        /// Load placed on it (bits/s).
+        load: f64,
+        /// Its capacity (bits/s).
+        capacity: f64,
+    },
+}
+
+impl Assignment {
+    /// Target server of client `c` (the server hosting its zone).
+    pub fn target_of_client(&self, inst: &CapInstance, c: usize) -> usize {
+        self.target_of_zone[inst.zone_of(c)]
+    }
+
+    /// Per-server load in bits/s: hosted zones plus forwarding overheads.
+    pub fn server_loads(&self, inst: &CapInstance) -> Vec<f64> {
+        let mut load = vec![0.0; inst.num_servers()];
+        for (z, &s) in self.target_of_zone.iter().enumerate() {
+            load[s] += inst.zone_bps(z);
+        }
+        for (c, &contact) in self.contact_of_client.iter().enumerate() {
+            if contact != self.target_of_client(inst, c) {
+                load[contact] += inst.client_forwarding_bps(c);
+            }
+        }
+        load
+    }
+
+    /// Checks structural and capacity feasibility; returns every violation
+    /// found (empty means feasible).
+    pub fn validate(&self, inst: &CapInstance) -> Vec<Violation> {
+        let mut out = Vec::new();
+        debug_assert_eq!(self.target_of_zone.len(), inst.num_zones());
+        debug_assert_eq!(self.contact_of_client.len(), inst.num_clients());
+        for (z, &s) in self.target_of_zone.iter().enumerate() {
+            if s >= inst.num_servers() {
+                out.push(Violation::BadTarget { zone: z });
+            }
+        }
+        for (c, &s) in self.contact_of_client.iter().enumerate() {
+            if s >= inst.num_servers() {
+                out.push(Violation::BadContact { client: c });
+            }
+        }
+        if !out.is_empty() {
+            return out; // loads are meaningless with bad indices
+        }
+        for (s, &load) in self.server_loads(inst).iter().enumerate() {
+            let cap = inst.capacity(s);
+            if load > cap + 1e-6 {
+                out.push(Violation::OverCapacity {
+                    server: s,
+                    load,
+                    capacity: cap,
+                });
+            }
+        }
+        out
+    }
+
+    /// True iff [`Assignment::validate`] finds nothing.
+    pub fn is_feasible(&self, inst: &CapInstance) -> bool {
+        self.validate(inst).is_empty()
+    }
+
+    /// Number of clients whose contact differs from their target (i.e.
+    /// clients whose traffic is forwarded over the inter-server mesh).
+    pub fn forwarded_clients(&self, inst: &CapInstance) -> usize {
+        self.contact_of_client
+            .iter()
+            .enumerate()
+            .filter(|&(c, &contact)| contact != self.target_of_client(inst, c))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::CapInstance;
+
+    fn tiny() -> CapInstance {
+        CapInstance::from_raw(
+            2,
+            2,
+            vec![0, 0, 1],
+            vec![100.0, 400.0, 300.0, 200.0, 400.0, 100.0],
+            vec![0.0, 80.0, 80.0, 0.0],
+            vec![1000.0, 1000.0, 1000.0],
+            vec![5000.0, 5000.0],
+            250.0,
+        )
+    }
+
+    #[test]
+    fn loads_account_zones_and_forwarding() {
+        let inst = tiny();
+        // zones: z0 (2000 bps) -> s0, z1 (1000) -> s1.
+        // c1 contacts s1 while targeting s0: forwarding 2*1000 on s1.
+        let a = Assignment {
+            target_of_zone: vec![0, 1],
+            contact_of_client: vec![0, 1, 1],
+        };
+        let loads = a.server_loads(&inst);
+        assert_eq!(loads[0], 2000.0);
+        assert_eq!(loads[1], 1000.0 + 2000.0);
+        assert_eq!(a.forwarded_clients(&inst), 1);
+        assert!(a.is_feasible(&inst));
+    }
+
+    #[test]
+    fn target_of_client_follows_zone() {
+        let inst = tiny();
+        let a = Assignment {
+            target_of_zone: vec![1, 0],
+            contact_of_client: vec![1, 1, 0],
+        };
+        assert_eq!(a.target_of_client(&inst, 0), 1);
+        assert_eq!(a.target_of_client(&inst, 2), 0);
+        assert_eq!(a.forwarded_clients(&inst), 0);
+    }
+
+    #[test]
+    fn detects_over_capacity() {
+        let inst = CapInstance::from_raw(
+            1,
+            1,
+            vec![0, 0],
+            vec![100.0, 100.0],
+            vec![0.0],
+            vec![600.0, 600.0],
+            vec![1000.0], // zone load 1200 > 1000
+            250.0,
+        );
+        let a = Assignment {
+            target_of_zone: vec![0],
+            contact_of_client: vec![0, 0],
+        };
+        let v = a.validate(&inst);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::OverCapacity { server: 0, .. }));
+        assert!(!a.is_feasible(&inst));
+    }
+
+    #[test]
+    fn detects_bad_indices() {
+        let inst = tiny();
+        let a = Assignment {
+            target_of_zone: vec![0, 7],
+            contact_of_client: vec![0, 9, 1],
+        };
+        let v = a.validate(&inst);
+        assert!(v.contains(&Violation::BadTarget { zone: 1 }));
+        assert!(v.contains(&Violation::BadContact { client: 1 }));
+    }
+}

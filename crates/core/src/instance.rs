@@ -1,0 +1,434 @@
+//! The Client Assignment Problem instance (Section 2 of the paper).
+//!
+//! A [`CapInstance`] snapshots everything the assignment algorithms and
+//! the evaluator need:
+//!
+//! * client–server and server–server round-trip delays, in two flavours:
+//!   **observed** (what algorithms see; possibly distorted by an
+//!   [`ErrorModel`](dve_world::ErrorModel)) and **true** (what QoS is
+//!   judged on);
+//! * the zone membership of every client;
+//! * per-client target-server bandwidth `R^T_c`, per-zone bandwidth `R_z`,
+//!   and the `R^C_c = 2 R^T_c` forwarding overhead — all derived from the
+//!   world's [`BandwidthModel`](dve_world::BandwidthModel);
+//! * per-server capacities `C_s` and the delay bound `D`.
+//!
+//! Server–server delays are discounted by the *provisioning factor*
+//! (paper: inter-server latency is "50% of the actual latency values", so
+//! the default factor is 0.5), modelling the well-provisioned inter-server
+//! mesh of the GDSA.
+
+use dve_topology::DelayMatrix;
+use dve_world::{ErrorModel, World};
+use rand::Rng;
+
+/// Default inter-server provisioning factor from the paper.
+pub const DEFAULT_PROVISIONING: f64 = 0.5;
+
+/// Default delay bound (FPS-class interactivity, 250 ms).
+pub const DEFAULT_DELAY_BOUND_MS: f64 = 250.0;
+
+/// A fully materialised CAP instance.
+#[derive(Debug, Clone)]
+pub struct CapInstance {
+    clients: usize,
+    servers: usize,
+    zones: usize,
+    /// Observed client-to-server RTTs, `clients x servers` row-major.
+    obs_cs: Vec<f64>,
+    /// True client-to-server RTTs.
+    true_cs: Vec<f64>,
+    /// Observed server-to-server RTTs (provisioning already applied).
+    obs_ss: Vec<f64>,
+    /// True server-to-server RTTs (provisioning already applied).
+    true_ss: Vec<f64>,
+    /// Zone of each client.
+    zone_of_client: Vec<usize>,
+    /// Clients per zone (indices).
+    clients_of_zone: Vec<Vec<usize>>,
+    /// `R^T_c` per client, bits/s.
+    client_target_bps: Vec<f64>,
+    /// `R_z` per zone, bits/s.
+    zone_bps: Vec<f64>,
+    /// `C_s` per server, bits/s.
+    capacity: Vec<f64>,
+    /// Delay bound `D`, ms.
+    delay_bound: f64,
+}
+
+impl CapInstance {
+    /// Builds an instance from a populated world and a node delay matrix.
+    ///
+    /// `provisioning` scales server–server delays (0.5 = paper default);
+    /// `error` distorts the delays the algorithms observe (use
+    /// [`ErrorModel::PERFECT`] for Table 1-style perfect information).
+    pub fn build<R: Rng + ?Sized>(
+        world: &World,
+        delays: &DelayMatrix,
+        provisioning: f64,
+        delay_bound: f64,
+        error: ErrorModel,
+        rng: &mut R,
+    ) -> CapInstance {
+        assert!(
+            (0.0..=1.0).contains(&provisioning),
+            "provisioning factor {provisioning} outside [0,1]"
+        );
+        assert!(delay_bound > 0.0, "delay bound must be positive");
+        let clients = world.clients.len();
+        let servers = world.servers.len();
+        let zones = world.zones;
+
+        let mut true_cs = vec![0.0; clients * servers];
+        for (c, client) in world.clients.iter().enumerate() {
+            for (s, server) in world.servers.iter().enumerate() {
+                true_cs[c * servers + s] = delays.rtt(client.node, server.node);
+            }
+        }
+        let mut true_ss = vec![0.0; servers * servers];
+        for (a, sa) in world.servers.iter().enumerate() {
+            for (b, sb) in world.servers.iter().enumerate() {
+                true_ss[a * servers + b] = provisioning * delays.rtt(sa.node, sb.node);
+            }
+        }
+
+        // Observed = true + estimation error. Client-server estimates are
+        // independent per pair; server-server pairs stay symmetric.
+        let obs_cs = if error.factor == 1.0 {
+            true_cs.clone()
+        } else {
+            true_cs.iter().map(|&d| error.observe(d, rng)).collect()
+        };
+        let obs_ss = if error.factor == 1.0 {
+            true_ss.clone()
+        } else {
+            error.observe_matrix(servers, &true_ss, rng)
+        };
+
+        let zone_of_client: Vec<usize> = world.clients.iter().map(|c| c.zone).collect();
+        let mut clients_of_zone: Vec<Vec<usize>> = vec![Vec::new(); zones];
+        for (c, &z) in zone_of_client.iter().enumerate() {
+            clients_of_zone[z].push(c);
+        }
+        let populations: Vec<usize> = clients_of_zone.iter().map(|v| v.len()).collect();
+        let client_target_bps: Vec<f64> = zone_of_client
+            .iter()
+            .map(|&z| world.config.bandwidth.client_target_bps(populations[z]))
+            .collect();
+        let zone_bps: Vec<f64> = populations
+            .iter()
+            .map(|&n| world.config.bandwidth.zone_bps(n))
+            .collect();
+        let capacity = world.servers.iter().map(|s| s.capacity_bps).collect();
+
+        CapInstance {
+            clients,
+            servers,
+            zones,
+            obs_cs,
+            true_cs,
+            obs_ss,
+            true_ss,
+            zone_of_client,
+            clients_of_zone,
+            client_target_bps,
+            zone_bps,
+            capacity,
+            delay_bound,
+        }
+    }
+
+    /// Builds an instance directly from raw parts (tests and synthetic
+    /// scenarios). `cs`/`ss` are used as both observed and true delays.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw(
+        servers: usize,
+        zones: usize,
+        zone_of_client: Vec<usize>,
+        cs: Vec<f64>,
+        ss: Vec<f64>,
+        client_target_bps: Vec<f64>,
+        capacity: Vec<f64>,
+        delay_bound: f64,
+    ) -> CapInstance {
+        let clients = zone_of_client.len();
+        assert_eq!(cs.len(), clients * servers);
+        assert_eq!(ss.len(), servers * servers);
+        assert_eq!(client_target_bps.len(), clients);
+        assert_eq!(capacity.len(), servers);
+        let mut clients_of_zone: Vec<Vec<usize>> = vec![Vec::new(); zones];
+        for (c, &z) in zone_of_client.iter().enumerate() {
+            assert!(z < zones, "client {c} in out-of-range zone {z}");
+            clients_of_zone[z].push(c);
+        }
+        let zone_bps: Vec<f64> = clients_of_zone
+            .iter()
+            .map(|cs| cs.iter().map(|&c| client_target_bps[c]).sum())
+            .collect();
+        CapInstance {
+            clients,
+            servers,
+            zones,
+            obs_cs: cs.clone(),
+            true_cs: cs,
+            obs_ss: ss.clone(),
+            true_ss: ss,
+            zone_of_client,
+            clients_of_zone,
+            client_target_bps,
+            zone_bps,
+            capacity,
+            delay_bound,
+        }
+    }
+
+    /// Number of clients `k`.
+    pub fn num_clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Number of servers `m`.
+    pub fn num_servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of zones `n`.
+    pub fn num_zones(&self) -> usize {
+        self.zones
+    }
+
+    /// The delay bound `D` in ms.
+    pub fn delay_bound(&self) -> f64 {
+        self.delay_bound
+    }
+
+    /// Zone of client `c`.
+    pub fn zone_of(&self, c: usize) -> usize {
+        self.zone_of_client[c]
+    }
+
+    /// Clients in zone `z`.
+    pub fn clients_in_zone(&self, z: usize) -> &[usize] {
+        &self.clients_of_zone[z]
+    }
+
+    /// Observed client→server RTT (what algorithms use).
+    #[inline]
+    pub fn obs_cs(&self, c: usize, s: usize) -> f64 {
+        self.obs_cs[c * self.servers + s]
+    }
+
+    /// True client→server RTT (what QoS is judged on).
+    #[inline]
+    pub fn true_cs(&self, c: usize, s: usize) -> f64 {
+        self.true_cs[c * self.servers + s]
+    }
+
+    /// Observed server→server RTT (provisioned).
+    #[inline]
+    pub fn obs_ss(&self, a: usize, b: usize) -> f64 {
+        self.obs_ss[a * self.servers + b]
+    }
+
+    /// True server→server RTT (provisioned).
+    #[inline]
+    pub fn true_ss(&self, a: usize, b: usize) -> f64 {
+        self.true_ss[a * self.servers + b]
+    }
+
+    /// `R^T_c` for client `c` (bits/s).
+    pub fn client_target_bps(&self, c: usize) -> f64 {
+        self.client_target_bps[c]
+    }
+
+    /// `R^C_c = 2 R^T_c` forwarding overhead for client `c` (bits/s).
+    pub fn client_forwarding_bps(&self, c: usize) -> f64 {
+        2.0 * self.client_target_bps[c]
+    }
+
+    /// `R_z` for zone `z` (bits/s).
+    pub fn zone_bps(&self, z: usize) -> f64 {
+        self.zone_bps[z]
+    }
+
+    /// `C_s` for server `s` (bits/s).
+    pub fn capacity(&self, s: usize) -> f64 {
+        self.capacity[s]
+    }
+
+    /// Total capacity (bits/s).
+    pub fn total_capacity(&self) -> f64 {
+        self.capacity.iter().sum()
+    }
+
+    /// The IAP cost `C^I_ij` (eq. 3): number of clients in zone `j` whose
+    /// *observed* delay to server `i` exceeds the bound.
+    pub fn iap_cost(&self, server: usize, zone: usize) -> f64 {
+        self.clients_of_zone[zone]
+            .iter()
+            .filter(|&&c| self.obs_cs(c, server) > self.delay_bound)
+            .count() as f64
+    }
+
+    /// The RAP cost `C^R` (eq. 8) of selecting `contact` for client `c`
+    /// whose target is `target`, using observed delays.
+    pub fn rap_cost(&self, c: usize, contact: usize, target: usize) -> f64 {
+        let total = self.observed_path_delay(c, contact, target);
+        (total - self.delay_bound).max(0.0)
+    }
+
+    /// Observed end-to-end delay through `contact` to `target`.
+    pub fn observed_path_delay(&self, c: usize, contact: usize, target: usize) -> f64 {
+        if contact == target {
+            self.obs_cs(c, target)
+        } else {
+            self.obs_cs(c, contact) + self.obs_ss(contact, target)
+        }
+    }
+
+    /// True end-to-end delay through `contact` to `target`.
+    pub fn true_path_delay(&self, c: usize, contact: usize, target: usize) -> f64 {
+        if contact == target {
+            self.true_cs(c, target)
+        } else {
+            self.true_cs(c, contact) + self.true_ss(contact, target)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two servers, two zones, three clients; hand-computable delays.
+    pub(crate) fn tiny() -> CapInstance {
+        // clients: c0 z0, c1 z0, c2 z1
+        // cs delays:      s0   s1
+        //        c0      100  400
+        //        c1      300  200
+        //        c2      400  100
+        // ss: 0 <-> 1: 80
+        CapInstance::from_raw(
+            2,
+            2,
+            vec![0, 0, 1],
+            vec![100.0, 400.0, 300.0, 200.0, 400.0, 100.0],
+            vec![0.0, 80.0, 80.0, 0.0],
+            vec![1000.0, 1000.0, 1000.0],
+            vec![5000.0, 5000.0],
+            250.0,
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let inst = tiny();
+        assert_eq!(inst.num_clients(), 3);
+        assert_eq!(inst.num_servers(), 2);
+        assert_eq!(inst.num_zones(), 2);
+        assert_eq!(inst.zone_of(2), 1);
+        assert_eq!(inst.clients_in_zone(0), &[0, 1]);
+        assert_eq!(inst.clients_in_zone(1), &[2]);
+    }
+
+    #[test]
+    fn zone_bandwidth_is_sum_of_members() {
+        let inst = tiny();
+        assert_eq!(inst.zone_bps(0), 2000.0);
+        assert_eq!(inst.zone_bps(1), 1000.0);
+        assert_eq!(inst.client_forwarding_bps(0), 2000.0);
+    }
+
+    #[test]
+    fn iap_cost_counts_violators() {
+        let inst = tiny();
+        // zone 0 on s0: c0=100 ok, c1=300 > 250 -> 1
+        assert_eq!(inst.iap_cost(0, 0), 1.0);
+        // zone 0 on s1: c0=400 bad, c1=200 ok -> 1
+        assert_eq!(inst.iap_cost(1, 0), 1.0);
+        // zone 1 on s0: c2=400 -> 1 ; on s1: c2=100 -> 0
+        assert_eq!(inst.iap_cost(0, 1), 1.0);
+        assert_eq!(inst.iap_cost(1, 1), 0.0);
+    }
+
+    #[test]
+    fn rap_cost_measures_distance_over_bound() {
+        let inst = tiny();
+        // c1 target s0 direct: 300 -> cost 50
+        assert_eq!(inst.rap_cost(1, 0, 0), 50.0);
+        // c1 via s1: 200 + 80 = 280 -> cost 30
+        assert_eq!(inst.rap_cost(1, 1, 0), 30.0);
+        // c0 direct to s0: 100 -> cost 0
+        assert_eq!(inst.rap_cost(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn path_delays() {
+        let inst = tiny();
+        assert_eq!(inst.true_path_delay(1, 0, 0), 300.0);
+        assert_eq!(inst.true_path_delay(1, 1, 0), 280.0);
+        assert_eq!(inst.observed_path_delay(2, 1, 1), 100.0);
+    }
+
+    #[test]
+    fn build_from_world_uses_provisioning() {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::ScenarioConfig;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let topo = flat_waxman(30, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("3s-6z-40c-100cp").unwrap();
+        let world =
+            dve_world::World::generate(&config, 30, &topo.as_of_node, &mut rng).unwrap();
+        let inst = CapInstance::build(
+            &world,
+            &delays,
+            0.5,
+            250.0,
+            ErrorModel::PERFECT,
+            &mut rng,
+        );
+        assert_eq!(inst.num_clients(), 40);
+        assert_eq!(inst.num_servers(), 3);
+        // Server-server delays are exactly half the node RTTs.
+        for a in 0..3 {
+            for b in 0..3 {
+                let raw = delays.rtt(world.servers[a].node, world.servers[b].node);
+                assert!((inst.true_ss(a, b) - 0.5 * raw).abs() < 1e-9);
+                // Perfect error: observed == true.
+                assert_eq!(inst.obs_ss(a, b), inst.true_ss(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn error_model_distorts_observations_only() {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::ScenarioConfig;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let topo = flat_waxman(30, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("3s-6z-40c-100cp").unwrap();
+        let world =
+            dve_world::World::generate(&config, 30, &topo.as_of_node, &mut rng).unwrap();
+        let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::IDMAPS, &mut rng);
+        let mut distorted = 0;
+        for c in 0..inst.num_clients() {
+            for s in 0..inst.num_servers() {
+                let t = inst.true_cs(c, s);
+                let o = inst.obs_cs(c, s);
+                assert!(o >= t / 2.0 - 1e-9 && o <= t * 2.0 + 1e-9);
+                if (o - t).abs() > 1e-9 {
+                    distorted += 1;
+                }
+            }
+        }
+        assert!(distorted > 0, "error model must actually distort");
+    }
+}

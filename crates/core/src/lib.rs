@@ -1,0 +1,67 @@
+//! # dve-assign — the paper's contribution: client-to-server assignment
+//!
+//! Implements the Client Assignment Problem (CAP) of Ta & Zhou (IPDPS
+//! 2006) and every algorithm the paper evaluates:
+//!
+//! * [`CapInstance`] — the problem snapshot: observed/true delays,
+//!   zone membership, the bandwidth model's `R^T`, `R^C`, `R_z`, server
+//!   capacities, and the delay bound `D`;
+//! * IAP phase ([`ranz`], [`grez`], [`exact_iap`]) — zones → servers;
+//! * RAP phase ([`virc`], [`grec`], [`exact_rap`]) — clients → contacts;
+//! * [`solve`] / [`CapAlgorithm`] — the named two-phase combinations
+//!   (RanZ-VirC, RanZ-GreC, GreZ-VirC, GreZ-GreC, and the exact
+//!   "lp_solve" reference);
+//! * [`evaluate`] / [`Metrics`] — pQoS, utilisation, delay CDFs;
+//! * extensions: [`improve_iap`] (local search) and [`anneal_iap`]
+//!   (simulated annealing), used by the ablation benches.
+//!
+//! ```
+//! use dve_assign::{solve, CapAlgorithm, CapInstance, StuckPolicy, evaluate};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // 2 servers, 1 zone, 2 clients; client 0 is far from the zone's best
+//! // host but can be rescued through the other server.
+//! let inst = CapInstance::from_raw(
+//!     2, 1, vec![0, 0],
+//!     vec![300.0, 100.0, 120.0, 400.0],
+//!     vec![0.0, 60.0, 60.0, 0.0],
+//!     vec![1000.0, 1000.0],
+//!     vec![10_000.0, 10_000.0],
+//!     250.0,
+//! );
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let a = solve(&inst, CapAlgorithm::GreZGreC, StuckPolicy::Strict, &mut rng).unwrap();
+//! let m = evaluate(&inst, &a);
+//! assert_eq!(m.pqos, 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anneal;
+mod assignment;
+mod iap;
+mod instance;
+mod joint;
+mod local_search;
+mod lp_round;
+mod metrics;
+mod rap;
+mod two_phase;
+
+pub use anneal::{anneal_iap, AnnealConfig, AnnealOutcome};
+pub use assignment::{Assignment, Violation};
+pub use iap::{exact_iap, grez, iap_gap, iap_total_cost, ranz, IapError, StuckPolicy};
+pub use instance::{CapInstance, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING};
+pub use joint::{exact_joint_cap, joint_milp, JointError, JointOutcome};
+pub use local_search::{improve_iap, LocalSearchStats};
+pub use lp_round::{iap_lower_bound, iap_lp_bound, lp_round_iap};
+pub use metrics::{cdf_at, evaluate, fig4_grid, Metrics};
+pub use rap::{exact_rap, grec, rap_gap, rap_total_cost, violating_clients, virc, RapError};
+pub use two_phase::{
+    solve, solve_iap, solve_rap, solve_with, CapAlgorithm, IapMethod, RapMethod, SolveError,
+};
+
+// Re-export the solver config type used by the exact methods so callers
+// don't need a direct dve-milp dependency.
+pub use dve_milp::BbConfig;

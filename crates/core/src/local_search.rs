@@ -1,0 +1,202 @@
+//! Local-search improvement for IAP solutions (extension beyond the
+//! paper).
+//!
+//! GreZ commits each zone once and never revisits; this module measures
+//! the head-room left on the table by applying first-improvement local
+//! search with two move types until a local optimum:
+//!
+//! * **shift** — move one zone to a different server;
+//! * **swap** — exchange the servers of two zones.
+//!
+//! Both moves respect capacities. Used by the ablation benches to compare
+//! "greedy" vs "greedy + polish" against the exact optimum.
+
+use crate::iap::iap_total_cost;
+use crate::instance::CapInstance;
+
+/// Statistics from a [`improve_iap`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalSearchStats {
+    /// Cost before improvement.
+    pub initial_cost: f64,
+    /// Cost at the reached local optimum.
+    pub final_cost: f64,
+    /// Number of improving shift moves applied.
+    pub shifts: usize,
+    /// Number of improving swap moves applied.
+    pub swaps: usize,
+    /// Full improvement sweeps performed.
+    pub sweeps: usize,
+}
+
+/// Improves a feasible target vector in place; returns statistics.
+///
+/// `max_sweeps` bounds the number of full passes (each pass scans all
+/// shift and swap moves once); the search stops earlier at a local
+/// optimum.
+pub fn improve_iap(
+    inst: &CapInstance,
+    target_of_zone: &mut [usize],
+    max_sweeps: usize,
+) -> LocalSearchStats {
+    let m = inst.num_servers();
+    let n = inst.num_zones();
+    let initial_cost = iap_total_cost(inst, target_of_zone);
+    let mut loads = vec![0.0; m];
+    for (z, &s) in target_of_zone.iter().enumerate() {
+        loads[s] += inst.zone_bps(z);
+    }
+    let mut stats = LocalSearchStats {
+        initial_cost,
+        final_cost: initial_cost,
+        shifts: 0,
+        swaps: 0,
+        sweeps: 0,
+    };
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        stats.sweeps += 1;
+        // Shift moves.
+        for z in 0..n {
+            let cur = target_of_zone[z];
+            let cur_cost = inst.iap_cost(cur, z);
+            let demand = inst.zone_bps(z);
+            for s in 0..m {
+                if s == cur {
+                    continue;
+                }
+                if loads[s] + demand > inst.capacity(s) + 1e-9 {
+                    continue;
+                }
+                let new_cost = inst.iap_cost(s, z);
+                if new_cost < cur_cost - 1e-12 {
+                    loads[cur] -= demand;
+                    loads[s] += demand;
+                    target_of_zone[z] = s;
+                    stats.shifts += 1;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        // Swap moves.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (sa, sb) = (target_of_zone[a], target_of_zone[b]);
+                if sa == sb {
+                    continue;
+                }
+                let (da, db) = (inst.zone_bps(a), inst.zone_bps(b));
+                // Capacity after swapping a->sb, b->sa.
+                if loads[sb] - db + da > inst.capacity(sb) + 1e-9
+                    || loads[sa] - da + db > inst.capacity(sa) + 1e-9
+                {
+                    continue;
+                }
+                let before = inst.iap_cost(sa, a) + inst.iap_cost(sb, b);
+                let after = inst.iap_cost(sb, a) + inst.iap_cost(sa, b);
+                if after < before - 1e-12 {
+                    loads[sa] = loads[sa] - da + db;
+                    loads[sb] = loads[sb] - db + da;
+                    target_of_zone.swap(a, b);
+                    stats.swaps += 1;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    stats.final_cost = iap_total_cost(inst, target_of_zone);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iap::{grez, ranz, StuckPolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inst() -> CapInstance {
+        let cs = vec![
+            100.0, 400.0, 120.0, 420.0, 150.0, 300.0, 130.0, 310.0, 400.0, 90.0, 420.0, 80.0,
+        ];
+        CapInstance::from_raw(
+            2,
+            3,
+            vec![0, 0, 1, 1, 2, 2],
+            cs,
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0; 6],
+            vec![10_000.0, 10_000.0],
+            250.0,
+        )
+    }
+
+    #[test]
+    fn never_worsens() {
+        let inst = inst();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let mut t = ranz(&inst, StuckPolicy::Strict, &mut rng).unwrap();
+            let before = iap_total_cost(&inst, &t);
+            let stats = improve_iap(&inst, &mut t, 50);
+            assert!(stats.final_cost <= before + 1e-9);
+            assert_eq!(stats.final_cost, iap_total_cost(&inst, &t));
+        }
+    }
+
+    #[test]
+    fn fixes_obviously_bad_assignment() {
+        let inst = inst();
+        // Worst case: every zone on its far server.
+        let mut t = vec![1, 1, 0];
+        let stats = improve_iap(&inst, &mut t, 50);
+        assert_eq!(stats.final_cost, 0.0, "local search should reach optimum");
+        assert_eq!(t, vec![0, 0, 1]);
+        assert!(stats.shifts > 0);
+    }
+
+    #[test]
+    fn grez_output_is_already_locally_optimal_here() {
+        let inst = inst();
+        let mut t = grez(&inst, StuckPolicy::Strict).unwrap();
+        let stats = improve_iap(&inst, &mut t, 50);
+        assert_eq!(stats.initial_cost, stats.final_cost);
+        assert_eq!(stats.shifts + stats.swaps, 0);
+    }
+
+    #[test]
+    fn respects_capacity_during_moves() {
+        // Two zones, two servers, each can hold exactly one zone. The
+        // cost-optimal layout requires a swap (shift alone would violate
+        // capacity).
+        let inst = CapInstance::from_raw(
+            2,
+            2,
+            vec![0, 1],
+            vec![400.0, 100.0, 100.0, 400.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0, 1000.0],
+            vec![1500.0, 1500.0],
+            250.0,
+        );
+        let mut t = vec![0, 1]; // both zones on their far server
+        let stats = improve_iap(&inst, &mut t, 50);
+        assert_eq!(t, vec![1, 0]);
+        assert!(stats.swaps >= 1);
+        assert_eq!(stats.final_cost, 0.0);
+    }
+
+    #[test]
+    fn zero_sweeps_is_identity() {
+        let inst = inst();
+        let mut t = vec![1, 1, 0];
+        let stats = improve_iap(&inst, &mut t, 0);
+        assert_eq!(t, vec![1, 1, 0]);
+        assert_eq!(stats.sweeps, 0);
+        assert_eq!(stats.initial_cost, stats.final_cost);
+    }
+}

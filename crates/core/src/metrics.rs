@@ -1,0 +1,182 @@
+//! Evaluation metrics: the paper's two headline measures plus the delay
+//! distribution behind its Figure 4.
+//!
+//! * **pQoS** — fraction of clients whose *true* end-to-end delay
+//!   (client → contact → target) is within the bound `D`;
+//! * **R** — server resource utilisation: total load (zone loads plus
+//!   forwarding overheads) over total capacity;
+//! * **delay CDF** — cumulative distribution of per-client delays.
+
+use crate::assignment::Assignment;
+use crate::instance::CapInstance;
+
+/// Evaluation summary of an assignment against an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Fraction of clients with QoS (true delay <= D). 1.0 when there are
+    /// no clients.
+    pub pqos: f64,
+    /// Resource utilisation: total server load / total capacity.
+    pub utilization: f64,
+    /// Number of clients without QoS.
+    pub without_qos: usize,
+    /// True end-to-end delay per client, ms.
+    pub delays: Vec<f64>,
+    /// Per-server loads, bits/s.
+    pub server_loads: Vec<f64>,
+    /// Clients served through a foreign contact server.
+    pub forwarded_clients: usize,
+}
+
+/// Evaluates an assignment on the *true* delays of the instance.
+pub fn evaluate(inst: &CapInstance, assignment: &Assignment) -> Metrics {
+    let delays: Vec<f64> = (0..inst.num_clients())
+        .map(|c| {
+            let target = assignment.target_of_client(inst, c);
+            inst.true_path_delay(c, assignment.contact_of_client[c], target)
+        })
+        .collect();
+    let without_qos = delays.iter().filter(|&&d| d > inst.delay_bound()).count();
+    let pqos = if delays.is_empty() {
+        1.0
+    } else {
+        1.0 - without_qos as f64 / delays.len() as f64
+    };
+    let server_loads = assignment.server_loads(inst);
+    let total_load: f64 = server_loads.iter().sum();
+    let utilization = total_load / inst.total_capacity();
+    Metrics {
+        pqos,
+        utilization,
+        without_qos,
+        forwarded_clients: assignment.forwarded_clients(inst),
+        delays,
+        server_loads,
+    }
+}
+
+/// Empirical CDF of `values` evaluated at each point of `grid`:
+/// `cdf[i] = P(value <= grid[i])`.
+pub fn cdf_at(values: &[f64], grid: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return vec![1.0; grid.len()];
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+    grid.iter()
+        .map(|&g| {
+            // number of values <= g via binary search upper bound
+            let count = sorted.partition_point(|&v| v <= g);
+            count as f64 / sorted.len() as f64
+        })
+        .collect()
+}
+
+/// The Figure 4 grid: delays from 250 ms to 500 ms in 25 ms steps.
+pub fn fig4_grid() -> Vec<f64> {
+    (0..=10).map(|k| 250.0 + 25.0 * k as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CapInstance {
+        CapInstance::from_raw(
+            2,
+            2,
+            vec![0, 0, 1],
+            vec![100.0, 400.0, 300.0, 200.0, 400.0, 100.0],
+            vec![0.0, 80.0, 80.0, 0.0],
+            vec![1000.0, 1000.0, 1000.0],
+            vec![5000.0, 5000.0],
+            250.0,
+        )
+    }
+
+    #[test]
+    fn evaluate_counts_qos_on_true_delays() {
+        let inst = tiny();
+        // z0 -> s0, z1 -> s1; everyone contacts their target.
+        // delays: c0 = 100 ok, c1 = 300 bad, c2 = 100 ok -> pQoS = 2/3.
+        let a = Assignment {
+            target_of_zone: vec![0, 1],
+            contact_of_client: vec![0, 0, 1],
+        };
+        let m = evaluate(&inst, &a);
+        assert_eq!(m.without_qos, 1);
+        assert!((m.pqos - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.delays, vec![100.0, 300.0, 100.0]);
+        assert_eq!(m.forwarded_clients, 0);
+        // loads: s0 = z0 (2000), s1 = z1 (1000); capacity 10000.
+        assert!((m.utilization - 3000.0 / 10000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forwarding_can_rescue_qos() {
+        let inst = tiny();
+        // c1 contacts s1: delay 200 + 80 = 280 still bad (>250)... use
+        // relaxed bound to verify the path delay itself.
+        let a = Assignment {
+            target_of_zone: vec![0, 1],
+            contact_of_client: vec![0, 1, 1],
+        };
+        let m = evaluate(&inst, &a);
+        assert_eq!(m.delays[1], 280.0);
+        assert_eq!(m.forwarded_clients, 1);
+        // forwarding adds 2 * 1000 bps on s1.
+        assert!((m.utilization - 5000.0 / 10000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_basics() {
+        let values = vec![100.0, 200.0, 300.0, 400.0];
+        let grid = vec![50.0, 100.0, 250.0, 400.0, 500.0];
+        let cdf = cdf_at(&values, &grid);
+        assert_eq!(cdf, vec![0.0, 0.25, 0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let values = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let grid: Vec<f64> = (0..12).map(|x| x as f64).collect();
+        let cdf = cdf_at(&values, &grid);
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_of_empty_values() {
+        assert_eq!(cdf_at(&[], &[1.0, 2.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn fig4_grid_shape() {
+        let g = fig4_grid();
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0], 250.0);
+        assert_eq!(*g.last().unwrap(), 500.0);
+    }
+
+    #[test]
+    fn empty_instance_pqos_is_one() {
+        let inst = CapInstance::from_raw(
+            2,
+            1,
+            vec![],
+            vec![],
+            vec![0.0, 10.0, 10.0, 0.0],
+            vec![],
+            vec![100.0, 100.0],
+            250.0,
+        );
+        let a = Assignment {
+            target_of_zone: vec![0],
+            contact_of_client: vec![],
+        };
+        let m = evaluate(&inst, &a);
+        assert_eq!(m.pqos, 1.0);
+        assert_eq!(m.without_qos, 0);
+    }
+}

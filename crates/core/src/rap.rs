@@ -1,0 +1,345 @@
+//! Refined Assignment Problem (RAP) algorithms: given zone targets, pick
+//! every client's *contact* server (Section 3.2 of the paper).
+//!
+//! * [`virc`] — **VirC**: contact = target (virtual-location based; no
+//!   forwarding, no extra resource);
+//! * [`grec`] — **GreC**: clients within the bound keep contact = target;
+//!   the violating list `L_E` is served by a regret greedy on the cost
+//!   `C^R` (eq. 8) under the residual-capacity constraint, with the
+//!   forwarding overhead `R^C_c = 2 R^T_c`;
+//! * [`exact_rap`] — optimal solution of Definition 2.3 via
+//!   branch-and-bound, using the exact reduction to the violating list
+//!   (clients already within the bound optimally stay on their target at
+//!   zero cost and zero extra resource).
+
+use crate::instance::CapInstance;
+use dve_milp::{BbConfig, GapInstance, GapOutcome, LpError};
+
+/// Errors from the exact RAP solver (the greedy variants cannot fail: the
+/// contact = target fallback consumes no extra resource).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RapError {
+    /// LP substrate failure.
+    Lp(LpError),
+    /// The exact solver hit its limits with no solution (cannot happen for
+    /// well-formed instances since contact = target is always feasible,
+    /// but surfaced rather than hidden).
+    SolverLimit,
+}
+
+impl std::fmt::Display for RapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RapError::Lp(e) => write!(f, "LP error: {e}"),
+            RapError::SolverLimit => write!(f, "exact RAP hit limits with no solution"),
+        }
+    }
+}
+
+impl std::error::Error for RapError {}
+
+/// **VirC** — contact server equals target server for every client.
+pub fn virc(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<usize> {
+    (0..inst.num_clients())
+        .map(|c| target_of_zone[inst.zone_of(c)])
+        .collect()
+}
+
+/// Per-server load from hosted zones only (the starting point for RAP
+/// capacity accounting, constraint (10) of the paper).
+fn zone_loads(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<f64> {
+    let mut loads = vec![0.0; inst.num_servers()];
+    for (z, &s) in target_of_zone.iter().enumerate() {
+        loads[s] += inst.zone_bps(z);
+    }
+    loads
+}
+
+/// **GreC** — greedy assignment of clients (Fig. 3 of the paper).
+///
+/// Deterministic given the instance and targets. The regret `rho` follows
+/// the same sign-fixed Romeijn–Morales convention as
+/// [`grez`](crate::iap::grez).
+pub fn grec(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<usize> {
+    let m = inst.num_servers();
+    let mut contact = vec![usize::MAX; inst.num_clients()];
+    let mut loads = zone_loads(inst, target_of_zone);
+    let mut le: Vec<usize> = Vec::new();
+    for c in 0..inst.num_clients() {
+        let t = target_of_zone[inst.zone_of(c)];
+        if inst.obs_cs(c, t) <= inst.delay_bound() {
+            contact[c] = t; // within bound: keep the natural connection
+        } else {
+            le.push(c);
+        }
+    }
+
+    // Desirability lists over all servers for each violating client.
+    let mut lists: Vec<Vec<(f64, usize)>> = Vec::with_capacity(le.len());
+    let mut regret: Vec<(f64, usize)> = Vec::with_capacity(le.len());
+    for (k, &c) in le.iter().enumerate() {
+        let t = target_of_zone[inst.zone_of(c)];
+        let mut mu: Vec<(f64, usize)> = (0..m).map(|s| (-inst.rap_cost(c, s, t), s)).collect();
+        mu.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        let rho = if m >= 2 { mu[0].0 - mu[1].0 } else { 0.0 };
+        regret.push((rho, k));
+        lists.push(mu);
+    }
+    regret.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+
+    for &(_, k) in &regret {
+        let c = le[k];
+        let t = target_of_zone[inst.zone_of(c)];
+        let mut placed = false;
+        for &(_, s) in &lists[k] {
+            let rc = if s == t {
+                0.0
+            } else {
+                inst.client_forwarding_bps(c)
+            };
+            if loads[s] + rc <= inst.capacity(s) + 1e-9 {
+                contact[c] = s;
+                loads[s] += rc;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // Fall back to the target: zero extra load, always available.
+            contact[c] = t;
+        }
+    }
+    contact
+}
+
+/// Clients whose observed delay to their target exceeds the bound (the
+/// list `L_E` of Fig. 3).
+pub fn violating_clients(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<usize> {
+    (0..inst.num_clients())
+        .filter(|&c| {
+            let t = target_of_zone[inst.zone_of(c)];
+            inst.obs_cs(c, t) > inst.delay_bound()
+        })
+        .collect()
+}
+
+/// Builds the GAP form of Definition 2.3 restricted to the violating list
+/// (exact reduction: within-bound clients stay at cost 0 / demand 0).
+pub fn rap_gap(inst: &CapInstance, target_of_zone: &[usize], le: &[usize]) -> GapInstance {
+    let m = inst.num_servers();
+    let loads = zone_loads(inst, target_of_zone);
+    GapInstance {
+        cost: (0..m)
+            .map(|s| {
+                le.iter()
+                    .map(|&c| inst.rap_cost(c, s, target_of_zone[inst.zone_of(c)]))
+                    .collect()
+            })
+            .collect(),
+        demand: (0..m)
+            .map(|s| {
+                le.iter()
+                    .map(|&c| {
+                        if s == target_of_zone[inst.zone_of(c)] {
+                            0.0
+                        } else {
+                            inst.client_forwarding_bps(c)
+                        }
+                    })
+                    .collect()
+            })
+            .collect(),
+        // Residual capacity; clamp at zero so an (infeasible) overfull
+        // zone assignment still admits the contact = target column.
+        capacity: (0..m).map(|s| (inst.capacity(s) - loads[s]).max(0.0)).collect(),
+    }
+}
+
+/// Exact RAP via branch-and-bound, warm-started with [`grec`].
+pub fn exact_rap(
+    inst: &CapInstance,
+    target_of_zone: &[usize],
+    config: &BbConfig,
+) -> Result<Vec<usize>, RapError> {
+    let le = violating_clients(inst, target_of_zone);
+    let mut contact = virc(inst, target_of_zone);
+    if le.is_empty() {
+        return Ok(contact);
+    }
+    let gap = rap_gap(inst, target_of_zone, &le);
+    let mut config = config.clone();
+    if config.initial_incumbent.is_none() {
+        let greedy = grec(inst, target_of_zone);
+        let mut values = vec![0.0; inst.num_servers() * le.len()];
+        let mut cost = 0.0;
+        let mut feasible_seed = true;
+        for (task, &c) in le.iter().enumerate() {
+            let s = greedy[c];
+            values[gap.var(s, task)] = 1.0;
+            cost += gap.cost[s][task];
+            // The greedy may have relied on already-placed zone loads in a
+            // way that matches gap capacities; verify quickly below.
+            if gap.demand[s][task] > gap.capacity[s] + 1e-9 {
+                feasible_seed = false;
+            }
+        }
+        if feasible_seed {
+            config.initial_incumbent = Some((cost, values));
+        }
+    }
+    match gap.solve_exact(&config).map_err(RapError::Lp)? {
+        GapOutcome::Optimal(sol) | GapOutcome::Feasible(sol) => {
+            for (task, &c) in le.iter().enumerate() {
+                contact[c] = sol.agent_of_task[task];
+            }
+            Ok(contact)
+        }
+        // contact = target always fits (demand 0), so the GAP cannot be
+        // infeasible; treat it as a solver limit if it ever surfaces.
+        GapOutcome::Infeasible | GapOutcome::Unknown => Err(RapError::SolverLimit),
+    }
+}
+
+/// Total RAP cost (eq. 9) of a contact vector, using observed delays.
+pub fn rap_total_cost(
+    inst: &CapInstance,
+    target_of_zone: &[usize],
+    contact_of_client: &[usize],
+) -> f64 {
+    contact_of_client
+        .iter()
+        .enumerate()
+        .map(|(c, &s)| inst.rap_cost(c, s, target_of_zone[inst.zone_of(c)]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One zone on a far server; a nearby relay server can rescue QoS.
+    /// c0: d(c0,s0)=300 (violates 250), d(c0,s1)=100, d(s1,s0)=60
+    /// -> via s1: 160 <= 250.
+    fn relay_inst() -> CapInstance {
+        CapInstance::from_raw(
+            2,
+            1,
+            vec![0, 0],
+            vec![300.0, 100.0, 120.0, 400.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0, 1000.0],
+            vec![10_000.0, 10_000.0],
+            250.0,
+        )
+    }
+
+    #[test]
+    fn virc_mirrors_targets() {
+        let inst = relay_inst();
+        let contacts = virc(&inst, &[0]);
+        assert_eq!(contacts, vec![0, 0]);
+    }
+
+    #[test]
+    fn grec_reroutes_violating_client_through_relay() {
+        let inst = relay_inst();
+        // zone 0 hosted on s0; c0 violates (300 > 250) and is rescued via
+        // s1 (100 + 60 = 160); c1 is fine directly (120).
+        let contacts = grec(&inst, &[0]);
+        assert_eq!(contacts[0], 1);
+        assert_eq!(contacts[1], 0);
+    }
+
+    #[test]
+    fn grec_leaves_satisfied_clients_alone() {
+        let inst = relay_inst();
+        let contacts = grec(&inst, &[0]);
+        // c1 already within bound: contact must be its target.
+        assert_eq!(contacts[1], 0);
+    }
+
+    #[test]
+    fn grec_respects_contact_capacity() {
+        // Relay server has no spare capacity: violating client must stay
+        // on its target.
+        let inst = CapInstance::from_raw(
+            2,
+            1,
+            vec![0],
+            vec![300.0, 100.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0],
+            vec![10_000.0, 1000.0], // RC = 2000 > 1000 residual on s1
+            250.0,
+        );
+        let contacts = grec(&inst, &[0]);
+        assert_eq!(contacts[0], 0, "no capacity on relay: stay on target");
+    }
+
+    #[test]
+    fn exact_rap_matches_or_beats_grec() {
+        let inst = relay_inst();
+        let targets = vec![0];
+        let greedy = grec(&inst, &targets);
+        let exact = exact_rap(&inst, &targets, &BbConfig::default()).unwrap();
+        assert!(
+            rap_total_cost(&inst, &targets, &exact)
+                <= rap_total_cost(&inst, &targets, &greedy) + 1e-9
+        );
+    }
+
+    #[test]
+    fn exact_rap_with_no_violations_is_virc() {
+        let inst = CapInstance::from_raw(
+            2,
+            1,
+            vec![0],
+            vec![100.0, 200.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0],
+            vec![10_000.0, 10_000.0],
+            250.0,
+        );
+        let targets = vec![0];
+        assert!(violating_clients(&inst, &targets).is_empty());
+        let exact = exact_rap(&inst, &targets, &BbConfig::default()).unwrap();
+        assert_eq!(exact, virc(&inst, &targets));
+    }
+
+    #[test]
+    fn violating_list_uses_observed_target_delay() {
+        let inst = relay_inst();
+        assert_eq!(violating_clients(&inst, &[0]), vec![0]);
+        // Hosting the zone on s1 instead: c0 at 100 fine, c1 at 400 bad.
+        assert_eq!(violating_clients(&inst, &[1]), vec![1]);
+    }
+
+    #[test]
+    fn rap_cost_totals() {
+        let inst = relay_inst();
+        let targets = vec![0];
+        // All on target: c0 cost 50, c1 cost 0.
+        assert_eq!(rap_total_cost(&inst, &targets, &[0, 0]), 50.0);
+        // c0 via relay: 160 under bound -> cost 0.
+        assert_eq!(rap_total_cost(&inst, &targets, &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn grec_prefers_forwarding_even_when_over_bound_if_closer() {
+        // No server brings the client under the bound; GreC should pick
+        // the one minimising the distance over the bound.
+        let inst = CapInstance::from_raw(
+            2,
+            1,
+            vec![0],
+            vec![480.0, 400.0],
+            vec![0.0, 20.0, 20.0, 0.0],
+            vec![1000.0],
+            vec![10_000.0, 10_000.0],
+            250.0,
+        );
+        let contacts = grec(&inst, &[0]);
+        // direct: 480 (cost 230); via s1: 400 + 20 = 420 (cost 170).
+        assert_eq!(contacts[0], 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Property tests for the assignment core: algorithm invariants over
+//! randomly generated CAP instances.
+
+use dve_assign::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random small instance. `slack` scales capacities: >= 2 is comfortably
+/// feasible, ~1 is tight.
+fn random_instance(seed: u64, servers: usize, zones: usize, clients: usize, slack: f64) -> CapInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zone_of_client: Vec<usize> = (0..clients).map(|_| rng.gen_range(0..zones)).collect();
+    let cs: Vec<f64> = (0..clients * servers)
+        .map(|_| rng.gen_range(10.0..500.0))
+        .collect();
+    let mut ss = vec![0.0; servers * servers];
+    for a in 0..servers {
+        for b in (a + 1)..servers {
+            let d = rng.gen_range(5.0..250.0);
+            ss[a * servers + b] = d;
+            ss[b * servers + a] = d;
+        }
+    }
+    // Per-client RT proportional to zone population, like the real model.
+    let mut pop = vec![0usize; zones];
+    for &z in &zone_of_client {
+        pop[z] += 1;
+    }
+    let rt: Vec<f64> = zone_of_client
+        .iter()
+        .map(|&z| 20.0 * (1.0 + pop[z] as f64))
+        .collect();
+    let total_demand: f64 = rt.iter().sum::<f64>();
+    // Zone load = sum of member RTs; per-server capacity covers both the
+    // average load and the largest single zone, so any greedy that falls
+    // through its candidate list finds a feasible server when slack >= 2.
+    let mut zone_load = vec![0.0f64; zones];
+    for (c, &z) in zone_of_client.iter().enumerate() {
+        zone_load[z] += rt[c];
+    }
+    let max_zone = zone_load.iter().copied().fold(0.0, f64::max);
+    let capacity =
+        vec![(slack * (total_demand / servers as f64).max(max_zone)).max(1.0); servers];
+    CapInstance::from_raw(servers, zones, zone_of_client, cs, ss, rt, capacity, 250.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn heuristics_always_feasible_with_generous_capacity(
+        seed in any::<u64>(),
+        servers in 2usize..5,
+        zones in 1usize..8,
+        clients in 0usize..30,
+    ) {
+        let inst = random_instance(seed, servers, zones, clients, 3.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+        for algo in CapAlgorithm::HEURISTICS {
+            let a = solve(&inst, algo, StuckPolicy::Strict, &mut rng).unwrap();
+            prop_assert!(a.is_feasible(&inst), "{algo} infeasible");
+            let m = evaluate(&inst, &a);
+            prop_assert!((0.0..=1.0).contains(&m.pqos));
+            prop_assert!(m.utilization >= 0.0);
+            prop_assert!(m.delays.len() == clients);
+        }
+    }
+
+    #[test]
+    fn exact_iap_cost_never_above_grez(seed in any::<u64>(),
+                                       servers in 2usize..4,
+                                       zones in 1usize..6,
+                                       clients in 0usize..20) {
+        let inst = random_instance(seed, servers, zones, clients, 3.0);
+        let grez_t = grez(&inst, StuckPolicy::Strict).unwrap();
+        let exact_t = exact_iap(&inst, &BbConfig::default()).unwrap();
+        prop_assert!(iap_total_cost(&inst, &exact_t) <= iap_total_cost(&inst, &grez_t) + 1e-9);
+    }
+
+    #[test]
+    fn exact_rap_cost_never_above_grec(seed in any::<u64>(),
+                                       servers in 2usize..4,
+                                       zones in 1usize..5,
+                                       clients in 0usize..16) {
+        let inst = random_instance(seed, servers, zones, clients, 3.0);
+        let targets = grez(&inst, StuckPolicy::Strict).unwrap();
+        let grec_c = grec(&inst, &targets);
+        let exact_c = exact_rap(&inst, &targets, &BbConfig::default()).unwrap();
+        prop_assert!(
+            rap_total_cost(&inst, &targets, &exact_c)
+                <= rap_total_cost(&inst, &targets, &grec_c) + 1e-9
+        );
+    }
+
+    #[test]
+    fn virc_never_forwards_and_costs_only_zone_loads(seed in any::<u64>(),
+                                                     clients in 0usize..25) {
+        let inst = random_instance(seed, 3, 5, clients, 3.0);
+        let targets = grez(&inst, StuckPolicy::Strict).unwrap();
+        let a = Assignment {
+            contact_of_client: virc(&inst, &targets),
+            target_of_zone: targets,
+        };
+        prop_assert_eq!(a.forwarded_clients(&inst), 0);
+        let loads = a.server_loads(&inst);
+        let total: f64 = loads.iter().sum();
+        let zone_total: f64 = (0..inst.num_zones()).map(|z| inst.zone_bps(z)).sum();
+        prop_assert!((total - zone_total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grec_never_worsens_rap_cost_vs_virc(seed in any::<u64>(), clients in 0usize..25) {
+        let inst = random_instance(seed, 3, 5, clients, 3.0);
+        let targets = grez(&inst, StuckPolicy::Strict).unwrap();
+        let virc_cost = rap_total_cost(&inst, &targets, &virc(&inst, &targets));
+        let grec_cost = rap_total_cost(&inst, &targets, &grec(&inst, &targets));
+        prop_assert!(grec_cost <= virc_cost + 1e-9);
+    }
+
+    #[test]
+    fn local_search_never_worsens_and_stays_feasible(seed in any::<u64>(),
+                                                     clients in 0usize..25) {
+        let inst = random_instance(seed, 3, 6, clients, 2.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1e);
+        let mut t = ranz(&inst, StuckPolicy::Strict, &mut rng).unwrap();
+        let before = iap_total_cost(&inst, &t);
+        let stats = improve_iap(&inst, &mut t, 30);
+        prop_assert!(stats.final_cost <= before + 1e-9);
+        let a = Assignment {
+            contact_of_client: virc(&inst, &t),
+            target_of_zone: t,
+        };
+        prop_assert!(a.is_feasible(&inst));
+    }
+
+    #[test]
+    fn annealing_result_feasible_and_no_worse_than_start(seed in any::<u64>(),
+                                                         clients in 0usize..20) {
+        let inst = random_instance(seed, 3, 5, clients, 2.5);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa77);
+        let start = grez(&inst, StuckPolicy::Strict).unwrap();
+        let start_cost = iap_total_cost(&inst, &start);
+        let config = AnnealConfig { steps: 2000, ..Default::default() };
+        let out = anneal_iap(&inst, &start, &config, &mut rng);
+        prop_assert!(out.feasible);
+        prop_assert!(out.cost <= start_cost + 1e-9);
+    }
+
+    #[test]
+    fn best_effort_always_completes(seed in any::<u64>(), clients in 1usize..25) {
+        // Deliberately starved capacities: strict fails or succeeds, but
+        // best-effort must always produce a complete target vector.
+        let inst = random_instance(seed, 2, 6, clients, 0.4);
+        let t = grez(&inst, StuckPolicy::BestEffort).unwrap();
+        prop_assert_eq!(t.len(), inst.num_zones());
+        prop_assert!(t.iter().all(|&s| s < inst.num_servers()));
+        // GreC on top never adds load beyond what fits.
+        let contacts = grec(&inst, &t);
+        prop_assert_eq!(contacts.len(), inst.num_clients());
+    }
+
+    #[test]
+    fn evaluation_delays_are_true_path_delays(seed in any::<u64>(), clients in 1usize..20) {
+        let inst = random_instance(seed, 3, 4, clients, 3.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = solve(&inst, CapAlgorithm::GreZGreC, StuckPolicy::Strict, &mut rng).unwrap();
+        let m = evaluate(&inst, &a);
+        for c in 0..clients {
+            let t = a.target_of_client(&inst, c);
+            let expect = inst.true_path_delay(c, a.contact_of_client[c], t);
+            prop_assert!((m.delays[c] - expect).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn joint_exact_dominates_two_phase_exact(seed in any::<u64>(), clients in 1usize..8) {
+        // Definition 2.1 solved jointly can never be worse (in observed
+        // QoS count) than the paper's sequential exact decomposition.
+        let inst = random_instance(seed, 2, 2, clients, 3.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let joint = exact_joint_cap(&inst, &BbConfig::default()).unwrap();
+        let seq = solve(&inst, CapAlgorithm::Exact, StuckPolicy::Strict, &mut rng).unwrap();
+        let joint_m = evaluate(&inst, &joint.assignment);
+        let seq_m = evaluate(&inst, &seq);
+        prop_assert!(joint_m.pqos >= seq_m.pqos - 1e-9,
+            "joint {} vs sequential {}", joint_m.pqos, seq_m.pqos);
+        prop_assert!(joint.assignment.is_feasible(&inst));
+    }
+}

@@ -1,0 +1,485 @@
+//! Best-first branch-and-bound for 0/1 mixed-integer linear programs.
+//!
+//! This is the workspace's replacement for the paper's use of lp_solve:
+//! the IAP and RAP integer programs (Definitions 2.2 and 2.3) are pure
+//! 0/1 assignment models, so the solver handles binaries only; remaining
+//! variables stay continuous.
+//!
+//! Nodes carry partial fixings of the binary variables; each node's bound
+//! comes from the LP relaxation with fixed columns substituted out. The
+//! frontier is explored best-bound-first, optionally warm-started with an
+//! incumbent from a heuristic (the assignment crate seeds it with its
+//! greedy solutions, which tightens pruning dramatically).
+
+use crate::model::{Constraint, LinearProgram};
+use crate::simplex::{solve_lp, LpError, LpOutcome};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// A 0/1 MILP: a linear program plus the list of variables constrained to
+/// {0, 1}. Variables not listed remain continuous and non-negative.
+#[derive(Debug, Clone)]
+pub struct BinaryMilp {
+    /// The relaxation.
+    pub lp: LinearProgram,
+    /// Indices of binary variables.
+    pub binaries: Vec<usize>,
+}
+
+/// Search limits and tolerances for [`solve_milp`].
+#[derive(Debug, Clone)]
+pub struct BbConfig {
+    /// Maximum branch-and-bound nodes to explore.
+    pub node_limit: usize,
+    /// Optional wall-clock limit.
+    pub time_limit: Option<Duration>,
+    /// Distance from 0/1 within which an LP value counts as integral.
+    pub integrality_tol: f64,
+    /// Absolute bound gap below which a node is pruned against the
+    /// incumbent. Costs in the CAP instances are integer counts or
+    /// millisecond sums, so an absolute tolerance is appropriate.
+    pub prune_tol: f64,
+    /// Optional warm-start solution (objective, full variable vector).
+    pub initial_incumbent: Option<(f64, Vec<f64>)>,
+}
+
+impl Default for BbConfig {
+    fn default() -> Self {
+        BbConfig {
+            node_limit: 500_000,
+            time_limit: Some(Duration::from_secs(120)),
+            integrality_tol: 1e-6,
+            prune_tol: 1e-7,
+            initial_incumbent: None,
+        }
+    }
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpOutcome {
+    /// Proven-optimal solution.
+    Optimal(MilpSolution),
+    /// Limits were hit; the solution is feasible but not proven optimal.
+    Feasible(MilpSolution),
+    /// No feasible assignment of the binaries exists.
+    Infeasible,
+    /// The continuous relaxation is unbounded below.
+    Unbounded,
+    /// Limits were hit before any feasible solution was found.
+    Unknown,
+}
+
+impl MilpOutcome {
+    /// Returns the contained solution for `Optimal`/`Feasible`.
+    pub fn solution(&self) -> Option<&MilpSolution> {
+        match self {
+            MilpOutcome::Optimal(s) | MilpOutcome::Feasible(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A feasible MILP solution plus search statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    /// Objective value.
+    pub objective: f64,
+    /// Variable values (binaries are exactly 0.0 or 1.0).
+    pub values: Vec<f64>,
+    /// Nodes explored.
+    pub nodes: usize,
+    /// Whether optimality was proven.
+    pub proven_optimal: bool,
+    /// Best lower bound at termination (equals `objective` when optimal).
+    pub best_bound: f64,
+}
+
+/// Frontier node: fixings of binary variables, ordered by LP bound.
+struct Node {
+    bound: f64,
+    /// Per-binary state: -1 free, 0 fixed to zero, 1 fixed to one.
+    fixed: Vec<i8>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on bound: BinaryHeap is a max-heap, so reverse.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .expect("bounds are finite")
+    }
+}
+
+/// Builds the LP with fixed binaries substituted out. Returns the reduced
+/// LP, the map from reduced variable index to original index, and the
+/// objective constant contributed by the fixings.
+fn reduced_lp(
+    milp: &BinaryMilp,
+    fixed: &[i8],
+) -> (LinearProgram, Vec<usize>, f64) {
+    let n = milp.lp.num_vars();
+    // fixed value per original var (None = free).
+    let mut fixed_value: Vec<Option<f64>> = vec![None; n];
+    for (k, &state) in fixed.iter().enumerate() {
+        if state >= 0 {
+            fixed_value[milp.binaries[k]] = Some(state as f64);
+        }
+    }
+    let mut map = Vec::with_capacity(n);
+    let mut new_index = vec![usize::MAX; n];
+    for (v, fv) in fixed_value.iter().enumerate() {
+        if fv.is_none() {
+            new_index[v] = map.len();
+            map.push(v);
+        }
+    }
+    let mut lp = LinearProgram::new(map.len());
+    let mut constant = 0.0;
+    for (&orig, slot) in map.iter().zip(lp.objective.iter_mut()) {
+        *slot = milp.lp.objective[orig];
+    }
+    for (v, fv) in fixed_value.iter().enumerate() {
+        if let Some(val) = fv {
+            constant += milp.lp.objective[v] * val;
+        }
+    }
+    for c in &milp.lp.constraints {
+        let mut coeffs = Vec::with_capacity(c.coeffs.len());
+        let mut rhs = c.rhs;
+        for &(v, coef) in &c.coeffs {
+            match fixed_value[v] {
+                Some(val) => rhs -= coef * val,
+                None => coeffs.push((new_index[v], coef)),
+            }
+        }
+        lp.add_constraint(Constraint {
+            coeffs,
+            relation: c.relation,
+            rhs,
+        });
+    }
+    (lp, map, constant)
+}
+
+/// Checks whether a full-variable vector is feasible for the MILP and has
+/// integral binaries.
+fn milp_feasible(milp: &BinaryMilp, values: &[f64], tol: f64) -> bool {
+    milp.lp.feasible(values, 1e-6)
+        && milp
+            .binaries
+            .iter()
+            .all(|&b| values[b].abs() <= tol || (values[b] - 1.0).abs() <= tol)
+}
+
+/// Solves a 0/1 MILP by branch-and-bound. See module docs.
+pub fn solve_milp(milp: &BinaryMilp, config: &BbConfig) -> Result<MilpOutcome, LpError> {
+    milp.lp.validate().map_err(LpError::BadModel)?;
+    for &b in &milp.binaries {
+        assert!(b < milp.lp.num_vars(), "binary index {b} out of range");
+    }
+    let start = Instant::now();
+    let nb = milp.binaries.len();
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    if let Some((obj, values)) = &config.initial_incumbent {
+        assert_eq!(values.len(), milp.lp.num_vars(), "incumbent arity mismatch");
+        if milp_feasible(milp, values, config.integrality_tol) {
+            incumbent = Some((*obj, values.clone()));
+        }
+    }
+
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    heap.push(Node {
+        bound: f64::NEG_INFINITY,
+        fixed: vec![-1; nb],
+    });
+
+    let mut nodes = 0usize;
+    let mut best_open_bound = f64::NEG_INFINITY;
+    let mut limits_hit = false;
+
+    while let Some(node) = heap.pop() {
+        best_open_bound = node.bound;
+        if nodes >= config.node_limit
+            || config.time_limit.map_or(false, |t| start.elapsed() > t)
+        {
+            limits_hit = true;
+            break;
+        }
+        // Prune against incumbent.
+        if let Some((inc_obj, _)) = &incumbent {
+            if node.bound >= inc_obj - config.prune_tol {
+                // Best-first: every remaining node is at least as bad.
+                best_open_bound = node.bound;
+                heap.clear();
+                break;
+            }
+        }
+        nodes += 1;
+
+        let (lp, map, constant) = reduced_lp(milp, &node.fixed);
+        let outcome = solve_lp(&lp)?;
+        let sol = match outcome {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                if nodes == 1 {
+                    return Ok(MilpOutcome::Unbounded);
+                }
+                // Binaries are bounded, so unboundedness comes from the
+                // continuous part and would already show at the root.
+                continue;
+            }
+            LpOutcome::Optimal(s) => s,
+        };
+        let bound = sol.objective + constant;
+        if let Some((inc_obj, _)) = &incumbent {
+            if bound >= inc_obj - config.prune_tol {
+                continue;
+            }
+        }
+
+        // Expand solution back to original variable space.
+        let mut full = vec![0.0; milp.lp.num_vars()];
+        for (reduced, &orig) in map.iter().enumerate() {
+            full[orig] = sol.values[reduced];
+        }
+        for (k, &state) in node.fixed.iter().enumerate() {
+            if state >= 0 {
+                full[milp.binaries[k]] = state as f64;
+            }
+        }
+
+        // Most fractional free binary. A free binary needs branching when
+        // its LP value is neither ~0 nor ~1 (the relaxation does not carry
+        // explicit x <= 1 rows, so values above 1 also trigger branching).
+        let mut branch: Option<(usize, f64)> = None;
+        for (k, &state) in node.fixed.iter().enumerate() {
+            if state >= 0 {
+                continue;
+            }
+            let v = full[milp.binaries[k]];
+            let integral01 =
+                v.abs() <= config.integrality_tol || (v - 1.0).abs() <= config.integrality_tol;
+            if !integral01 {
+                let dist_to_half = (v - 0.5).abs();
+                if branch.map_or(true, |(_, d)| dist_to_half < d) {
+                    branch = Some((k, dist_to_half));
+                }
+            }
+        }
+
+        match branch {
+            None => {
+                // Integral: candidate incumbent. Round binaries exactly.
+                for &b in &milp.binaries {
+                    full[b] = full[b].round();
+                }
+                let obj = milp.lp.objective_at(&full);
+                if milp_feasible(milp, &full, config.integrality_tol)
+                    && incumbent
+                        .as_ref()
+                        .map_or(true, |(inc, _)| obj < inc - config.prune_tol)
+                {
+                    incumbent = Some((obj, full));
+                }
+            }
+            Some((k, _)) => {
+                for val in [1i8, 0i8] {
+                    let mut fixed = node.fixed.clone();
+                    fixed[k] = val;
+                    heap.push(Node { bound, fixed });
+                }
+            }
+        }
+    }
+
+    let proven = !limits_hit;
+    match incumbent {
+        Some((objective, values)) => {
+            let best_bound = if proven {
+                objective
+            } else {
+                best_open_bound.max(f64::NEG_INFINITY)
+            };
+            let sol = MilpSolution {
+                objective,
+                values,
+                nodes,
+                proven_optimal: proven,
+                best_bound,
+            };
+            Ok(if proven {
+                MilpOutcome::Optimal(sol)
+            } else {
+                MilpOutcome::Feasible(sol)
+            })
+        }
+        None => Ok(if proven {
+            MilpOutcome::Infeasible
+        } else {
+            MilpOutcome::Unknown
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Constraint;
+
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> BinaryMilp {
+        // max v·x s.t. w·x <= cap -> min -v·x
+        let n = values.len();
+        let mut lp = LinearProgram::new(n);
+        for (i, &v) in values.iter().enumerate() {
+            lp.set_objective(i, -v);
+        }
+        lp.add_constraint(Constraint::le(
+            weights.iter().enumerate().map(|(i, &w)| (i, w)).collect(),
+            cap,
+        ));
+        for i in 0..n {
+            lp.add_constraint(Constraint::le(vec![(i, 1.0)], 1.0));
+        }
+        BinaryMilp {
+            lp,
+            binaries: (0..n).collect(),
+        }
+    }
+
+    #[test]
+    fn solves_small_knapsack() {
+        // items (value, weight): (60,10) (100,20) (120,30), cap 50
+        // optimum: items 1+2 -> value 220
+        let m = knapsack(&[60.0, 100.0, 120.0], &[10.0, 20.0, 30.0], 50.0);
+        let out = solve_milp(&m, &BbConfig::default()).unwrap();
+        let sol = match out {
+            MilpOutcome::Optimal(s) => s,
+            o => panic!("expected optimal, got {o:?}"),
+        };
+        assert!((sol.objective + 220.0).abs() < 1e-6);
+        assert_eq!(sol.values[0], 0.0);
+        assert_eq!(sol.values[1], 1.0);
+        assert_eq!(sol.values[2], 1.0);
+        assert!(sol.proven_optimal);
+    }
+
+    #[test]
+    fn detects_infeasible_binaries() {
+        // x0 + x1 == 3 with binaries: impossible.
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(Constraint::eq(vec![(0, 1.0), (1, 1.0)], 3.0));
+        let m = BinaryMilp {
+            lp,
+            binaries: vec![0, 1],
+        };
+        assert_eq!(
+            solve_milp(&m, &BbConfig::default()).unwrap(),
+            MilpOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn handles_pure_lp_when_no_binaries() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(Constraint::ge(vec![(0, 1.0)], 2.5));
+        let m = BinaryMilp {
+            lp,
+            binaries: vec![],
+        };
+        let out = solve_milp(&m, &BbConfig::default()).unwrap();
+        let sol = out.solution().unwrap();
+        assert!((sol.objective - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, -1.0); // continuous var can grow forever
+        lp.add_constraint(Constraint::le(vec![(1, 1.0)], 1.0));
+        let m = BinaryMilp {
+            lp,
+            binaries: vec![1],
+        };
+        assert_eq!(
+            solve_milp(&m, &BbConfig::default()).unwrap(),
+            MilpOutcome::Unbounded
+        );
+    }
+
+    #[test]
+    fn warm_start_incumbent_is_respected() {
+        let m = knapsack(&[10.0, 10.0], &[1.0, 1.0], 2.0);
+        let mut config = BbConfig::default();
+        // Seed with the true optimum; solver must not return anything worse.
+        config.initial_incumbent = Some((-20.0, vec![1.0, 1.0]));
+        let out = solve_milp(&m, &config).unwrap();
+        let sol = out.solution().unwrap();
+        assert!((sol.objective + 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bogus_warm_start_is_discarded() {
+        let m = knapsack(&[10.0], &[5.0], 1.0); // item doesn't fit
+        let mut config = BbConfig::default();
+        config.initial_incumbent = Some((-10.0, vec![1.0])); // infeasible seed
+        let out = solve_milp(&m, &config).unwrap();
+        // Only the empty knapsack is feasible.
+        let sol = out.solution().unwrap();
+        assert!((sol.objective - 0.0).abs() < 1e-9);
+        assert_eq!(sol.values[0], 0.0);
+    }
+
+    #[test]
+    fn node_limit_degrades_gracefully() {
+        let values: Vec<f64> = (1..=14).map(|i| (i * 7 % 13) as f64 + 1.0).collect();
+        let weights: Vec<f64> = (1..=14).map(|i| (i * 5 % 11) as f64 + 1.0).collect();
+        let m = knapsack(&values, &weights, 25.0);
+        let config = BbConfig {
+            node_limit: 3,
+            ..Default::default()
+        };
+        match solve_milp(&m, &config).unwrap() {
+            MilpOutcome::Feasible(s) => assert!(!s.proven_optimal),
+            MilpOutcome::Optimal(_) | MilpOutcome::Unknown => {} // tiny tree may finish or find nothing
+            o => panic!("unexpected outcome {o:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_partition_model() {
+        // Choose exactly one of each pair; minimise cost.
+        // pairs: (x0,x1) cost (3,1); (x2,x3) cost (2,5) -> optimum 1+2=3.
+        let mut lp = LinearProgram::new(4);
+        for (i, c) in [3.0, 1.0, 2.0, 5.0].into_iter().enumerate() {
+            lp.set_objective(i, c);
+        }
+        lp.add_constraint(Constraint::eq(vec![(0, 1.0), (1, 1.0)], 1.0));
+        lp.add_constraint(Constraint::eq(vec![(2, 1.0), (3, 1.0)], 1.0));
+        let m = BinaryMilp {
+            lp,
+            binaries: vec![0, 1, 2, 3],
+        };
+        let sol = match solve_milp(&m, &BbConfig::default()).unwrap() {
+            MilpOutcome::Optimal(s) => s,
+            o => panic!("{o:?}"),
+        };
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+        assert_eq!(sol.values, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+}

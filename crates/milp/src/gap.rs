@@ -1,0 +1,474 @@
+//! Generalised Assignment Problem (GAP) models.
+//!
+//! Both phases of the paper's client assignment problem are GAPs: assign
+//! each *task* (zone in the IAP, client in the RAP) to exactly one *agent*
+//! (server) minimising total cost, subject to per-agent capacity. This
+//! module provides the shared model type, the exact MILP reduction, a
+//! brute-force oracle for testing, and a regret-based greedy used both as
+//! a warm start for branch-and-bound and as the reference implementation
+//! of the Romeijn–Morales heuristic family the paper builds on.
+
+use crate::branch_bound::{solve_milp, BbConfig, BinaryMilp, MilpOutcome};
+use crate::model::{Constraint, LinearProgram};
+use crate::simplex::LpError;
+
+/// A GAP instance: `agents x tasks` cost and demand matrices plus agent
+/// capacities. `demand[i][j]` is the capacity consumed on agent `i` if it
+/// takes task `j` (the CAP instances use agent-independent demands, but
+/// the general form costs nothing extra).
+#[derive(Debug, Clone)]
+pub struct GapInstance {
+    /// `cost[i][j]`: cost of assigning task `j` to agent `i`.
+    pub cost: Vec<Vec<f64>>,
+    /// `demand[i][j]`: capacity consumed on agent `i` by task `j`.
+    pub demand: Vec<Vec<f64>>,
+    /// Capacity of each agent.
+    pub capacity: Vec<f64>,
+}
+
+/// A feasible GAP assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapSolution {
+    /// Assigned agent per task.
+    pub agent_of_task: Vec<usize>,
+    /// Total assignment cost.
+    pub cost: f64,
+}
+
+/// Outcome of an exact GAP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GapOutcome {
+    /// Proven optimal.
+    Optimal(GapSolution),
+    /// Limits hit; feasible but not proven optimal.
+    Feasible(GapSolution),
+    /// No feasible assignment exists.
+    Infeasible,
+    /// Limits hit before any feasible assignment was found.
+    Unknown,
+}
+
+impl GapOutcome {
+    /// The contained solution, if any.
+    pub fn solution(&self) -> Option<&GapSolution> {
+        match self {
+            GapOutcome::Optimal(s) | GapOutcome::Feasible(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl GapInstance {
+    /// Number of agents (rows).
+    pub fn agents(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// Number of tasks (columns).
+    pub fn tasks(&self) -> usize {
+        self.cost.first().map_or(0, |r| r.len())
+    }
+
+    /// Validates matrix shapes and value finiteness.
+    pub fn validate(&self) -> Result<(), String> {
+        let m = self.agents();
+        let n = self.tasks();
+        if m == 0 {
+            return Err("GAP needs at least one agent".into());
+        }
+        if self.demand.len() != m || self.capacity.len() != m {
+            return Err("cost/demand/capacity row counts disagree".into());
+        }
+        for (i, row) in self.cost.iter().enumerate() {
+            if row.len() != n || self.demand[i].len() != n {
+                return Err(format!("ragged matrix at agent {i}"));
+            }
+            if row.iter().any(|v| !v.is_finite())
+                || self.demand[i].iter().any(|v| !v.is_finite() || *v < 0.0)
+            {
+                return Err(format!("non-finite or negative entry at agent {i}"));
+            }
+            if !self.capacity[i].is_finite() || self.capacity[i] < 0.0 {
+                return Err(format!("bad capacity for agent {i}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Flat MILP variable index for `(agent, task)`.
+    #[inline]
+    pub fn var(&self, agent: usize, task: usize) -> usize {
+        agent * self.tasks() + task
+    }
+
+    /// Builds the 0/1 MILP of Definition 2.2/2.3: minimise `sum c_ij x_ij`
+    /// s.t. each task assigned exactly once and capacities respected.
+    pub fn to_milp(&self) -> BinaryMilp {
+        let m = self.agents();
+        let n = self.tasks();
+        let mut lp = LinearProgram::new(m * n);
+        for i in 0..m {
+            for j in 0..n {
+                lp.set_objective(self.var(i, j), self.cost[i][j]);
+            }
+        }
+        // sum_i x_ij == 1 for every task j
+        for j in 0..n {
+            lp.add_constraint(Constraint::eq(
+                (0..m).map(|i| (self.var(i, j), 1.0)).collect(),
+                1.0,
+            ));
+        }
+        // sum_j demand_ij x_ij <= capacity_i for every agent i
+        for i in 0..m {
+            lp.add_constraint(Constraint::le(
+                (0..n).map(|j| (self.var(i, j), self.demand[i][j])).collect(),
+                self.capacity[i],
+            ));
+        }
+        BinaryMilp {
+            lp,
+            binaries: (0..m * n).collect(),
+        }
+    }
+
+    /// Total cost of an assignment vector.
+    pub fn assignment_cost(&self, agent_of_task: &[usize]) -> f64 {
+        agent_of_task
+            .iter()
+            .enumerate()
+            .map(|(j, &i)| self.cost[i][j])
+            .sum()
+    }
+
+    /// True iff the assignment respects every agent capacity.
+    pub fn assignment_feasible(&self, agent_of_task: &[usize]) -> bool {
+        if agent_of_task.len() != self.tasks() {
+            return false;
+        }
+        let mut used = vec![0.0; self.agents()];
+        for (j, &i) in agent_of_task.iter().enumerate() {
+            if i >= self.agents() {
+                return false;
+            }
+            used[i] += self.demand[i][j];
+        }
+        used.iter()
+            .zip(&self.capacity)
+            .all(|(u, c)| *u <= c + 1e-9)
+    }
+
+    /// Exact solve via branch-and-bound, warm-started with the regret
+    /// greedy when it finds a feasible point.
+    pub fn solve_exact(&self, config: &BbConfig) -> Result<GapOutcome, LpError> {
+        self.validate().expect("invalid GAP instance");
+        if self.tasks() == 0 {
+            return Ok(GapOutcome::Optimal(GapSolution {
+                agent_of_task: vec![],
+                cost: 0.0,
+            }));
+        }
+        let milp = self.to_milp();
+        let mut config = config.clone();
+        if config.initial_incumbent.is_none() {
+            if let Some(greedy) = self.greedy_regret() {
+                let mut values = vec![0.0; self.agents() * self.tasks()];
+                for (j, &i) in greedy.agent_of_task.iter().enumerate() {
+                    values[self.var(i, j)] = 1.0;
+                }
+                config.initial_incumbent = Some((greedy.cost, values));
+            }
+        }
+        let out = solve_milp(&milp, &config)?;
+        Ok(match out {
+            MilpOutcome::Optimal(s) => GapOutcome::Optimal(self.extract(&s.values, s.objective)),
+            MilpOutcome::Feasible(s) => GapOutcome::Feasible(self.extract(&s.values, s.objective)),
+            MilpOutcome::Infeasible => GapOutcome::Infeasible,
+            MilpOutcome::Unknown => GapOutcome::Unknown,
+            MilpOutcome::Unbounded => unreachable!("GAP objectives are bounded"),
+        })
+    }
+
+    fn extract(&self, values: &[f64], cost: f64) -> GapSolution {
+        let mut agent_of_task = vec![usize::MAX; self.tasks()];
+        for j in 0..self.tasks() {
+            for i in 0..self.agents() {
+                if values[self.var(i, j)] > 0.5 {
+                    agent_of_task[j] = i;
+                    break;
+                }
+            }
+        }
+        debug_assert!(agent_of_task.iter().all(|&a| a != usize::MAX));
+        GapSolution {
+            agent_of_task,
+            cost,
+        }
+    }
+
+    /// Exhaustive search over all `agents^tasks` assignments. Test oracle
+    /// only; panics if the search space exceeds ~100M nodes.
+    pub fn brute_force(&self) -> Option<GapSolution> {
+        self.validate().expect("invalid GAP instance");
+        let m = self.agents();
+        let n = self.tasks();
+        assert!(
+            (m as f64).powi(n as i32) <= 1e8,
+            "brute force space too large ({m}^{n})"
+        );
+        let mut best: Option<GapSolution> = None;
+        let mut assign = vec![0usize; n];
+        let mut used = vec![0.0f64; m];
+        fn recurse(
+            inst: &GapInstance,
+            j: usize,
+            assign: &mut Vec<usize>,
+            used: &mut Vec<f64>,
+            cost_so_far: f64,
+            best: &mut Option<GapSolution>,
+        ) {
+            if let Some(b) = best {
+                if cost_so_far >= b.cost - 1e-12 {
+                    return; // cannot improve (costs are non-negative? not
+                            // guaranteed, so only prune when they are)
+                }
+            }
+            if j == inst.tasks() {
+                let better = best.as_ref().map_or(true, |b| cost_so_far < b.cost);
+                if better {
+                    *best = Some(GapSolution {
+                        agent_of_task: assign.clone(),
+                        cost: cost_so_far,
+                    });
+                }
+                return;
+            }
+            for i in 0..inst.agents() {
+                if used[i] + inst.demand[i][j] <= inst.capacity[i] + 1e-9 {
+                    assign[j] = i;
+                    used[i] += inst.demand[i][j];
+                    recurse(inst, j + 1, assign, used, cost_so_far + inst.cost[i][j], best);
+                    used[i] -= inst.demand[i][j];
+                }
+            }
+        }
+        // The pruning above assumes non-negative costs; disable it by
+        // running without pruning when negative costs exist.
+        let has_negative = self.cost.iter().flatten().any(|&c| c < 0.0);
+        if has_negative {
+            // Fall back to unpruned enumeration.
+            let mut best2: Option<GapSolution> = None;
+            let mut stack_assign = vec![0usize; n];
+            let mut stack_used = vec![0.0f64; m];
+            fn recurse_all(
+                inst: &GapInstance,
+                j: usize,
+                assign: &mut Vec<usize>,
+                used: &mut Vec<f64>,
+                cost_so_far: f64,
+                best: &mut Option<GapSolution>,
+            ) {
+                if j == inst.tasks() {
+                    if best.as_ref().map_or(true, |b| cost_so_far < b.cost) {
+                        *best = Some(GapSolution {
+                            agent_of_task: assign.clone(),
+                            cost: cost_so_far,
+                        });
+                    }
+                    return;
+                }
+                for i in 0..inst.agents() {
+                    if used[i] + inst.demand[i][j] <= inst.capacity[i] + 1e-9 {
+                        assign[j] = i;
+                        used[i] += inst.demand[i][j];
+                        recurse_all(inst, j + 1, assign, used, cost_so_far + inst.cost[i][j], best);
+                        used[i] -= inst.demand[i][j];
+                    }
+                }
+            }
+            recurse_all(self, 0, &mut stack_assign, &mut stack_used, 0.0, &mut best2);
+            return best2;
+        }
+        recurse(self, 0, &mut assign, &mut used, 0.0, &mut best);
+        best
+    }
+
+    /// Regret-based greedy (Romeijn–Morales style): repeatedly commit the
+    /// task with the largest gap between its best and second-best feasible
+    /// agent, assigning it to the best feasible agent.
+    ///
+    /// Returns `None` if the greedy gets stuck (no feasible agent for some
+    /// task) — which does not prove infeasibility.
+    pub fn greedy_regret(&self) -> Option<GapSolution> {
+        let m = self.agents();
+        let n = self.tasks();
+        let mut used = vec![0.0f64; m];
+        let mut assigned: Vec<Option<usize>> = vec![None; n];
+        let mut remaining = n;
+        while remaining > 0 {
+            // For each unassigned task, find best and second-best feasible
+            // agents by cost.
+            let mut pick: Option<(usize, usize, f64)> = None; // (task, agent, regret)
+            for j in 0..n {
+                if assigned[j].is_some() {
+                    continue;
+                }
+                let mut best: Option<(usize, f64)> = None;
+                let mut second: Option<f64> = None;
+                for i in 0..m {
+                    if used[i] + self.demand[i][j] > self.capacity[i] + 1e-9 {
+                        continue;
+                    }
+                    let c = self.cost[i][j];
+                    match best {
+                        None => best = Some((i, c)),
+                        Some((_, bc)) if c < bc => {
+                            second = Some(bc);
+                            best = Some((i, c));
+                        }
+                        Some(_) => {
+                            if second.map_or(true, |s| c < s) {
+                                second = Some(c);
+                            }
+                        }
+                    }
+                }
+                let (bi, bc) = best?; // stuck task -> give up
+                let regret = second.map_or(f64::INFINITY, |s| s - bc);
+                if pick.map_or(true, |(_, _, r)| regret > r) {
+                    pick = Some((j, bi, regret));
+                }
+            }
+            let (j, i, _) = pick.expect("remaining > 0 implies a pick");
+            assigned[j] = Some(i);
+            used[i] += self.demand[i][j];
+            remaining -= 1;
+        }
+        let agent_of_task: Vec<usize> = assigned.into_iter().map(|a| a.unwrap()).collect();
+        let cost = self.assignment_cost(&agent_of_task);
+        Some(GapSolution {
+            agent_of_task,
+            cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GapInstance {
+        // 2 agents, 3 tasks.
+        GapInstance {
+            cost: vec![vec![4.0, 1.0, 3.0], vec![2.0, 5.0, 1.0]],
+            demand: vec![vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]],
+            capacity: vec![2.0, 2.0],
+        }
+    }
+
+    #[test]
+    fn validates_shapes() {
+        assert!(small().validate().is_ok());
+        let mut bad = small();
+        bad.capacity.pop();
+        assert!(bad.validate().is_err());
+        let mut bad = small();
+        bad.cost[0].pop();
+        assert!(bad.validate().is_err());
+        let mut bad = small();
+        bad.demand[1][0] = -1.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn brute_force_finds_known_optimum() {
+        // best: t0->a1 (2), t1->a0 (1), t2->a1 (1) = 4, fits capacities.
+        let sol = small().brute_force().unwrap();
+        assert_eq!(sol.agent_of_task, vec![1, 0, 1]);
+        assert!((sol.cost - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let inst = small();
+        let exact = match inst.solve_exact(&BbConfig::default()).unwrap() {
+            GapOutcome::Optimal(s) => s,
+            o => panic!("{o:?}"),
+        };
+        let brute = inst.brute_force().unwrap();
+        assert!((exact.cost - brute.cost).abs() < 1e-6);
+        assert!(inst.assignment_feasible(&exact.agent_of_task));
+    }
+
+    #[test]
+    fn infeasible_when_capacity_too_small() {
+        let inst = GapInstance {
+            cost: vec![vec![1.0, 1.0]],
+            demand: vec![vec![2.0, 2.0]],
+            capacity: vec![3.0], // two tasks of demand 2 don't fit
+        };
+        assert_eq!(
+            inst.solve_exact(&BbConfig::default()).unwrap(),
+            GapOutcome::Infeasible
+        );
+        assert!(inst.brute_force().is_none());
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_not_better_than_exact() {
+        let inst = small();
+        let greedy = inst.greedy_regret().unwrap();
+        assert!(inst.assignment_feasible(&greedy.agent_of_task));
+        let exact = inst.solve_exact(&BbConfig::default()).unwrap();
+        assert!(greedy.cost >= exact.solution().unwrap().cost - 1e-9);
+    }
+
+    #[test]
+    fn greedy_prefers_high_regret_tasks() {
+        // Task 1 has huge regret (1 vs 100); greedy must give it agent 0
+        // before task 0 eats the capacity.
+        let inst = GapInstance {
+            cost: vec![vec![1.0, 1.0], vec![2.0, 100.0]],
+            demand: vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            capacity: vec![1.0, 1.0],
+        };
+        let greedy = inst.greedy_regret().unwrap();
+        assert_eq!(greedy.agent_of_task[1], 0);
+        assert_eq!(greedy.agent_of_task[0], 1);
+        assert!((greedy.cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let inst = GapInstance {
+            cost: vec![vec![]],
+            demand: vec![vec![]],
+            capacity: vec![1.0],
+        };
+        let out = inst.solve_exact(&BbConfig::default()).unwrap();
+        assert_eq!(
+            out,
+            GapOutcome::Optimal(GapSolution {
+                agent_of_task: vec![],
+                cost: 0.0
+            })
+        );
+    }
+
+    #[test]
+    fn var_indexing_row_major() {
+        let inst = small();
+        assert_eq!(inst.var(0, 0), 0);
+        assert_eq!(inst.var(0, 2), 2);
+        assert_eq!(inst.var(1, 0), 3);
+    }
+
+    #[test]
+    fn milp_shape() {
+        let inst = small();
+        let milp = inst.to_milp();
+        assert_eq!(milp.lp.num_vars(), 6);
+        assert_eq!(milp.lp.constraints.len(), 3 + 2);
+        assert_eq!(milp.binaries.len(), 6);
+    }
+}

@@ -1,0 +1,245 @@
+//! Hungarian algorithm (Kuhn–Munkres) for the rectangular assignment
+//! problem.
+//!
+//! Dropping the capacity constraints from the IAP/RAP GAPs leaves a pure
+//! min-cost assignment-like problem whose optimum is a *lower bound* on
+//! the GAP optimum — computable in polynomial time. The solver here
+//! handles the rectangular many-tasks-per-agent case by replicating
+//! agents, which is exactly the capacity-free relaxation the assignment
+//! crate uses for instant optimality gap estimates (and a nice oracle
+//! for testing the branch-and-bound on capacity-loose instances).
+//!
+//! Implementation: the O(n^3) potentials ("Jonker–Volgenant style")
+//! formulation over a rows <= cols cost matrix.
+
+/// Solves the rectangular assignment problem: given an `rows x cols`
+/// cost matrix with `rows <= cols`, choose a distinct column for every
+/// row minimising total cost. Returns `(assignment, total_cost)` where
+/// `assignment[r]` is the column of row `r`.
+///
+/// Panics if `rows > cols` or the matrix is ragged.
+pub fn hungarian(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let rows = cost.len();
+    if rows == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let cols = cost[0].len();
+    assert!(
+        rows <= cols,
+        "hungarian requires rows ({rows}) <= cols ({cols})"
+    );
+    for (r, row) in cost.iter().enumerate() {
+        assert_eq!(row.len(), cols, "ragged cost matrix at row {r}");
+        assert!(
+            row.iter().all(|v| v.is_finite()),
+            "non-finite cost at row {r}"
+        );
+    }
+
+    // 1-based arrays per the classic formulation.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; rows + 1]; // row potentials
+    let mut v = vec![0.0; cols + 1]; // column potentials
+    let mut way = vec![0usize; cols + 1];
+    // p[j] = row assigned to column j (0 = unassigned).
+    let mut p = vec![0usize; cols + 1];
+
+    for i in 1..=rows {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; cols + 1];
+        let mut used = vec![false; cols + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=cols {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=cols {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; rows];
+    for j in 1..=cols {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r][c])
+        .sum();
+    (assignment, total)
+}
+
+/// Capacity-free lower bound for a GAP-shaped problem: every task simply
+/// takes its cheapest agent (the assignment constraint binds per task,
+/// and without capacities the tasks are independent).
+///
+/// This is the bound the assignment crate reports as the "ideal
+/// placement" reference.
+pub fn capacity_free_bound(cost: &[Vec<f64>]) -> f64 {
+    let agents = cost.len();
+    if agents == 0 {
+        return 0.0;
+    }
+    let tasks = cost[0].len();
+    (0..tasks)
+        .map(|j| {
+            (0..agents)
+                .map(|i| cost[i][j])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_known_instance() {
+        // Classic 3x3: optimum 5 (0->1:1, 1->0:2, 2->2:2).
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let (asg, total) = hungarian(&cost);
+        assert!((total - 5.0).abs() < 1e-9, "total {total}");
+        // assignment is a permutation
+        let mut seen = vec![false; 3];
+        for &c in &asg {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn rectangular_picks_cheapest_columns() {
+        let cost = vec![vec![10.0, 1.0, 8.0, 4.0]];
+        let (asg, total) = hungarian(&cost);
+        assert_eq!(asg, vec![1]);
+        assert_eq!(total, 1.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let (asg, total) = hungarian(&[]);
+        assert!(asg.is_empty());
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn rejects_more_rows_than_cols() {
+        hungarian(&[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_squares() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        fn brute(cost: &[Vec<f64>]) -> f64 {
+            // permutations of up to 6 columns
+            fn rec(cost: &[Vec<f64>], row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+                if row == cost.len() {
+                    *best = best.min(acc);
+                    return;
+                }
+                for c in 0..used.len() {
+                    if !used[c] {
+                        used[c] = true;
+                        rec(cost, row + 1, used, acc + cost[row][c], best);
+                        used[c] = false;
+                    }
+                }
+            }
+            let mut best = f64::INFINITY;
+            rec(cost, 0, &mut vec![false; cost[0].len()], 0.0, &mut best);
+            best
+        }
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in 1..=6 {
+            for _ in 0..20 {
+                let cost: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                    .collect();
+                let (_, total) = hungarian(&cost);
+                let expect = brute(&cost);
+                assert!(
+                    (total - expect).abs() < 1e-9,
+                    "n={n}: hungarian {total} vs brute {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_free_bound_is_column_minima() {
+        let cost = vec![vec![4.0, 1.0, 3.0], vec![2.0, 5.0, 1.0]];
+        // minima: 2, 1, 1 -> 4
+        assert_eq!(capacity_free_bound(&cost), 4.0);
+        assert_eq!(capacity_free_bound(&[]), 0.0);
+    }
+
+    #[test]
+    fn bound_never_exceeds_gap_optimum() {
+        use crate::branch_bound::BbConfig;
+        use crate::gap::GapInstance;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let inst = GapInstance {
+                cost: (0..3)
+                    .map(|_| (0..5).map(|_| rng.gen_range(0.0..10.0)).collect())
+                    .collect(),
+                demand: (0..3).map(|_| vec![1.0; 5]).collect(),
+                capacity: vec![3.0; 3],
+            };
+            let bound = capacity_free_bound(&inst.cost);
+            if let Some(sol) = inst
+                .solve_exact(&BbConfig::default())
+                .unwrap()
+                .solution()
+            {
+                assert!(bound <= sol.cost + 1e-9, "bound {bound} vs {}", sol.cost);
+            }
+        }
+    }
+}

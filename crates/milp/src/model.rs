@@ -1,0 +1,231 @@
+//! Linear-program model types shared by the simplex solver and the
+//! branch-and-bound MILP layer.
+
+use std::fmt;
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x <= b`
+    Le,
+    /// `a·x >= b`
+    Ge,
+    /// `a·x == b`
+    Eq,
+}
+
+/// A sparse linear constraint `sum coeffs · x  (relation)  rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse coefficient list `(variable index, coefficient)`.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Constraint relation.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Builds a `<=` constraint.
+    pub fn le(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            relation: Relation::Le,
+            rhs,
+        }
+    }
+
+    /// Builds a `>=` constraint.
+    pub fn ge(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            relation: Relation::Ge,
+            rhs,
+        }
+    }
+
+    /// Builds an `==` constraint.
+    pub fn eq(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            relation: Relation::Eq,
+            rhs,
+        }
+    }
+
+    /// Evaluates the left-hand side at `x`.
+    pub fn lhs_at(&self, x: &[f64]) -> f64 {
+        self.coeffs.iter().map(|&(i, c)| c * x[i]).sum()
+    }
+
+    /// True iff `x` satisfies the constraint within `tol`.
+    pub fn satisfied_by(&self, x: &[f64], tol: f64) -> bool {
+        let lhs = self.lhs_at(x);
+        match self.relation {
+            Relation::Le => lhs <= self.rhs + tol,
+            Relation::Ge => lhs >= self.rhs - tol,
+            Relation::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// A linear program in "minimize `c·x` subject to constraints, `x >= 0`"
+/// form. Maximisation problems are expressed by negating the objective.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients; `objective.len()` is the variable count.
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// Model validation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A constraint references a variable not covered by the objective.
+    VariableOutOfRange {
+        /// Constraint row index.
+        constraint: usize,
+        /// Offending variable index.
+        var: usize,
+    },
+    /// A coefficient or right-hand side is NaN/infinite.
+    NonFiniteValue {
+        /// Constraint row index, or `usize::MAX` for the objective row.
+        constraint: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::VariableOutOfRange { constraint, var } => {
+                write!(f, "constraint {constraint} references unknown variable {var}")
+            }
+            ModelError::NonFiniteValue { constraint } => {
+                if *constraint == usize::MAX {
+                    write!(f, "objective contains a non-finite coefficient")
+                } else {
+                    write!(f, "constraint {constraint} contains a non-finite value")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl LinearProgram {
+    /// Creates an LP with `num_vars` variables and an all-zero objective.
+    pub fn new(num_vars: usize) -> Self {
+        LinearProgram {
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Appends a constraint.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Validates indices and finiteness of the whole model.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.objective.iter().any(|c| !c.is_finite()) {
+            return Err(ModelError::NonFiniteValue {
+                constraint: usize::MAX,
+            });
+        }
+        for (row, c) in self.constraints.iter().enumerate() {
+            if !c.rhs.is_finite() || c.coeffs.iter().any(|&(_, v)| !v.is_finite()) {
+                return Err(ModelError::NonFiniteValue { constraint: row });
+            }
+            for &(var, _) in &c.coeffs {
+                if var >= self.num_vars() {
+                    return Err(ModelError::VariableOutOfRange {
+                        constraint: row,
+                        var,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Objective value at `x`.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// True iff `x >= 0` and every constraint holds within `tol`.
+    pub fn feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.num_vars()
+            && x.iter().all(|&v| v >= -tol)
+            && self.constraints.iter().all(|c| c.satisfied_by(x, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_builders_and_eval() {
+        let c = Constraint::le(vec![(0, 2.0), (1, 1.0)], 10.0);
+        assert_eq!(c.lhs_at(&[3.0, 4.0]), 10.0);
+        assert!(c.satisfied_by(&[3.0, 4.0], 1e-9));
+        assert!(!c.satisfied_by(&[5.0, 4.0], 1e-9));
+        let e = Constraint::eq(vec![(0, 1.0)], 5.0);
+        assert!(e.satisfied_by(&[5.0], 1e-9));
+        assert!(!e.satisfied_by(&[4.0], 1e-9));
+        let g = Constraint::ge(vec![(0, 1.0)], 5.0);
+        assert!(g.satisfied_by(&[6.0], 1e-9));
+        assert!(!g.satisfied_by(&[4.0], 1e-9));
+    }
+
+    #[test]
+    fn lp_validation_catches_bad_models() {
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(Constraint::le(vec![(5, 1.0)], 1.0));
+        assert!(matches!(
+            lp.validate(),
+            Err(ModelError::VariableOutOfRange { var: 5, .. })
+        ));
+
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(Constraint::le(vec![(0, f64::NAN)], 1.0));
+        assert!(matches!(
+            lp.validate(),
+            Err(ModelError::NonFiniteValue { .. })
+        ));
+
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, f64::INFINITY);
+        assert!(matches!(
+            lp.validate(),
+            Err(ModelError::NonFiniteValue { .. })
+        ));
+    }
+
+    #[test]
+    fn feasibility_and_objective() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(Constraint::le(vec![(0, 1.0), (1, 1.0)], 4.0));
+        assert!(lp.feasible(&[1.0, 2.0], 1e-9));
+        assert!(!lp.feasible(&[3.0, 2.0], 1e-9));
+        assert!(!lp.feasible(&[-1.0, 0.0], 1e-9));
+        assert_eq!(lp.objective_at(&[1.0, 2.0]), 5.0);
+    }
+}

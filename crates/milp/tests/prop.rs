@@ -1,0 +1,113 @@
+//! Property tests for the exact-solver substrate.
+//!
+//! The key oracle: branch-and-bound must match exhaustive enumeration on
+//! random small GAP instances, and simplex optima must never be beaten by
+//! randomly sampled feasible points.
+
+use dve_milp::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_gap(seed: u64, agents: usize, tasks: usize, tight: bool) -> GapInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cost = (0..agents)
+        .map(|_| (0..tasks).map(|_| rng.gen_range(0.0..20.0)).collect())
+        .collect();
+    let demand: Vec<Vec<f64>> = (0..agents)
+        .map(|_| (0..tasks).map(|_| rng.gen_range(1.0..4.0)).collect())
+        .collect();
+    // Loose capacities usually feasible; tight ones often infeasible.
+    let scale = if tight { 0.6 } else { 2.0 };
+    let capacity = (0..agents)
+        .map(|_| rng.gen_range(2.0..4.0) * scale * tasks as f64 / agents as f64)
+        .collect();
+    GapInstance {
+        cost,
+        demand,
+        capacity,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn branch_and_bound_matches_brute_force(seed in any::<u64>(),
+                                            agents in 2usize..4,
+                                            tasks in 1usize..7,
+                                            tight in any::<bool>()) {
+        let inst = random_gap(seed, agents, tasks, tight);
+        let brute = inst.brute_force();
+        let exact = inst.solve_exact(&BbConfig::default()).unwrap();
+        match (brute, exact) {
+            (Some(b), GapOutcome::Optimal(e)) => {
+                prop_assert!((b.cost - e.cost).abs() < 1e-6,
+                    "brute {} vs exact {}", b.cost, e.cost);
+                prop_assert!(inst.assignment_feasible(&e.agent_of_task));
+            }
+            (None, GapOutcome::Infeasible) => {}
+            (b, e) => prop_assert!(false, "outcome mismatch: brute={b:?} exact={e:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_exact(seed in any::<u64>(), tasks in 1usize..7) {
+        let inst = random_gap(seed, 3, tasks, false);
+        if let (Some(greedy), GapOutcome::Optimal(exact)) =
+            (inst.greedy_regret(), inst.solve_exact(&BbConfig::default()).unwrap())
+        {
+            prop_assert!(greedy.cost >= exact.cost - 1e-6);
+            prop_assert!(inst.assignment_feasible(&greedy.agent_of_task));
+        }
+    }
+
+    #[test]
+    fn simplex_optimum_not_beaten_by_samples(seed in any::<u64>(),
+                                             vars in 1usize..6,
+                                             cons in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lp = LinearProgram::new(vars);
+        for v in 0..vars {
+            lp.set_objective(v, rng.gen_range(-5.0..5.0));
+        }
+        // Box the region so it is never unbounded: x_v <= U.
+        for v in 0..vars {
+            lp.add_constraint(Constraint::le(vec![(v, 1.0)], rng.gen_range(1.0..10.0)));
+        }
+        for _ in 0..cons {
+            let coeffs: Vec<(usize, f64)> =
+                (0..vars).map(|v| (v, rng.gen_range(0.0..3.0))).collect();
+            lp.add_constraint(Constraint::le(coeffs, rng.gen_range(1.0..20.0)));
+        }
+        let sol = match solve_lp(&lp).unwrap() {
+            LpOutcome::Optimal(s) => s,
+            other => { prop_assert!(false, "expected optimal, got {other:?}"); unreachable!() }
+        };
+        prop_assert!(lp.feasible(&sol.values, 1e-6), "optimum must be feasible");
+        // Random feasible samples must not beat the reported optimum.
+        for _ in 0..200 {
+            let x: Vec<f64> = (0..vars).map(|_| rng.gen_range(0.0..10.0)).collect();
+            if lp.feasible(&x, 0.0) {
+                prop_assert!(lp.objective_at(&x) >= sol.objective - 1e-6,
+                    "sample {:?} beats optimum", x);
+            }
+        }
+    }
+
+    #[test]
+    fn milp_solution_binaries_are_binary(seed in any::<u64>(), tasks in 1usize..6) {
+        let inst = random_gap(seed, 3, tasks, false);
+        if let GapOutcome::Optimal(sol) = inst.solve_exact(&BbConfig::default()).unwrap() {
+            // Round-trip through the MILP to inspect raw variable values.
+            let milp = inst.to_milp();
+            let out = solve_milp(&milp, &BbConfig::default()).unwrap();
+            if let Some(m) = out.solution() {
+                for &b in &milp.binaries {
+                    prop_assert!(m.values[b] == 0.0 || m.values[b] == 1.0);
+                }
+                prop_assert!((m.objective - sol.cost).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! # dve-par — minimal data-parallel runtime
+//!
+//! The simulation harness in this workspace repeats every experiment over
+//! many seeded replications (the paper averages 50 runs) and computes
+//! all-pairs shortest paths over 500-node topologies. Both are
+//! embarrassingly parallel, so this crate provides exactly what they need
+//! and nothing more:
+//!
+//! * [`par_map`] / [`par_map_with`] — map a function over a slice on a
+//!   scoped worker team, returning results **in input order** regardless of
+//!   completion order (deterministic output for deterministic `f`).
+//! * [`par_for_each_mut`] — in-place parallel mutation of disjoint elements.
+//! * [`ThreadPool`] — a small persistent pool for `'static` jobs, used by
+//!   long-running sweeps that want to amortise thread spawning.
+//!
+//! The implementation uses dynamic work stealing via a shared atomic index
+//! (fine-grained enough for the heterogeneous run times of simulation
+//! replications) and `crossbeam::scope` so borrowed inputs need no `Arc`.
+//!
+//! ```
+//! let squares = dve_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::ThreadPool;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the worker count used by the free parallel functions: the value
+/// of the `DVE_THREADS` environment variable if set and positive, otherwise
+/// [`std::thread::available_parallelism`], otherwise 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("DVE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` in parallel with [`default_threads`] workers.
+///
+/// Results are returned in input order. Panics in `f` propagate.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(default_threads(), items, |_, t| f(t))
+}
+
+/// Maps `f(index, item)` over `items` using exactly `threads` workers
+/// (clamped to `[1, items.len()]`).
+///
+/// Work is distributed dynamically: each worker repeatedly claims the next
+/// unprocessed index, so heterogeneous per-item costs balance naturally.
+/// Results are assembled in input order.
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let buckets: Vec<Vec<(usize, R)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dve-par worker panicked"))
+            .collect()
+    })
+    .expect("dve-par scope panicked");
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, r) in bucket {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("dve-par lost a result slot"))
+        .collect()
+}
+
+/// Applies `f` to every element of `items` in parallel, mutating in place.
+///
+/// Each element is visited exactly once; elements are disjoint so no
+/// synchronisation beyond work distribution is needed.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = default_threads().clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        for (i, t) in items.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    // Split into contiguous chunks, one batch of chunks per worker. Chunk
+    // granularity of 1 keeps balancing fine-grained without unsafe index
+    // tricks: we hand each worker an iterator of (index, &mut T) pairs by
+    // striding over chunks_mut.
+    let n = items.len();
+    let f = &f;
+    crossbeam::scope(|scope| {
+        let mut rest = &mut items[..];
+        let mut start = 0usize;
+        let per = n.div_ceil(threads);
+        for _ in 0..threads {
+            if rest.is_empty() {
+                break;
+            }
+            let take = per.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let base = start;
+            start += take;
+            rest = tail;
+            scope.spawn(move |_| {
+                for (off, t) in head.iter_mut().enumerate() {
+                    f(base + off, t);
+                }
+            });
+        }
+    })
+    .expect("dve-par scope panicked");
+}
+
+/// Runs the provided closures in parallel and returns both results
+/// (a two-way `join`, mirroring `rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    crossbeam::scope(|scope| {
+        let hb = scope.spawn(|_| b());
+        let ra = a();
+        let rb = hb.join().expect("dve-par join arm panicked");
+        (ra, rb)
+    })
+    .expect("dve-par scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_single() {
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out = par_map(&input, |&x| x * 2);
+        let expected: Vec<u64> = input.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_with_explicit_threads() {
+        for threads in [1, 2, 3, 7, 64] {
+            let input: Vec<u32> = (0..257).collect();
+            let out = par_map_with(threads, &input, |i, &x| (i as u32) + x);
+            let expected: Vec<u32> = input.iter().map(|&x| x * 2).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_visits_each_item_exactly_once() {
+        let counters: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        let input: Vec<usize> = (0..1000).collect();
+        par_map_with(8, &input, |_, &i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_applies_everywhere() {
+        let mut v: Vec<u64> = (0..4096).collect();
+        par_for_each_mut(&mut v, |i, x| *x += i as u64);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_small_inputs() {
+        let mut empty: Vec<u8> = vec![];
+        par_for_each_mut(&mut empty, |_, _| {});
+        let mut one = vec![5u8];
+        par_for_each_mut(&mut one, |_, x| *x = 9);
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 21 * 2, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! A small persistent thread pool for `'static` jobs.
+//!
+//! The free functions in the crate root spin up scoped workers per call,
+//! which is fine for coarse work (a batch of simulation runs) but wasteful
+//! for long sweeps issuing many small batches. `ThreadPool` keeps workers
+//! alive across batches and offers a `wait`-until-idle barrier.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// Number of jobs submitted but not yet finished.
+    pending: Mutex<usize>,
+    idle: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing boxed `'static` jobs.
+///
+/// Jobs are distributed over a single MPMC channel; [`ThreadPool::wait`]
+/// blocks until every submitted job has completed. Dropping the pool joins
+/// all workers after draining the queue.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = dve_par::ThreadPool::new(4);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let hits = Arc::clone(&hits);
+///     pool.execute(move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// pool.wait();
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(0),
+            idle: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = receiver.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dve-par-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = receiver.recv() {
+                            job();
+                            let mut pending = shared.pending.lock();
+                            *pending -= 1;
+                            if *pending == 0 {
+                                shared.idle.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn dve-par worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            shared,
+        }
+    }
+
+    /// Creates a pool with [`crate::default_threads`] workers.
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::default_threads())
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for execution.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        {
+            let mut pending = self.shared.pending.lock();
+            *pending += 1;
+        }
+        self.sender
+            .as_ref()
+            .expect("pool sender already closed")
+            .send(Box::new(job))
+            .expect("dve-par worker channel closed");
+    }
+
+    /// Blocks until every job submitted so far has finished.
+    pub fn wait(&self) {
+        let mut pending = self.shared.pending.lock();
+        while *pending > 0 {
+            self.shared.idle.wait(&mut pending);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain remaining jobs and exit.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(3);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..500 {
+            let count = Arc::clone(&count);
+            pool.execute(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn wait_on_empty_pool_returns() {
+        let pool = ThreadPool::new(2);
+        pool.wait();
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let count = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..64 {
+                let count = Arc::clone(&count);
+                pool.execute(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn thread_count_clamped() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let pool = ThreadPool::new(4);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _batch in 0..5 {
+            for _ in 0..20 {
+                let count = Arc::clone(&count);
+                pool.execute(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait();
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+}

@@ -1,0 +1,32 @@
+//! Property tests: the parallel combinators must agree with their
+//! sequential counterparts for arbitrary inputs and thread counts.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn par_map_matches_seq_map(input in proptest::collection::vec(any::<i64>(), 0..500),
+                               threads in 1usize..16) {
+        let par: Vec<i64> = dve_par::par_map_with(threads, &input, |_, &x| x.wrapping_mul(3).wrapping_add(1));
+        let seq: Vec<i64> = input.iter().map(|&x| x.wrapping_mul(3).wrapping_add(1)).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_index_is_position(len in 0usize..300, threads in 1usize..9) {
+        let input: Vec<usize> = (0..len).collect();
+        let out = dve_par::par_map_with(threads, &input, |i, &x| (i, x));
+        for (pos, (i, x)) in out.into_iter().enumerate() {
+            prop_assert_eq!(pos, i);
+            prop_assert_eq!(pos, x);
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_matches_seq(input in proptest::collection::vec(any::<u32>(), 0..400)) {
+        let mut par = input.clone();
+        dve_par::par_for_each_mut(&mut par, |i, x| *x = x.wrapping_add(i as u32));
+        let seq: Vec<u32> = input.iter().enumerate().map(|(i, &x)| x.wrapping_add(i as u32)).collect();
+        prop_assert_eq!(par, seq);
+    }
+}

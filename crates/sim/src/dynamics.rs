@@ -1,0 +1,317 @@
+//! The DVE-dynamics experiment protocol (Table 3 of the paper).
+//!
+//! 1. **Before** — run an algorithm on the initial world and measure pQoS.
+//! 2. Apply a [`DynamicsBatch`] (paper: 200 joins, 200 leaves, 200 moves).
+//! 3. **After** — carry the old assignment across: zones keep their target
+//!    servers, surviving clients keep their contact servers (movers
+//!    included — their traffic is now forwarded to the new zone's host),
+//!    joiners connect naturally (contact = their zone's target). Measure
+//!    pQoS *without* re-running anything.
+//! 4. **Executed** — re-run the algorithm from scratch on the new world
+//!    and measure pQoS again.
+
+use crate::setup::{build_replication, SimSetup};
+use dve_assign::{evaluate, solve, Assignment, CapAlgorithm, CapInstance, StuckPolicy};
+use dve_world::{apply_dynamics, DynamicsBatch, ErrorModel};
+use serde::{Deserialize, Serialize};
+
+/// pQoS triple for one algorithm (one replication or averaged).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsRecord {
+    /// pQoS of the fresh assignment on the initial population.
+    pub before: f64,
+    /// pQoS right after the join/leave/move batch, no re-execution.
+    pub after: f64,
+    /// pQoS after re-running the algorithm on the new population.
+    pub executed: f64,
+}
+
+/// How surviving clients that changed zone are handled when carrying an
+/// assignment across dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CarryPolicy {
+    /// VirC-style deployments have no forwarding infrastructure: a client
+    /// whose zone changed reconnects directly to the new zone's target.
+    /// This is why the paper's RanZ-VirC barely moves in Table 3.
+    ReconnectMovers,
+    /// GreC-style deployments keep the client's contact-server session
+    /// alive; its traffic is forwarded to the new zone's host.
+    KeepContact,
+}
+
+/// Carries an assignment across a dynamics outcome: targets stay, known
+/// clients keep contacts (movers per `policy`), joiners attach to their
+/// zone's target. `old_zone_of[i]` is the zone old client `i` was in.
+pub fn carry_assignment(
+    old: &Assignment,
+    carried_from: &[Option<usize>],
+    old_zone_of: &[usize],
+    new_instance: &CapInstance,
+    policy: CarryPolicy,
+) -> Assignment {
+    let target_of_zone = old.target_of_zone.clone();
+    let contact_of_client = carried_from
+        .iter()
+        .enumerate()
+        .map(|(new_idx, prov)| match prov {
+            Some(old_idx) => {
+                let moved = old_zone_of[*old_idx] != new_instance.zone_of(new_idx);
+                if moved && policy == CarryPolicy::ReconnectMovers {
+                    target_of_zone[new_instance.zone_of(new_idx)]
+                } else {
+                    old.contact_of_client[*old_idx]
+                }
+            }
+            None => target_of_zone[new_instance.zone_of(new_idx)],
+        })
+        .collect();
+    Assignment {
+        target_of_zone,
+        contact_of_client,
+    }
+}
+
+/// Runs the Table 3 protocol for one algorithm on one replication.
+pub fn run_dynamics_once(
+    setup: &SimSetup,
+    index: usize,
+    algorithm: CapAlgorithm,
+    batch: &DynamicsBatch,
+    policy: StuckPolicy,
+) -> DynamicsRecord {
+    let mut rep = build_replication(setup, index);
+    let assignment = solve(&rep.instance, algorithm, policy, &mut rep.rng)
+        .unwrap_or_else(|e| panic!("{algorithm} failed: {e}"));
+    let before = evaluate(&rep.instance, &assignment).pqos;
+    let old_zone_of: Vec<usize> = (0..rep.instance.num_clients())
+        .map(|c| rep.instance.zone_of(c))
+        .collect();
+
+    let outcome = apply_dynamics(
+        &rep.world,
+        batch,
+        rep.topology.node_count(),
+        &mut rep.rng,
+    );
+    let new_instance = CapInstance::build(
+        &outcome.world,
+        &rep.delays,
+        setup.provisioning,
+        setup.delay_bound_ms,
+        ErrorModel::new(setup.error_factor),
+        &mut rep.rng,
+    );
+    let carry_policy = if algorithm.refines_contacts() {
+        CarryPolicy::KeepContact
+    } else {
+        CarryPolicy::ReconnectMovers
+    };
+    let carried = carry_assignment(
+        &assignment,
+        &outcome.carried_from,
+        &old_zone_of,
+        &new_instance,
+        carry_policy,
+    );
+    let after = evaluate(&new_instance, &carried).pqos;
+
+    let re_run = solve(&new_instance, algorithm, policy, &mut rep.rng)
+        .unwrap_or_else(|e| panic!("{algorithm} re-execution failed: {e}"));
+    let executed = evaluate(&new_instance, &re_run).pqos;
+
+    DynamicsRecord {
+        before,
+        after,
+        executed,
+    }
+}
+
+/// Averages the Table 3 protocol over `setup.runs` replications,
+/// parallelised. Returns one record per algorithm, in input order.
+pub fn run_dynamics(
+    setup: &SimSetup,
+    algorithms: &[CapAlgorithm],
+    batch: &DynamicsBatch,
+    policy: StuckPolicy,
+) -> Vec<DynamicsRecord> {
+    let indices: Vec<usize> = (0..setup.runs).collect();
+    let per_run: Vec<Vec<DynamicsRecord>> = dve_par::par_map(&indices, |&i| {
+        algorithms
+            .iter()
+            .map(|&a| run_dynamics_once(setup, i, a, batch, policy))
+            .collect()
+    });
+    (0..algorithms.len())
+        .map(|k| {
+            let n = per_run.len().max(1) as f64;
+            let mut sum = DynamicsRecord {
+                before: 0.0,
+                after: 0.0,
+                executed: 0.0,
+            };
+            for run in &per_run {
+                sum.before += run[k].before;
+                sum.after += run[k].after;
+                sum.executed += run[k].executed;
+            }
+            DynamicsRecord {
+                before: sum.before / n,
+                after: sum.after / n,
+                executed: sum.executed / n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::TopologySpec;
+    use dve_topology::HierarchicalConfig;
+    use dve_world::ScenarioConfig;
+
+    fn setup() -> SimSetup {
+        SimSetup {
+            scenario: ScenarioConfig::from_notation("5s-15z-150c-100cp").unwrap(),
+            topology: TopologySpec::Hierarchical(HierarchicalConfig {
+                as_count: 5,
+                routers_per_as: 8,
+                ..Default::default()
+            }),
+            runs: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn protocol_produces_sane_triples() {
+        let batch = DynamicsBatch {
+            joins: 30,
+            leaves: 30,
+            moves: 30,
+        };
+        let recs = run_dynamics(
+            &setup(),
+            &CapAlgorithm::HEURISTICS,
+            &batch,
+            StuckPolicy::BestEffort,
+        );
+        assert_eq!(recs.len(), 4);
+        for r in &recs {
+            assert!((0.0..=1.0).contains(&r.before));
+            assert!((0.0..=1.0).contains(&r.after));
+            assert!((0.0..=1.0).contains(&r.executed));
+        }
+    }
+
+    #[test]
+    fn re_execution_recovers_for_greedy() {
+        // The paper's point: pQoS drops After and recovers on Executed.
+        let batch = DynamicsBatch {
+            joins: 50,
+            leaves: 50,
+            moves: 50,
+        };
+        let recs = run_dynamics(
+            &setup(),
+            &[CapAlgorithm::GreZGreC],
+            &batch,
+            StuckPolicy::BestEffort,
+        );
+        let r = recs[0];
+        assert!(
+            r.executed >= r.after - 0.02,
+            "executed {} should be >= after {}",
+            r.executed,
+            r.after
+        );
+    }
+
+    #[test]
+    fn carry_assignment_maps_survivors_and_joiners() {
+        use dve_assign::Assignment;
+        let inst = CapInstance::from_raw(
+            2,
+            2,
+            vec![0, 1, 1],
+            vec![100.0; 6],
+            vec![0.0, 50.0, 50.0, 0.0],
+            vec![1000.0; 3],
+            vec![10_000.0; 2],
+            250.0,
+        );
+        let old = Assignment {
+            target_of_zone: vec![0, 1],
+            contact_of_client: vec![0, 1, 0],
+        };
+        // New world: client 0 = old client 2 (still zone 1), client 1 =
+        // joiner (zone 1 per the instance), client 2 = old client 0
+        // (still zone 0). Old zones: [0, 1, 1].
+        let carried_from = vec![Some(2), None, Some(0)];
+        let old_zones = vec![0, 1, 1];
+        let new = carry_assignment(
+            &old,
+            &carried_from,
+            &old_zones,
+            &inst,
+            CarryPolicy::KeepContact,
+        );
+        assert_eq!(new.contact_of_client[0], 0); // old client 2's contact
+        assert_eq!(new.contact_of_client[1], 1); // joiner -> zone 1's target
+        assert_eq!(new.contact_of_client[2], 0); // old client 0's contact
+        assert_eq!(inst.zone_of(1), 1);
+    }
+
+    #[test]
+    fn carry_policy_controls_mover_handling() {
+        use dve_assign::Assignment;
+        // Two servers; zone 0 on s0, zone 1 on s1. One client that used
+        // to be in zone 0 (contact s0) and is now in zone 1.
+        let inst = CapInstance::from_raw(
+            2,
+            2,
+            vec![1], // the client is now in zone 1
+            vec![100.0, 200.0],
+            vec![0.0, 50.0, 50.0, 0.0],
+            vec![1000.0],
+            vec![10_000.0; 2],
+            250.0,
+        );
+        let old = Assignment {
+            target_of_zone: vec![0, 1],
+            contact_of_client: vec![0],
+        };
+        let carried_from = vec![Some(0)];
+        let old_zones = vec![0];
+        let keep = carry_assignment(
+            &old,
+            &carried_from,
+            &old_zones,
+            &inst,
+            CarryPolicy::KeepContact,
+        );
+        assert_eq!(keep.contact_of_client[0], 0, "keeps old contact, forwards");
+        let reconnect = carry_assignment(
+            &old,
+            &carried_from,
+            &old_zones,
+            &inst,
+            CarryPolicy::ReconnectMovers,
+        );
+        assert_eq!(reconnect.contact_of_client[0], 1, "reconnects to new host");
+    }
+
+    #[test]
+    fn empty_batch_after_equals_before_modulo_population() {
+        // With no dynamics, After == Before exactly.
+        let batch = DynamicsBatch::default();
+        let recs = run_dynamics(
+            &setup(),
+            &[CapAlgorithm::GreZVirC],
+            &batch,
+            StuckPolicy::BestEffort,
+        );
+        let r = recs[0];
+        assert!((r.before - r.after).abs() < 1e-12);
+    }
+}

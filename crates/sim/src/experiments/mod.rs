@@ -1,0 +1,65 @@
+//! Regenerators for every table and figure in the paper's evaluation
+//! (Section 4), each returning a structured result with a `render()`
+//! method that prints the same rows/series the paper reports.
+//!
+//! | Item | Module | Paper content |
+//! |------|--------|---------------|
+//! | Table 1 | [`table1`] | pQoS (R) across four DVE configurations + lp_solve |
+//! | Fig. 4 | [`fig4`] | CDF of client→target delays, largest config |
+//! | Fig. 5 | [`fig5`] | pQoS and R vs correlation delta (D = 200 ms) |
+//! | Fig. 6 | [`fig6`] | pQoS and R vs client distribution type |
+//! | Table 3 | [`table3`] | pQoS before/after/re-executed under dynamics |
+//! | Table 4 | [`table4`] | pQoS (R) under delay estimation error |
+//! | (extra) | [`ablation`] | regret vs naive ordering, local search, annealing |
+//! | (extra) | [`repair_study`] | incremental repair vs full re-execution under churn |
+//! | (extra) | [`topologies`] | algorithm ranking across topology families |
+//! | (extra) | [`scaling`] | solve time vs DVE size (the "timely decisions" claim) |
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod repair_study;
+pub mod scaling;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+pub mod topologies;
+
+/// Common options shared by every experiment regenerator.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Replications per data point (paper: 50).
+    pub runs: usize,
+    /// Replications for the exact (lp_solve-role) solver, which is far
+    /// slower than the heuristics.
+    pub exact_runs: usize,
+    /// Base RNG seed.
+    pub base_seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            runs: 50,
+            exact_runs: 5,
+            base_seed: 42,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// A fast profile for CI/tests: 3 runs, 1 exact run.
+    pub fn quick() -> Self {
+        ExpOptions {
+            runs: 3,
+            exact_runs: 1,
+            base_seed: 42,
+        }
+    }
+}
+
+/// Formats a `pqos (utilization)` cell the way the paper prints Table 1.
+pub(crate) fn pqos_r_cell(pqos: f64, r: f64) -> String {
+    format!("{:.2} ({:.2})", pqos, r)
+}

@@ -1,0 +1,133 @@
+//! Scaling study (extension): assignment time vs DVE size.
+//!
+//! The paper's case for heuristics is that "assignment decisions" must be
+//! "timely" — all its heuristics run "in less than 1 second" while
+//! lp_solve takes minutes-to-forever. This study measures how the
+//! heuristics' solve times actually grow as the DVE scales from 500 to
+//! 8000 clients (servers/zones scaled proportionally), validating that
+//! the <1 s envelope holds far beyond the paper's largest configuration.
+
+use crate::experiments::ExpOptions;
+use crate::setup::{build_replication, SimSetup, TopologySpec};
+use crate::stats::Summary;
+use dve_assign::{evaluate, solve, CapAlgorithm, StuckPolicy};
+use dve_topology::HierarchicalConfig;
+use dve_world::ScenarioConfig;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One scale point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Scenario notation.
+    pub config: String,
+    /// Clients at this scale.
+    pub clients: usize,
+    /// Mean GreZ-GreC solve time, ms.
+    pub grezgrec_ms: Summary,
+    /// Mean GreZ-GreC pQoS (sanity: quality should not degrade).
+    pub pqos: Summary,
+}
+
+/// Full scaling-study result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scaling {
+    /// One entry per scale.
+    pub points: Vec<ScalePoint>,
+}
+
+/// Runs the scaling study. Scales follow the paper's proportions
+/// (1 server : 4 zones : 50 clients : 25 Mbps).
+pub fn run(options: &ExpOptions) -> Scaling {
+    let scales: Vec<(usize, String)> = [10usize, 20, 40, 80, 160]
+        .iter()
+        .map(|&s| {
+            (
+                s * 50,
+                format!("{}s-{}z-{}c-{}cp", s, 4 * s, 50 * s, 25 * s),
+            )
+        })
+        .collect();
+    let points = scales
+        .into_iter()
+        .map(|(clients, notation)| {
+            let setup = SimSetup {
+                scenario: ScenarioConfig::from_notation(&notation).expect("static"),
+                topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+                runs: options.runs,
+                base_seed: options.base_seed,
+                ..Default::default()
+            };
+            let indices: Vec<usize> = (0..options.runs).collect();
+            let samples: Vec<(f64, f64)> = dve_par::par_map(&indices, |&i| {
+                let mut rep = build_replication(&setup, i);
+                let t0 = Instant::now();
+                let a = solve(
+                    &rep.instance,
+                    CapAlgorithm::GreZGreC,
+                    StuckPolicy::BestEffort,
+                    &mut rep.rng,
+                )
+                .expect("solve");
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                (ms, evaluate(&rep.instance, &a).pqos)
+            });
+            let times: Vec<f64> = samples.iter().map(|&(t, _)| t).collect();
+            let pqos: Vec<f64> = samples.iter().map(|&(_, p)| p).collect();
+            ScalePoint {
+                config: notation,
+                clients,
+                grezgrec_ms: Summary::of(&times),
+                pqos: Summary::of(&pqos),
+            }
+        })
+        .collect();
+    Scaling { points }
+}
+
+impl Scaling {
+    /// Renders the scaling table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Scaling study (extension): GreZ-GreC solve time vs DVE size\n");
+        out.push_str(&format!(
+            "{:<26}{:>10}{:>14}{:>10}\n",
+            "config", "clients", "solve(ms)", "pQoS"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<26}{:>10}{:>14.2}{:>10.3}\n",
+                p.config, p.clients, p.grezgrec_ms.mean, p.pqos.mean
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_time_stays_interactive_at_8000_clients() {
+        let options = ExpOptions {
+            runs: 1,
+            ..ExpOptions::quick()
+        };
+        let s = run(&options);
+        assert_eq!(s.points.len(), 5);
+        let largest = s.points.last().unwrap();
+        assert_eq!(largest.clients, 8000);
+        // The paper's envelope: well under 1 second (debug builds are
+        // slower, so allow a wide margin while still catching quadratic
+        // blow-ups).
+        assert!(
+            largest.grezgrec_ms.mean < 30_000.0,
+            "8000-client solve took {} ms",
+            largest.grezgrec_ms.mean
+        );
+        // Quality must not collapse with scale.
+        assert!(largest.pqos.mean > 0.8);
+        assert!(s.render().contains("8000"));
+    }
+}

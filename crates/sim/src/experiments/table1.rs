@@ -1,0 +1,132 @@
+//! Table 1 — `pQoS (R)` for the four DVE configurations, all four
+//! heuristics plus the exact (lp_solve-role) solver on the two small
+//! configurations, with execution times.
+
+use crate::experiments::{pqos_r_cell, ExpOptions};
+use crate::runner::{run_experiment, AlgoStats};
+use crate::setup::SimSetup;
+use dve_assign::{CapAlgorithm, StuckPolicy};
+use dve_world::ScenarioConfig;
+use serde::{Deserialize, Serialize};
+
+/// One Table 1 row: a configuration and per-algorithm statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Configuration notation, e.g. `20s-80z-1000c-500cp`.
+    pub config: String,
+    /// Stats for the four heuristics (Table 1 column order).
+    pub heuristics: Vec<AlgoStats>,
+    /// Stats for the exact solver, when run (small configs only).
+    pub exact: Option<AlgoStats>,
+}
+
+/// Full Table 1 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// One row per configuration.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Runs the Table 1 experiment.
+///
+/// The exact solver runs only on the first `exact_configs` configurations
+/// (the paper used lp_solve on the first two; the larger ones "did not
+/// finish after more than 10 hours").
+pub fn run(options: &ExpOptions, exact_configs: usize) -> Table1 {
+    let rows = ScenarioConfig::table1_configs()
+        .into_iter()
+        .enumerate()
+        .map(|(idx, scenario)| {
+            let setup = SimSetup {
+                scenario: scenario.clone(),
+                runs: options.runs,
+                base_seed: options.base_seed,
+                ..Default::default()
+            };
+            let heuristics =
+                run_experiment(&setup, &CapAlgorithm::HEURISTICS, StuckPolicy::BestEffort);
+            let exact = (idx < exact_configs).then(|| {
+                let exact_setup = SimSetup {
+                    runs: options.exact_runs,
+                    ..setup.clone()
+                };
+                run_experiment(&exact_setup, &[CapAlgorithm::Exact], StuckPolicy::BestEffort)
+                    .pop()
+                    .expect("one algorithm requested")
+            });
+            Table1Row {
+                config: scenario.notation(),
+                heuristics,
+                exact,
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Renders the paper-style table, plus an execution-time appendix.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Table 1. pQoS(R) with different configurations\n");
+        out.push_str(&format!(
+            "{:<24}{:>14}{:>14}{:>14}{:>14}{:>14}\n",
+            "DVE conf.", "RanZ-VirC", "RanZ-GreC", "GreZ-VirC", "GreZ-GreC", "lp_solve"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("{:<24}", row.config));
+            for h in &row.heuristics {
+                out.push_str(&format!(
+                    "{:>14}",
+                    pqos_r_cell(h.pqos.mean, h.utilization.mean)
+                ));
+            }
+            match &row.exact {
+                Some(e) => out.push_str(&format!(
+                    "{:>14}",
+                    pqos_r_cell(e.pqos.mean, e.utilization.mean)
+                )),
+                None => out.push_str(&format!("{:>14}", "-")),
+            }
+            out.push('\n');
+        }
+        out.push_str("\nExecution time (mean ms per run):\n");
+        for row in &self.rows {
+            out.push_str(&format!("{:<24}", row.config));
+            for h in &row.heuristics {
+                out.push_str(&format!("{:>14.1}", h.exec_ms.mean));
+            }
+            match &row.exact {
+                Some(e) => out.push_str(&format!("{:>14.1}", e.exec_ms.mean)),
+                None => out.push_str(&format!("{:>14}", "-")),
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table1_has_paper_shape() {
+        // Tiny replication count, exact on the first config only: checks
+        // wiring, ordering and rendering rather than statistics.
+        let t = run(&ExpOptions::quick(), 1);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0].config, "5s-15z-200c-100cp");
+        assert!(t.rows[0].exact.is_some());
+        assert!(t.rows[1].exact.is_none());
+        for row in &t.rows {
+            assert_eq!(row.heuristics.len(), 4);
+            for h in &row.heuristics {
+                assert!((0.0..=1.0).contains(&h.pqos.mean), "{}", h.algorithm);
+            }
+        }
+        let rendered = t.render();
+        assert!(rendered.contains("GreZ-GreC"));
+        assert!(rendered.contains("5s-15z-200c-100cp"));
+    }
+}

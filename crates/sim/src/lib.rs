@@ -1,0 +1,36 @@
+//! # dve-sim — simulation harness
+//!
+//! Reproduces the paper's simulation study end to end: seeded, replicated
+//! experiments (the paper averages 50 runs), the DVE dynamics protocol of
+//! Table 3, and one regenerator per table/figure.
+//!
+//! * [`SimSetup`] / [`TopologySpec`] — what to simulate;
+//! * [`run_experiment`] — replicated, parallelised execution with
+//!   per-algorithm aggregation ([`AlgoStats`]);
+//! * [`run_dynamics`] — the Before/After/Executed protocol;
+//! * [`experiments`] — Table 1, Fig. 4, Fig. 5, Fig. 6, Table 3, Table 4
+//!   and the ablation study, each with a paper-style `render()`;
+//! * [`stats`] — replication statistics (mean, std, CI95).
+//!
+//! ```no_run
+//! use dve_sim::experiments::{table1, ExpOptions};
+//!
+//! let result = table1::run(&ExpOptions::default(), 2);
+//! println!("{}", result.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynamics;
+pub mod experiments;
+mod repair;
+mod runner;
+mod setup;
+pub mod stats;
+
+pub use dynamics::{carry_assignment, run_dynamics, run_dynamics_once, CarryPolicy, DynamicsRecord};
+pub use repair::{repair_assignment, zone_migrations, RepairOutcome};
+pub use runner::{aggregate, run_experiment, run_replication, AlgoStats, RunRecord};
+pub use setup::{build_replication, Replication, SimSetup, TopologySpec};
+pub use stats::{Accumulator, Summary};

@@ -1,0 +1,214 @@
+//! Incremental assignment repair (extension beyond the paper).
+//!
+//! Section 3.4 of the paper notes that after churn "the proposed
+//! two-phase algorithm needs to be executed again to ensure good client
+//! assignments". Re-running GreZ from scratch reassigns zones freely,
+//! which in a live DVE means *zone migrations* — expensive state
+//! transfers between hosts. This module implements a cheaper repair:
+//!
+//! 1. keep the previous zone→server map;
+//! 2. restore capacity feasibility by migrating as few zones as possible
+//!    off overloaded servers (largest-load-first, best remaining server
+//!    by the `C^I` desirability);
+//! 3. one local-search sweep (shift moves only) to pick up cheap QoS
+//!    wins;
+//! 4. re-run GreC for contacts (cheap — it only touches the violating
+//!    list).
+//!
+//! The repair study compares this against "never re-execute" and "full
+//! re-execute" on pQoS, migrations, and solve time.
+
+use dve_assign::{grec, Assignment, CapInstance};
+
+/// Result of an incremental repair.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired assignment.
+    pub assignment: Assignment,
+    /// Zones whose target server changed relative to the previous map.
+    pub zones_migrated: usize,
+}
+
+/// Number of zones whose target differs between two zone→server maps.
+pub fn zone_migrations(old: &[usize], new: &[usize]) -> usize {
+    assert_eq!(old.len(), new.len());
+    old.iter().zip(new).filter(|(a, b)| a != b).count()
+}
+
+/// Repairs a carried-over target map against a post-dynamics instance.
+/// See the module docs for the strategy.
+pub fn repair_assignment(inst: &CapInstance, previous_targets: &[usize]) -> RepairOutcome {
+    assert_eq!(previous_targets.len(), inst.num_zones());
+    let m = inst.num_servers();
+    let mut targets = previous_targets.to_vec();
+    let mut loads = vec![0.0; m];
+    for (z, &s) in targets.iter().enumerate() {
+        loads[s] += inst.zone_bps(z);
+    }
+
+    // Step 1: evacuate overloaded servers, largest zone first, to the
+    // most desirable server with room.
+    loop {
+        let Some(over) = (0..m).find(|&s| loads[s] > inst.capacity(s) + 1e-9) else {
+            break;
+        };
+        // Zones currently on `over`, largest load first.
+        let mut zones: Vec<usize> = (0..inst.num_zones())
+            .filter(|&z| targets[z] == over)
+            .collect();
+        zones.sort_by(|&a, &b| {
+            inst.zone_bps(b)
+                .partial_cmp(&inst.zone_bps(a))
+                .expect("finite")
+        });
+        let mut moved_any = false;
+        for z in zones {
+            if loads[over] <= inst.capacity(over) + 1e-9 {
+                break;
+            }
+            let demand = inst.zone_bps(z);
+            // Best destination by C^I among servers with room.
+            let dest = (0..m)
+                .filter(|&s| s != over && loads[s] + demand <= inst.capacity(s) + 1e-9)
+                .min_by(|&a, &b| {
+                    inst.iap_cost(a, z)
+                        .partial_cmp(&inst.iap_cost(b, z))
+                        .expect("finite")
+                });
+            if let Some(dest) = dest {
+                loads[over] -= demand;
+                loads[dest] += demand;
+                targets[z] = dest;
+                moved_any = true;
+            }
+        }
+        if !moved_any {
+            break; // nothing fits anywhere: stay overloaded (best effort)
+        }
+    }
+
+    // Step 2: one shift-only improvement sweep (cheap QoS wins without
+    // cascading migrations).
+    for z in 0..inst.num_zones() {
+        let cur = targets[z];
+        let cur_cost = inst.iap_cost(cur, z);
+        if cur_cost == 0.0 {
+            continue;
+        }
+        let demand = inst.zone_bps(z);
+        let better = (0..m)
+            .filter(|&s| s != cur && loads[s] + demand <= inst.capacity(s) + 1e-9)
+            .map(|s| (inst.iap_cost(s, z), s))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        if let Some((cost, s)) = better {
+            if cost < cur_cost {
+                loads[cur] -= demand;
+                loads[s] += demand;
+                targets[z] = s;
+            }
+        }
+    }
+
+    let zones_migrated = zone_migrations(previous_targets, &targets);
+    let contact_of_client = grec(inst, &targets);
+    RepairOutcome {
+        assignment: Assignment {
+            target_of_zone: targets,
+            contact_of_client,
+        },
+        zones_migrated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dve_assign::evaluate;
+
+    /// 2 servers; zone loads chosen so both zones on s0 overflow it.
+    fn overload_instance() -> CapInstance {
+        CapInstance::from_raw(
+            2,
+            2,
+            vec![0, 1],
+            vec![100.0, 400.0, 100.0, 400.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0, 1000.0],
+            vec![1500.0, 9000.0],
+            250.0,
+        )
+    }
+
+    #[test]
+    fn migrations_counter() {
+        assert_eq!(zone_migrations(&[0, 1, 2], &[0, 1, 2]), 0);
+        assert_eq!(zone_migrations(&[0, 1, 2], &[0, 2, 2]), 1);
+        assert_eq!(zone_migrations(&[0, 0], &[1, 1]), 2);
+    }
+
+    #[test]
+    fn evacuates_overloaded_server() {
+        let inst = overload_instance();
+        // Both zones on s0 -> 2000 > 1500.
+        let out = repair_assignment(&inst, &[0, 0]);
+        let a = &out.assignment;
+        assert!(a.is_feasible(&inst), "repair must restore feasibility");
+        assert_eq!(out.zones_migrated, 1, "one migration suffices");
+    }
+
+    #[test]
+    fn feasible_input_with_zero_cost_is_untouched() {
+        let inst = CapInstance::from_raw(
+            2,
+            2,
+            vec![0, 1],
+            vec![100.0, 400.0, 400.0, 100.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0, 1000.0],
+            vec![9000.0, 9000.0],
+            250.0,
+        );
+        // Optimal layout: z0 on s0, z1 on s1 — zero cost, feasible.
+        let out = repair_assignment(&inst, &[0, 1]);
+        assert_eq!(out.zones_migrated, 0);
+        assert_eq!(out.assignment.target_of_zone, vec![0, 1]);
+    }
+
+    #[test]
+    fn improvement_sweep_fixes_bad_placement_when_capacity_allows() {
+        let inst = CapInstance::from_raw(
+            2,
+            1,
+            vec![0],
+            vec![400.0, 100.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0],
+            vec![9000.0, 9000.0],
+            250.0,
+        );
+        // Zone hosted far (cost 1); repair should shift it to s1 (cost 0).
+        let out = repair_assignment(&inst, &[0]);
+        assert_eq!(out.assignment.target_of_zone, vec![1]);
+        assert_eq!(out.zones_migrated, 1);
+        let m = evaluate(&inst, &out.assignment);
+        assert_eq!(m.pqos, 1.0);
+    }
+
+    #[test]
+    fn stays_best_effort_when_nothing_fits() {
+        // Single server, overloaded no matter what.
+        let inst = CapInstance::from_raw(
+            1,
+            1,
+            vec![0, 0],
+            vec![100.0, 100.0],
+            vec![0.0],
+            vec![600.0, 600.0],
+            vec![1000.0],
+            250.0,
+        );
+        let out = repair_assignment(&inst, &[0]);
+        assert_eq!(out.zones_migrated, 0);
+        assert_eq!(out.assignment.target_of_zone, vec![0]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Simulation setup: which topology to generate, which scenario to
+//! populate, and the global experiment knobs (delay bound, provisioning,
+//! error factor, replication count, seeding).
+
+use dve_assign::{CapInstance, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING};
+use dve_topology::{
+    hierarchical, transit_stub, us_backbone, DelayMatrix, HierarchicalConfig, Topology,
+    TransitStubConfig, WaxmanParams,
+};
+use dve_world::{ErrorModel, ScenarioConfig, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which topology family a simulation uses.
+#[derive(Debug, Clone)]
+pub enum TopologySpec {
+    /// BRITE-style hierarchical (the paper's default, 20 AS x 25 routers).
+    Hierarchical(HierarchicalConfig),
+    /// The embedded US PoP backbone (25 nodes; for small scenarios).
+    UsBackbone,
+    /// Flat incremental Waxman over `nodes` with `links_per_node`.
+    FlatWaxman {
+        /// Node count.
+        nodes: usize,
+        /// Links per new node.
+        links_per_node: usize,
+        /// Waxman parameters.
+        params: WaxmanParams,
+        /// Plane side length.
+        plane: f64,
+    },
+    /// GT-ITM-style transit-stub (extension).
+    TransitStub(TransitStubConfig),
+}
+
+impl TopologySpec {
+    /// Generates a topology with the given RNG.
+    pub fn generate(&self, rng: &mut StdRng) -> Topology {
+        match self {
+            TopologySpec::Hierarchical(config) => hierarchical(config, rng),
+            TopologySpec::UsBackbone => us_backbone(),
+            TopologySpec::FlatWaxman {
+                nodes,
+                links_per_node,
+                params,
+                plane,
+            } => dve_topology::flat_waxman(*nodes, *links_per_node, *plane, *params, rng),
+            TopologySpec::TransitStub(config) => transit_stub(config, rng),
+        }
+    }
+}
+
+/// Complete experiment setup.
+#[derive(Debug, Clone)]
+pub struct SimSetup {
+    /// The DVE scenario to populate.
+    pub scenario: ScenarioConfig,
+    /// The topology family.
+    pub topology: TopologySpec,
+    /// Maximum pairwise RTT after scaling, ms (paper: 500).
+    pub max_rtt_ms: f64,
+    /// Inter-server provisioning factor (paper: 0.5).
+    pub provisioning: f64,
+    /// Delay bound `D`, ms (paper default: 250; Fig. 5 uses 200).
+    pub delay_bound_ms: f64,
+    /// Delay estimation error factor `e` (1.0 = perfect; Table 4 uses
+    /// 1.2 and 2.0).
+    pub error_factor: f64,
+    /// Number of replications to average (paper: 50).
+    pub runs: usize,
+    /// Base RNG seed; replication `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for SimSetup {
+    /// The paper's default setup: hierarchical 20x25 topology, max RTT
+    /// 500 ms, provisioning 0.5, `D` = 250 ms, perfect delay knowledge,
+    /// 50 runs.
+    fn default() -> Self {
+        SimSetup {
+            scenario: ScenarioConfig::default(),
+            topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+            max_rtt_ms: 500.0,
+            provisioning: DEFAULT_PROVISIONING,
+            delay_bound_ms: DEFAULT_DELAY_BOUND_MS,
+            error_factor: 1.0,
+            runs: 50,
+            base_seed: 42,
+        }
+    }
+}
+
+/// One fully materialised replication: the world and the CAP instance.
+pub struct Replication {
+    /// The generated topology.
+    pub topology: Topology,
+    /// Scaled node-to-node RTTs.
+    pub delays: DelayMatrix,
+    /// The populated world.
+    pub world: World,
+    /// The CAP instance handed to the algorithms.
+    pub instance: CapInstance,
+    /// RNG carrying on from instance construction (for algorithm
+    /// randomness, dynamics, etc. — keeps a replication fully determined
+    /// by its seed).
+    pub rng: StdRng,
+}
+
+/// Builds replication `index` of a setup deterministically.
+pub fn build_replication(setup: &SimSetup, index: usize) -> Replication {
+    let seed = setup.base_seed.wrapping_add(index as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topology = setup.topology.generate(&mut rng);
+    let delays = DelayMatrix::from_graph(&topology.graph, setup.max_rtt_ms)
+        .expect("generated topologies are connected");
+    let world = World::generate(
+        &setup.scenario,
+        topology.node_count(),
+        &topology.as_of_node,
+        &mut rng,
+    )
+    .expect("scenario must fit the topology");
+    let instance = CapInstance::build(
+        &world,
+        &delays,
+        setup.provisioning,
+        setup.delay_bound_ms,
+        ErrorModel::new(setup.error_factor),
+        &mut rng,
+    );
+    Replication {
+        topology,
+        delays,
+        world,
+        instance,
+        rng,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_setup() -> SimSetup {
+        SimSetup {
+            scenario: ScenarioConfig::from_notation("5s-15z-200c-100cp").unwrap(),
+            topology: TopologySpec::Hierarchical(HierarchicalConfig {
+                as_count: 5,
+                routers_per_as: 10,
+                ..Default::default()
+            }),
+            runs: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn replication_is_deterministic() {
+        let setup = small_setup();
+        let a = build_replication(&setup, 3);
+        let b = build_replication(&setup, 3);
+        assert_eq!(a.world.clients, b.world.clients);
+        assert_eq!(
+            a.world.servers.iter().map(|s| s.node).collect::<Vec<_>>(),
+            b.world.servers.iter().map(|s| s.node).collect::<Vec<_>>()
+        );
+        for c in 0..a.instance.num_clients() {
+            for s in 0..a.instance.num_servers() {
+                assert_eq!(a.instance.obs_cs(c, s), b.instance.obs_cs(c, s));
+            }
+        }
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let setup = small_setup();
+        let a = build_replication(&setup, 0);
+        let b = build_replication(&setup, 1);
+        assert_ne!(a.world.clients, b.world.clients);
+    }
+
+    #[test]
+    fn replication_shapes_match_scenario() {
+        let setup = small_setup();
+        let r = build_replication(&setup, 0);
+        assert_eq!(r.instance.num_clients(), 200);
+        assert_eq!(r.instance.num_servers(), 5);
+        assert_eq!(r.instance.num_zones(), 15);
+        assert_eq!(r.topology.node_count(), 50);
+        assert!((r.delays.max_rtt() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backbone_spec_generates_fixed_graph() {
+        let setup = SimSetup {
+            scenario: ScenarioConfig::from_notation("5s-15z-100c-100cp").unwrap(),
+            topology: TopologySpec::UsBackbone,
+            ..Default::default()
+        };
+        let r = build_replication(&setup, 0);
+        assert_eq!(r.topology.node_count(), 25);
+    }
+}

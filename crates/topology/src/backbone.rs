@@ -1,0 +1,195 @@
+//! A hand-embedded US continental PoP backbone.
+//!
+//! The paper also validates its simulations on "real topologies (e.g., the
+//! US AT&T continental IP backbone)". That carrier map is proprietary, so
+//! we embed a synthetic-but-realistic substitute: 25 US metropolitan PoPs
+//! with their real latitude/longitude, linked by a hub-heavy fibre mesh
+//! (national hubs: New York, Chicago, Dallas, Atlanta, Los Angeles, San
+//! Francisco, Washington DC, Denver). Link weights are great-circle
+//! distances, which is what dominates wide-area propagation delay. The
+//! paper only needs the backbone as a source of a realistically shaped
+//! delay matrix; this construction preserves that role.
+
+use crate::graph::{Graph, Point};
+use crate::hierarchical::{Topology, TopologyKind};
+
+/// One point of presence: name, latitude, longitude, region label.
+struct Pop(&'static str, f64, f64, u16);
+
+/// Regions (used as "AS domains" by the correlation model):
+/// 0 Northeast, 1 Southeast, 2 Midwest, 3 South-Central, 4 Mountain,
+/// 5 West Coast.
+const POPS: &[Pop] = &[
+    Pop("New York", 40.7128, -74.0060, 0),
+    Pop("Boston", 42.3601, -71.0589, 0),
+    Pop("Philadelphia", 39.9526, -75.1652, 0),
+    Pop("Washington DC", 38.9072, -77.0369, 0),
+    Pop("Pittsburgh", 40.4406, -79.9959, 0),
+    Pop("Atlanta", 33.7490, -84.3880, 1),
+    Pop("Miami", 25.7617, -80.1918, 1),
+    Pop("Charlotte", 35.2271, -80.8431, 1),
+    Pop("Orlando", 28.5384, -81.3789, 1),
+    Pop("Chicago", 41.8781, -87.6298, 2),
+    Pop("Detroit", 42.3314, -83.0458, 2),
+    Pop("Minneapolis", 44.9778, -93.2650, 2),
+    Pop("St. Louis", 38.6270, -90.1994, 2),
+    Pop("Cleveland", 41.4993, -81.6944, 2),
+    Pop("Dallas", 32.7767, -96.7970, 3),
+    Pop("Houston", 29.7604, -95.3698, 3),
+    Pop("Austin", 30.2672, -97.7431, 3),
+    Pop("New Orleans", 29.9511, -90.0715, 3),
+    Pop("Denver", 39.7392, -104.9903, 4),
+    Pop("Salt Lake City", 40.7608, -111.8910, 4),
+    Pop("Phoenix", 33.4484, -112.0740, 4),
+    Pop("Los Angeles", 34.0522, -118.2437, 5),
+    Pop("San Francisco", 37.7749, -122.4194, 5),
+    Pop("Seattle", 47.6062, -122.3321, 5),
+    Pop("San Diego", 32.7157, -117.1611, 5),
+];
+
+/// Backbone adjacency by PoP index into [`POPS`]; a hub-and-spoke national
+/// mesh with regional rings, shaped like published carrier maps.
+const LINKS: &[(usize, usize)] = &[
+    // Northeast ring + trunk to DC
+    (0, 1),
+    (0, 2),
+    (2, 3),
+    (0, 4),
+    (4, 13),
+    (3, 7),
+    // Southeast
+    (5, 7),
+    (5, 8),
+    (8, 6),
+    (5, 6),
+    (5, 17),
+    // Midwest ring
+    (9, 10),
+    (10, 13),
+    (9, 11),
+    (9, 12),
+    (13, 9),
+    (12, 14),
+    // National trunks
+    (0, 9),
+    (3, 5),
+    (9, 18),
+    (14, 15),
+    (14, 16),
+    (15, 17),
+    (14, 5),
+    (14, 20),
+    (18, 19),
+    (18, 14),
+    (19, 22),
+    (20, 21),
+    (20, 24),
+    (21, 22),
+    (21, 24),
+    (22, 23),
+    (19, 23),
+    (11, 23),
+    (15, 6),
+    (12, 18),
+];
+
+/// Mean Earth radius in kilometres.
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Great-circle distance between two (lat, lon) points in kilometres.
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (la1, lo1, la2, lo2) = (
+        lat1.to_radians(),
+        lon1.to_radians(),
+        lat2.to_radians(),
+        lon2.to_radians(),
+    );
+    let dlat = la2 - la1;
+    let dlon = lo2 - lo1;
+    let a = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+}
+
+/// Builds the 25-PoP US backbone topology.
+///
+/// Node coordinates are equirectangular projections of (lon, lat) so the
+/// planar helpers still work; edge weights use true great-circle distance.
+pub fn us_backbone() -> Topology {
+    let mut graph = Graph::new();
+    let mut as_of_node = Vec::with_capacity(POPS.len());
+    for Pop(_, lat, lon, region) in POPS {
+        // Simple projection: x = lon, y = lat (degrees); only used for
+        // plotting/debugging, distances come from haversine.
+        graph.add_node(Point::new(*lon, *lat));
+        as_of_node.push(*region);
+    }
+    for &(a, b) in LINKS {
+        let Pop(_, la, lo, _) = POPS[a];
+        let Pop(_, lb, lob, _) = POPS[b];
+        let km = haversine_km(la, lo, lb, lob);
+        graph.add_edge(a, b, km).unwrap();
+    }
+    debug_assert!(graph.is_connected());
+    Topology {
+        graph,
+        as_of_node,
+        kind: TopologyKind::UsBackbone,
+    }
+}
+
+/// Names of the backbone PoPs, aligned with node indices.
+pub fn us_backbone_names() -> Vec<&'static str> {
+    POPS.iter().map(|Pop(name, ..)| *name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelayMatrix;
+
+    #[test]
+    fn backbone_is_connected_25_nodes() {
+        let t = us_backbone();
+        assert_eq!(t.node_count(), 25);
+        assert!(t.graph.is_connected());
+        assert_eq!(t.kind, TopologyKind::UsBackbone);
+    }
+
+    #[test]
+    fn six_regions() {
+        let t = us_backbone();
+        assert_eq!(t.as_count(), 6);
+        assert!(!t.nodes_in_as(0).is_empty());
+        assert!(!t.nodes_in_as(5).is_empty());
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // New York ~ Los Angeles is about 3940 km great-circle.
+        let d = haversine_km(40.7128, -74.0060, 34.0522, -118.2437);
+        assert!((d - 3940.0).abs() < 60.0, "NY-LA distance {d}");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        assert!(haversine_km(40.0, -74.0, 40.0, -74.0) < 1e-9);
+    }
+
+    #[test]
+    fn coast_to_coast_is_the_long_pole() {
+        let t = us_backbone();
+        let m = DelayMatrix::from_graph(&t.graph, 100.0).unwrap();
+        // Boston (1) to San Diego (24) should be close to the max RTT.
+        assert!(m.rtt(1, 24) > 70.0, "rtt={}", m.rtt(1, 24));
+        // New York (0) to Philadelphia (2) should be tiny.
+        assert!(m.rtt(0, 2) < 10.0, "rtt={}", m.rtt(0, 2));
+    }
+
+    #[test]
+    fn names_align() {
+        let names = us_backbone_names();
+        assert_eq!(names.len(), 25);
+        assert_eq!(names[0], "New York");
+        assert_eq!(names[22], "San Francisco");
+    }
+}

@@ -1,0 +1,138 @@
+//! Barabási–Albert preferential attachment — the AS-level model of BRITE's
+//! hierarchical top-down generation used by the paper (20 AS domains).
+//!
+//! New nodes join one at a time and attach `m` links to existing nodes with
+//! probability proportional to their current degree, producing the
+//! heavy-tailed degree distributions observed in AS-level Internet maps.
+
+use crate::graph::{Graph, Point};
+use rand::Rng;
+
+/// Generates a Barabási–Albert graph over `n` nodes placed uniformly at
+/// random in a `side x side` plane, `m` links per new node.
+///
+/// The first `m + 1` nodes are seeded as a chain (degree >= 1 each) so that
+/// preferential attachment has a well-defined distribution from the start.
+/// Edge weights are Euclidean distances between endpoints, as BRITE
+/// assigns propagation delay proportional to distance.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, side: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new();
+    barabasi_albert_into(&mut g, n, m, Point::new(0.0, 0.0), side, rng);
+    g
+}
+
+/// Appends a Barabási–Albert subgraph to `g` inside the square anchored at
+/// `origin`; returns the new node ids. See [`barabasi_albert`].
+pub fn barabasi_albert_into<R: Rng + ?Sized>(
+    g: &mut Graph,
+    n: usize,
+    m: usize,
+    origin: Point,
+    side: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(m >= 1, "BA requires m >= 1");
+    let nodes = crate::waxman::scatter_nodes(g, n, origin, side, rng);
+    if nodes.len() <= 1 {
+        return nodes;
+    }
+    let seed = (m + 1).min(nodes.len());
+    for w in nodes.windows(2).take(seed - 1) {
+        g.add_edge_euclidean(w[0], w[1]).unwrap();
+    }
+    // Repeated-node list: attachment probability proportional to degree is
+    // equivalent to sampling uniformly from the multiset of edge endpoints.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * m * n);
+    for w in nodes.windows(2).take(seed - 1) {
+        endpoints.push(w[0]);
+        endpoints.push(w[1]);
+    }
+    for (idx, &u) in nodes.iter().enumerate().skip(seed) {
+        let mut targets: Vec<usize> = Vec::with_capacity(m);
+        let want = m.min(idx);
+        let mut guard = 0;
+        while targets.len() < want && guard < 10_000 {
+            guard += 1;
+            let v = endpoints[rng.gen_range(0..endpoints.len())];
+            if v != u && !targets.contains(&v) {
+                targets.push(v);
+            }
+        }
+        // Extremely unlikely fallback: fill with lowest-index nodes.
+        for &v in nodes[..idx].iter() {
+            if targets.len() >= want {
+                break;
+            }
+            if !targets.contains(&v) {
+                targets.push(v);
+            }
+        }
+        for v in targets {
+            if g.add_edge_euclidean(u, v).unwrap() {
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_connected_and_sized() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 3, 10, 50] {
+            let g = barabasi_albert(n, 2, 100.0, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert!(g.is_connected(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ba_edge_count() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 40;
+        let m = 2;
+        let g = barabasi_albert(n, m, 100.0, &mut rng);
+        // chain of m edges + m edges per each of the n-(m+1) later nodes
+        assert_eq!(g.edge_count(), m + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn ba_has_hub_nodes() {
+        // Preferential attachment should produce at least one node whose
+        // degree is several times the minimum attachment count.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let g = barabasi_albert(200, 2, 100.0, &mut rng);
+        let max_degree = (0..g.node_count()).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            max_degree >= 10,
+            "expected a hub, max degree was {max_degree}"
+        );
+    }
+
+    #[test]
+    fn ba_m1_is_tree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = barabasi_albert(64, 1, 100.0, &mut rng);
+        assert_eq!(g.edge_count(), 63);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ba_into_respects_origin_box() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = Graph::new();
+        let ids = barabasi_albert_into(&mut g, 30, 2, Point::new(500.0, 500.0), 10.0, &mut rng);
+        for id in ids {
+            let p = g.coord(id);
+            assert!(p.x >= 500.0 && p.x <= 510.0);
+            assert!(p.y >= 500.0 && p.y <= 510.0);
+        }
+    }
+}

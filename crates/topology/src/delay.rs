@@ -1,0 +1,236 @@
+//! Round-trip delay matrices derived from topologies.
+//!
+//! The paper sets "the maximum round-trip delay between any two nodes ...
+//! to 500ms": shortest-path distances over the generated graph are scaled
+//! so that the largest pairwise RTT equals the configured maximum. The
+//! simulation then reads client–server and server–server RTTs from this
+//! matrix (the latter additionally discounted by the well-provisioned
+//! inter-server factor, which lives in the CAP instance, not here).
+
+use crate::graph::Graph;
+use crate::shortest_path::all_pairs;
+use std::fmt;
+
+/// Errors raised when building a [`DelayMatrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelayError {
+    /// The topology is disconnected, so some pairs have no finite delay.
+    Disconnected,
+    /// The requested maximum RTT was not positive/finite.
+    BadMaxRtt(f64),
+    /// The graph has fewer than two nodes, so no pairwise delay exists.
+    TooSmall(usize),
+}
+
+impl fmt::Display for DelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelayError::Disconnected => write!(f, "topology is disconnected"),
+            DelayError::BadMaxRtt(v) => write!(f, "max RTT {v} must be finite and > 0"),
+            DelayError::TooSmall(n) => write!(f, "need >= 2 nodes, got {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DelayError {}
+
+/// A dense symmetric matrix of round-trip delays (milliseconds) between
+/// topology nodes.
+#[derive(Debug, Clone)]
+pub struct DelayMatrix {
+    n: usize,
+    rtt: Vec<f64>, // row-major, n*n
+}
+
+impl DelayMatrix {
+    /// Builds the RTT matrix from a connected graph, scaling so the maximum
+    /// pairwise RTT equals `max_rtt_ms` (paper default: 500 ms).
+    pub fn from_graph(graph: &Graph, max_rtt_ms: f64) -> Result<Self, DelayError> {
+        if !(max_rtt_ms.is_finite() && max_rtt_ms > 0.0) {
+            return Err(DelayError::BadMaxRtt(max_rtt_ms));
+        }
+        let n = graph.node_count();
+        if n < 2 {
+            return Err(DelayError::TooSmall(n));
+        }
+        let sp = all_pairs(graph);
+        let mut max = 0.0f64;
+        for (i, row) in sp.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if !d.is_finite() {
+                    return Err(DelayError::Disconnected);
+                }
+                if d > max {
+                    max = d;
+                }
+            }
+        }
+        if max <= 0.0 {
+            // All nodes coincide; treat as uniform tiny delay.
+            return Ok(DelayMatrix {
+                n,
+                rtt: vec![0.0; n * n],
+            });
+        }
+        let scale = max_rtt_ms / max;
+        let mut rtt = vec![0.0f64; n * n];
+        for (i, row) in sp.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                rtt[i * n + j] = if i == j { 0.0 } else { d * scale };
+            }
+        }
+        Ok(DelayMatrix { n, rtt })
+    }
+
+    /// Builds a matrix directly from explicit RTT values (row-major). Used
+    /// by tests and by hand-crafted scenarios.
+    pub fn from_raw(n: usize, rtt: Vec<f64>) -> Result<Self, DelayError> {
+        if n < 2 {
+            return Err(DelayError::TooSmall(n));
+        }
+        assert_eq!(rtt.len(), n * n, "matrix must be n*n");
+        Ok(DelayMatrix { n, rtt })
+    }
+
+    /// Number of nodes covered by the matrix.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the matrix covers no nodes (never constructed, kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Round-trip delay between nodes `a` and `b` in milliseconds.
+    #[inline]
+    pub fn rtt(&self, a: usize, b: usize) -> f64 {
+        self.rtt[a * self.n + b]
+    }
+
+    /// Largest pairwise RTT in the matrix.
+    pub fn max_rtt(&self) -> f64 {
+        self.rtt.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean RTT over ordered pairs of distinct nodes.
+    pub fn mean_rtt(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let sum: f64 = self.rtt.iter().sum();
+        sum / (self.n * (self.n - 1)) as f64
+    }
+
+    /// Fraction of ordered distinct pairs with RTT at most `bound_ms`;
+    /// this is the baseline probability a *random* client–server pair
+    /// meets the delay bound, which anchors the RanZ-VirC row of Table 1.
+    pub fn fraction_within(&self, bound_ms: f64) -> f64 {
+        if self.n < 2 {
+            return 1.0;
+        }
+        let mut hits = 0usize;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && self.rtt(i, j) <= bound_ms {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / (self.n * (self.n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, Point};
+
+    fn path_graph(weights: &[f64]) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..=weights.len() {
+            g.add_node(Point::new(i as f64, 0.0));
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            g.add_edge(i, i + 1, w).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn scales_max_to_target() {
+        let g = path_graph(&[1.0, 2.0, 3.0]); // diameter 6
+        let m = DelayMatrix::from_graph(&g, 500.0).unwrap();
+        assert!((m.max_rtt() - 500.0).abs() < 1e-9);
+        // node 0 to node 1: distance 1 of 6 -> 500/6
+        assert!((m.rtt(0, 1) - 500.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_is_zero_and_symmetric() {
+        let g = path_graph(&[2.0, 5.0]);
+        let m = DelayMatrix::from_graph(&g, 100.0).unwrap();
+        for i in 0..3 {
+            assert_eq!(m.rtt(i, i), 0.0);
+            for j in 0..3 {
+                assert!((m.rtt(i, j) - m.rtt(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let g = Graph::with_nodes(3);
+        assert!(matches!(
+            DelayMatrix::from_graph(&g, 500.0),
+            Err(DelayError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        let g = path_graph(&[1.0]);
+        assert!(matches!(
+            DelayMatrix::from_graph(&g, 0.0),
+            Err(DelayError::BadMaxRtt(_))
+        ));
+        assert!(matches!(
+            DelayMatrix::from_graph(&g, f64::NAN),
+            Err(DelayError::BadMaxRtt(_))
+        ));
+        let tiny = Graph::with_nodes(1);
+        assert!(matches!(
+            DelayMatrix::from_graph(&tiny, 500.0),
+            Err(DelayError::TooSmall(1))
+        ));
+    }
+
+    #[test]
+    fn fraction_within_bound() {
+        let g = path_graph(&[1.0, 1.0]); // distances 1,1,2 scaled to max 500
+        let m = DelayMatrix::from_graph(&g, 500.0).unwrap();
+        // RTTs: (0,1)=250, (1,2)=250, (0,2)=500
+        assert!((m.fraction_within(250.0) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((m.fraction_within(500.0) - 1.0).abs() < 1e-12);
+        assert_eq!(m.fraction_within(100.0), 0.0);
+    }
+
+    #[test]
+    fn mean_rtt_sane() {
+        let g = path_graph(&[1.0, 1.0]);
+        let m = DelayMatrix::from_graph(&g, 500.0).unwrap();
+        let mean = m.mean_rtt();
+        assert!((mean - (250.0 + 250.0 + 500.0) * 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let m = DelayMatrix::from_raw(2, vec![0.0, 10.0, 10.0, 0.0]).unwrap();
+        assert_eq!(m.rtt(0, 1), 10.0);
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,383 @@
+//! Undirected weighted graph with planar node coordinates.
+//!
+//! This is the backbone data structure for every topology model in the
+//! crate. Nodes are dense `usize` indices; each node carries a position in
+//! the generation plane (BRITE places both AS- and router-level nodes on a
+//! 2-D plane and derives link delays from Euclidean distance). Edges are
+//! stored in per-node adjacency lists, mirrored for both endpoints.
+
+use std::fmt;
+
+/// A point in the topology generation plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// An undirected weighted graph with planar coordinates per node.
+///
+/// Edge weights are non-negative `f64` values interpreted as propagation
+/// delays (arbitrary units until scaled by
+/// [`DelayMatrix`](crate::DelayMatrix)).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    coords: Vec<Point>,
+    adj: Vec<Vec<(u32, f64)>>,
+    edges: usize,
+}
+
+/// Errors raised by graph mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// Attempted to add a self-loop.
+    SelfLoop(usize),
+    /// Attempted to add an edge with a negative or non-finite weight.
+    BadWeight(f64),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range (graph has {len} nodes)")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} rejected"),
+            GraphError::BadWeight(w) => write!(f, "edge weight {w} must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with `n` nodes all placed at the origin.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            coords: vec![Point::new(0.0, 0.0); n],
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Adds a node at `p` and returns its index.
+    pub fn add_node(&mut self, p: Point) -> usize {
+        self.coords.push(p);
+        self.adj.push(Vec::new());
+        self.coords.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Position of node `n`.
+    pub fn coord(&self, n: usize) -> Point {
+        self.coords[n]
+    }
+
+    /// Overwrites the position of node `n`.
+    pub fn set_coord(&mut self, n: usize, p: Point) {
+        self.coords[n] = p;
+    }
+
+    /// Euclidean distance between the coordinates of `u` and `v`.
+    pub fn coord_dist(&self, u: usize, v: usize) -> f64 {
+        self.coords[u].dist(&self.coords[v])
+    }
+
+    fn check_node(&self, n: usize) -> Result<(), GraphError> {
+        if n >= self.coords.len() {
+            Err(GraphError::NodeOutOfRange {
+                node: n,
+                len: self.coords.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds an undirected edge `{u, v}` with weight `w`.
+    ///
+    /// Parallel edges are rejected silently (the first weight wins), since
+    /// none of the generators benefit from multi-edges.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<bool, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !w.is_finite() || w < 0.0 {
+            return Err(GraphError::BadWeight(w));
+        }
+        if self.has_edge(u, v) {
+            return Ok(false);
+        }
+        self.adj[u].push((v as u32, w));
+        self.adj[v].push((u as u32, w));
+        self.edges += 1;
+        Ok(true)
+    }
+
+    /// Adds an edge weighted by the Euclidean distance between endpoints.
+    pub fn add_edge_euclidean(&mut self, u: usize, v: usize) -> Result<bool, GraphError> {
+        let w = self.coord_dist(u, v).max(f64::MIN_POSITIVE);
+        self.add_edge(u, v, w)
+    }
+
+    /// True iff the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        if u >= self.adj.len() {
+            return false;
+        }
+        self.adj[u].iter().any(|&(n, _)| n as usize == v)
+    }
+
+    /// Weight of edge `{u, v}` if present.
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
+        self.adj
+            .get(u)?
+            .iter()
+            .find(|&&(n, _)| n as usize == v)
+            .map(|&(_, w)| w)
+    }
+
+    /// Degree of node `n`.
+    pub fn degree(&self, n: usize) -> usize {
+        self.adj[n].len()
+    }
+
+    /// Iterates over `(neighbor, weight)` pairs of node `n`.
+    pub fn neighbors(&self, n: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.adj[n].iter().map(|&(v, w)| (v as usize, w))
+    }
+
+    /// Iterates over all undirected edges as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&(v, _)| u < v as usize)
+                .map(move |&(v, w)| (u, v as usize, w))
+        })
+    }
+
+    /// Connected-component label per node (labels are 0-based and dense).
+    pub fn components(&self) -> Vec<usize> {
+        let n = self.node_count();
+        let mut label = vec![usize::MAX; n];
+        let mut next = 0usize;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if label[start] != usize::MAX {
+                continue;
+            }
+            label[start] = next;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for (v, _) in self.neighbors(u) {
+                    if label[v] == usize::MAX {
+                        label[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        label
+    }
+
+    /// True iff the graph is connected (vacuously true for <= 1 node).
+    pub fn is_connected(&self) -> bool {
+        let labels = self.components();
+        labels.iter().all(|&l| l == 0)
+    }
+
+    /// Connects a disconnected graph by repeatedly adding the geometrically
+    /// shortest edge between the first component and any other component.
+    ///
+    /// Returns the number of edges added. Generators use this to guarantee
+    /// connectivity after probabilistic edge placement, as BRITE does.
+    pub fn connect_components_euclidean(&mut self) -> usize {
+        let mut added = 0;
+        loop {
+            let labels = self.components();
+            let parts = labels.iter().copied().max().map_or(0, |m| m + 1);
+            if parts <= 1 {
+                return added;
+            }
+            // Closest pair straddling component 0 and any other component.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for u in 0..self.node_count() {
+                if labels[u] != 0 {
+                    continue;
+                }
+                for v in 0..self.node_count() {
+                    if labels[v] == 0 {
+                        continue;
+                    }
+                    let d = self.coord_dist(u, v);
+                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                        best = Some((u, v, d));
+                    }
+                }
+            }
+            let (u, v, d) = best.expect("disconnected graph must have a crossing pair");
+            self.add_edge(u, v, d.max(f64::MIN_POSITIVE))
+                .expect("connect edge must be valid");
+            added += 1;
+        }
+    }
+
+    /// Sum of all edge weights (useful in tests).
+    pub fn total_weight(&self) -> f64 {
+        self.edges().map(|(_, _, w)| w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(Point::new(0.0, 0.0));
+        let b = g.add_node(Point::new(3.0, 0.0));
+        let c = g.add_node(Point::new(0.0, 4.0));
+        g.add_edge(a, b, 1.0).unwrap();
+        g.add_edge(b, c, 2.0).unwrap();
+        g.add_edge(c, a, 3.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.edge_weight(1, 2), Some(2.0));
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        let g = triangle();
+        assert!((g.coord_dist(1, 2) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::with_nodes(2);
+        assert_eq!(g.add_edge(0, 0, 1.0), Err(GraphError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        let mut g = Graph::with_nodes(2);
+        assert!(matches!(
+            g.add_edge(0, 1, -1.0),
+            Err(GraphError::BadWeight(_))
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, f64::NAN),
+            Err(GraphError::BadWeight(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Graph::with_nodes(2);
+        assert!(matches!(
+            g.add_edge(0, 5, 1.0),
+            Err(GraphError::NodeOutOfRange { node: 5, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let mut g = Graph::with_nodes(2);
+        assert!(g.add_edge(0, 1, 1.0).unwrap());
+        assert!(!g.add_edge(0, 1, 9.0).unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        let labels = g.components();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[0]);
+        assert!(!g.is_connected());
+        assert!(triangle().is_connected());
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(Graph::new().is_connected());
+        assert!(Graph::with_nodes(1).is_connected());
+    }
+
+    #[test]
+    fn connect_components_produces_connected_graph() {
+        let mut g = Graph::new();
+        for i in 0..6 {
+            g.add_node(Point::new(i as f64 * 10.0, 0.0));
+        }
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        g.add_edge(4, 5, 1.0).unwrap();
+        let added = g.connect_components_euclidean();
+        assert_eq!(added, 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v, _) in edges {
+            assert!(u < v);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Topology realism metrics.
+//!
+//! BRITE's value to the paper is that its graphs *look like the
+//! Internet*: heavy-tailed AS degrees, local router meshes, small
+//! diameters. This module computes the standard characterisation metrics
+//! so tests (and users swapping in their own generators) can check that
+//! a topology family has the expected shape.
+
+use crate::graph::Graph;
+use crate::shortest_path::all_pairs;
+
+/// Summary statistics of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average local clustering coefficient.
+    pub clustering: f64,
+    /// Weighted diameter (max finite pairwise distance; 0 for < 2 nodes).
+    pub diameter: f64,
+    /// Mean finite pairwise distance.
+    pub mean_distance: f64,
+    /// Share of total degree held by the top 10% highest-degree nodes —
+    /// a quick heavy-tail indicator (0.5+ for preferential attachment,
+    /// ~0.15 for regular graphs).
+    pub top_decile_degree_share: f64,
+}
+
+/// Local clustering coefficient of node `v`: the fraction of its
+/// neighbour pairs that are themselves connected (0 for degree < 2).
+pub fn clustering_coefficient(graph: &Graph, v: usize) -> f64 {
+    let neighbors: Vec<usize> = graph.neighbors(v).map(|(u, _)| u).collect();
+    let k = neighbors.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if graph.has_edge(neighbors[i], neighbors[j]) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (k * (k - 1)) as f64
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let max = (0..graph.node_count())
+        .map(|v| graph.degree(v))
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for v in 0..graph.node_count() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+impl TopologyStats {
+    /// Computes all metrics (runs an all-pairs shortest path, so intended
+    /// for graphs up to a few thousand nodes).
+    pub fn compute(graph: &Graph) -> TopologyStats {
+        let n = graph.node_count();
+        let mut degrees: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let total_degree: usize = degrees.iter().sum();
+        let top = n.div_ceil(10).min(n);
+        let top_share = if total_degree == 0 {
+            0.0
+        } else {
+            degrees[..top].iter().sum::<usize>() as f64 / total_degree as f64
+        };
+        let clustering = if n == 0 {
+            0.0
+        } else {
+            (0..n).map(|v| clustering_coefficient(graph, v)).sum::<f64>() / n as f64
+        };
+        let (diameter, mean_distance) = if n < 2 {
+            (0.0, 0.0)
+        } else {
+            let apsp = all_pairs(graph);
+            let mut max = 0.0f64;
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for (i, row) in apsp.iter().enumerate() {
+                for (j, &d) in row.iter().enumerate() {
+                    if i != j && d.is_finite() {
+                        sum += d;
+                        count += 1;
+                        max = max.max(d);
+                    }
+                }
+            }
+            (max, if count == 0 { 0.0 } else { sum / count as f64 })
+        };
+        TopologyStats {
+            nodes: n,
+            edges: graph.edge_count(),
+            min_degree: degrees.last().copied().unwrap_or(0),
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                total_degree as f64 / n as f64
+            },
+            max_degree: degrees.first().copied().unwrap_or(0),
+            clustering,
+            diameter,
+            mean_distance,
+            top_decile_degree_share: top_share,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barabasi::barabasi_albert;
+    use crate::graph::{Graph, Point};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(2, 0, 1.0).unwrap();
+        g
+    }
+
+    fn star(leaves: usize) -> Graph {
+        let mut g = Graph::new();
+        let hub = g.add_node(Point::new(0.0, 0.0));
+        for i in 0..leaves {
+            let leaf = g.add_node(Point::new(i as f64, 1.0));
+            g.add_edge(hub, leaf, 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = triangle();
+        for v in 0..3 {
+            assert_eq!(clustering_coefficient(&g, v), 1.0);
+        }
+        let stats = TopologyStats::compute(&g);
+        assert_eq!(stats.clustering, 1.0);
+        assert_eq!(stats.diameter, 1.0);
+        assert_eq!(stats.min_degree, 2);
+        assert_eq!(stats.max_degree, 2);
+    }
+
+    #[test]
+    fn star_has_zero_clustering_and_hub_dominance() {
+        let g = star(9);
+        let stats = TopologyStats::compute(&g);
+        assert_eq!(stats.clustering, 0.0);
+        assert_eq!(stats.max_degree, 9);
+        assert_eq!(stats.min_degree, 1);
+        // hub holds 9 of 18 degree endpoints; top 10% of 10 nodes = 1 node.
+        assert!((stats.top_decile_degree_share - 0.5).abs() < 1e-12);
+        assert_eq!(stats.diameter, 2.0);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let hist = degree_histogram(&star(4));
+        assert_eq!(hist[1], 4);
+        assert_eq!(hist[4], 1);
+    }
+
+    #[test]
+    fn ba_is_heavier_tailed_than_ring() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let ba = barabasi_albert(200, 2, 100.0, &mut rng);
+        let mut ring = Graph::with_nodes(200);
+        for i in 0..200 {
+            ring.add_edge(i, (i + 1) % 200, 1.0).unwrap();
+            ring.add_edge(i, (i + 2) % 200, 1.0).unwrap();
+        }
+        let ba_stats = TopologyStats::compute(&ba);
+        let ring_stats = TopologyStats::compute(&ring);
+        assert!(
+            ba_stats.top_decile_degree_share > ring_stats.top_decile_degree_share + 0.05,
+            "BA {} vs ring {}",
+            ba_stats.top_decile_degree_share,
+            ring_stats.top_decile_degree_share
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let stats = TopologyStats::compute(&Graph::new());
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.mean_degree, 0.0);
+        let stats = TopologyStats::compute(&Graph::with_nodes(1));
+        assert_eq!(stats.diameter, 0.0);
+    }
+}

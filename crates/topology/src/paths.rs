@@ -1,0 +1,170 @@
+//! Route reconstruction: Dijkstra with predecessor tracking and explicit
+//! path extraction.
+//!
+//! The delay matrices only need distances, but debugging a topology (and
+//! the `backbone_att` example's routing displays) benefit from knowing
+//! *which* routers a client→server path traverses.
+
+use crate::graph::Graph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("edge weights are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest paths with predecessors: returns
+/// `(distances, predecessor)` where `predecessor[v]` is the node before
+/// `v` on a shortest path from `source` (`None` for the source and for
+/// unreachable nodes).
+pub fn dijkstra_with_predecessors(
+    graph: &Graph,
+    source: usize,
+) -> (Vec<f64>, Vec<Option<usize>>) {
+    let n = graph.node_count();
+    assert!(source < n, "source {source} out of range ({n} nodes)");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source as u32,
+    });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        let u = node as usize;
+        if d > dist[u] {
+            continue;
+        }
+        for (v, w) in graph.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                pred[v] = Some(u);
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: v as u32,
+                });
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Reconstructs the node sequence from the predecessor array produced by
+/// [`dijkstra_with_predecessors`]; returns `None` when `target` is
+/// unreachable. The path includes both endpoints; a path from a node to
+/// itself is `[node]`.
+pub fn extract_path(pred: &[Option<usize>], source: usize, target: usize) -> Option<Vec<usize>> {
+    if source == target {
+        return Some(vec![source]);
+    }
+    pred[target]?;
+    let mut path = vec![target];
+    let mut cur = target;
+    while let Some(p) = pred[cur] {
+        path.push(p);
+        cur = p;
+        if cur == source {
+            path.reverse();
+            return Some(path);
+        }
+        if path.len() > pred.len() {
+            unreachable!("predecessor chain longer than node count");
+        }
+    }
+    None
+}
+
+/// Convenience: the shortest route between two nodes, or `None` if
+/// disconnected.
+pub fn shortest_route(graph: &Graph, source: usize, target: usize) -> Option<Vec<usize>> {
+    let (_, pred) = dijkstra_with_predecessors(graph, source);
+    extract_path(&pred, source, target)
+}
+
+/// Hop count of the shortest-delay route (edges, not nodes), or `None`
+/// if disconnected.
+pub fn route_hops(graph: &Graph, source: usize, target: usize) -> Option<usize> {
+    shortest_route(graph, source, target).map(|p| p.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, Point};
+    use crate::shortest_path::dijkstra;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3 ; 0 -1- 2 -5- 3 : shortest 0->3 is 0,1,3.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 3, 1.0).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap();
+        g.add_edge(2, 3, 5.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn reconstructs_shortest_route() {
+        let g = diamond();
+        assert_eq!(shortest_route(&g, 0, 3), Some(vec![0, 1, 3]));
+        assert_eq!(route_hops(&g, 0, 3), Some(2));
+    }
+
+    #[test]
+    fn distances_match_plain_dijkstra() {
+        let g = diamond();
+        let (dist, _) = dijkstra_with_predecessors(&g, 0);
+        assert_eq!(dist, dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn self_path_is_single_node() {
+        let g = diamond();
+        assert_eq!(shortest_route(&g, 2, 2), Some(vec![2]));
+        assert_eq!(route_hops(&g, 2, 2), Some(0));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::with_nodes(3);
+        g.add_node(Point::new(0.0, 0.0));
+        g.add_edge(0, 1, 1.0).unwrap();
+        assert_eq!(shortest_route(&g, 0, 2), None);
+        assert_eq!(route_hops(&g, 0, 2), None);
+    }
+
+    #[test]
+    fn path_edges_exist_and_sum_to_distance() {
+        let g = diamond();
+        let (dist, pred) = dijkstra_with_predecessors(&g, 0);
+        let path = extract_path(&pred, 0, 3).unwrap();
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            let weight = g.edge_weight(w[0], w[1]).expect("path edge must exist");
+            total += weight;
+        }
+        assert!((total - dist[3]).abs() < 1e-12);
+    }
+}

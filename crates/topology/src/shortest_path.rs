@@ -1,0 +1,240 @@
+//! Shortest-path routines: binary-heap Dijkstra, parallel all-pairs
+//! shortest paths, and a Floyd–Warshall reference used by tests.
+//!
+//! Link weights are propagation delays, so shortest paths model the routing
+//! the paper assumes when deriving client–server round-trip times from the
+//! BRITE topology.
+
+use crate::graph::Graph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap entry inverted into a min-heap by ordering on `Reverse`d cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest distance pops first. Weights are finite and
+        // non-negative by Graph's construction invariant, so partial_cmp
+        // never fails.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("edge weights are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest path distances from `source`.
+///
+/// Unreachable nodes get `f64::INFINITY`.
+pub fn dijkstra(graph: &Graph, source: usize) -> Vec<f64> {
+    let n = graph.node_count();
+    assert!(source < n, "source {source} out of range ({n} nodes)");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source as u32,
+    });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        let u = node as usize;
+        if d > dist[u] {
+            continue; // stale entry
+        }
+        for (v, w) in graph.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: v as u32,
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest path matrix, one Dijkstra per source, parallelised
+/// over sources with `dve-par`.
+///
+/// Returns a dense row-major `n x n` matrix; entry `[s][t]` is the one-way
+/// shortest-path delay from `s` to `t`.
+pub fn all_pairs(graph: &Graph) -> Vec<Vec<f64>> {
+    let sources: Vec<usize> = (0..graph.node_count()).collect();
+    dve_par::par_map(&sources, |&s| dijkstra(graph, s))
+}
+
+/// Floyd–Warshall reference implementation (O(n^3)); used to cross-check
+/// Dijkstra in tests and acceptable for graphs of a few hundred nodes.
+pub fn floyd_warshall(graph: &Graph) -> Vec<Vec<f64>> {
+    let n = graph.node_count();
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for (u, v, w) in graph.edges() {
+        if w < d[u][v] {
+            d[u][v] = w;
+            d[v][u] = w;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i][k];
+            if dik.is_infinite() {
+                continue;
+            }
+            for j in 0..n {
+                let through = dik + d[k][j];
+                if through < d[i][j] {
+                    d[i][j] = through;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Eccentricity-style summary of a distance matrix: `(max, mean)` over all
+/// ordered pairs of distinct nodes. Infinite entries (disconnected pairs)
+/// are excluded from the mean but reported via `max` as infinity.
+pub fn distance_summary(matrix: &[Vec<f64>]) -> (f64, f64) {
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, &d) in row.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if d.is_finite() {
+                sum += d;
+                count += 1;
+                if d > max {
+                    max = d;
+                }
+            } else {
+                max = f64::INFINITY;
+            }
+        }
+    }
+    let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+    (max, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Point;
+
+    fn line(n: usize) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.add_node(Point::new(i as f64, 0.0));
+        }
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn dijkstra_on_line() {
+        let g = line(5);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_indirect_path() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(0, 2, 5.0).unwrap();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], 2.0);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        let d = dijkstra(&g, 0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dijkstra_panics_on_bad_source() {
+        let g = line(2);
+        dijkstra(&g, 10);
+    }
+
+    #[test]
+    fn all_pairs_matches_per_source_dijkstra() {
+        let g = line(6);
+        let apsp = all_pairs(&g);
+        for s in 0..6 {
+            assert_eq!(apsp[s], dijkstra(&g, s));
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_matches_dijkstra_on_mesh() {
+        let mut g = Graph::with_nodes(5);
+        let edges = [
+            (0, 1, 2.0),
+            (1, 2, 3.0),
+            (2, 3, 1.0),
+            (3, 4, 2.5),
+            (0, 4, 10.0),
+            (1, 3, 3.5),
+        ];
+        for (u, v, w) in edges {
+            g.add_edge(u, v, w).unwrap();
+        }
+        let fw = floyd_warshall(&g);
+        let ap = all_pairs(&g);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!(
+                    (fw[i][j] - ap[i][j]).abs() < 1e-9,
+                    "mismatch at ({i},{j}): fw={} dij={}",
+                    fw[i][j],
+                    ap[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_summary_reports_max_and_mean() {
+        let g = line(3);
+        let (max, mean) = distance_summary(&all_pairs(&g));
+        assert_eq!(max, 2.0);
+        // pairs: (0,1)=1 (0,2)=2 (1,0)=1 (1,2)=1 (2,0)=2 (2,1)=1 -> mean 8/6
+        assert!((mean - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_summary_flags_disconnection() {
+        let g = Graph::with_nodes(2);
+        let (max, _) = distance_summary(&all_pairs(&g));
+        assert!(max.is_infinite());
+    }
+}

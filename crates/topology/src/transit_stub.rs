@@ -1,0 +1,153 @@
+//! GT-ITM-style transit-stub topologies (extension beyond the paper).
+//!
+//! Transit-stub is the other classic Internet-like generator family: a
+//! small Waxman transit core, where each transit node anchors several stub
+//! domains (again Waxman), and stubs reach the rest of the network only
+//! through their transit node. Included as an additional topology family
+//! for sensitivity studies; the paper's experiments use the hierarchical
+//! BA/Waxman model in [`crate::hierarchical`].
+
+use crate::graph::{Graph, Point};
+use crate::hierarchical::{Topology, TopologyKind};
+use crate::waxman::{waxman_incremental_into, WaxmanParams};
+use rand::Rng;
+
+/// Configuration for [`transit_stub`] generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitStubConfig {
+    /// Number of transit (core) routers.
+    pub transit_nodes: usize,
+    /// Stub domains hanging off each transit node.
+    pub stubs_per_transit: usize,
+    /// Router count inside each stub domain.
+    pub nodes_per_stub: usize,
+    /// Links per new node in each Waxman phase.
+    pub links_per_node: usize,
+    /// Waxman shape parameters (shared by core and stubs).
+    pub waxman: WaxmanParams,
+    /// Side length of the square generation plane.
+    pub plane: f64,
+}
+
+impl Default for TransitStubConfig {
+    fn default() -> Self {
+        TransitStubConfig {
+            transit_nodes: 8,
+            stubs_per_transit: 3,
+            nodes_per_stub: 8,
+            links_per_node: 2,
+            waxman: WaxmanParams::default(),
+            plane: 1000.0,
+        }
+    }
+}
+
+impl TransitStubConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.transit_nodes == 0 || self.nodes_per_stub == 0 {
+            return Err("transit and stub node counts must be >= 1".into());
+        }
+        if self.links_per_node == 0 {
+            return Err("links per node must be >= 1".into());
+        }
+        if !(self.plane.is_finite() && self.plane > 0.0) {
+            return Err("plane must be positive".into());
+        }
+        self.waxman.validate()
+    }
+
+    /// Total node count: transit core plus all stub routers.
+    pub fn total_nodes(&self) -> usize {
+        self.transit_nodes + self.transit_nodes * self.stubs_per_transit * self.nodes_per_stub
+    }
+}
+
+/// Generates a transit-stub topology. Each stub domain gets its own AS
+/// label; the transit core is AS 0.
+pub fn transit_stub<R: Rng + ?Sized>(config: &TransitStubConfig, rng: &mut R) -> Topology {
+    config.validate().expect("invalid transit-stub config");
+    let mut graph = Graph::new();
+    let l = config.plane * std::f64::consts::SQRT_2;
+
+    // Transit core: Waxman over the whole plane.
+    let core = waxman_incremental_into(
+        &mut graph,
+        config.transit_nodes,
+        config.links_per_node,
+        Point::new(0.0, 0.0),
+        config.plane,
+        l,
+        config.waxman,
+        rng,
+    );
+    let mut as_of_node = vec![0u16; core.len()];
+    let mut next_as = 1u16;
+
+    // Stub domains: small Waxman patches near their transit anchor.
+    let patch = config.plane / (config.transit_nodes.max(1) as f64).sqrt() / 2.0;
+    for &t in &core {
+        for _ in 0..config.stubs_per_transit {
+            let anchor = graph.coord(t);
+            let origin = Point::new(
+                (anchor.x - patch / 2.0).max(0.0),
+                (anchor.y - patch / 2.0).max(0.0),
+            );
+            let stub = waxman_incremental_into(
+                &mut graph,
+                config.nodes_per_stub,
+                config.links_per_node,
+                origin,
+                patch,
+                l,
+                config.waxman,
+                rng,
+            );
+            as_of_node.extend(std::iter::repeat(next_as).take(stub.len()));
+            next_as += 1;
+            // Stub-to-transit uplink from a random stub router.
+            let gw = stub[rng.gen_range(0..stub.len())];
+            let d = graph.coord_dist(gw, t).max(f64::MIN_POSITIVE);
+            graph.add_edge(gw, t, d).unwrap();
+        }
+    }
+    graph.connect_components_euclidean();
+    Topology {
+        graph,
+        as_of_node,
+        kind: TopologyKind::TransitStub,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_counts() {
+        let c = TransitStubConfig::default();
+        assert_eq!(c.total_nodes(), 8 + 8 * 3 * 8);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn generates_connected_topology() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = TransitStubConfig::default();
+        let t = transit_stub(&config, &mut rng);
+        assert_eq!(t.node_count(), config.total_nodes());
+        assert!(t.graph.is_connected());
+        assert_eq!(t.kind, TopologyKind::TransitStub);
+        // 1 core AS + one AS per stub domain
+        assert_eq!(t.as_count(), 1 + 8 * 3);
+    }
+
+    #[test]
+    fn validation_rejects_zero_nodes() {
+        let mut c = TransitStubConfig::default();
+        c.transit_nodes = 0;
+        assert!(c.validate().is_err());
+    }
+}

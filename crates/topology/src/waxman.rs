@@ -1,0 +1,290 @@
+//! Waxman random graphs — the router-level model of BRITE's hierarchical
+//! top-down generation used by the paper (25 router nodes per AS).
+//!
+//! Waxman's model connects nodes `u, v` with probability
+//! `P(u, v) = alpha * exp(-d(u,v) / (beta * L))` where `d` is Euclidean
+//! distance and `L` the maximum possible distance in the plane. Two
+//! variants are provided:
+//!
+//! * [`waxman_flat`] — the classic model: an independent coin flip per
+//!   pair, followed by a connectivity repair pass (BRITE does the same).
+//! * [`waxman_incremental`] — BRITE's `RT_WAXMAN` incremental growth: each
+//!   new node attaches `m` links to existing nodes sampled with
+//!   probability proportional to the Waxman weight, which guarantees
+//!   connectivity by construction.
+
+use crate::graph::{Graph, Point};
+use rand::Rng;
+
+/// Shape parameters of the Waxman probability function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaxmanParams {
+    /// Overall edge density knob, `0 < alpha <= 1`.
+    pub alpha: f64,
+    /// Locality knob, `0 < beta <= 1`; small beta strongly favours short
+    /// links.
+    pub beta: f64,
+}
+
+impl Default for WaxmanParams {
+    /// BRITE's default Waxman parameters (`alpha = 0.15`, `beta = 0.2`).
+    fn default() -> Self {
+        WaxmanParams {
+            alpha: 0.15,
+            beta: 0.2,
+        }
+    }
+}
+
+impl WaxmanParams {
+    /// Validates the parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(format!("waxman alpha {} outside (0, 1]", self.alpha));
+        }
+        if !(self.beta > 0.0 && self.beta <= 1.0) {
+            return Err(format!("waxman beta {} outside (0, 1]", self.beta));
+        }
+        Ok(())
+    }
+
+    /// The Waxman connection weight for distance `d` given a maximum plane
+    /// distance `l`.
+    pub fn weight(&self, d: f64, l: f64) -> f64 {
+        self.alpha * (-d / (self.beta * l)).exp()
+    }
+}
+
+/// Places `n` points uniformly at random in the square
+/// `[origin.x, origin.x + side] x [origin.y, origin.y + side]`.
+pub fn scatter_nodes<R: Rng + ?Sized>(
+    g: &mut Graph,
+    n: usize,
+    origin: Point,
+    side: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    (0..n)
+        .map(|_| {
+            let p = Point::new(
+                origin.x + rng.gen::<f64>() * side,
+                origin.y + rng.gen::<f64>() * side,
+            );
+            g.add_node(p)
+        })
+        .collect()
+}
+
+/// Classic (flat) Waxman graph over `n` nodes in a `side x side` plane.
+///
+/// Disconnected outputs are repaired by adding geometrically shortest
+/// cross-component edges.
+pub fn waxman_flat<R: Rng + ?Sized>(
+    n: usize,
+    side: f64,
+    params: WaxmanParams,
+    rng: &mut R,
+) -> Graph {
+    params.validate().expect("invalid Waxman parameters");
+    let mut g = Graph::new();
+    let nodes = scatter_nodes(&mut g, n, Point::new(0.0, 0.0), side, rng);
+    let l = side * std::f64::consts::SQRT_2;
+    for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            let d = g.coord_dist(nodes[i], nodes[j]);
+            if rng.gen::<f64>() < params.weight(d, l) {
+                g.add_edge_euclidean(nodes[i], nodes[j]).unwrap();
+            }
+        }
+    }
+    g.connect_components_euclidean();
+    g
+}
+
+/// BRITE-style incremental Waxman: grows the graph one node at a time,
+/// attaching `m` links per new node to existing nodes sampled with
+/// probability proportional to the Waxman weight.
+///
+/// The subgraph is generated inside the square anchored at `origin` with
+/// the given `side`, appended to `g`; returns the new node ids. The caller
+/// supplies the plane's maximum distance `l` so that nested (hierarchical)
+/// generation can use the *global* plane scale, as BRITE does.
+pub fn waxman_incremental_into<R: Rng + ?Sized>(
+    g: &mut Graph,
+    n: usize,
+    m: usize,
+    origin: Point,
+    side: f64,
+    l: f64,
+    params: WaxmanParams,
+    rng: &mut R,
+) -> Vec<usize> {
+    params.validate().expect("invalid Waxman parameters");
+    assert!(m >= 1, "each new node must add at least one link");
+    let nodes = scatter_nodes(g, n, origin, side, rng);
+    if nodes.len() <= 1 {
+        return nodes;
+    }
+    // Seed: connect the first min(m+1, n) nodes in a chain so early joiners
+    // have somewhere to attach.
+    let seed = (m + 1).min(nodes.len());
+    for w in nodes.windows(2).take(seed - 1) {
+        g.add_edge_euclidean(w[0], w[1]).unwrap();
+    }
+    let mut weights = Vec::new();
+    for (idx, &u) in nodes.iter().enumerate().skip(seed) {
+        // Sample up to m distinct targets among nodes[0..idx] by repeated
+        // roulette-wheel over Waxman weights.
+        weights.clear();
+        weights.extend(nodes[..idx].iter().map(|&v| {
+            let d = g.coord_dist(u, v);
+            params.weight(d, l).max(1e-12)
+        }));
+        let mut picked = Vec::with_capacity(m);
+        for _ in 0..m.min(idx) {
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                break;
+            }
+            let mut shot = rng.gen::<f64>() * total;
+            let mut chosen = idx - 1;
+            for (k, &w) in weights.iter().enumerate() {
+                if w <= 0.0 {
+                    continue;
+                }
+                shot -= w;
+                if shot <= 0.0 {
+                    chosen = k;
+                    break;
+                }
+            }
+            picked.push(nodes[chosen]);
+            weights[chosen] = 0.0; // without replacement
+        }
+        for v in picked {
+            g.add_edge_euclidean(u, v).unwrap();
+        }
+    }
+    nodes
+}
+
+/// Standalone incremental Waxman graph over a `side x side` plane.
+pub fn waxman_incremental<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    side: f64,
+    params: WaxmanParams,
+    rng: &mut R,
+) -> Graph {
+    let mut g = Graph::new();
+    let l = side * std::f64::consts::SQRT_2;
+    waxman_incremental_into(
+        &mut g,
+        n,
+        m,
+        Point::new(0.0, 0.0),
+        side,
+        l,
+        params,
+        rng,
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_validate_ranges() {
+        assert!(WaxmanParams::default().validate().is_ok());
+        assert!(WaxmanParams {
+            alpha: 0.0,
+            beta: 0.2
+        }
+        .validate()
+        .is_err());
+        assert!(WaxmanParams {
+            alpha: 0.5,
+            beta: 1.5
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn weight_decays_with_distance() {
+        let p = WaxmanParams::default();
+        let l = 100.0;
+        assert!(p.weight(0.0, l) > p.weight(50.0, l));
+        assert!(p.weight(50.0, l) > p.weight(100.0, l));
+        assert!((p.weight(0.0, l) - p.alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_waxman_is_connected_and_sized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = waxman_flat(40, 100.0, WaxmanParams::default(), &mut rng);
+        assert_eq!(g.node_count(), 40);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn incremental_waxman_connected_by_construction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 5, 25, 60] {
+            let g = waxman_incremental(n, 2, 100.0, WaxmanParams::default(), &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert!(g.is_connected(), "n={n} must be connected");
+        }
+    }
+
+    #[test]
+    fn incremental_waxman_edge_count_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 30;
+        let m = 2;
+        let g = waxman_incremental(n, m, 100.0, WaxmanParams::default(), &mut rng);
+        // chain seed (m edges) + m per remaining node, minus duplicate merges
+        assert!(g.edge_count() >= n - 1);
+        assert!(g.edge_count() <= m + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn incremental_prefers_local_links() {
+        // With a tiny beta, links should be dramatically shorter on average
+        // than with beta close to 1.
+        let side = 1000.0;
+        let avg_len = |beta: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = waxman_incremental(
+                120,
+                2,
+                side,
+                WaxmanParams { alpha: 0.9, beta },
+                &mut rng,
+            );
+            g.total_weight() / g.edge_count() as f64
+        };
+        let local = avg_len(0.02, 5);
+        let global = avg_len(1.0, 5);
+        assert!(
+            local < global * 0.8,
+            "local {local} should be well under global {global}"
+        );
+    }
+
+    #[test]
+    fn scatter_stays_in_box() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Graph::new();
+        let ids = scatter_nodes(&mut g, 50, Point::new(10.0, 20.0), 5.0, &mut rng);
+        for id in ids {
+            let p = g.coord(id);
+            assert!(p.x >= 10.0 && p.x <= 15.0);
+            assert!(p.y >= 20.0 && p.y <= 25.0);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the topology substrate: generator invariants and
+//! shortest-path correctness against the Floyd–Warshall reference.
+
+use dve_topology::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_waxman_always_connected(n in 1usize..60, m in 1usize..4, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = waxman_incremental(n, m, 100.0, WaxmanParams::default(), &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn barabasi_always_connected(n in 1usize..60, m in 1usize..4, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(n, m, 100.0, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn flat_waxman_repair_yields_connected(n in 2usize..40, seed in any::<u64>(),
+                                           alpha in 0.05f64..1.0, beta in 0.05f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = waxman_flat(n, 50.0, WaxmanParams { alpha, beta }, &mut rng);
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall(seed in any::<u64>(), n in 2usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = waxman_incremental(n, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let fw = floyd_warshall(&g);
+        let ap = all_pairs(&g);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((fw[i][j] - ap[i][j]).abs() < 1e-6,
+                    "({}, {}): fw={} dijkstra={}", i, j, fw[i][j], ap[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn delay_matrix_invariants(seed in any::<u64>(), n in 2usize..30, max_rtt in 1.0f64..1000.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = waxman_incremental(n, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let m = DelayMatrix::from_graph(&g, max_rtt).unwrap();
+        // symmetric, zero diagonal, max == max_rtt, triangle inequality
+        prop_assert!((m.max_rtt() - max_rtt).abs() < 1e-6);
+        for i in 0..n {
+            prop_assert_eq!(m.rtt(i, i), 0.0);
+            for j in 0..n {
+                prop_assert!((m.rtt(i, j) - m.rtt(j, i)).abs() < 1e-9);
+                for k in 0..n {
+                    prop_assert!(m.rtt(i, j) <= m.rtt(i, k) + m.rtt(k, j) + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_labels_partition_nodes(seed in any::<u64>(),
+                                           as_count in 1usize..6,
+                                           routers in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = HierarchicalConfig {
+            as_count,
+            routers_per_as: routers,
+            ..Default::default()
+        };
+        let topo = hierarchical(&config, &mut rng);
+        prop_assert_eq!(topo.node_count(), as_count * routers);
+        prop_assert!(topo.graph.is_connected());
+        let mut seen = 0usize;
+        for asn in 0..as_count {
+            seen += topo.nodes_in_as(asn as u16).len();
+        }
+        prop_assert_eq!(seen, topo.node_count());
+    }
+}

@@ -1,0 +1,219 @@
+//! DVE population dynamics: join, leave, and zone-move events (Table 3 of
+//! the paper: "200 new clients randomly join, 200 existing clients
+//! randomly leave the virtual world and 200 clients randomly move to
+//! another zone").
+//!
+//! Applying dynamics returns both the updated world and a provenance map
+//! so the simulation can carry surviving clients' contact/target servers
+//! across the change (the paper's "After" column measures QoS *without*
+//! re-running the assignment algorithms).
+
+use crate::world::{Client, World};
+use rand::Rng;
+
+/// A batch of dynamics to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DynamicsBatch {
+    /// Clients joining (placed like the original population).
+    pub joins: usize,
+    /// Clients leaving (chosen uniformly).
+    pub leaves: usize,
+    /// Clients moving to a different, uniformly chosen zone.
+    pub moves: usize,
+}
+
+impl DynamicsBatch {
+    /// The paper's Table 3 batch: 200 joins, 200 leaves, 200 moves.
+    pub fn paper_default() -> Self {
+        DynamicsBatch {
+            joins: 200,
+            leaves: 200,
+            moves: 200,
+        }
+    }
+}
+
+/// Result of applying dynamics.
+#[derive(Debug, Clone)]
+pub struct DynamicsOutcome {
+    /// The updated world.
+    pub world: World,
+    /// For every client in the new world: `Some(old_index)` if it existed
+    /// before (possibly in a different zone), `None` if it just joined.
+    pub carried_from: Vec<Option<usize>>,
+    /// New-world indices of clients that changed zone.
+    pub moved: Vec<usize>,
+}
+
+/// Applies a [`DynamicsBatch`] to a world.
+///
+/// Leaves are drawn first (uniformly, without replacement), then moves are
+/// drawn among survivors, then joiners are appended. Joiners' physical
+/// nodes are sampled uniformly over the topology nodes (`num_nodes`) and
+/// their zones uniformly over the world's zones — matching the paper's
+/// `delta = 0` dynamics experiment.
+pub fn apply_dynamics<R: Rng + ?Sized>(
+    world: &World,
+    batch: &DynamicsBatch,
+    num_nodes: usize,
+    rng: &mut R,
+) -> DynamicsOutcome {
+    let n = world.clients.len();
+    let leaves = batch.leaves.min(n);
+
+    // Choose leavers: partial Fisher-Yates over client indices.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for k in 0..leaves {
+        let pick = rng.gen_range(k..n);
+        idx.swap(k, pick);
+    }
+    let mut leaving = vec![false; n];
+    for &i in &idx[..leaves] {
+        leaving[i] = true;
+    }
+
+    // Survivors, preserving order, remembering provenance.
+    let mut clients: Vec<Client> = Vec::with_capacity(n - leaves + batch.joins);
+    let mut carried_from: Vec<Option<usize>> = Vec::with_capacity(n - leaves + batch.joins);
+    for (i, c) in world.clients.iter().enumerate() {
+        if !leaving[i] {
+            clients.push(*c);
+            carried_from.push(Some(i));
+        }
+    }
+
+    // Movers among survivors.
+    let survivors = clients.len();
+    let moves = batch.moves.min(survivors);
+    let mut moved = Vec::with_capacity(moves);
+    if survivors > 0 {
+        let mut order: Vec<usize> = (0..survivors).collect();
+        for k in 0..moves {
+            let pick = rng.gen_range(k..survivors);
+            order.swap(k, pick);
+        }
+        for &i in &order[..moves] {
+            let old_zone = clients[i].zone;
+            if world.zones > 1 {
+                let mut new_zone = rng.gen_range(0..world.zones - 1);
+                if new_zone >= old_zone {
+                    new_zone += 1; // uniform over zones != old_zone
+                }
+                clients[i].zone = new_zone;
+            }
+            moved.push(i);
+        }
+    }
+
+    // Joiners.
+    for _ in 0..batch.joins {
+        clients.push(Client {
+            node: rng.gen_range(0..num_nodes),
+            zone: rng.gen_range(0..world.zones),
+        });
+        carried_from.push(None);
+    }
+
+    let mut new_world = world.clone();
+    new_world.clients = clients;
+    DynamicsOutcome {
+        world: new_world,
+        carried_from,
+        moved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_world(seed: u64) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = ScenarioConfig::from_notation("5s-15z-200c-100cp").unwrap();
+        let labels: Vec<u16> = (0..100).map(|n| (n % 5) as u16).collect();
+        World::generate(&config, 100, &labels, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn population_arithmetic() {
+        let w = small_world(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = DynamicsBatch {
+            joins: 30,
+            leaves: 50,
+            moves: 20,
+        };
+        let out = apply_dynamics(&w, &batch, 100, &mut rng);
+        assert_eq!(out.world.clients.len(), 200 - 50 + 30);
+        assert_eq!(out.carried_from.len(), out.world.clients.len());
+        assert_eq!(out.moved.len(), 20);
+        let joined = out.carried_from.iter().filter(|c| c.is_none()).count();
+        assert_eq!(joined, 30);
+    }
+
+    #[test]
+    fn movers_change_zone() {
+        let w = small_world(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let batch = DynamicsBatch {
+            joins: 0,
+            leaves: 0,
+            moves: 40,
+        };
+        let out = apply_dynamics(&w, &batch, 100, &mut rng);
+        for &i in &out.moved {
+            let old = out.carried_from[i].unwrap();
+            assert_ne!(out.world.clients[i].zone, w.clients[old].zone);
+            assert_eq!(out.world.clients[i].node, w.clients[old].node);
+        }
+    }
+
+    #[test]
+    fn survivors_keep_their_state() {
+        let w = small_world(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let batch = DynamicsBatch {
+            joins: 10,
+            leaves: 10,
+            moves: 0,
+        };
+        let out = apply_dynamics(&w, &batch, 100, &mut rng);
+        for (i, carried) in out.carried_from.iter().enumerate() {
+            if let Some(old) = carried {
+                assert_eq!(out.world.clients[i], w.clients[*old]);
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_capped_at_population() {
+        let w = small_world(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let batch = DynamicsBatch {
+            joins: 0,
+            leaves: 10_000,
+            moves: 5,
+        };
+        let out = apply_dynamics(&w, &batch, 100, &mut rng);
+        assert!(out.world.clients.is_empty());
+        assert!(out.moved.is_empty());
+    }
+
+    #[test]
+    fn paper_default_batch() {
+        let b = DynamicsBatch::paper_default();
+        assert_eq!((b.joins, b.leaves, b.moves), (200, 200, 200));
+    }
+
+    #[test]
+    fn empty_batch_is_identity_on_population() {
+        let w = small_world(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = apply_dynamics(&w, &DynamicsBatch::default(), 100, &mut rng);
+        assert_eq!(out.world.clients, w.clients);
+        assert!(out.carried_from.iter().all(|c| c.is_some()));
+    }
+}

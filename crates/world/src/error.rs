@@ -1,0 +1,137 @@
+//! The delay-estimation error model (Table 4 of the paper).
+//!
+//! Real systems estimate client–server delays with tools like King
+//! (error factor ~1.2) or IDMaps (~2). The paper models this as a
+//! multiplicative uniform error: given a true delay `d` and factor `e`,
+//! the *observed* delay is uniformly distributed in `[d/e, d*e]`.
+//! Assignment algorithms run on observed delays; QoS is evaluated on the
+//! true ones.
+
+use rand::Rng;
+
+/// Multiplicative delay estimation error with factor `e >= 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// The error factor `e`; 1.0 means perfect information.
+    pub factor: f64,
+}
+
+impl ErrorModel {
+    /// Perfect measurements (`e = 1`).
+    pub const PERFECT: ErrorModel = ErrorModel { factor: 1.0 };
+
+    /// King-like accuracy (`e = 1.2`).
+    pub const KING: ErrorModel = ErrorModel { factor: 1.2 };
+
+    /// IDMaps-like accuracy (`e = 2.0`).
+    pub const IDMAPS: ErrorModel = ErrorModel { factor: 2.0 };
+
+    /// Creates a model; panics unless `factor >= 1`.
+    pub fn new(factor: f64) -> Self {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "error factor {factor} must be >= 1"
+        );
+        ErrorModel { factor }
+    }
+
+    /// Draws the observed value for a true delay `d`: uniform in
+    /// `[d/e, d*e]`. With `e = 1` this is exactly `d`.
+    pub fn observe<R: Rng + ?Sized>(&self, d: f64, rng: &mut R) -> f64 {
+        if self.factor == 1.0 {
+            return d;
+        }
+        let lo = d / self.factor;
+        let hi = d * self.factor;
+        lo + rng.gen::<f64>() * (hi - lo)
+    }
+
+    /// Applies the error to a whole delay table (row-major `n x n`),
+    /// preserving symmetry (an estimator would measure each pair once) and
+    /// the zero diagonal.
+    pub fn observe_matrix<R: Rng + ?Sized>(&self, n: usize, rtt: &[f64], rng: &mut R) -> Vec<f64> {
+        assert_eq!(rtt.len(), n * n);
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let noisy = self.observe(rtt[i * n + j], rng);
+                out[i * n + j] = noisy;
+                out[j * n + i] = noisy;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_model_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for d in [0.0, 10.0, 250.0] {
+            assert_eq!(ErrorModel::PERFECT.observe(d, &mut rng), d);
+        }
+    }
+
+    #[test]
+    fn observed_values_stay_in_band() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = ErrorModel::new(2.0);
+        for _ in 0..2000 {
+            let v = e.observe(100.0, &mut rng);
+            assert!((50.0..=200.0).contains(&v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn zero_delay_observes_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(ErrorModel::IDMAPS.observe(0.0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn observed_band_is_actually_used() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = ErrorModel::KING;
+        let mut lo_seen = f64::INFINITY;
+        let mut hi_seen = 0.0f64;
+        for _ in 0..5000 {
+            let v = e.observe(120.0, &mut rng);
+            lo_seen = lo_seen.min(v);
+            hi_seen = hi_seen.max(v);
+        }
+        assert!(lo_seen < 105.0, "lower tail unused: {lo_seen}");
+        assert!(hi_seen > 135.0, "upper tail unused: {hi_seen}");
+    }
+
+    #[test]
+    fn matrix_preserves_symmetry_and_diagonal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 4;
+        let mut rtt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    rtt[i * n + j] = 100.0 + (i + j) as f64;
+                }
+            }
+        }
+        let noisy = ErrorModel::IDMAPS.observe_matrix(n, &rtt, &mut rng);
+        for i in 0..n {
+            assert_eq!(noisy[i * n + i], 0.0);
+            for j in 0..n {
+                assert_eq!(noisy[i * n + j], noisy[j * n + i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn rejects_sub_unity_factor() {
+        ErrorModel::new(0.5);
+    }
+}

@@ -1,0 +1,48 @@
+//! # dve-world — DVE workload substrate
+//!
+//! Everything the paper's simulation needs to *describe* a distributed
+//! virtual environment, independent of the assignment algorithms:
+//!
+//! * [`ScenarioConfig`] — scenario parameters, including the paper's
+//!   compact `"20s-80z-1000c-500cp"` notation and the Table 1 config set;
+//! * [`World`] — a populated scenario: servers on topology nodes with
+//!   capacities, clients with physical nodes and virtual zones;
+//! * [`DistributionType`] — the PW/VW clustering taxonomy of Table 2;
+//! * [`CorrelationModel`] — the physical/virtual correlation `delta` model;
+//! * [`BandwidthModel`] — the quadratic zone-bandwidth model of [20]
+//!   (25 msg/s x 100 B defaults);
+//! * [`ErrorModel`] — King/IDMaps-style delay estimation error (Table 4);
+//! * [`apply_dynamics`] — join/leave/move population dynamics (Table 3).
+//!
+//! ```
+//! use dve_world::{ScenarioConfig, World};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let config = ScenarioConfig::from_notation("5s-15z-200c-100cp").unwrap();
+//! let labels: Vec<u16> = (0..100).map(|n| (n % 5) as u16).collect();
+//! let world = World::generate(&config, 100, &labels, &mut rng).unwrap();
+//! assert_eq!(world.clients.len(), 200);
+//! assert_eq!(world.zone_populations().iter().sum::<usize>(), 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod correlation;
+mod distribution;
+mod dynamics;
+mod error;
+mod mobility;
+mod scenario;
+mod world;
+
+pub use bandwidth::BandwidthModel;
+pub use correlation::CorrelationModel;
+pub use distribution::{hot_weights, zipf_weights, DistributionType, WeightedIndex};
+pub use dynamics::{apply_dynamics, DynamicsBatch, DynamicsOutcome};
+pub use error::ErrorModel;
+pub use mobility::{MobilityModel, ZoneGrid};
+pub use scenario::{CapacityPolicy, NotationError, ScenarioConfig};
+pub use world::{Client, Server, World, WorldError};

@@ -1,0 +1,206 @@
+//! Avatar mobility between adjacent zones (extension beyond the paper).
+//!
+//! The paper's Table 3 teleports movers to uniformly random zones. Real
+//! DVE avatars walk: they cross into *adjacent* zones of the virtual
+//! world. This module lays the zones out on a wrap-around grid (the
+//! standard MMOG zoning scheme) and moves avatars to random neighbours,
+//! giving churn experiments a spatially correlated alternative to the
+//! paper's uniform moves.
+
+use crate::world::World;
+use rand::Rng;
+
+/// A wrap-around (toroidal) rectangular grid of zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneGrid {
+    width: usize,
+    height: usize,
+}
+
+impl ZoneGrid {
+    /// Creates a `width x height` grid; both sides must be positive.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "grid sides must be positive");
+        ZoneGrid { width, height }
+    }
+
+    /// Builds the most-square grid covering at least `zones` cells (extra
+    /// cells are simply unused zone ids >= `zones` and never returned by
+    /// [`ZoneGrid::neighbors_clamped`]).
+    pub fn covering(zones: usize) -> Self {
+        assert!(zones > 0, "need at least one zone");
+        let width = (zones as f64).sqrt().ceil() as usize;
+        let height = zones.div_ceil(width);
+        ZoneGrid { width, height }
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total cells (may exceed the world's zone count for `covering`).
+    pub fn cells(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The four toroidal neighbours of `zone` (fewer when the grid side
+    /// is 1, since duplicates collapse).
+    pub fn neighbors(&self, zone: usize) -> Vec<usize> {
+        assert!(zone < self.cells(), "zone {zone} outside grid");
+        let (x, y) = (zone % self.width, zone / self.width);
+        let mut out = Vec::with_capacity(4);
+        let left = (x + self.width - 1) % self.width + y * self.width;
+        let right = (x + 1) % self.width + y * self.width;
+        let up = x + ((y + self.height - 1) % self.height) * self.width;
+        let down = x + ((y + 1) % self.height) * self.width;
+        for n in [left, right, up, down] {
+            if n != zone && !out.contains(&n) {
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    /// Neighbours restricted to ids below `zones` (for worlds whose zone
+    /// count is not a perfect grid).
+    pub fn neighbors_clamped(&self, zone: usize, zones: usize) -> Vec<usize> {
+        self.neighbors(zone)
+            .into_iter()
+            .filter(|&z| z < zones)
+            .collect()
+    }
+}
+
+/// Per-tick avatar mobility: each client crosses to a random adjacent
+/// zone with probability `move_prob`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilityModel {
+    /// Probability a client changes zone each tick.
+    pub move_prob: f64,
+    /// Zone adjacency.
+    pub grid: ZoneGrid,
+}
+
+impl MobilityModel {
+    /// Creates a model over a grid covering the given zone count.
+    pub fn new(zones: usize, move_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&move_prob), "move_prob outside [0,1]");
+        MobilityModel {
+            move_prob,
+            grid: ZoneGrid::covering(zones),
+        }
+    }
+
+    /// Advances the world one tick in place; returns the indices of
+    /// clients that moved.
+    pub fn tick<R: Rng + ?Sized>(&self, world: &mut World, rng: &mut R) -> Vec<usize> {
+        let zones = world.zones;
+        let mut moved = Vec::new();
+        for (i, client) in world.clients.iter_mut().enumerate() {
+            if rng.gen::<f64>() >= self.move_prob {
+                continue;
+            }
+            let neighbors = self.grid.neighbors_clamped(client.zone, zones);
+            if neighbors.is_empty() {
+                continue;
+            }
+            client.zone = neighbors[rng.gen_range(0..neighbors.len())];
+            moved.push(i);
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_neighbors_wrap() {
+        let g = ZoneGrid::new(4, 3);
+        // corner cell 0 = (0,0): left wraps to 3, up wraps to 8.
+        let n = g.neighbors(0);
+        assert!(n.contains(&3));
+        assert!(n.contains(&1));
+        assert!(n.contains(&8));
+        assert!(n.contains(&4));
+        assert_eq!(n.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_grids_collapse_duplicates() {
+        let g = ZoneGrid::new(1, 1);
+        assert!(g.neighbors(0).is_empty());
+        let g = ZoneGrid::new(2, 1);
+        assert_eq!(g.neighbors(0), vec![1]);
+    }
+
+    #[test]
+    fn covering_grid_spans_zone_count() {
+        for zones in [1usize, 2, 5, 80, 81, 160] {
+            let g = ZoneGrid::covering(zones);
+            assert!(g.cells() >= zones, "zones={zones}");
+            assert!(g.cells() < zones + g.width() + g.height());
+        }
+    }
+
+    #[test]
+    fn neighbors_clamped_respects_world_size() {
+        // 5 zones on a 3x2 grid: ids 5 is a phantom cell.
+        let g = ZoneGrid::covering(5);
+        for z in 0..5 {
+            for n in g.neighbors_clamped(z, 5) {
+                assert!(n < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn mobility_moves_expected_fraction_to_adjacent_zones() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = ScenarioConfig::from_notation("5s-16z-400c-100cp").unwrap();
+        let labels: Vec<u16> = (0..100).map(|n| (n % 5) as u16).collect();
+        let mut world = crate::world::World::generate(&config, 100, &labels, &mut rng).unwrap();
+        let before = world.clients.clone();
+        let model = MobilityModel::new(16, 0.25);
+        let moved = model.tick(&mut world, &mut rng);
+        let frac = moved.len() as f64 / 400.0;
+        assert!((0.15..0.35).contains(&frac), "moved fraction {frac}");
+        for &i in &moved {
+            let old = before[i].zone;
+            let new = world.clients[i].zone;
+            assert_ne!(old, new);
+            assert!(
+                model.grid.neighbors_clamped(old, 16).contains(&new),
+                "client {i} jumped {old}->{new} non-adjacently"
+            );
+        }
+        // Non-movers untouched.
+        for i in 0..400 {
+            if !moved.contains(&i) {
+                assert_eq!(before[i], world.clients[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_moves() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = ScenarioConfig::from_notation("5s-16z-100c-100cp").unwrap();
+        let labels: Vec<u16> = (0..50).map(|n| (n % 5) as u16).collect();
+        let mut world = crate::world::World::generate(&config, 50, &labels, &mut rng).unwrap();
+        let before = world.clients.clone();
+        let moved = MobilityModel::new(16, 0.0).tick(&mut world, &mut rng);
+        assert!(moved.is_empty());
+        assert_eq!(before, world.clients);
+    }
+}

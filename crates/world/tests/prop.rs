@@ -1,0 +1,123 @@
+//! Property tests for the workload substrate.
+
+use dve_world::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn labels(nodes: usize, regions: usize) -> Vec<u16> {
+    (0..nodes).map(|n| (n % regions.max(1)) as u16).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn world_generation_invariants(seed in any::<u64>(),
+                                   servers in 1usize..10,
+                                   zones in 1usize..30,
+                                   clients in 0usize..200,
+                                   delta in 0.0f64..1.0) {
+        let mut config = ScenarioConfig::default();
+        config.servers = servers;
+        config.zones = zones;
+        config.clients = clients;
+        config.correlation = delta;
+        config.total_capacity_bps = 500e6;
+        config.min_capacity_bps = 1e6;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let world = World::generate(&config, 100, &labels(100, 7), &mut rng).unwrap();
+        prop_assert_eq!(world.servers.len(), servers);
+        prop_assert_eq!(world.clients.len(), clients);
+        // All placements in range.
+        for s in &world.servers {
+            prop_assert!(s.node < 100);
+            prop_assert!(s.capacity_bps > 0.0);
+        }
+        for c in &world.clients {
+            prop_assert!(c.node < 100);
+            prop_assert!(c.zone < zones);
+        }
+        // Population conservation.
+        prop_assert_eq!(world.zone_populations().iter().sum::<usize>(), clients);
+        // Total capacity conserved.
+        prop_assert!((world.total_capacity_bps() - 500e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn dynamics_population_arithmetic(seed in any::<u64>(),
+                                      joins in 0usize..100,
+                                      leaves in 0usize..100,
+                                      moves in 0usize..100) {
+        let mut config = ScenarioConfig::default();
+        config.servers = 4;
+        config.zones = 10;
+        config.clients = 120;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let world = World::generate(&config, 50, &labels(50, 5), &mut rng).unwrap();
+        let batch = DynamicsBatch { joins, leaves, moves };
+        let out = apply_dynamics(&world, &batch, 50, &mut rng);
+        let expected = 120 - leaves.min(120) + joins;
+        prop_assert_eq!(out.world.clients.len(), expected);
+        prop_assert_eq!(out.carried_from.len(), expected);
+        // Movers changed zone, survivors kept node.
+        for &i in &out.moved {
+            let old = out.carried_from[i].unwrap();
+            prop_assert_ne!(out.world.clients[i].zone, world.clients[old].zone);
+        }
+        for (i, prov) in out.carried_from.iter().enumerate() {
+            if let Some(old) = prov {
+                prop_assert_eq!(out.world.clients[i].node, world.clients[*old].node);
+            }
+        }
+    }
+
+    #[test]
+    fn error_model_band(d in 0.0f64..500.0, factor in 1.0f64..4.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = ErrorModel::new(factor);
+        for _ in 0..50 {
+            let v = e.observe(d, &mut rng);
+            prop_assert!(v >= d / factor - 1e-9);
+            prop_assert!(v <= d * factor + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_index_only_picks_positive_weights(seed in any::<u64>(),
+                                                  n in 1usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Zero out every even index; samples must all be odd (unless all
+        // weights would be zero, in which case keep index 1 positive).
+        let weights: Vec<f64> = (0..n.max(2))
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
+        let table = WeightedIndex::new(&weights);
+        for _ in 0..100 {
+            let pick = table.sample(&mut rng);
+            prop_assert_eq!(pick % 2, 1, "picked zero-weight index {}", pick);
+        }
+    }
+
+    #[test]
+    fn notation_round_trip(servers in 1usize..100,
+                           zones in 1usize..500,
+                           clients in 0usize..5000,
+                           cap in 1usize..2000) {
+        let s = format!("{servers}s-{zones}z-{clients}c-{cap}cp");
+        let config = ScenarioConfig::from_notation(&s).unwrap();
+        prop_assert_eq!(config.notation(), s);
+    }
+
+    #[test]
+    fn correlation_blocks_partition(zones in 1usize..100, regions in 1usize..30) {
+        let model = CorrelationModel::new(zones, regions, 0.5);
+        for r in 0..regions {
+            let block = model.preferred_zones(r);
+            prop_assert!(!block.is_empty());
+            for &z in block {
+                prop_assert!(z < zones);
+            }
+        }
+    }
+}

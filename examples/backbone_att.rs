@@ -1,0 +1,52 @@
+//! Real-backbone scenario: the paper also validated on "the US AT&T
+//! continental IP backbone". This example runs the algorithms over the
+//! embedded 25-PoP US backbone: servers sit in 5 metro PoPs, players
+//! connect from all 25, and the correlation model maps US regions to
+//! preferred zones.
+//!
+//! ```bash
+//! cargo run --release --example backbone_att
+//! ```
+
+use dve::prelude::*;
+use dve::topology::us_backbone_names;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1846); // the telegraph year
+    let topo = us_backbone();
+    let names = us_backbone_names();
+    let delays = DelayMatrix::from_graph(&topo.graph, 120.0).expect("connected");
+    println!(
+        "US backbone: {} PoPs, {} links, max RTT {:.0} ms (continental fibre)\n",
+        topo.node_count(),
+        topo.graph.edge_count(),
+        delays.max_rtt()
+    );
+
+    // A national game deployment: 5 servers, 30 zones, 600 players,
+    // D = 60 ms (fast-paced FPS on a continental backbone).
+    let mut scenario = ScenarioConfig::from_notation("5s-30z-600c-300cp").expect("notation");
+    scenario.correlation = 0.6; // regional communities
+    let world = World::generate(&scenario, topo.node_count(), &topo.as_of_node, &mut rng)
+        .expect("world");
+    print!("server PoPs: ");
+    for (k, s) in world.servers.iter().enumerate() {
+        print!("{}{}", if k > 0 { ", " } else { "" }, names[s.node]);
+    }
+    println!("\n");
+
+    let inst = CapInstance::build(&world, &delays, 0.5, 60.0, ErrorModel::KING, &mut rng);
+    println!("{:<12}{:>8}{:>8}{:>12}", "algorithm", "pQoS", "R", "forwarded");
+    for algo in CapAlgorithm::HEURISTICS {
+        let a = solve(&inst, algo, StuckPolicy::BestEffort, &mut rng).expect("solve");
+        let m = evaluate(&inst, &a);
+        println!(
+            "{:<12}{:>8.3}{:>8.3}{:>12}",
+            algo.name(),
+            m.pqos,
+            m.utilization,
+            m.forwarded_clients
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Optimality-gap study: on small configurations where the exact
+//! branch-and-bound (the paper's lp_solve role) terminates, how close do
+//! the heuristics get — in IAP cost and in end-to-end pQoS?
+//!
+//! Reproduces the paper's observation that "the pQoS values of GreZ-GreC
+//! are close to the optimal results given by the branch-and-bound
+//! algorithm", and its timing contrast (heuristics < 1 s, exact much
+//! slower and only viable on small DVEs).
+//!
+//! ```bash
+//! cargo run --release --example exact_vs_heuristic
+//! ```
+
+use dve::assign::{
+    evaluate, exact_iap, grez, iap_total_cost, solve, BbConfig, CapAlgorithm, StuckPolicy,
+};
+use dve::sim::{build_replication, SimSetup, TopologySpec};
+use dve::prelude::HierarchicalConfig;
+use dve::world::ScenarioConfig;
+use std::time::Instant;
+
+fn main() {
+    println!("exact vs heuristic on small DVEs (5 replications each)\n");
+    for notation in ["5s-15z-200c-100cp", "10s-30z-400c-200cp"] {
+        let setup = SimSetup {
+            scenario: ScenarioConfig::from_notation(notation).expect("notation"),
+            topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+            runs: 5,
+            ..Default::default()
+        };
+        let mut gap_sum = 0.0;
+        let mut pqos_h = 0.0;
+        let mut pqos_x = 0.0;
+        let mut t_heur = 0.0;
+        let mut t_exact = 0.0;
+        for i in 0..setup.runs {
+            let mut rep = build_replication(&setup, i);
+
+            let t0 = Instant::now();
+            let h = solve(
+                &rep.instance,
+                CapAlgorithm::GreZGreC,
+                StuckPolicy::BestEffort,
+                &mut rep.rng,
+            )
+            .expect("heuristic");
+            t_heur += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let x = solve(
+                &rep.instance,
+                CapAlgorithm::Exact,
+                StuckPolicy::BestEffort,
+                &mut rep.rng,
+            )
+            .expect("exact");
+            t_exact += t0.elapsed().as_secs_f64();
+
+            let grez_cost = iap_total_cost(
+                &rep.instance,
+                &grez(&rep.instance, StuckPolicy::BestEffort).expect("grez"),
+            );
+            let exact_cost = iap_total_cost(
+                &rep.instance,
+                &exact_iap(&rep.instance, &BbConfig::default()).expect("exact iap"),
+            );
+            gap_sum += grez_cost - exact_cost;
+            pqos_h += evaluate(&rep.instance, &h).pqos;
+            pqos_x += evaluate(&rep.instance, &x).pqos;
+        }
+        let runs = setup.runs as f64;
+        println!("config {notation}:");
+        println!(
+            "  pQoS: GreZ-GreC {:.3} vs exact {:.3} (gap {:+.3})",
+            pqos_h / runs,
+            pqos_x / runs,
+            pqos_x / runs - pqos_h / runs
+        );
+        println!(
+            "  IAP cost excess of GreZ over optimum: {:.2} clients/run",
+            gap_sum / runs
+        );
+        println!(
+            "  mean time: heuristic {:.1} ms, exact {:.0} ms\n",
+            t_heur / runs * 1e3,
+            t_exact / runs * 1e3
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Flash-crowd drill: a zone suddenly becomes "hot" (an in-game event
+//! pulls players in), QoS degrades, and the operator re-executes the
+//! assignment algorithms to recover — the paper's Table 3 story pushed to
+//! an extreme.
+//!
+//! Protocol:
+//! 1. steady state: uniform population, GreZ-GreC assignment;
+//! 2. flash crowd: 30% of players move into one zone (plus churn);
+//! 3. measure pQoS *before* re-execution (carried assignment);
+//! 4. re-execute each algorithm and measure recovery.
+//!
+//! ```bash
+//! cargo run --release --example flash_crowd
+//! ```
+
+use dve::assign::{evaluate, solve, CapAlgorithm, CapInstance, StuckPolicy};
+use dve::prelude::*;
+use dve::sim::{build_replication, carry_assignment, CarryPolicy, SimSetup};
+use dve::world::apply_dynamics;
+use dve::world::DynamicsBatch;
+use rand::Rng;
+
+fn main() {
+    let setup = SimSetup::default(); // 20s-80z-1000c-500cp
+    let mut rep = build_replication(&setup, 7);
+
+    // Steady state.
+    let steady = solve(
+        &rep.instance,
+        CapAlgorithm::GreZGreC,
+        StuckPolicy::BestEffort,
+        &mut rep.rng,
+    )
+    .expect("solve");
+    let m0 = evaluate(&rep.instance, &steady);
+    println!("steady state: pQoS {:.3}, utilisation {:.3}", m0.pqos, m0.utilization);
+
+    // Flash crowd: pick the busiest zone and march 30% of all players in,
+    // with some background churn (simulated via joins/leaves).
+    let hot_zone = {
+        let pops = rep.world.zone_populations();
+        (0..pops.len()).max_by_key(|&z| pops[z]).unwrap()
+    };
+    let churn = DynamicsBatch {
+        joins: 50,
+        leaves: 50,
+        moves: 0,
+    };
+    let mut outcome = apply_dynamics(&rep.world, &churn, rep.topology.node_count(), &mut rep.rng);
+    let n = outcome.world.clients.len();
+    let mut stormers = 0;
+    for i in 0..n {
+        if stormers >= n * 3 / 10 {
+            break;
+        }
+        if outcome.world.clients[i].zone != hot_zone && rep.rng.gen::<f64>() < 0.35 {
+            outcome.world.clients[i].zone = hot_zone;
+            stormers += 1;
+        }
+    }
+    println!(
+        "flash crowd: {stormers} players storm zone {hot_zone} (+50 join, -50 leave)"
+    );
+
+    let crowd_instance = CapInstance::build(
+        &outcome.world,
+        &rep.delays,
+        0.5,
+        250.0,
+        ErrorModel::PERFECT,
+        &mut rep.rng,
+    );
+    let old_zone_of: Vec<usize> = rep.world.clients.iter().map(|c| c.zone).collect();
+    let carried = carry_assignment(
+        &steady,
+        &outcome.carried_from,
+        &old_zone_of,
+        &crowd_instance,
+        CarryPolicy::KeepContact,
+    );
+    let m1 = evaluate(&crowd_instance, &carried);
+    println!(
+        "after crowd (no re-execution): pQoS {:.3}, utilisation {:.3}, feasible: {}\n",
+        m1.pqos,
+        m1.utilization,
+        carried.is_feasible(&crowd_instance)
+    );
+
+    println!("{:<12}{:>10}{:>14}", "re-run with", "pQoS", "utilisation");
+    for algo in CapAlgorithm::HEURISTICS {
+        let fresh = solve(&crowd_instance, algo, StuckPolicy::BestEffort, &mut rep.rng)
+            .expect("heuristics cannot fail");
+        let m = evaluate(&crowd_instance, &fresh);
+        println!("{:<12}{:>10.3}{:>14.3}", algo.name(), m.pqos, m.utilization);
+    }
+}

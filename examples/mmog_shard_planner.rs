@@ -1,0 +1,73 @@
+//! MMOG shard-planning study: how many geographically distributed servers
+//! (and how much total bandwidth) does an operator need to keep 95% of
+//! players within the interactivity bound?
+//!
+//! This is the kind of question the paper's introduction motivates
+//! (Everquest/Ultima-style MMOGs on distributed server architectures).
+//! We sweep server counts and capacities for a 2000-player world and
+//! report the cheapest configuration meeting the QoS target under the
+//! best heuristic (GreZ-GreC).
+//!
+//! ```bash
+//! cargo run --release --example mmog_shard_planner
+//! ```
+
+use dve::prelude::*;
+use dve::sim::{run_experiment, SimSetup, TopologySpec};
+
+fn main() {
+    let target_pqos = 0.95;
+    println!("MMOG shard planner: 2000 players, 160 zones, D = 250 ms");
+    println!("QoS target: {:.0}% of players within the bound\n", target_pqos * 100.0);
+    println!(
+        "{:<10}{:>14}{:>12}{:>10}{:>8}",
+        "servers", "capacity(Mbps)", "GreZ-GreC", "RanZ-VirC", "met?"
+    );
+
+    // (cost, servers, capacity) of the best QoS-meeting deployment.
+    let mut cheapest: Option<(f64, usize, f64)> = None;
+    for servers in [10usize, 20, 30, 40] {
+        for capacity_mbps in [600.0, 800.0, 1000.0] {
+            let mut scenario = ScenarioConfig::default();
+            scenario.servers = servers;
+            scenario.zones = 160;
+            scenario.clients = 2000;
+            scenario.total_capacity_bps = capacity_mbps * 1e6;
+            let setup = SimSetup {
+                scenario,
+                topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+                runs: 5,
+                ..Default::default()
+            };
+            let stats = run_experiment(
+                &setup,
+                &[CapAlgorithm::GreZGreC, CapAlgorithm::RanZVirC],
+                StuckPolicy::BestEffort,
+            );
+            let best = stats[0].pqos.mean;
+            let baseline = stats[1].pqos.mean;
+            let met = best >= target_pqos;
+            println!(
+                "{:<10}{:>14.0}{:>12.3}{:>10.3}{:>8}",
+                servers,
+                capacity_mbps,
+                best,
+                baseline,
+                if met { "yes" } else { "no" }
+            );
+            if met {
+                let cost = servers as f64 * 1.0 + capacity_mbps / 1000.0; // toy cost model
+                if cheapest.map_or(true, |(c, _, _)| cost < c) {
+                    cheapest = Some((cost, servers, capacity_mbps));
+                }
+            }
+        }
+    }
+
+    match cheapest {
+        Some((_, servers, capacity)) => println!(
+            "\ncheapest QoS-meeting deployment: {servers} servers, {capacity:.0} Mbps total"
+        ),
+        None => println!("\nno swept configuration met the target — add servers or capacity"),
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the full pipeline in ~40 lines.
+//!
+//! Generates a BRITE-style topology, populates the paper's default DVE
+//! scenario (20 servers, 80 zones, 1000 clients, 500 Mbps), runs all four
+//! heuristics, and prints pQoS / utilisation / delay percentiles.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use dve::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2006);
+
+    // 1. Internet-like topology: 20 AS x 25 routers (the paper's BRITE
+    //    configuration), RTTs scaled to a 500 ms maximum.
+    let topo = hierarchical(&HierarchicalConfig::default(), &mut rng);
+    let delays = DelayMatrix::from_graph(&topo.graph, 500.0).expect("connected");
+    println!(
+        "topology: {} nodes, {} edges, mean RTT {:.0} ms",
+        topo.node_count(),
+        topo.graph.edge_count(),
+        delays.mean_rtt()
+    );
+
+    // 2. The paper's default scenario: 20s-80z-1000c-500cp, delta = 0.5.
+    let scenario = ScenarioConfig::default();
+    let world = World::generate(&scenario, topo.node_count(), &topo.as_of_node, &mut rng)
+        .expect("world generation");
+    println!(
+        "world: {} clients in {} zones on {} servers ({})",
+        world.clients.len(),
+        world.zones,
+        world.servers.len(),
+        scenario.notation()
+    );
+
+    // 3. Build the CAP instance: D = 250 ms, inter-server links at 50%
+    //    latency, perfect delay knowledge.
+    let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+
+    // 4. Solve with each named algorithm and report.
+    println!("\n{:<12}{:>8}{:>8}{:>12}{:>12}", "algorithm", "pQoS", "R", "p50 delay", "p95 delay");
+    for algo in CapAlgorithm::HEURISTICS {
+        let assignment =
+            solve(&inst, algo, StuckPolicy::BestEffort, &mut rng).expect("heuristics cannot fail");
+        let m = evaluate(&inst, &assignment);
+        let mut d = m.delays.clone();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| d[(p * (d.len() - 1) as f64) as usize];
+        println!(
+            "{:<12}{:>8.3}{:>8.3}{:>10.0}ms{:>10.0}ms",
+            algo.name(),
+            m.pqos,
+            m.utilization,
+            pct(0.5),
+            pct(0.95),
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! `dvecap` — command-line front end to the dve-cap workspace.
+//!
+//! ```text
+//! dvecap topology  [--kind hierarchical|transit-stub|waxman|backbone] [--seed S]
+//! dvecap solve     <notation> [--algo NAME] [--delay-bound MS] [--correlation D]
+//!                  [--error E] [--seed S]
+//! dvecap bounds    <notation> [--seed S]
+//! dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies>
+//!                  [--runs N] [--exact-runs N] [--seed S] [--quick]
+//! ```
+
+use dve::assign::{
+    evaluate, iap_lower_bound, iap_lp_bound, iap_total_cost, solve, CapAlgorithm, CapInstance,
+    StuckPolicy,
+};
+use dve::sim::experiments::{
+    ablation, fig4, fig5, fig6, repair_study, table1, table3, table4, topologies, ExpOptions,
+};
+use dve::sim::{build_replication, SimSetup, TopologySpec};
+use dve::topology::{
+    hierarchical, transit_stub, us_backbone, waxman_incremental, HierarchicalConfig, Topology,
+    TopologyKind, TopologyStats, TransitStubConfig, WaxmanParams,
+};
+use dve::world::ScenarioConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dvecap topology [--kind hierarchical|transit-stub|waxman|backbone] [--seed S]\n  \
+         dvecap solve <notation> [--algo NAME] [--delay-bound MS] [--correlation D] [--error E] [--seed S]\n  \
+         dvecap bounds <notation> [--seed S]\n  \
+         dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies> [--runs N] [--quick]"
+    );
+    ExitCode::from(2)
+}
+
+/// Splits argv into positional arguments and `--flag value` pairs
+/// (`--quick` is a bare flag).
+fn parse(args: &[String]) -> Option<(Vec<String>, HashMap<String, String>)> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "quick" {
+                flags.insert("quick".to_string(), "1".to_string());
+            } else {
+                let value = it.next()?;
+                flags.insert(name.to_string(), value.clone());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Some((positional, flags))
+}
+
+fn flag_parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
+    match flags.get(name) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("warning: bad value for --{name}, using default");
+            std::process::exit(2)
+        }),
+        None => default,
+    }
+}
+
+fn cmd_topology(flags: &HashMap<String, String>) -> ExitCode {
+    let seed: u64 = flag_parse(flags, "seed", 42);
+    let kind = flags.get("kind").map(String::as_str).unwrap_or("hierarchical");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo: Topology = match kind {
+        "hierarchical" => hierarchical(&HierarchicalConfig::default(), &mut rng),
+        "transit-stub" => transit_stub(&TransitStubConfig::default(), &mut rng),
+        "waxman" => dve::topology::Topology {
+            graph: waxman_incremental(500, 2, 1000.0, WaxmanParams::default(), &mut rng),
+            as_of_node: vec![0; 500],
+            kind: TopologyKind::FlatWaxman,
+        },
+        "backbone" => us_backbone(),
+        other => {
+            eprintln!("unknown topology kind {other:?}");
+            return usage();
+        }
+    };
+    let stats = TopologyStats::compute(&topo.graph);
+    println!("kind:                 {kind}");
+    println!("nodes:                {}", stats.nodes);
+    println!("edges:                {}", stats.edges);
+    println!("AS domains:           {}", topo.as_count());
+    println!(
+        "degree (min/mean/max): {} / {:.2} / {}",
+        stats.min_degree, stats.mean_degree, stats.max_degree
+    );
+    println!("clustering:           {:.3}", stats.clustering);
+    println!("top-decile degree:    {:.3}", stats.top_decile_degree_share);
+    println!(
+        "distance (mean/diam):  {:.1} / {:.1} (plane units)",
+        stats.mean_distance, stats.diameter
+    );
+    ExitCode::SUCCESS
+}
+
+fn build_instance(
+    notation: &str,
+    flags: &HashMap<String, String>,
+) -> Option<(CapInstance, StdRng)> {
+    let mut scenario = match ScenarioConfig::from_notation(notation) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return None;
+        }
+    };
+    scenario.correlation = flag_parse(flags, "correlation", scenario.correlation);
+    let setup = SimSetup {
+        scenario,
+        topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+        delay_bound_ms: flag_parse(flags, "delay-bound", 250.0),
+        error_factor: flag_parse(flags, "error", 1.0),
+        base_seed: flag_parse(flags, "seed", 42),
+        runs: 1,
+        ..Default::default()
+    };
+    let rep = build_replication(&setup, 0);
+    Some((rep.instance, rep.rng))
+}
+
+fn cmd_solve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(notation) = positional.first() else {
+        return usage();
+    };
+    let Some((inst, mut rng)) = build_instance(notation, flags) else {
+        return ExitCode::from(2);
+    };
+    let wanted = flags.get("algo").map(String::as_str);
+    let algos: Vec<CapAlgorithm> = match wanted {
+        None => CapAlgorithm::HEURISTICS.to_vec(),
+        Some(name) => {
+            let all: Vec<CapAlgorithm> = CapAlgorithm::HEURISTICS
+                .into_iter()
+                .chain([CapAlgorithm::Exact])
+                .collect();
+            match all
+                .into_iter()
+                .find(|a| a.name().eq_ignore_ascii_case(name) || name == "exact")
+            {
+                Some(a) => vec![a],
+                None => {
+                    eprintln!("unknown algorithm {name:?}; use RanZ-VirC, RanZ-GreC, GreZ-VirC, GreZ-GreC or exact");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    println!(
+        "{:<12}{:>8}{:>8}{:>12}{:>12}",
+        "algorithm", "pQoS", "R", "forwarded", "feasible"
+    );
+    for algo in algos {
+        match solve(&inst, algo, StuckPolicy::BestEffort, &mut rng) {
+            Ok(a) => {
+                let m = evaluate(&inst, &a);
+                println!(
+                    "{:<12}{:>8.3}{:>8.3}{:>12}{:>12}",
+                    algo.name(),
+                    m.pqos,
+                    m.utilization,
+                    m.forwarded_clients,
+                    a.is_feasible(&inst)
+                );
+            }
+            Err(e) => println!("{:<12}failed: {e}", algo.name()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_bounds(positional: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(notation) = positional.first() else {
+        return usage();
+    };
+    let Some((inst, _)) = build_instance(notation, flags) else {
+        return ExitCode::from(2);
+    };
+    let grez_cost = dve::assign::grez(&inst, StuckPolicy::BestEffort)
+        .map(|t| iap_total_cost(&inst, &t))
+        .unwrap_or(f64::NAN);
+    println!("IAP cost bounds for {notation} (clients without QoS after phase 1):");
+    println!("  capacity-free bound: {:.1}", iap_lower_bound(&inst));
+    match iap_lp_bound(&inst) {
+        Some(b) => println!("  LP relaxation bound: {b:.1}"),
+        None => println!("  LP relaxation bound: infeasible"),
+    }
+    println!("  GreZ heuristic:      {grez_cost:.1}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_experiment(positional: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(which) = positional.first() else {
+        return usage();
+    };
+    let mut options = ExpOptions::default();
+    if flags.contains_key("quick") {
+        options = ExpOptions::quick();
+    }
+    options.runs = flag_parse(flags, "runs", options.runs);
+    options.exact_runs = flag_parse(flags, "exact-runs", options.exact_runs);
+    options.base_seed = flag_parse(flags, "seed", options.base_seed);
+    let rendered = match which.as_str() {
+        "table1" => table1::run(&options, 2).render(),
+        "fig4" => fig4::run(&options).render(),
+        "fig5" => fig5::run(&options).render(),
+        "fig6" => fig6::run(&options).render(),
+        "table3" => table3::run(&options).render(),
+        "table4" => table4::run(&options).render(),
+        "ablation" => ablation::run(&options).render(),
+        "repair" => repair_study::run(&options).render(),
+        "topologies" => topologies::run(&options).render(),
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            return usage();
+        }
+    };
+    println!("{rendered}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((positional, flags)) = parse(&args) else {
+        return usage();
+    };
+    let Some(command) = positional.first() else {
+        return usage();
+    };
+    let rest = &positional[1..];
+    match command.as_str() {
+        "topology" => cmd_topology(&flags),
+        "solve" => cmd_solve(rest, &flags),
+        "bounds" => cmd_bounds(rest, &flags),
+        "experiment" => cmd_experiment(rest, &flags),
+        _ => usage(),
+    }
+}

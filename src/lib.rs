@@ -1,0 +1,63 @@
+//! # dve — client-to-server assignment for distributed virtual environments
+//!
+//! A full Rust reproduction of *"Efficient Client-to-Server Assignments
+//! for Distributed Virtual Environments"* (Ta & Zhou, IPDPS 2006),
+//! including every substrate the paper's evaluation depends on. This
+//! facade crate re-exports the workspace:
+//!
+//! * [`topology`] — BRITE-style Internet topologies, delay matrices;
+//! * [`world`] — DVE scenarios, client placement, bandwidth model;
+//! * [`milp`] — simplex + branch-and-bound (the lp_solve replacement);
+//! * [`assign`] — the paper's contribution: the CAP and its algorithms;
+//! * [`sim`] — replicated experiments and per-table/figure regenerators;
+//! * [`par`] — the small parallel runtime used by the harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dve::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // 1. An Internet-like topology (scaled-down BRITE hierarchy).
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let topo_config = HierarchicalConfig { as_count: 5, routers_per_as: 10, ..Default::default() };
+//! let topo = hierarchical(&topo_config, &mut rng);
+//! let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+//!
+//! // 2. A DVE scenario: 5 servers, 15 zones, 200 clients, 100 Mbps.
+//! let scenario = ScenarioConfig::from_notation("5s-15z-200c-100cp").unwrap();
+//! let world = World::generate(&scenario, topo.node_count(), &topo.as_of_node, &mut rng).unwrap();
+//!
+//! // 3. Solve the client assignment problem with the paper's best
+//! //    heuristic and evaluate interactivity.
+//! let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+//! let assignment = solve(&inst, CapAlgorithm::GreZGreC, StuckPolicy::Strict, &mut rng).unwrap();
+//! let metrics = evaluate(&inst, &assignment);
+//! assert!(metrics.pqos > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dve_assign as assign;
+pub use dve_milp as milp;
+pub use dve_par as par;
+pub use dve_sim as sim;
+pub use dve_topology as topology;
+pub use dve_world as world;
+
+/// One-stop imports for the common pipeline (topology → world → instance
+/// → solve → evaluate).
+pub mod prelude {
+    pub use dve_assign::{
+        evaluate, grec, grez, ranz, solve, virc, Assignment, BbConfig, CapAlgorithm, CapInstance,
+        Metrics, StuckPolicy,
+    };
+    pub use dve_sim::{run_experiment, SimSetup, TopologySpec};
+    pub use dve_topology::{
+        hierarchical, us_backbone, DelayMatrix, HierarchicalConfig, Topology,
+    };
+    pub use dve_world::{
+        BandwidthModel, DistributionType, ErrorModel, ScenarioConfig, World,
+    };
+}

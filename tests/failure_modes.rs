@@ -1,0 +1,176 @@
+//! Failure-injection integration tests: every layer must fail loudly and
+//! predictably on degenerate inputs rather than producing garbage.
+
+use dve::assign::{
+    exact_iap, grez, ranz, solve, BbConfig, CapAlgorithm, CapInstance, IapError, StuckPolicy,
+};
+use dve::milp::{solve_lp, Constraint, GapInstance, GapOutcome, LinearProgram, LpOutcome};
+use dve::prelude::*;
+use dve::topology::{DelayError, Graph};
+use dve::world::WorldError;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn disconnected_topology_is_rejected_by_delay_matrix() {
+    let g = Graph::with_nodes(5); // no edges at all
+    match DelayMatrix::from_graph(&g, 500.0) {
+        Err(DelayError::Disconnected) => {}
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+}
+
+#[test]
+fn scenario_larger_than_topology_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let scenario = ScenarioConfig::default(); // 20 servers
+    let labels = vec![0u16; 10];
+    match World::generate(&scenario, 10, &labels, &mut rng) {
+        Err(WorldError::NotEnoughNodes { nodes: 10, servers: 20 }) => {}
+        other => panic!("expected NotEnoughNodes, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_scenarios_are_rejected_before_generation() {
+    let mut bad = ScenarioConfig::default();
+    bad.correlation = 2.0;
+    assert!(bad.validate().is_err());
+    let mut rng = StdRng::seed_from_u64(2);
+    let labels = vec![0u16; 500];
+    assert!(matches!(
+        World::generate(&bad, 500, &labels, &mut rng),
+        Err(WorldError::BadConfig(_))
+    ));
+}
+
+#[test]
+fn overloaded_instance_strict_vs_best_effort() {
+    // One server, one zone whose load exceeds capacity.
+    let inst = CapInstance::from_raw(
+        1,
+        1,
+        vec![0, 0, 0],
+        vec![100.0, 100.0, 100.0],
+        vec![0.0],
+        vec![600.0; 3],
+        vec![1000.0],
+        250.0,
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    assert!(matches!(
+        grez(&inst, StuckPolicy::Strict),
+        Err(IapError::NoFeasibleServer { zone: 0 })
+    ));
+    assert!(matches!(
+        ranz(&inst, StuckPolicy::Strict, &mut rng),
+        Err(IapError::NoFeasibleServer { zone: 0 })
+    ));
+    assert!(matches!(
+        exact_iap(&inst, &BbConfig::default()),
+        Err(IapError::Infeasible)
+    ));
+    // Best effort completes, flags the overflow via validation.
+    let a = solve(&inst, CapAlgorithm::GreZGreC, StuckPolicy::BestEffort, &mut rng).unwrap();
+    assert!(!a.is_feasible(&inst));
+    assert!(!a.validate(&inst).is_empty());
+}
+
+#[test]
+fn lp_solver_rejects_malformed_models() {
+    // Reference to a variable outside the objective's arity.
+    let mut lp = LinearProgram::new(1);
+    lp.add_constraint(Constraint::le(vec![(3, 1.0)], 1.0));
+    assert!(solve_lp(&lp).is_err());
+
+    // NaN coefficient.
+    let mut lp = LinearProgram::new(1);
+    lp.add_constraint(Constraint::le(vec![(0, f64::NAN)], 1.0));
+    assert!(solve_lp(&lp).is_err());
+}
+
+#[test]
+fn lp_solver_classifies_unbounded_and_infeasible() {
+    let mut unbounded = LinearProgram::new(1);
+    unbounded.set_objective(0, -1.0);
+    unbounded.add_constraint(Constraint::ge(vec![(0, 1.0)], 0.0));
+    assert_eq!(solve_lp(&unbounded).unwrap(), LpOutcome::Unbounded);
+
+    let mut infeasible = LinearProgram::new(1);
+    infeasible.add_constraint(Constraint::ge(vec![(0, 1.0)], 2.0));
+    infeasible.add_constraint(Constraint::le(vec![(0, 1.0)], 1.0));
+    assert_eq!(solve_lp(&infeasible).unwrap(), LpOutcome::Infeasible);
+}
+
+#[test]
+fn gap_with_zero_capacity_only_accepts_zero_demand() {
+    let inst = GapInstance {
+        cost: vec![vec![1.0, 2.0]],
+        demand: vec![vec![0.0, 1.0]],
+        capacity: vec![0.0],
+    };
+    // Task 0 has zero demand -> assignable; task 1 cannot fit anywhere.
+    assert_eq!(
+        inst.solve_exact(&BbConfig::default()).unwrap(),
+        GapOutcome::Infeasible
+    );
+}
+
+#[test]
+fn zero_client_world_works_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let topo = hierarchical(
+        &HierarchicalConfig {
+            as_count: 3,
+            routers_per_as: 5,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+    let scenario = ScenarioConfig::from_notation("3s-6z-0c-50cp").unwrap();
+    let world = World::generate(&scenario, 15, &topo.as_of_node, &mut rng).unwrap();
+    let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+    for algo in CapAlgorithm::HEURISTICS {
+        let a = solve(&inst, algo, StuckPolicy::Strict, &mut rng).unwrap();
+        let m = evaluate(&inst, &a);
+        assert_eq!(m.pqos, 1.0, "{algo}: vacuous QoS");
+        assert_eq!(m.utilization, 0.0, "{algo}: nothing consumed");
+    }
+}
+
+#[test]
+fn single_server_world_degenerates_gracefully() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let topo = hierarchical(
+        &HierarchicalConfig {
+            as_count: 3,
+            routers_per_as: 5,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+    let scenario = ScenarioConfig::from_notation("1s-4z-40c-100cp").unwrap();
+    let world = World::generate(&scenario, 15, &topo.as_of_node, &mut rng).unwrap();
+    let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+    for algo in CapAlgorithm::HEURISTICS {
+        let a = solve(&inst, algo, StuckPolicy::BestEffort, &mut rng).unwrap();
+        // Everything must land on the only server.
+        assert!(a.target_of_zone.iter().all(|&s| s == 0), "{algo}");
+        assert!(a.contact_of_client.iter().all(|&s| s == 0), "{algo}");
+    }
+}
+
+#[test]
+fn bad_delay_matrix_parameters_are_rejected() {
+    let mut g = Graph::with_nodes(2);
+    g.add_edge(0, 1, 1.0).unwrap();
+    assert!(matches!(
+        DelayMatrix::from_graph(&g, -1.0),
+        Err(DelayError::BadMaxRtt(_))
+    ));
+    assert!(matches!(
+        DelayMatrix::from_graph(&Graph::with_nodes(1), 500.0),
+        Err(DelayError::TooSmall(1))
+    ));
+}

@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the full pipeline from topology
+//! generation through assignment to evaluation, exercised end to end.
+
+use dve::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn small_pipeline(seed: u64) -> (CapInstance, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo_config = HierarchicalConfig {
+        as_count: 5,
+        routers_per_as: 10,
+        ..Default::default()
+    };
+    let topo = hierarchical(&topo_config, &mut rng);
+    let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+    let scenario = ScenarioConfig::from_notation("5s-15z-200c-100cp").unwrap();
+    let world = World::generate(&scenario, topo.node_count(), &topo.as_of_node, &mut rng).unwrap();
+    let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+    (inst, rng)
+}
+
+#[test]
+fn full_pipeline_runs_all_algorithms() {
+    let (inst, mut rng) = small_pipeline(1);
+    for algo in CapAlgorithm::HEURISTICS {
+        let a = solve(&inst, algo, StuckPolicy::Strict, &mut rng).unwrap();
+        let m = evaluate(&inst, &a);
+        assert!(a.is_feasible(&inst), "{algo}");
+        assert!((0.0..=1.0).contains(&m.pqos), "{algo}");
+        assert_eq!(m.delays.len(), 200);
+    }
+}
+
+#[test]
+fn paper_ordering_holds_on_average() {
+    // The paper's Table 1 ordering: GreZ-GreC >= GreZ-VirC >= RanZ-GreC
+    // >= RanZ-VirC in pQoS (the middle pair can be close; check the
+    // endpoints strictly and the monotone trend loosely over 8 seeds).
+    let mut sums = [0.0f64; 4];
+    let runs = 8;
+    for seed in 0..runs {
+        let (inst, mut rng) = small_pipeline(seed);
+        for (k, algo) in CapAlgorithm::HEURISTICS.into_iter().enumerate() {
+            let a = solve(&inst, algo, StuckPolicy::Strict, &mut rng).unwrap();
+            sums[k] += evaluate(&inst, &a).pqos;
+        }
+    }
+    let [ranz_virc, ranz_grec, grez_virc, grez_grec] = sums.map(|s| s / runs as f64);
+    assert!(
+        grez_grec > ranz_virc + 0.05,
+        "GreZ-GreC {grez_grec} should clearly beat RanZ-VirC {ranz_virc}"
+    );
+    assert!(grez_grec >= grez_virc - 1e-9, "refinement never hurts");
+    assert!(ranz_grec >= ranz_virc - 1e-9, "refinement never hurts");
+    assert!(
+        grez_virc > ranz_virc,
+        "delay-aware initial assignment must beat random"
+    );
+}
+
+#[test]
+fn grec_refinement_never_decreases_pqos_vs_virc() {
+    // For the same IAP targets, GreC can only reroute clients whose
+    // observed delay violates the bound — with perfect observations, the
+    // rescued set can only grow.
+    for seed in 0..5 {
+        let (inst, _) = small_pipeline(seed);
+        let targets = grez(&inst, StuckPolicy::Strict).unwrap();
+        let virc_contacts = virc(&inst, &targets);
+        let grec_contacts = grec(&inst, &targets);
+        let a_virc = Assignment {
+            target_of_zone: targets.clone(),
+            contact_of_client: virc_contacts,
+        };
+        let a_grec = Assignment {
+            target_of_zone: targets,
+            contact_of_client: grec_contacts,
+        };
+        let p_virc = evaluate(&inst, &a_virc).pqos;
+        let p_grec = evaluate(&inst, &a_grec).pqos;
+        assert!(
+            p_grec >= p_virc - 1e-9,
+            "seed {seed}: GreC {p_grec} vs VirC {p_virc}"
+        );
+    }
+}
+
+#[test]
+fn determinism_across_identical_seeds() {
+    let (inst_a, mut rng_a) = small_pipeline(99);
+    let (inst_b, mut rng_b) = small_pipeline(99);
+    for algo in [CapAlgorithm::RanZVirC, CapAlgorithm::GreZGreC] {
+        let a = solve(&inst_a, algo, StuckPolicy::Strict, &mut rng_a).unwrap();
+        let b = solve(&inst_b, algo, StuckPolicy::Strict, &mut rng_b).unwrap();
+        assert_eq!(a.target_of_zone, b.target_of_zone, "{algo}");
+        assert_eq!(a.contact_of_client, b.contact_of_client, "{algo}");
+    }
+}
+
+#[test]
+fn exact_solver_beats_heuristics_on_iap_cost() {
+    use dve::assign::{exact_iap, iap_total_cost, BbConfig};
+    let (inst, _) = small_pipeline(3);
+    let exact = exact_iap(&inst, &BbConfig::default()).unwrap();
+    let greedy = grez(&inst, StuckPolicy::Strict).unwrap();
+    assert!(iap_total_cost(&inst, &exact) <= iap_total_cost(&inst, &greedy) + 1e-9);
+}
+
+#[test]
+fn error_model_degrades_but_does_not_break() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let topo = hierarchical(
+        &HierarchicalConfig {
+            as_count: 5,
+            routers_per_as: 10,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+    let scenario = ScenarioConfig::from_notation("5s-15z-200c-100cp").unwrap();
+    let world = World::generate(&scenario, topo.node_count(), &topo.as_of_node, &mut rng).unwrap();
+    let noisy = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::IDMAPS, &mut rng);
+    let a = solve(&noisy, CapAlgorithm::GreZGreC, StuckPolicy::Strict, &mut rng).unwrap();
+    let m = evaluate(&noisy, &a);
+    assert!(m.pqos > 0.3, "even with e=2 the greedy should do something");
+    assert!(a.is_feasible(&noisy));
+}
+
+#[test]
+fn backbone_pipeline_works() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let topo = us_backbone();
+    let delays = DelayMatrix::from_graph(&topo.graph, 120.0).unwrap();
+    let scenario = ScenarioConfig::from_notation("4s-12z-150c-100cp").unwrap();
+    let world = World::generate(&scenario, topo.node_count(), &topo.as_of_node, &mut rng).unwrap();
+    let inst = CapInstance::build(&world, &delays, 0.5, 60.0, ErrorModel::PERFECT, &mut rng);
+    let a = solve(&inst, CapAlgorithm::GreZGreC, StuckPolicy::BestEffort, &mut rng).unwrap();
+    let m = evaluate(&inst, &a);
+    assert!((0.0..=1.0).contains(&m.pqos));
+}
