@@ -11,8 +11,13 @@ fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
     let (inst, mut rng) = instance_for("30s-160z-2000c-1000cp", 42);
-    let assignment = solve(&inst, CapAlgorithm::GreZGreC, StuckPolicy::BestEffort, &mut rng)
-        .expect("solve");
+    let assignment = solve(
+        &inst,
+        CapAlgorithm::GreZGreC,
+        StuckPolicy::BestEffort,
+        &mut rng,
+    )
+    .expect("solve");
     let metrics = evaluate(&inst, &assignment);
     let grid = fig4_grid();
 

@@ -18,22 +18,13 @@ fn bench_heuristics(c: &mut Criterion) {
     ] {
         let (inst, mut rng) = instance_for(notation, 42);
         for algo in CapAlgorithm::HEURISTICS {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), notation),
-                &inst,
-                |b, inst| {
-                    b.iter(|| {
-                        let a = solve(
-                            black_box(inst),
-                            algo,
-                            StuckPolicy::BestEffort,
-                            &mut rng,
-                        )
+            group.bench_with_input(BenchmarkId::new(algo.name(), notation), &inst, |b, inst| {
+                b.iter(|| {
+                    let a = solve(black_box(inst), algo, StuckPolicy::BestEffort, &mut rng)
                         .expect("heuristics cannot fail");
-                        black_box(a)
-                    })
-                },
-            );
+                    black_box(a)
+                })
+            });
         }
     }
     group.finish();

@@ -17,18 +17,22 @@ fn bench_table4(c: &mut Criterion) {
             ..Default::default()
         };
         let mut rep = build_replication(&setup, 0);
-        group.bench_with_input(BenchmarkId::new("GreZ-GreC", format!("e={e}")), &(), |b, _| {
-            b.iter(|| {
-                let a = solve(
-                    black_box(&rep.instance),
-                    CapAlgorithm::GreZGreC,
-                    StuckPolicy::BestEffort,
-                    &mut rep.rng,
-                )
-                .expect("solve");
-                black_box(a)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("GreZ-GreC", format!("e={e}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let a = solve(
+                        black_box(&rep.instance),
+                        CapAlgorithm::GreZGreC,
+                        StuckPolicy::BestEffort,
+                        &mut rep.rng,
+                    )
+                    .expect("solve");
+                    black_box(a)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -34,7 +34,16 @@ fn main() {
     );
 
     let t = Instant::now();
-    emit(dir, "table1", &table1::run(&options, 2).render());
+    let table1_result = table1::run(&options, 2);
+    emit(dir, "table1", &table1_result.render());
+    // Machine-readable per-algorithm solve-time baseline: later PRs diff
+    // their timings against this trajectory file.
+    let json_path = Path::new("BENCH_table1.json");
+    if let Err(e) = fs::write(json_path, table1_result.to_json(&options)) {
+        eprintln!("warning: could not write {}: {e}", json_path.display());
+    } else {
+        eprintln!("wrote {}", json_path.display());
+    }
     eprintln!("table1 done in {:.1}s", t.elapsed().as_secs_f64());
 
     let t = Instant::now();

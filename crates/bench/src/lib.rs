@@ -10,8 +10,9 @@
 //!   `table4_error`, `ablations`, `run_all`: each re-runs the paper's
 //!   experiment and prints the corresponding rows/series.
 //!
-//! Binaries accept `--runs N`, `--exact-runs N`, `--seed S` and
-//! `--quick` (3 runs / 1 exact run).
+//! Binaries accept `--runs N`, `--exact-runs N`, `--seed S`, `--quick`
+//! (3 runs / 1 exact run) and `--large` (append the beyond-paper
+//! 50 000-client scale where supported).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +63,7 @@ pub fn options_from_args() -> ExpOptions {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => options = ExpOptions::quick(),
+            "--large" => options.large_scale = true,
             "--runs" => {
                 let v = args.next().expect("--runs needs a value");
                 options.runs = v.parse().expect("--runs must be an integer");
@@ -76,7 +78,7 @@ pub fn options_from_args() -> ExpOptions {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other}; supported: --quick --runs N --exact-runs N --seed S"
+                    "unknown flag {other}; supported: --quick --large --runs N --exact-runs N --seed S"
                 );
                 std::process::exit(2);
             }

@@ -5,7 +5,20 @@
 //! the Metropolis criterion with geometric cooling. Capacity violations
 //! are admitted during the walk but penalised, so the chain can cross
 //! infeasible ridges; the best *feasible* visited state is returned.
+//!
+//! Each step is O(1): the raw cost moves by an exact
+//! [`CostMatrix`] delta, the capacity penalty by the overflow change of
+//! the two touched servers, and feasibility by an overloaded-server
+//! counter — where the naive path resummed all k clients and scanned all
+//! m servers per step. The raw-cost part of each delta is integer-exact;
+//! the penalty part is algebraically equal to the old
+//! full-resummation difference but not float-identical (summation order
+//! changed), so a given seed's Metropolis walk is equivalent in
+//! distribution to the pre-refactor annealer rather than step-for-step
+//! identical. All of the annealer's contracts (feasible output, never
+//! worse than a feasible start) are unchanged.
 
+use crate::cost::CostMatrix;
 use crate::iap::iap_total_cost;
 use crate::instance::CapInstance;
 use rand::Rng;
@@ -48,19 +61,21 @@ pub struct AnnealOutcome {
     pub accepted: usize,
 }
 
-fn penalised_cost(inst: &CapInstance, target: &[usize], loads: &[f64], penalty: f64) -> f64 {
-    let over: f64 = loads
-        .iter()
-        .enumerate()
-        .map(|(s, &l)| (l - inst.capacity(s)).max(0.0))
-        .sum();
-    iap_total_cost(inst, target) + penalty * over
-}
-
 /// Runs simulated annealing from `initial` (typically a RanZ or GreZ
 /// output).
 pub fn anneal_iap<R: Rng + ?Sized>(
     inst: &CapInstance,
+    initial: &[usize],
+    config: &AnnealConfig,
+    rng: &mut R,
+) -> AnnealOutcome {
+    anneal_iap_with(inst, &CostMatrix::build(inst), initial, config, rng)
+}
+
+/// [`anneal_iap`] on a prebuilt [`CostMatrix`].
+pub fn anneal_iap_with<R: Rng + ?Sized>(
+    inst: &CapInstance,
+    matrix: &CostMatrix,
     initial: &[usize],
     config: &AnnealConfig,
     rng: &mut R,
@@ -82,14 +97,16 @@ pub fn anneal_iap<R: Rng + ?Sized>(
     for (z, &s) in current.iter().enumerate() {
         loads[s] += inst.zone_bps(z);
     }
-    let mut cur_cost = penalised_cost(inst, &current, &loads, config.capacity_penalty);
+    // Overflow of server `s` under the current loads.
+    let over = |loads: &[f64], s: usize| (loads[s] - inst.capacity(s)).max(0.0);
+    let overloaded = |loads: &[f64], s: usize| loads[s] > inst.capacity(s) + 1e-9;
+    // Raw cost is an exact integer carried incrementally; the number of
+    // overloaded servers makes the feasibility test O(1) per step.
+    let mut raw_cost = matrix.total_cost(&current);
+    let mut num_overloaded = (0..m).filter(|&s| overloaded(&loads, s)).count();
 
-    let feasible_now = loads
-        .iter()
-        .enumerate()
-        .all(|(s, &l)| l <= inst.capacity(s) + 1e-9);
-    let mut best: Option<(Vec<usize>, f64)> = if feasible_now {
-        Some((current.clone(), iap_total_cost(inst, &current)))
+    let mut best: Option<(Vec<usize>, f64)> = if num_overloaded == 0 {
+        Some((current.clone(), raw_cost))
     } else {
         None
     };
@@ -104,30 +121,31 @@ pub fn anneal_iap<R: Rng + ?Sized>(
             new_s += 1;
         }
         let demand = inst.zone_bps(z);
+        let cost_delta = matrix.cost(new_s, z) - matrix.cost(old_s, z);
+        // Apply the move tentatively: only two servers change, so the
+        // penalty and feasibility deltas are local.
+        let over_before = over(&loads, old_s) + over(&loads, new_s);
+        let overloaded_before =
+            usize::from(overloaded(&loads, old_s)) + usize::from(overloaded(&loads, new_s));
         loads[old_s] -= demand;
         loads[new_s] += demand;
-        current[z] = new_s;
-        let new_cost = penalised_cost(inst, &current, &loads, config.capacity_penalty);
-        let delta = new_cost - cur_cost;
+        let over_after = over(&loads, old_s) + over(&loads, new_s);
+        let overloaded_after =
+            usize::from(overloaded(&loads, old_s)) + usize::from(overloaded(&loads, new_s));
+        let delta = cost_delta + config.capacity_penalty * (over_after - over_before);
         let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-12)).exp();
         if accept {
-            cur_cost = new_cost;
+            current[z] = new_s;
+            raw_cost += cost_delta;
+            num_overloaded = num_overloaded + overloaded_after - overloaded_before;
             accepted += 1;
-            let feas = loads
-                .iter()
-                .enumerate()
-                .all(|(s, &l)| l <= inst.capacity(s) + 1e-9);
-            if feas {
-                let raw = iap_total_cost(inst, &current);
-                if best.as_ref().map_or(true, |(_, b)| raw < *b) {
-                    best = Some((current.clone(), raw));
-                }
+            if num_overloaded == 0 && best.as_ref().is_none_or(|(_, b)| raw_cost < *b) {
+                best = Some((current.clone(), raw_cost));
             }
         } else {
             // revert
             loads[new_s] -= demand;
             loads[old_s] += demand;
-            current[z] = old_s;
         }
         temp *= config.cooling;
     }
@@ -156,19 +174,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn inst() -> CapInstance {
-        let cs = vec![
-            100.0, 400.0, 120.0, 420.0, 150.0, 300.0, 130.0, 310.0, 400.0, 90.0, 420.0, 80.0,
-        ];
-        CapInstance::from_raw(
-            2,
-            3,
-            vec![0, 0, 1, 1, 2, 2],
-            cs,
-            vec![0.0, 60.0, 60.0, 0.0],
-            vec![1000.0; 6],
-            vec![10_000.0, 10_000.0],
-            250.0,
-        )
+        crate::test_support::two_servers_three_zones()
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Precomputed cost-matrix engine for the IAP hot paths.
+//!
+//! Every IAP algorithm in this crate is driven by the cost `C^I_ij`
+//! (eq. 3) — the number of zone-`j` clients whose observed delay to
+//! server `i` exceeds the bound. The naive
+//! [`CapInstance::iap_cost`] rescans the zone's clients on every call,
+//! which puts an O(k/n) factor inside every inner loop: a local-search
+//! sweep pays O(k·m) instead of O(n·m), and a single annealing step pays
+//! O(k) instead of O(1).
+//!
+//! [`CostMatrix`] materialises the full m×n table (plus the per-zone
+//! server orderings and regrets the greedy needs) in one parallel
+//! O(k·m) pass, and [`IncrementalEval`] maintains server loads and the
+//! total cost (eq. 4) under shift/swap moves with O(1) delta
+//! evaluation. All counts are small integers stored exactly in `f64`, so
+//! every consumer sees **bit-identical costs** to the naive scan, and
+//! the deterministic searches (GreZ, [`improve_iap`](crate::improve_iap))
+//! make exactly the decisions the originals made, only faster — the
+//! property tests assert this against [`crate::reference`]. The one
+//! consumer outside that guarantee is the annealer: its capacity
+//! *penalty* delta is computed from the two touched servers instead of a
+//! full resummation, which is algebraically equal but not float-identical,
+//! so its stochastic walk is equivalent in distribution rather than
+//! step-for-step (see [`anneal_iap_with`](crate::anneal_iap_with)).
+
+use crate::instance::CapInstance;
+
+/// Dense precomputation of the IAP cost `C^I` with the per-zone
+/// structures the greedy and local-search algorithms consume.
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    servers: usize,
+    zones: usize,
+    /// `C^I_sz` violator counts, zone-major (`z * servers + s`).
+    cost: Vec<u32>,
+    /// Per-zone desirability order: row `z` lists every server sorted by
+    /// (cost ascending, index ascending) — the order GreZ probes.
+    order: Vec<u32>,
+    /// Regret `rho_z` = second-best cost − best cost (≥ 0), the
+    /// Romeijn–Morales priority GreZ processes zones by.
+    regret: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Builds the matrix in a single parallel O(k·m) pass.
+    ///
+    /// With more than one worker available, zones are counted
+    /// independently on [`dve_par::par_map`]; on a single core the
+    /// build degenerates to one cache-friendly client-major sweep over
+    /// the k×m delay table (no per-zone allocation, rows visited in
+    /// memory order). Either way the result is identical to calling
+    /// [`CapInstance::iap_cost`] for all (server, zone) pairs; the
+    /// orderings add O(n·m log m).
+    pub fn build(inst: &CapInstance) -> CostMatrix {
+        let m = inst.num_servers();
+        let n = inst.num_zones();
+        let bound = inst.delay_bound();
+
+        let cost: Vec<u32> = if dve_par::default_threads() <= 1 || n <= 1 {
+            // Client-major: stream the delay table once, in row order.
+            let mut cost = vec![0u32; n * m];
+            for c in 0..inst.num_clients() {
+                let z = inst.zone_of(c);
+                let counts = &mut cost[z * m..(z + 1) * m];
+                for (count, &delay) in counts.iter_mut().zip(inst.obs_cs_row(c)) {
+                    *count += u32::from(delay > bound);
+                }
+            }
+            cost
+        } else {
+            let zone_indices: Vec<usize> = (0..n).collect();
+            let per_zone: Vec<Vec<u32>> = dve_par::par_map(&zone_indices, |&z| {
+                let mut counts = vec![0u32; m];
+                for &c in inst.clients_in_zone(z) {
+                    for (count, &delay) in counts.iter_mut().zip(inst.obs_cs_row(c)) {
+                        *count += u32::from(delay > bound);
+                    }
+                }
+                counts
+            });
+            let mut cost = Vec::with_capacity(n * m);
+            for counts in per_zone {
+                cost.extend_from_slice(&counts);
+            }
+            cost
+        };
+
+        let mut order = vec![0u32; n * m];
+        let mut regret = Vec::with_capacity(n);
+        for z in 0..n {
+            let counts = &cost[z * m..(z + 1) * m];
+            let row = &mut order[z * m..(z + 1) * m];
+            for (i, slot) in row.iter_mut().enumerate() {
+                *slot = i as u32;
+            }
+            row.sort_unstable_by_key(|&s| (counts[s as usize], s));
+            regret.push(if m >= 2 {
+                f64::from(counts[row[1] as usize]) - f64::from(counts[row[0] as usize])
+            } else {
+                0.0
+            });
+        }
+        CostMatrix {
+            servers: m,
+            zones: n,
+            cost,
+            order,
+            regret,
+        }
+    }
+
+    /// Number of servers `m`.
+    pub fn num_servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of zones `n`.
+    pub fn num_zones(&self) -> usize {
+        self.zones
+    }
+
+    /// `C^I_sz` as an exact small-integer `f64`, bit-identical to
+    /// [`CapInstance::iap_cost`].
+    #[inline]
+    pub fn cost(&self, server: usize, zone: usize) -> f64 {
+        f64::from(self.cost[zone * self.servers + server])
+    }
+
+    /// `C^I_sz` as the underlying integer count.
+    #[inline]
+    pub fn count(&self, server: usize, zone: usize) -> u32 {
+        self.cost[zone * self.servers + server]
+    }
+
+    /// Servers in the order GreZ probes them for `zone`: cost ascending,
+    /// ties broken by server index.
+    #[inline]
+    pub fn order(&self, zone: usize) -> &[u32] {
+        &self.order[zone * self.servers..(zone + 1) * self.servers]
+    }
+
+    /// The zone's regret `rho_z` (second-best cost − best cost, ≥ 0).
+    #[inline]
+    pub fn regret(&self, zone: usize) -> f64 {
+        self.regret[zone]
+    }
+
+    /// Zones in decreasing-regret order (ties by zone index), the
+    /// processing order of GreZ.
+    pub fn zones_by_regret(&self) -> Vec<usize> {
+        let mut zones: Vec<usize> = (0..self.zones).collect();
+        zones.sort_by(|&a, &b| {
+            self.regret[b]
+                .partial_cmp(&self.regret[a])
+                .expect("regrets are finite")
+                .then(a.cmp(&b))
+        });
+        zones
+    }
+
+    /// Total IAP cost (eq. 4) of a target vector.
+    pub fn total_cost(&self, target_of_zone: &[usize]) -> f64 {
+        target_of_zone
+            .iter()
+            .enumerate()
+            .map(|(z, &s)| self.cost(s, z))
+            .sum()
+    }
+
+    /// The m×n cost table as row-major rows per *server* (the GAP layout
+    /// used by the exact solvers), cloned once instead of m·n closure
+    /// calls.
+    pub fn server_major_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.servers)
+            .map(|s| (0..self.zones).map(|z| self.cost(s, z)).collect())
+            .collect()
+    }
+}
+
+/// Incremental evaluation state for IAP move-based search: maintains
+/// per-server loads and the total cost (eq. 4) of a target vector, with
+/// O(1) evaluation and application of shift and swap moves.
+///
+/// Invariant: `total_cost()` equals `CostMatrix::total_cost(target())`
+/// and `loads()` equals the per-server zone-load sums of `target()` at
+/// every point. Cost deltas are exact (integer-valued `f64`); loads
+/// follow the same `-=`/`+=` update sequence the pre-refactor algorithms
+/// used, so capacity decisions are bit-identical too.
+#[derive(Debug, Clone)]
+pub struct IncrementalEval<'a> {
+    inst: &'a CapInstance,
+    matrix: &'a CostMatrix,
+    target: Vec<usize>,
+    loads: Vec<f64>,
+    total_cost: f64,
+}
+
+impl<'a> IncrementalEval<'a> {
+    /// Builds the evaluation state of `target_of_zone` in O(n + m).
+    pub fn new(
+        inst: &'a CapInstance,
+        matrix: &'a CostMatrix,
+        target_of_zone: &[usize],
+    ) -> IncrementalEval<'a> {
+        assert_eq!(target_of_zone.len(), inst.num_zones());
+        let mut loads = vec![0.0; inst.num_servers()];
+        for (z, &s) in target_of_zone.iter().enumerate() {
+            loads[s] += inst.zone_bps(z);
+        }
+        IncrementalEval {
+            inst,
+            matrix,
+            total_cost: matrix.total_cost(target_of_zone),
+            target: target_of_zone.to_vec(),
+            loads,
+        }
+    }
+
+    /// Current target vector.
+    pub fn target(&self) -> &[usize] {
+        &self.target
+    }
+
+    /// Current per-server loads (zone loads only, bits/s).
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Current total IAP cost (eq. 4).
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Consumes the state, returning the target vector.
+    pub fn into_target(self) -> Vec<usize> {
+        self.target
+    }
+
+    /// Cost change of moving zone `z` to server `s` (exact, O(1)).
+    #[inline]
+    pub fn shift_delta(&self, z: usize, s: usize) -> f64 {
+        self.matrix.cost(s, z) - self.matrix.cost(self.target[z], z)
+    }
+
+    /// Whether moving zone `z` to server `s` strictly lowers the cost.
+    ///
+    /// Pure integer comparison; because `C^I` is integer-valued this is
+    /// exactly the float test `new_cost < cur_cost - 1e-12` the naive
+    /// path applies.
+    #[inline]
+    pub fn shift_improves(&self, z: usize, s: usize) -> bool {
+        self.matrix.count(s, z) < self.matrix.count(self.target[z], z)
+    }
+
+    /// The current `C^I` count of zone `z` on its assigned server. A
+    /// zone at zero violators can never be improved by any move (costs
+    /// are non-negative), which lets search loops prune it outright.
+    #[inline]
+    pub fn current_count(&self, z: usize) -> u32 {
+        self.matrix.count(self.target[z], z)
+    }
+
+    /// Whether moving zone `z` onto server `s` respects `s`'s capacity
+    /// (the zone's current server only gains slack).
+    #[inline]
+    pub fn shift_fits(&self, z: usize, s: usize) -> bool {
+        self.loads[s] + self.inst.zone_bps(z) <= self.inst.capacity(s) + 1e-9
+    }
+
+    /// Applies the shift of zone `z` to server `s`.
+    pub fn apply_shift(&mut self, z: usize, s: usize) {
+        let old = self.target[z];
+        if old == s {
+            return;
+        }
+        let demand = self.inst.zone_bps(z);
+        self.total_cost += self.shift_delta(z, s);
+        self.loads[old] -= demand;
+        self.loads[s] += demand;
+        self.target[z] = s;
+    }
+
+    /// Cost change of exchanging the servers of zones `a` and `b`
+    /// (exact, O(1)).
+    #[inline]
+    pub fn swap_delta(&self, a: usize, b: usize) -> f64 {
+        let (sa, sb) = (self.target[a], self.target[b]);
+        self.matrix.cost(sb, a) + self.matrix.cost(sa, b)
+            - self.matrix.cost(sa, a)
+            - self.matrix.cost(sb, b)
+    }
+
+    /// Whether exchanging the servers of zones `a` and `b` strictly
+    /// lowers the cost (integer-exact, see [`Self::shift_improves`]).
+    #[inline]
+    pub fn swap_improves(&self, a: usize, b: usize) -> bool {
+        let (sa, sb) = (self.target[a], self.target[b]);
+        self.matrix.count(sb, a) + self.matrix.count(sa, b)
+            < self.matrix.count(sa, a) + self.matrix.count(sb, b)
+    }
+
+    /// Whether swapping zones `a` and `b` respects both capacities.
+    #[inline]
+    pub fn swap_fits(&self, a: usize, b: usize) -> bool {
+        let (sa, sb) = (self.target[a], self.target[b]);
+        let (da, db) = (self.inst.zone_bps(a), self.inst.zone_bps(b));
+        self.loads[sb] - db + da <= self.inst.capacity(sb) + 1e-9
+            && self.loads[sa] - da + db <= self.inst.capacity(sa) + 1e-9
+    }
+
+    /// Applies the swap of zones `a` and `b`.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        let (sa, sb) = (self.target[a], self.target[b]);
+        if sa == sb {
+            return;
+        }
+        let (da, db) = (self.inst.zone_bps(a), self.inst.zone_bps(b));
+        self.total_cost += self.swap_delta(a, b);
+        self.loads[sa] = self.loads[sa] - da + db;
+        self.loads[sb] = self.loads[sb] - db + da;
+        self.target.swap(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn inst() -> CapInstance {
+        crate::test_support::two_servers_three_zones()
+    }
+
+    #[test]
+    fn matrix_matches_naive_scan() {
+        let inst = inst();
+        let cm = CostMatrix::build(&inst);
+        for s in 0..inst.num_servers() {
+            for z in 0..inst.num_zones() {
+                assert_eq!(cm.cost(s, z), inst.iap_cost(s, z), "s={s} z={z}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_cost_then_index() {
+        let inst = inst();
+        let cm = CostMatrix::build(&inst);
+        for z in 0..inst.num_zones() {
+            let order = cm.order(z);
+            assert_eq!(order.len(), 2);
+            for w in order.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                assert!(
+                    (cm.count(a, z), a) < (cm.count(b, z), b),
+                    "zone {z}: order not strictly (cost, index) sorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regret_is_second_minus_best() {
+        let inst = inst();
+        let cm = CostMatrix::build(&inst);
+        for z in 0..inst.num_zones() {
+            let mut costs: Vec<f64> = (0..2).map(|s| cm.cost(s, z)).collect();
+            costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(cm.regret(z), costs[1] - costs[0]);
+            assert!(cm.regret(z) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn total_cost_matches_sum() {
+        let inst = inst();
+        let cm = CostMatrix::build(&inst);
+        let target = vec![0, 1, 1];
+        let naive: f64 = (0..3).map(|z| inst.iap_cost(target[z], z)).sum();
+        assert_eq!(cm.total_cost(&target), naive);
+    }
+
+    #[test]
+    fn incremental_tracks_moves_exactly() {
+        let inst = inst();
+        let cm = CostMatrix::build(&inst);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut eval = IncrementalEval::new(&inst, &cm, &[0, 0, 1]);
+        for _ in 0..500 {
+            if rng.gen::<f64>() < 0.5 {
+                let z = rng.gen_range(0..3);
+                let s = rng.gen_range(0..2);
+                eval.apply_shift(z, s);
+            } else {
+                let a = rng.gen_range(0..3);
+                let b = rng.gen_range(0..3);
+                if a != b {
+                    eval.apply_swap(a, b);
+                }
+            }
+            // Exact agreement with the naive recomputation.
+            assert_eq!(eval.total_cost(), cm.total_cost(eval.target()));
+            let mut loads = [0.0; 2];
+            for (z, &s) in eval.target().iter().enumerate() {
+                loads[s] += inst.zone_bps(z);
+            }
+            assert_eq!(eval.loads(), &loads[..]);
+        }
+    }
+
+    #[test]
+    fn deltas_predict_applied_costs() {
+        let inst = inst();
+        let cm = CostMatrix::build(&inst);
+        let mut eval = IncrementalEval::new(&inst, &cm, &[1, 1, 0]);
+        let before = eval.total_cost();
+        let delta = eval.shift_delta(0, 0);
+        eval.apply_shift(0, 0);
+        assert_eq!(eval.total_cost(), before + delta);
+
+        let before = eval.total_cost();
+        let delta = eval.swap_delta(1, 2);
+        eval.apply_swap(1, 2);
+        assert_eq!(eval.total_cost(), before + delta);
+    }
+
+    #[test]
+    fn empty_instance_shapes() {
+        let inst =
+            CapInstance::from_raw(1, 0, vec![], vec![], vec![0.0], vec![], vec![1000.0], 250.0);
+        let cm = CostMatrix::build(&inst);
+        assert_eq!(cm.num_zones(), 0);
+        assert_eq!(cm.total_cost(&[]), 0.0);
+        assert!(cm.zones_by_regret().is_empty());
+    }
+}

@@ -14,6 +14,7 @@
 //! Romeijn–Morales greedy we use `rho_j = mu_best - mu_second >= 0` and
 //! process zones in decreasing `rho` order ("most to lose" first).
 
+use crate::cost::CostMatrix;
 use crate::instance::CapInstance;
 use dve_milp::{BbConfig, GapInstance, GapOutcome, LpError};
 use rand::Rng;
@@ -61,19 +62,28 @@ impl std::fmt::Display for IapError {
 
 impl std::error::Error for IapError {}
 
-/// Picks a fallback server: most remaining capacity relative to the
-/// zone's demand.
-fn best_effort_server(loads: &[f64], inst: &CapInstance) -> usize {
-    let mut best = 0;
-    let mut best_slack = f64::NEG_INFINITY;
+/// Picks a fallback server for a zone of load `demand` (bits/s).
+///
+/// Prefers a server that can actually absorb the zone — the *best fit*:
+/// the smallest slack still ≥ `demand`, so large holes stay available
+/// for later zones. When no server can absorb it (the usual case when a
+/// greedy falls through its whole candidate list), degrades to the
+/// server with the most remaining capacity, minimising the overload.
+/// Ties break on the lower server index, so the fallback is
+/// deterministic.
+pub(crate) fn best_effort_server(loads: &[f64], inst: &CapInstance, demand: f64) -> usize {
+    let mut fit: Option<(f64, usize)> = None; // (slack, server), slack >= demand
+    let mut widest = (f64::NEG_INFINITY, 0usize);
     for (s, &load) in loads.iter().enumerate() {
         let slack = inst.capacity(s) - load;
-        if slack > best_slack {
-            best_slack = slack;
-            best = s;
+        if slack + 1e-9 >= demand && fit.is_none_or(|(best, _)| slack < best) {
+            fit = Some((slack, s));
+        }
+        if slack > widest.0 {
+            widest = (slack, s);
         }
     }
-    best
+    fit.map_or(widest.1, |(_, s)| s)
 }
 
 /// **RanZ** — random assignment of zones.
@@ -100,7 +110,7 @@ pub fn ranz<R: Rng + ?Sized>(
         let s = match candidates.as_slice() {
             [] => match policy {
                 StuckPolicy::Strict => return Err(IapError::NoFeasibleServer { zone: z }),
-                StuckPolicy::BestEffort => best_effort_server(&loads, inst),
+                StuckPolicy::BestEffort => best_effort_server(&loads, inst, demand),
             },
             c => c[rng.gen_range(0..c.len())],
         };
@@ -115,32 +125,30 @@ pub fn ranz<R: Rng + ?Sized>(
 /// For every zone, rank servers by desirability `mu_ij = -C^I_ij`; process
 /// zones in decreasing regret order, assigning each to its most desirable
 /// server with sufficient remaining capacity.
+///
+/// Builds a fresh [`CostMatrix`]; callers that already hold one (the
+/// two-phase driver, the exact solver's warm start) use [`grez_with`]
+/// to share it.
 pub fn grez(inst: &CapInstance, policy: StuckPolicy) -> Result<Vec<usize>, IapError> {
-    let m = inst.num_servers();
-    let n = inst.num_zones();
-    // Desirability lists (server indices ordered by decreasing mu, i.e.
-    // increasing cost; ties by server index for determinism).
-    let mut lists: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
-    let mut regret: Vec<(f64, usize)> = Vec::with_capacity(n);
-    for z in 0..n {
-        let mut mu: Vec<(f64, usize)> = (0..m).map(|s| (-inst.iap_cost(s, z), s)).collect();
-        mu.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
-        let rho = if m >= 2 {
-            mu[0].0 - mu[1].0
-        } else {
-            0.0
-        };
-        regret.push((rho, z));
-        lists.push(mu);
-    }
-    regret.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    grez_with(inst, &CostMatrix::build(inst), policy)
+}
 
+/// [`grez`] on a prebuilt [`CostMatrix`]: the orderings and regrets are
+/// already materialised, so this is a straight O(n·m) placement sweep
+/// with no cost recomputation.
+pub fn grez_with(
+    inst: &CapInstance,
+    matrix: &CostMatrix,
+    policy: StuckPolicy,
+) -> Result<Vec<usize>, IapError> {
+    let n = inst.num_zones();
     let mut target = vec![usize::MAX; n];
-    let mut loads = vec![0.0; m];
-    for &(_, z) in &regret {
+    let mut loads = vec![0.0; inst.num_servers()];
+    for z in matrix.zones_by_regret() {
         let demand = inst.zone_bps(z);
         let mut placed = false;
-        for &(_, s) in &lists[z] {
+        for &s in matrix.order(z) {
+            let s = s as usize;
             if loads[s] + demand <= inst.capacity(s) + 1e-9 {
                 target[z] = s;
                 loads[s] += demand;
@@ -152,7 +160,7 @@ pub fn grez(inst: &CapInstance, policy: StuckPolicy) -> Result<Vec<usize>, IapEr
             match policy {
                 StuckPolicy::Strict => return Err(IapError::NoFeasibleServer { zone: z }),
                 StuckPolicy::BestEffort => {
-                    let s = best_effort_server(&loads, inst);
+                    let s = best_effort_server(&loads, inst, demand);
                     target[z] = s;
                     loads[s] += demand;
                 }
@@ -165,12 +173,16 @@ pub fn grez(inst: &CapInstance, policy: StuckPolicy) -> Result<Vec<usize>, IapEr
 /// Builds the GAP form of Definition 2.2 (servers = agents, zones =
 /// tasks, cost `C^I`, demand `R_z`, capacity `C_s`).
 pub fn iap_gap(inst: &CapInstance) -> GapInstance {
+    iap_gap_with(inst, &CostMatrix::build(inst))
+}
+
+/// [`iap_gap`] on a prebuilt [`CostMatrix`]: one table clone instead of
+/// m·n naive cost scans.
+pub fn iap_gap_with(inst: &CapInstance, matrix: &CostMatrix) -> GapInstance {
     let m = inst.num_servers();
     let n = inst.num_zones();
     GapInstance {
-        cost: (0..m)
-            .map(|s| (0..n).map(|z| inst.iap_cost(s, z)).collect())
-            .collect(),
+        cost: matrix.server_major_rows(),
         demand: (0..m)
             .map(|_| (0..n).map(|z| inst.zone_bps(z)).collect())
             .collect(),
@@ -181,19 +193,25 @@ pub fn iap_gap(inst: &CapInstance) -> GapInstance {
 /// Exact IAP via branch-and-bound; warm-started with [`grez`] when it
 /// produces a feasible assignment.
 pub fn exact_iap(inst: &CapInstance, config: &BbConfig) -> Result<Vec<usize>, IapError> {
-    let gap = iap_gap(inst);
+    exact_iap_with(inst, &CostMatrix::build(inst), config)
+}
+
+/// [`exact_iap`] on a prebuilt [`CostMatrix`], shared by the GAP
+/// construction, the warm start and the incumbent costing.
+pub fn exact_iap_with(
+    inst: &CapInstance,
+    matrix: &CostMatrix,
+    config: &BbConfig,
+) -> Result<Vec<usize>, IapError> {
+    let gap = iap_gap_with(inst, matrix);
     let mut config = config.clone();
     if config.initial_incumbent.is_none() {
-        if let Ok(seed) = grez(inst, StuckPolicy::Strict) {
+        if let Ok(seed) = grez_with(inst, matrix, StuckPolicy::Strict) {
             let mut values = vec![0.0; inst.num_servers() * inst.num_zones()];
             for (z, &s) in seed.iter().enumerate() {
                 values[gap.var(s, z)] = 1.0;
             }
-            let cost = seed
-                .iter()
-                .enumerate()
-                .map(|(z, &s)| inst.iap_cost(s, z))
-                .sum();
+            let cost = matrix.total_cost(&seed);
             config.initial_incumbent = Some((cost, values));
         }
     }
@@ -223,26 +241,7 @@ mod tests {
     /// 2 servers / 3 zones / 6 clients; server 0 close to zones 0-1,
     /// server 1 close to zone 2.
     fn inst() -> CapInstance {
-        // clients 0,1 -> zone 0; 2,3 -> zone 1; 4,5 -> zone 2
-        // cs rows (client): [d_to_s0, d_to_s1]
-        let cs = vec![
-            100.0, 400.0, // c0
-            120.0, 420.0, // c1
-            150.0, 300.0, // c2
-            130.0, 310.0, // c3
-            400.0, 90.0, // c4
-            420.0, 80.0, // c5
-        ];
-        CapInstance::from_raw(
-            2,
-            3,
-            vec![0, 0, 1, 1, 2, 2],
-            cs,
-            vec![0.0, 60.0, 60.0, 0.0],
-            vec![1000.0; 6],
-            vec![10_000.0, 10_000.0],
-            250.0,
-        )
+        crate::test_support::two_servers_three_zones()
     }
 
     #[test]

@@ -79,11 +79,19 @@ impl CapInstance {
         let servers = world.servers.len();
         let zones = world.zones;
 
-        let mut true_cs = vec![0.0; clients * servers];
-        for (c, client) in world.clients.iter().enumerate() {
-            for (s, server) in world.servers.iter().enumerate() {
-                true_cs[c * servers + s] = delays.rtt(client.node, server.node);
-            }
+        // The k×m delay table dominates construction at production scale
+        // (50 000 clients × 100 servers); rows are independent, so
+        // materialise them on the parallel runtime in input order.
+        let server_nodes: Vec<usize> = world.servers.iter().map(|s| s.node).collect();
+        let rows: Vec<Vec<f64>> = dve_par::par_map(&world.clients, |client| {
+            server_nodes
+                .iter()
+                .map(|&node| delays.rtt(client.node, node))
+                .collect()
+        });
+        let mut true_cs = Vec::with_capacity(clients * servers);
+        for row in rows {
+            true_cs.extend_from_slice(&row);
         }
         let mut true_ss = vec![0.0; servers * servers];
         for (a, sa) in world.servers.iter().enumerate() {
@@ -218,6 +226,15 @@ impl CapInstance {
         self.obs_cs[c * self.servers + s]
     }
 
+    /// Observed RTTs from client `c` to every server (row of the k×m
+    /// table); lets batch consumers such as
+    /// [`CostMatrix::build`](crate::CostMatrix::build) stream a client's
+    /// delays without per-entry index arithmetic.
+    #[inline]
+    pub fn obs_cs_row(&self, c: usize) -> &[f64] {
+        &self.obs_cs[c * self.servers..(c + 1) * self.servers]
+    }
+
     /// True client→server RTT (what QoS is judged on).
     #[inline]
     pub fn true_cs(&self, c: usize, s: usize) -> f64 {
@@ -263,6 +280,12 @@ impl CapInstance {
 
     /// The IAP cost `C^I_ij` (eq. 3): number of clients in zone `j` whose
     /// *observed* delay to server `i` exceeds the bound.
+    ///
+    /// This is the **naive reference scan** — O(zone population) per
+    /// call. The production algorithms all read the precomputed
+    /// [`CostMatrix`](crate::CostMatrix) instead; this method remains the
+    /// ground truth the matrix is verified against (property tests) and
+    /// the baseline the `scale` bench compares the engine to.
     pub fn iap_cost(&self, server: usize, zone: usize) -> f64 {
         self.clients_of_zone[zone]
             .iter()
@@ -381,16 +404,8 @@ mod tests {
         let topo = flat_waxman(30, 2, 100.0, WaxmanParams::default(), &mut rng);
         let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
         let config = ScenarioConfig::from_notation("3s-6z-40c-100cp").unwrap();
-        let world =
-            dve_world::World::generate(&config, 30, &topo.as_of_node, &mut rng).unwrap();
-        let inst = CapInstance::build(
-            &world,
-            &delays,
-            0.5,
-            250.0,
-            ErrorModel::PERFECT,
-            &mut rng,
-        );
+        let world = dve_world::World::generate(&config, 30, &topo.as_of_node, &mut rng).unwrap();
+        let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
         assert_eq!(inst.num_clients(), 40);
         assert_eq!(inst.num_servers(), 3);
         // Server-server delays are exactly half the node RTTs.
@@ -415,8 +430,7 @@ mod tests {
         let topo = flat_waxman(30, 2, 100.0, WaxmanParams::default(), &mut rng);
         let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
         let config = ScenarioConfig::from_notation("3s-6z-40c-100cp").unwrap();
-        let world =
-            dve_world::World::generate(&config, 30, &topo.as_of_node, &mut rng).unwrap();
+        let world = dve_world::World::generate(&config, 30, &topo.as_of_node, &mut rng).unwrap();
         let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::IDMAPS, &mut rng);
         let mut distorted = 0;
         for c in 0..inst.num_clients() {

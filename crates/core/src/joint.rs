@@ -74,7 +74,8 @@ impl JointIndex {
         server * self.zones + zone
     }
     fn w(&self, client: usize, contact: usize, target: usize) -> usize {
-        self.servers * self.zones + client * self.servers * self.servers
+        self.servers * self.zones
+            + client * self.servers * self.servers
             + contact * self.servers
             + target
     }
@@ -95,11 +96,19 @@ pub fn joint_milp(inst: &CapInstance) -> BinaryMilp {
     let mut lp = LinearProgram::new(ix.num_vars(k));
 
     // Objective: maximise clients within the bound -> minimise the
-    // negative count of in-bound (contact, target) picks.
+    // negative count of in-bound (contact, target) picks. Stream each
+    // client's delay row once instead of k·m² indexed lookups.
+    let bound = inst.delay_bound();
     for c in 0..k {
-        for contact in 0..m {
+        let row = inst.obs_cs_row(c);
+        for (contact, &d_contact) in row.iter().enumerate() {
             for target in 0..m {
-                if inst.observed_path_delay(c, contact, target) <= inst.delay_bound() {
+                let total = if contact == target {
+                    row[target]
+                } else {
+                    d_contact + inst.obs_ss(contact, target)
+                };
+                if total <= bound {
                     lp.set_objective(ix.w(c, contact, target), -1.0);
                 }
             }
@@ -137,7 +146,8 @@ pub fn joint_milp(inst: &CapInstance) -> BinaryMilp {
     }
     // Capacity per server: hosted zones + forwarding for foreign targets.
     for s in 0..m {
-        let mut coeffs: Vec<(usize, f64)> = (0..n).map(|z| (ix.y(s, z), inst.zone_bps(z))).collect();
+        let mut coeffs: Vec<(usize, f64)> =
+            (0..n).map(|z| (ix.y(s, z), inst.zone_bps(z))).collect();
         for c in 0..k {
             for target in 0..m {
                 if target != s {
@@ -158,10 +168,7 @@ pub fn joint_milp(inst: &CapInstance) -> BinaryMilp {
 /// Solves the joint CAP exactly; warm-started from the two-phase exact
 /// solution when available (any two-phase solution is feasible for the
 /// joint model).
-pub fn exact_joint_cap(
-    inst: &CapInstance,
-    config: &BbConfig,
-) -> Result<JointOutcome, JointError> {
+pub fn exact_joint_cap(inst: &CapInstance, config: &BbConfig) -> Result<JointOutcome, JointError> {
     let m = inst.num_servers();
     let n = inst.num_zones();
     let k = inst.num_clients();
@@ -281,7 +288,9 @@ mod tests {
             let clients = 8;
             let zones = 3;
             let zone_of: Vec<usize> = (0..clients).map(|_| gen.gen_range(0..zones)).collect();
-            let cs: Vec<f64> = (0..clients * 2).map(|_| gen.gen_range(50.0..450.0)).collect();
+            let cs: Vec<f64> = (0..clients * 2)
+                .map(|_| gen.gen_range(50.0..450.0))
+                .collect();
             let inst = CapInstance::from_raw(
                 2,
                 zones,
@@ -377,8 +386,6 @@ mod tests {
         let joint = exact_joint_cap(&inst, &BbConfig::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let seq = solve(&inst, CapAlgorithm::Exact, StuckPolicy::Strict, &mut rng).unwrap();
-        assert!(
-            evaluate(&inst, &joint.assignment).pqos >= evaluate(&inst, &seq).pqos - 1e-9
-        );
+        assert!(evaluate(&inst, &joint.assignment).pqos >= evaluate(&inst, &seq).pqos - 1e-9);
     }
 }

@@ -15,6 +15,32 @@
 //! * extensions: [`improve_iap`] (local search) and [`anneal_iap`]
 //!   (simulated annealing), used by the ablation benches.
 //!
+//! ## Performance architecture
+//!
+//! Every IAP algorithm is driven by the cost `C^I_ij` (eq. 3), and at
+//! production scale the cost of *evaluating* that cost dominates solve
+//! time. The crate therefore separates cost evaluation from search:
+//!
+//! * [`CostMatrix`] precomputes the dense m×n violator-count table —
+//!   plus the per-zone server orderings and regrets GreZ consumes — in
+//!   one parallel O(k·m) pass over `dve_par::par_map`. Counts are small
+//!   integers stored exactly, so matrix reads are bit-identical to the
+//!   naive [`CapInstance::iap_cost`] scan (which remains the verified
+//!   ground truth).
+//! * [`IncrementalEval`] maintains per-server loads and the total cost
+//!   (eq. 4) of a candidate assignment under shift/swap moves with O(1)
+//!   delta evaluation — a local-search sweep is O(n·m + n²) instead of
+//!   O(k·m + n²·k/n), and an annealing step is O(1) instead of O(k).
+//! * Consumers share one matrix per solve: [`grez_with`],
+//!   [`improve_iap_with`], [`anneal_iap_with`], [`exact_iap_with`] and
+//!   [`iap_gap_with`] take a prebuilt matrix; the plain-named variants
+//!   build one internally.
+//! * [`CapInstance::build`] materialises the k×m delay table in
+//!   parallel, so instance construction scales with cores too.
+//!
+//! The pre-refactor implementations survive in [`reference`] solely for
+//! equivalence tests and the `scale` bench's speedup measurement.
+//!
 //! ```
 //! use dve_assign::{solve, CapAlgorithm, CapInstance, StuckPolicy, evaluate};
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -40,6 +66,7 @@
 
 mod anneal;
 mod assignment;
+mod cost;
 mod iap;
 mod instance;
 mod joint;
@@ -47,14 +74,22 @@ mod local_search;
 mod lp_round;
 mod metrics;
 mod rap;
+#[doc(hidden)]
+pub mod reference;
+#[cfg(test)]
+mod test_support;
 mod two_phase;
 
-pub use anneal::{anneal_iap, AnnealConfig, AnnealOutcome};
+pub use anneal::{anneal_iap, anneal_iap_with, AnnealConfig, AnnealOutcome};
 pub use assignment::{Assignment, Violation};
-pub use iap::{exact_iap, grez, iap_gap, iap_total_cost, ranz, IapError, StuckPolicy};
+pub use cost::{CostMatrix, IncrementalEval};
+pub use iap::{
+    exact_iap, exact_iap_with, grez, grez_with, iap_gap, iap_gap_with, iap_total_cost, ranz,
+    IapError, StuckPolicy,
+};
 pub use instance::{CapInstance, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING};
 pub use joint::{exact_joint_cap, joint_milp, JointError, JointOutcome};
-pub use local_search::{improve_iap, LocalSearchStats};
+pub use local_search::{improve_iap, improve_iap_with, LocalSearchStats};
 pub use lp_round::{iap_lower_bound, iap_lp_bound, lp_round_iap};
 pub use metrics::{cdf_at, evaluate, fig4_grid, Metrics};
 pub use rap::{exact_rap, grec, rap_gap, rap_total_cost, violating_clients, virc, RapError};

@@ -10,8 +10,15 @@
 //!
 //! Both moves respect capacities. Used by the ablation benches to compare
 //! "greedy" vs "greedy + polish" against the exact optimum.
+//!
+//! Moves are evaluated in O(1) through the precomputed
+//! [`CostMatrix`]/[`IncrementalEval`] engine — a sweep costs O(n·m + n²)
+//! instead of the naive O(k·m + n²·k/n). The move decisions (and hence
+//! the final assignment) are bit-identical to evaluating every move with
+//! the naive [`CapInstance::iap_cost`] scan, which the property tests
+//! assert against [`crate::reference::improve_iap_reference`].
 
-use crate::iap::iap_total_cost;
+use crate::cost::{CostMatrix, IncrementalEval};
 use crate::instance::CapInstance;
 
 /// Statistics from a [`improve_iap`] run.
@@ -39,13 +46,21 @@ pub fn improve_iap(
     target_of_zone: &mut [usize],
     max_sweeps: usize,
 ) -> LocalSearchStats {
+    improve_iap_with(inst, &CostMatrix::build(inst), target_of_zone, max_sweeps)
+}
+
+/// [`improve_iap`] on a prebuilt [`CostMatrix`], so pipelines solving
+/// and polishing on the same instance pay for the matrix once.
+pub fn improve_iap_with(
+    inst: &CapInstance,
+    matrix: &CostMatrix,
+    target_of_zone: &mut [usize],
+    max_sweeps: usize,
+) -> LocalSearchStats {
     let m = inst.num_servers();
     let n = inst.num_zones();
-    let initial_cost = iap_total_cost(inst, target_of_zone);
-    let mut loads = vec![0.0; m];
-    for (z, &s) in target_of_zone.iter().enumerate() {
-        loads[s] += inst.zone_bps(z);
-    }
+    let mut eval = IncrementalEval::new(inst, matrix, target_of_zone);
+    let initial_cost = eval.total_cost();
     let mut stats = LocalSearchStats {
         initial_cost,
         final_cost: initial_cost,
@@ -56,49 +71,41 @@ pub fn improve_iap(
     for _ in 0..max_sweeps {
         let mut improved = false;
         stats.sweeps += 1;
-        // Shift moves.
+        // Shift moves: first improvement per zone. `shift_improves` is
+        // the integer-exact form of the naive path's
+        // `new_cost < cur_cost - 1e-12`, and a zone already at zero
+        // violators can never improve, so it is pruned without touching
+        // its m candidates. Candidate selection order (and hence the
+        // final assignment) is unchanged: the capacity test only runs
+        // for servers the naive path would also have accepted.
         for z in 0..n {
-            let cur = target_of_zone[z];
-            let cur_cost = inst.iap_cost(cur, z);
-            let demand = inst.zone_bps(z);
+            if eval.current_count(z) == 0 {
+                continue;
+            }
+            let cur = eval.target()[z];
             for s in 0..m {
-                if s == cur {
+                if s == cur || !eval.shift_improves(z, s) || !eval.shift_fits(z, s) {
                     continue;
                 }
-                if loads[s] + demand > inst.capacity(s) + 1e-9 {
-                    continue;
-                }
-                let new_cost = inst.iap_cost(s, z);
-                if new_cost < cur_cost - 1e-12 {
-                    loads[cur] -= demand;
-                    loads[s] += demand;
-                    target_of_zone[z] = s;
-                    stats.shifts += 1;
-                    improved = true;
-                    break;
-                }
+                eval.apply_shift(z, s);
+                stats.shifts += 1;
+                improved = true;
+                break;
             }
         }
-        // Swap moves.
+        // Swap moves: a pair where both zones sit at zero violators can
+        // never improve, pruning the quadratic scan to pairs that still
+        // have something to gain.
         for a in 0..n {
             for b in (a + 1)..n {
-                let (sa, sb) = (target_of_zone[a], target_of_zone[b]);
-                if sa == sb {
+                if eval.target()[a] == eval.target()[b] {
                     continue;
                 }
-                let (da, db) = (inst.zone_bps(a), inst.zone_bps(b));
-                // Capacity after swapping a->sb, b->sa.
-                if loads[sb] - db + da > inst.capacity(sb) + 1e-9
-                    || loads[sa] - da + db > inst.capacity(sa) + 1e-9
-                {
+                if eval.current_count(a) == 0 && eval.current_count(b) == 0 {
                     continue;
                 }
-                let before = inst.iap_cost(sa, a) + inst.iap_cost(sb, b);
-                let after = inst.iap_cost(sb, a) + inst.iap_cost(sa, b);
-                if after < before - 1e-12 {
-                    loads[sa] = loads[sa] - da + db;
-                    loads[sb] = loads[sb] - db + da;
-                    target_of_zone.swap(a, b);
+                if eval.swap_improves(a, b) && eval.swap_fits(a, b) {
+                    eval.apply_swap(a, b);
                     stats.swaps += 1;
                     improved = true;
                 }
@@ -108,31 +115,20 @@ pub fn improve_iap(
             break;
         }
     }
-    stats.final_cost = iap_total_cost(inst, target_of_zone);
+    stats.final_cost = eval.total_cost();
+    target_of_zone.copy_from_slice(eval.target());
     stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::iap::{grez, ranz, StuckPolicy};
+    use crate::iap::{grez, iap_total_cost, ranz, StuckPolicy};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn inst() -> CapInstance {
-        let cs = vec![
-            100.0, 400.0, 120.0, 420.0, 150.0, 300.0, 130.0, 310.0, 400.0, 90.0, 420.0, 80.0,
-        ];
-        CapInstance::from_raw(
-            2,
-            3,
-            vec![0, 0, 1, 1, 2, 2],
-            cs,
-            vec![0.0, 60.0, 60.0, 0.0],
-            vec![1000.0; 6],
-            vec![10_000.0, 10_000.0],
-            250.0,
-        )
+        crate::test_support::two_servers_three_zones()
     }
 
     #[test]

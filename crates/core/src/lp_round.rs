@@ -7,15 +7,24 @@
 //! exposes [`iap_lower_bound`], the capacity-free optimum, which bounds
 //! how far *any* assignment is from ideal placement.
 
-use crate::iap::{iap_gap, IapError, StuckPolicy};
+use crate::cost::CostMatrix;
+use crate::iap::{iap_gap_with, IapError, StuckPolicy};
 use crate::instance::CapInstance;
-use dve_milp::{capacity_free_bound, solve_lp, LpOutcome};
+use dve_milp::{solve_lp, LpOutcome};
 
 /// Capacity-free lower bound on the IAP cost (eq. 4): every zone at its
 /// cheapest server. No feasible assignment can cost less.
 pub fn iap_lower_bound(inst: &CapInstance) -> f64 {
-    let gap = iap_gap(inst);
-    capacity_free_bound(&gap.cost)
+    let matrix = CostMatrix::build(inst);
+    // Cheapest server per zone is the head of each desirability order.
+    (0..inst.num_zones())
+        .map(|z| {
+            matrix
+                .order(z)
+                .first()
+                .map_or(0.0, |&s| matrix.cost(s as usize, z))
+        })
+        .sum()
 }
 
 /// LP lower bound on the IAP cost: the optimum of the continuous
@@ -23,7 +32,7 @@ pub fn iap_lower_bound(inst: &CapInstance) -> f64 {
 /// [`iap_lower_bound`]). Returns `None` when the relaxation is
 /// infeasible (i.e. the IAP itself is infeasible).
 pub fn iap_lp_bound(inst: &CapInstance) -> Option<f64> {
-    let milp = iap_gap(inst).to_milp();
+    let milp = iap_gap_with(inst, &CostMatrix::build(inst)).to_milp();
     match solve_lp(&milp.lp).ok()? {
         LpOutcome::Optimal(sol) => Some(sol.objective),
         LpOutcome::Infeasible => None,
@@ -38,7 +47,8 @@ pub fn iap_lp_bound(inst: &CapInstance) -> Option<f64> {
 pub fn lp_round_iap(inst: &CapInstance, policy: StuckPolicy) -> Result<Vec<usize>, IapError> {
     let m = inst.num_servers();
     let n = inst.num_zones();
-    let gap = iap_gap(inst);
+    let matrix = CostMatrix::build(inst);
+    let gap = iap_gap_with(inst, &matrix);
     let milp = gap.to_milp();
     let values = match solve_lp(&milp.lp).map_err(IapError::Lp)? {
         LpOutcome::Optimal(sol) => sol.values,
@@ -80,8 +90,8 @@ pub fn lp_round_iap(inst: &CapInstance, policy: StuckPolicy) -> Result<Vec<usize
                 if s == over || loads[s] + demand > inst.capacity(s) + 1e-9 {
                     continue;
                 }
-                let delta = inst.iap_cost(s, z) - inst.iap_cost(over, z);
-                if best_move.map_or(true, |(d, _, _)| delta < d) {
+                let delta = matrix.cost(s, z) - matrix.cost(over, z);
+                if best_move.is_none_or(|(d, _, _)| delta < d) {
                     best_move = Some((delta, z, s));
                 }
             }
@@ -111,19 +121,7 @@ mod tests {
     use dve_milp::BbConfig;
 
     fn inst() -> CapInstance {
-        let cs = vec![
-            100.0, 400.0, 120.0, 420.0, 150.0, 300.0, 130.0, 310.0, 400.0, 90.0, 420.0, 80.0,
-        ];
-        CapInstance::from_raw(
-            2,
-            3,
-            vec![0, 0, 1, 1, 2, 2],
-            cs,
-            vec![0.0, 60.0, 60.0, 0.0],
-            vec![1000.0; 6],
-            vec![10_000.0, 10_000.0],
-            250.0,
-        )
+        crate::test_support::two_servers_three_zones()
     }
 
     #[test]

@@ -151,7 +151,9 @@ pub fn rap_gap(inst: &CapInstance, target_of_zone: &[usize], le: &[usize]) -> Ga
             .collect(),
         // Residual capacity; clamp at zero so an (infeasible) overfull
         // zone assignment still admits the contact = target column.
-        capacity: (0..m).map(|s| (inst.capacity(s) - loads[s]).max(0.0)).collect(),
+        capacity: (0..m)
+            .map(|s| (inst.capacity(s) - loads[s]).max(0.0))
+            .collect(),
     }
 }
 

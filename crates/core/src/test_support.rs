@@ -1,0 +1,28 @@
+//! Shared test fixtures for the assignment unit tests.
+
+use crate::instance::CapInstance;
+
+/// The workhorse fixture: 2 servers, 3 zones, 6 clients. Server 0 is
+/// close to zones 0–1, server 1 to zone 2; delay bound 250 ms, ample
+/// capacity. GreZ reaches the zero-cost layout `[0, 0, 1]`.
+pub(crate) fn two_servers_three_zones() -> CapInstance {
+    // cs rows (client): [d_to_s0, d_to_s1]
+    let cs = vec![
+        100.0, 400.0, // c0 (zone 0)
+        120.0, 420.0, // c1 (zone 0)
+        150.0, 300.0, // c2 (zone 1)
+        130.0, 310.0, // c3 (zone 1)
+        400.0, 90.0, // c4 (zone 2)
+        420.0, 80.0, // c5 (zone 2)
+    ];
+    CapInstance::from_raw(
+        2,
+        3,
+        vec![0, 0, 1, 1, 2, 2],
+        cs,
+        vec![0.0, 60.0, 60.0, 0.0],
+        vec![1000.0; 6],
+        vec![10_000.0, 10_000.0],
+        250.0,
+    )
+}

@@ -3,7 +3,8 @@
 //! plays the paper's lp_solve role.
 
 use crate::assignment::Assignment;
-use crate::iap::{exact_iap, grez, ranz, IapError, StuckPolicy};
+use crate::cost::CostMatrix;
+use crate::iap::{exact_iap_with, grez_with, ranz, IapError, StuckPolicy};
 use crate::instance::CapInstance;
 use crate::rap::{exact_rap, grec, virc, RapError};
 use dve_milp::BbConfig;
@@ -139,8 +140,11 @@ pub fn solve_iap<R: Rng + ?Sized>(
 ) -> Result<Vec<usize>, IapError> {
     match method {
         IapMethod::Random => ranz(inst, policy, rng),
-        IapMethod::Greedy => grez(inst, policy),
-        IapMethod::Exact(config) => exact_iap(inst, config),
+        // Cost-driven methods share one precomputed matrix per call; the
+        // exact solver reuses it for the GAP build and its GreZ warm
+        // start.
+        IapMethod::Greedy => grez_with(inst, &CostMatrix::build(inst), policy),
+        IapMethod::Exact(config) => exact_iap_with(inst, &CostMatrix::build(inst), config),
     }
 }
 
@@ -192,20 +196,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn inst() -> CapInstance {
-        // 2 servers, 3 zones, 6 clients (as in iap tests).
-        let cs = vec![
-            100.0, 400.0, 120.0, 420.0, 150.0, 300.0, 130.0, 310.0, 400.0, 90.0, 420.0, 80.0,
-        ];
-        CapInstance::from_raw(
-            2,
-            3,
-            vec![0, 0, 1, 1, 2, 2],
-            cs,
-            vec![0.0, 60.0, 60.0, 0.0],
-            vec![1000.0; 6],
-            vec![10_000.0, 10_000.0],
-            250.0,
-        )
+        crate::test_support::two_servers_three_zones()
     }
 
     #[test]

@@ -8,7 +8,13 @@ use rand::{Rng, SeedableRng};
 
 /// Random small instance. `slack` scales capacities: >= 2 is comfortably
 /// feasible, ~1 is tight.
-fn random_instance(seed: u64, servers: usize, zones: usize, clients: usize, slack: f64) -> CapInstance {
+fn random_instance(
+    seed: u64,
+    servers: usize,
+    zones: usize,
+    clients: usize,
+    slack: f64,
+) -> CapInstance {
     let mut rng = StdRng::seed_from_u64(seed);
     let zone_of_client: Vec<usize> = (0..clients).map(|_| rng.gen_range(0..zones)).collect();
     let cs: Vec<f64> = (0..clients * servers)
@@ -40,8 +46,7 @@ fn random_instance(seed: u64, servers: usize, zones: usize, clients: usize, slac
         zone_load[z] += rt[c];
     }
     let max_zone = zone_load.iter().copied().fold(0.0, f64::max);
-    let capacity =
-        vec![(slack * (total_demand / servers as f64).max(max_zone)).max(1.0); servers];
+    let capacity = vec![(slack * (total_demand / servers as f64).max(max_zone)).max(1.0); servers];
     CapInstance::from_raw(servers, zones, zone_of_client, cs, ss, rt, capacity, 250.0)
 }
 
@@ -171,6 +176,104 @@ proptest! {
             let expect = inst.true_path_delay(c, a.contact_of_client[c], t);
             prop_assert!((m.delays[c] - expect).abs() < 1e-9);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn cost_matrix_equals_naive_scan(seed in any::<u64>(),
+                                     servers in 1usize..6,
+                                     zones in 1usize..10,
+                                     clients in 0usize..40) {
+        let inst = random_instance(seed, servers, zones, clients, 2.0);
+        let cm = CostMatrix::build(&inst);
+        for s in 0..servers {
+            for z in 0..zones {
+                prop_assert_eq!(cm.cost(s, z), inst.iap_cost(s, z),
+                    "C^I mismatch at server {} zone {}", s, z);
+            }
+        }
+        // The per-zone order is a permutation sorted by (cost, index).
+        for z in 0..zones {
+            let order = cm.order(z);
+            prop_assert_eq!(order.len(), servers);
+            for w in order.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                prop_assert!((cm.count(a, z), a) < (cm.count(b, z), b));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_eval_tracks_total_cost_over_random_moves(
+        seed in any::<u64>(),
+        servers in 2usize..5,
+        zones in 1usize..8,
+        clients in 0usize..30,
+        moves in 1usize..120,
+    ) {
+        let inst = random_instance(seed, servers, zones, clients, 2.0);
+        let cm = CostMatrix::build(&inst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe7a1);
+        let target: Vec<usize> = (0..zones).map(|_| rng.gen_range(0..servers)).collect();
+        let mut eval = IncrementalEval::new(&inst, &cm, &target);
+        for _ in 0..moves {
+            if rng.gen::<f64>() < 0.5 {
+                let z = rng.gen_range(0..zones);
+                let s = rng.gen_range(0..servers);
+                let predicted = eval.total_cost() + eval.shift_delta(z, s);
+                eval.apply_shift(z, s);
+                prop_assert_eq!(eval.total_cost(), predicted);
+            } else {
+                let a = rng.gen_range(0..zones);
+                let b = rng.gen_range(0..zones);
+                if a == b { continue; }
+                let predicted = eval.total_cost() + eval.swap_delta(a, b);
+                eval.apply_swap(a, b);
+                prop_assert_eq!(eval.total_cost(), predicted);
+            }
+            // The invariant of the engine: incremental total == naive
+            // resummation (exactly — counts are integers).
+            prop_assert_eq!(eval.total_cost(), iap_total_cost(&inst, eval.target()));
+            let mut loads = vec![0.0; servers];
+            for (z, &s) in eval.target().iter().enumerate() {
+                loads[s] += inst.zone_bps(z);
+            }
+            prop_assert_eq!(eval.loads(), &loads[..]);
+        }
+    }
+
+    #[test]
+    fn grez_bit_identical_to_reference(seed in any::<u64>(),
+                                       servers in 1usize..6,
+                                       zones in 1usize..10,
+                                       clients in 0usize..40) {
+        let inst = random_instance(seed, servers, zones, clients, 2.0);
+        prop_assert_eq!(
+            grez(&inst, StuckPolicy::BestEffort).unwrap(),
+            reference::grez_reference(&inst, StuckPolicy::BestEffort).unwrap()
+        );
+    }
+
+    #[test]
+    fn improve_iap_bit_identical_to_reference(seed in any::<u64>(),
+                                              servers in 2usize..5,
+                                              zones in 1usize..9,
+                                              clients in 0usize..35) {
+        // The perf refactor must cause no behavioural drift: from the
+        // same (random, feasible) start the engine path and the naive
+        // path must walk to the same local optimum with the same stats.
+        let inst = random_instance(seed, servers, zones, clients, 2.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb17);
+        let start = ranz(&inst, StuckPolicy::Strict, &mut rng).unwrap();
+        let mut fast = start.clone();
+        let mut naive = start;
+        let fast_stats = improve_iap(&inst, &mut fast, 40);
+        let naive_stats = reference::improve_iap_reference(&inst, &mut naive, 40);
+        prop_assert_eq!(&fast, &naive, "assignments diverged");
+        prop_assert_eq!(fast_stats, naive_stats);
     }
 }
 

@@ -127,10 +127,7 @@ impl Ord for Node {
 /// Builds the LP with fixed binaries substituted out. Returns the reduced
 /// LP, the map from reduced variable index to original index, and the
 /// objective constant contributed by the fixings.
-fn reduced_lp(
-    milp: &BinaryMilp,
-    fixed: &[i8],
-) -> (LinearProgram, Vec<usize>, f64) {
+fn reduced_lp(milp: &BinaryMilp, fixed: &[i8]) -> (LinearProgram, Vec<usize>, f64) {
     let n = milp.lp.num_vars();
     // fixed value per original var (None = free).
     let mut fixed_value: Vec<Option<f64>> = vec![None; n];
@@ -214,9 +211,7 @@ pub fn solve_milp(milp: &BinaryMilp, config: &BbConfig) -> Result<MilpOutcome, L
 
     while let Some(node) = heap.pop() {
         best_open_bound = node.bound;
-        if nodes >= config.node_limit
-            || config.time_limit.map_or(false, |t| start.elapsed() > t)
-        {
+        if nodes >= config.node_limit || config.time_limit.is_some_and(|t| start.elapsed() > t) {
             limits_hit = true;
             break;
         }
@@ -276,7 +271,7 @@ pub fn solve_milp(milp: &BinaryMilp, config: &BbConfig) -> Result<MilpOutcome, L
                 v.abs() <= config.integrality_tol || (v - 1.0).abs() <= config.integrality_tol;
             if !integral01 {
                 let dist_to_half = (v - 0.5).abs();
-                if branch.map_or(true, |(_, d)| dist_to_half < d) {
+                if branch.is_none_or(|(_, d)| dist_to_half < d) {
                     branch = Some((k, dist_to_half));
                 }
             }
@@ -292,7 +287,7 @@ pub fn solve_milp(milp: &BinaryMilp, config: &BbConfig) -> Result<MilpOutcome, L
                 if milp_feasible(milp, &full, config.integrality_tol)
                     && incumbent
                         .as_ref()
-                        .map_or(true, |(inc, _)| obj < inc - config.prune_tol)
+                        .is_none_or(|(inc, _)| obj < inc - config.prune_tol)
                 {
                     incumbent = Some((obj, full));
                 }

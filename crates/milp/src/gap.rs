@@ -122,7 +122,9 @@ impl GapInstance {
         // sum_j demand_ij x_ij <= capacity_i for every agent i
         for i in 0..m {
             lp.add_constraint(Constraint::le(
-                (0..n).map(|j| (self.var(i, j), self.demand[i][j])).collect(),
+                (0..n)
+                    .map(|j| (self.var(i, j), self.demand[i][j]))
+                    .collect(),
                 self.capacity[i],
             ));
         }
@@ -153,9 +155,7 @@ impl GapInstance {
             }
             used[i] += self.demand[i][j];
         }
-        used.iter()
-            .zip(&self.capacity)
-            .all(|(u, c)| *u <= c + 1e-9)
+        used.iter().zip(&self.capacity).all(|(u, c)| *u <= c + 1e-9)
     }
 
     /// Exact solve via branch-and-bound, warm-started with the regret
@@ -234,7 +234,7 @@ impl GapInstance {
                 }
             }
             if j == inst.tasks() {
-                let better = best.as_ref().map_or(true, |b| cost_so_far < b.cost);
+                let better = best.as_ref().is_none_or(|b| cost_so_far < b.cost);
                 if better {
                     *best = Some(GapSolution {
                         agent_of_task: assign.clone(),
@@ -247,7 +247,14 @@ impl GapInstance {
                 if used[i] + inst.demand[i][j] <= inst.capacity[i] + 1e-9 {
                     assign[j] = i;
                     used[i] += inst.demand[i][j];
-                    recurse(inst, j + 1, assign, used, cost_so_far + inst.cost[i][j], best);
+                    recurse(
+                        inst,
+                        j + 1,
+                        assign,
+                        used,
+                        cost_so_far + inst.cost[i][j],
+                        best,
+                    );
                     used[i] -= inst.demand[i][j];
                 }
             }
@@ -269,7 +276,7 @@ impl GapInstance {
                 best: &mut Option<GapSolution>,
             ) {
                 if j == inst.tasks() {
-                    if best.as_ref().map_or(true, |b| cost_so_far < b.cost) {
+                    if best.as_ref().is_none_or(|b| cost_so_far < b.cost) {
                         *best = Some(GapSolution {
                             agent_of_task: assign.clone(),
                             cost: cost_so_far,
@@ -281,7 +288,14 @@ impl GapInstance {
                     if used[i] + inst.demand[i][j] <= inst.capacity[i] + 1e-9 {
                         assign[j] = i;
                         used[i] += inst.demand[i][j];
-                        recurse_all(inst, j + 1, assign, used, cost_so_far + inst.cost[i][j], best);
+                        recurse_all(
+                            inst,
+                            j + 1,
+                            assign,
+                            used,
+                            cost_so_far + inst.cost[i][j],
+                            best,
+                        );
                         used[i] -= inst.demand[i][j];
                     }
                 }
@@ -327,7 +341,7 @@ impl GapInstance {
                             best = Some((i, c));
                         }
                         Some(_) => {
-                            if second.map_or(true, |s| c < s) {
+                            if second.is_none_or(|s| c < s) {
                                 second = Some(c);
                             }
                         }
@@ -335,7 +349,7 @@ impl GapInstance {
                 }
                 let (bi, bc) = best?; // stuck task -> give up
                 let regret = second.map_or(f64::INFINITY, |s| s - bc);
-                if pick.map_or(true, |(_, _, r)| regret > r) {
+                if pick.is_none_or(|(_, _, r)| regret > r) {
                     pick = Some((j, bi, regret));
                 }
             }

@@ -142,7 +142,7 @@ mod tests {
         let (asg, total) = hungarian(&cost);
         assert!((total - 5.0).abs() < 1e-9, "total {total}");
         // assignment is a permutation
-        let mut seen = vec![false; 3];
+        let mut seen = [false; 3];
         for &c in &asg {
             assert!(!seen[c]);
             seen[c] = true;
@@ -233,11 +233,7 @@ mod tests {
                 capacity: vec![3.0; 3],
             };
             let bound = capacity_free_bound(&inst.cost);
-            if let Some(sol) = inst
-                .solve_exact(&BbConfig::default())
-                .unwrap()
-                .solution()
-            {
+            if let Some(sol) = inst.solve_exact(&BbConfig::default()).unwrap().solution() {
                 assert!(bound <= sol.cost + 1e-9, "bound {bound} vs {}", sol.cost);
             }
         }

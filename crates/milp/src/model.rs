@@ -100,7 +100,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::VariableOutOfRange { constraint, var } => {
-                write!(f, "constraint {constraint} references unknown variable {var}")
+                write!(
+                    f,
+                    "constraint {constraint} references unknown variable {var}"
+                )
             }
             ModelError::NonFiniteValue { constraint } => {
                 if *constraint == usize::MAX {

@@ -116,7 +116,11 @@ impl Tableau {
     /// Runs simplex iterations until optimality/unboundedness.
     /// `allowed` restricts entering columns (used to ban artificials in
     /// phase 2).
-    fn run(&mut self, allowed: &dyn Fn(usize) -> bool, max_iters: usize) -> Result<PhaseOutcome, LpError> {
+    fn run(
+        &mut self,
+        allowed: &dyn Fn(usize) -> bool,
+        max_iters: usize,
+    ) -> Result<PhaseOutcome, LpError> {
         let bland_after = max_iters / 2;
         for iter in 0..max_iters {
             self.iterations += 1;
@@ -152,7 +156,7 @@ impl Tableau {
                     let ratio = self.rhs[r] / a;
                     let better = ratio < best_ratio - EPS
                         || (ratio < best_ratio + EPS
-                            && leave.map_or(true, |l| self.basis[r] < self.basis[l]));
+                            && leave.is_none_or(|l| self.basis[r] < self.basis[l]));
                     if better {
                         best_ratio = ratio;
                         leave = Some(r);

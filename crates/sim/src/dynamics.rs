@@ -87,12 +87,7 @@ pub fn run_dynamics_once(
         .map(|c| rep.instance.zone_of(c))
         .collect();
 
-    let outcome = apply_dynamics(
-        &rep.world,
-        batch,
-        rep.topology.node_count(),
-        &mut rep.rng,
-    );
+    let outcome = apply_dynamics(&rep.world, batch, rep.topology.node_count(), &mut rep.rng);
     let new_instance = CapInstance::build(
         &outcome.world,
         &rep.delays,

@@ -95,8 +95,8 @@ pub fn run_with_setup(setup: &SimSetup, options: &ExpOptions) -> Ablation {
             &mut rep.rng,
         );
 
-        let lp_rounded = lp_round_iap(inst, StuckPolicy::BestEffort)
-            .unwrap_or_else(|_| base.clone());
+        let lp_rounded =
+            lp_round_iap(inst, StuckPolicy::BestEffort).unwrap_or_else(|_| base.clone());
         let variants = [
             base.clone(),
             grez_no_regret(inst),

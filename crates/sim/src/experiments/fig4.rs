@@ -93,7 +93,11 @@ mod tests {
                 assert!(w[0] <= w[1] + 1e-12, "{} not monotone", s.algorithm);
             }
             let last = *s.cdf.last().unwrap();
-            assert!((last - 1.0).abs() < 1e-9, "{} should reach 1 at 500ms", s.algorithm);
+            assert!(
+                (last - 1.0).abs() < 1e-9,
+                "{} should reach 1 at 500ms",
+                s.algorithm
+            );
         }
         let rendered = fig.render();
         assert!(rendered.contains("delay(ms)"));

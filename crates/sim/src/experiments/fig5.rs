@@ -77,7 +77,11 @@ impl Fig5 {
             for (i, &d) in self.deltas.iter().enumerate() {
                 out.push_str(&format!("{:<12.1}", d));
                 for s in &self.series {
-                    let v = if pick == 0 { s.pqos[i] } else { s.utilization[i] };
+                    let v = if pick == 0 {
+                        s.pqos[i]
+                    } else {
+                        s.utilization[i]
+                    };
                     out.push_str(&format!("{:>12.3}", v));
                 }
                 out.push('\n');
@@ -118,8 +122,7 @@ mod tests {
                 runs,
                 ..Default::default()
             };
-            let stats =
-                run_experiment(&setup, &CapAlgorithm::HEURISTICS, StuckPolicy::BestEffort);
+            let stats = run_experiment(&setup, &CapAlgorithm::HEURISTICS, StuckPolicy::BestEffort);
             for (k, s) in stats.into_iter().enumerate() {
                 series[k].pqos.push(s.pqos.mean);
                 series[k].utilization.push(s.utilization.mean);

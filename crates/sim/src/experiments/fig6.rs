@@ -84,7 +84,11 @@ impl Fig6 {
             for (i, t) in self.types.iter().enumerate() {
                 out.push_str(&format!("{:<12}", t));
                 for s in &self.series {
-                    let v = if pick == 0 { s.pqos[i] } else { s.utilization[i] };
+                    let v = if pick == 0 {
+                        s.pqos[i]
+                    } else {
+                        s.utilization[i]
+                    };
                     out.push_str(&format!("{:>12.3}", v));
                 }
                 out.push('\n');
@@ -121,8 +125,7 @@ mod tests {
                 runs: 4,
                 ..Default::default()
             };
-            let stats =
-                run_experiment(&setup, &[CapAlgorithm::GreZVirC], StuckPolicy::BestEffort);
+            let stats = run_experiment(&setup, &[CapAlgorithm::GreZVirC], StuckPolicy::BestEffort);
             utils.push(stats[0].utilization.mean);
         }
         // types are [uniform, pw, vw, both] in Table 2 order.

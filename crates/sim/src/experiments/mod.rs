@@ -36,6 +36,10 @@ pub struct ExpOptions {
     pub exact_runs: usize,
     /// Base RNG seed.
     pub base_seed: u64,
+    /// Include the beyond-paper production scales (the
+    /// [`scaling::LARGE_TIER`] 50 000-client configuration) where an
+    /// experiment supports them.
+    pub large_scale: bool,
 }
 
 impl Default for ExpOptions {
@@ -44,6 +48,7 @@ impl Default for ExpOptions {
             runs: 50,
             exact_runs: 5,
             base_seed: 42,
+            large_scale: false,
         }
     }
 }
@@ -55,6 +60,7 @@ impl ExpOptions {
             runs: 3,
             exact_runs: 1,
             base_seed: 42,
+            large_scale: false,
         }
     }
 }

@@ -114,7 +114,9 @@ pub fn run_with(options: &ExpOptions, ticks: usize, batch: DynamicsBatch) -> Rep
                 let t0 = Instant::now();
                 states[0].migrations.push(0.0);
                 states[0].time_ms.push(t0.elapsed().as_secs_f64() * 1e3);
-                states[0].pqos.push(evaluate(&inst, &states[0].assignment).pqos);
+                states[0]
+                    .pqos
+                    .push(evaluate(&inst, &states[0].assignment).pqos);
             }
             // Strategy 1: Full re-execution (GreZ + GreC from scratch).
             {
@@ -123,13 +125,17 @@ pub fn run_with(options: &ExpOptions, ticks: usize, batch: DynamicsBatch) -> Rep
                 let targets = grez(&inst, StuckPolicy::BestEffort).expect("best effort");
                 let contacts = grec(&inst, &targets);
                 let elapsed = t0.elapsed().as_secs_f64() * 1e3;
-                states[1].migrations.push(zone_migrations(&prev, &targets) as f64);
+                states[1]
+                    .migrations
+                    .push(zone_migrations(&prev, &targets) as f64);
                 states[1].assignment = Assignment {
                     target_of_zone: targets,
                     contact_of_client: contacts,
                 };
                 states[1].time_ms.push(elapsed);
-                states[1].pqos.push(evaluate(&inst, &states[1].assignment).pqos);
+                states[1]
+                    .pqos
+                    .push(evaluate(&inst, &states[1].assignment).pqos);
             }
             // Strategy 2: incremental repair.
             {
@@ -140,7 +146,9 @@ pub fn run_with(options: &ExpOptions, ticks: usize, batch: DynamicsBatch) -> Rep
                 states[2].migrations.push(out.zones_migrated as f64);
                 states[2].assignment = out.assignment;
                 states[2].time_ms.push(elapsed);
-                states[2].pqos.push(evaluate(&inst, &states[2].assignment).pqos);
+                states[2]
+                    .pqos
+                    .push(evaluate(&inst, &states[2].assignment).pqos);
             }
         }
         states

@@ -36,10 +36,26 @@ pub struct Scaling {
     pub points: Vec<ScalePoint>,
 }
 
+/// The beyond-paper production tier: 100 servers, 1000 zones, 50 000
+/// clients (25× the paper's largest Table 1 configuration). Zone
+/// populations average 50, so the quadratic bandwidth model puts total
+/// demand around 52 Gbps; 65 Gbps capacity leaves realistic head-room.
+pub const LARGE_TIER: &str = "100s-1000z-50000c-65000cp";
+
+/// Scale points beyond the paper's proportions, opened up by the
+/// precomputed cost-matrix engine: a mid step and [`LARGE_TIER`].
+pub fn large_tiers() -> Vec<(usize, String)> {
+    vec![
+        (12_000, "60s-400z-12000c-12000cp".to_string()),
+        (50_000, LARGE_TIER.to_string()),
+    ]
+}
+
 /// Runs the scaling study. Scales follow the paper's proportions
-/// (1 server : 4 zones : 50 clients : 25 Mbps).
+/// (1 server : 4 zones : 50 clients : 25 Mbps); with
+/// `options.large_scale` the beyond-paper [`large_tiers`] are appended.
 pub fn run(options: &ExpOptions) -> Scaling {
-    let scales: Vec<(usize, String)> = [10usize, 20, 40, 80, 160]
+    let mut scales: Vec<(usize, String)> = [10usize, 20, 40, 80, 160]
         .iter()
         .map(|&s| {
             (
@@ -48,6 +64,9 @@ pub fn run(options: &ExpOptions) -> Scaling {
             )
         })
         .collect();
+    if options.large_scale {
+        scales.extend(large_tiers());
+    }
     let points = scales
         .into_iter()
         .map(|(clients, notation)| {
@@ -129,5 +148,24 @@ mod tests {
         // Quality must not collapse with scale.
         assert!(largest.pqos.mean > 0.8);
         assert!(s.render().contains("8000"));
+    }
+
+    #[test]
+    fn large_tier_notations_are_valid_and_appended() {
+        use dve_world::ScenarioConfig;
+        for (clients, notation) in large_tiers() {
+            let config = ScenarioConfig::from_notation(&notation).expect("valid tier notation");
+            assert_eq!(config.clients, clients);
+            // The quadratic bandwidth model must fit inside the tier's
+            // capacity at the mean zone population, or every replication
+            // would run over budget by construction.
+            let mean_pop = config.clients / config.zones;
+            let expected_demand = config.zones as f64 * config.bandwidth.zone_bps(mean_pop);
+            assert!(
+                expected_demand < config.total_capacity_bps,
+                "{notation}: expected demand {expected_demand:.2e} exceeds capacity"
+            );
+        }
+        assert_eq!(large_tiers().last().unwrap().1, LARGE_TIER);
     }
 }

@@ -50,9 +50,13 @@ pub fn run(options: &ExpOptions, exact_configs: usize) -> Table1 {
                     runs: options.exact_runs,
                     ..setup.clone()
                 };
-                run_experiment(&exact_setup, &[CapAlgorithm::Exact], StuckPolicy::BestEffort)
-                    .pop()
-                    .expect("one algorithm requested")
+                run_experiment(
+                    &exact_setup,
+                    &[CapAlgorithm::Exact],
+                    StuckPolicy::BestEffort,
+                )
+                .pop()
+                .expect("one algorithm requested")
             });
             Table1Row {
                 config: scenario.notation(),
@@ -64,7 +68,70 @@ pub fn run(options: &ExpOptions, exact_configs: usize) -> Table1 {
     Table1 { rows }
 }
 
+fn summary_json(s: &crate::stats::Summary) -> String {
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".to_string()
+        }
+    }
+    format!(
+        "{{\"n\":{},\"mean\":{},\"std_dev\":{},\"ci95\":{},\"min\":{},\"max\":{}}}",
+        s.n,
+        num(s.mean),
+        num(s.std_dev),
+        num(s.ci95),
+        num(s.min),
+        num(s.max)
+    )
+}
+
+fn algo_json(stats: &AlgoStats) -> String {
+    format!(
+        "{{\"algorithm\":\"{}\",\"pqos\":{},\"utilization\":{},\"exec_ms\":{},\"feasible_runs\":{},\"runs\":{}}}",
+        stats.algorithm,
+        summary_json(&stats.pqos),
+        summary_json(&stats.utilization),
+        summary_json(&stats.exec_ms),
+        stats.feasible_runs,
+        stats.runs
+    )
+}
+
 impl Table1 {
+    /// Machine-readable per-algorithm summaries (pQoS, utilisation and
+    /// **solve time**) — the perf baseline later changes are compared
+    /// against. Hand-rolled JSON: the workspace's serde is a vendored
+    /// no-op stub (see `vendor/README.md`).
+    pub fn to_json(&self, options: &ExpOptions) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"table1\",\n");
+        out.push_str(&format!("  \"runs\": {},\n", options.runs));
+        out.push_str(&format!("  \"exact_runs\": {},\n", options.exact_runs));
+        out.push_str(&format!("  \"base_seed\": {},\n", options.base_seed));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"config\": \"{}\", \"algorithms\": [\n",
+                row.config
+            ));
+            let mut algos: Vec<String> = row
+                .heuristics
+                .iter()
+                .map(|h| format!("      {}", algo_json(h)))
+                .collect();
+            if let Some(e) = &row.exact {
+                algos.push(format!("      {}", algo_json(e)));
+            }
+            out.push_str(&algos.join(",\n"));
+            out.push_str("\n    ]}");
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Renders the paper-style table, plus an execution-time appendix.
     pub fn render(&self) -> String {
         let mut out = String::new();

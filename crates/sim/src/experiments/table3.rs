@@ -74,7 +74,11 @@ mod tests {
                 .map(|a| a.name().to_string())
                 .collect(),
             records: vec![
-                DynamicsRecord { before: 0.59, after: 0.59, executed: 0.59 };
+                DynamicsRecord {
+                    before: 0.59,
+                    after: 0.59,
+                    executed: 0.59
+                };
                 4
             ],
         };

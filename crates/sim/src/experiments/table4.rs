@@ -103,7 +103,12 @@ mod tests {
         };
         // Rendering with empty stats would panic on indexing; build a
         // minimal correct value instead.
-        let quick = run(&ExpOptions { runs: 1, exact_runs: 1, base_seed: 1 });
+        let quick = run(&ExpOptions {
+            runs: 1,
+            exact_runs: 1,
+            base_seed: 1,
+            large_scale: false,
+        });
         let r = quick.render();
         assert!(r.contains("Table 4"));
         assert!(r.contains("GreZ-GreC"));

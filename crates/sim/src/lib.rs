@@ -29,7 +29,9 @@ mod runner;
 mod setup;
 pub mod stats;
 
-pub use dynamics::{carry_assignment, run_dynamics, run_dynamics_once, CarryPolicy, DynamicsRecord};
+pub use dynamics::{
+    carry_assignment, run_dynamics, run_dynamics_once, CarryPolicy, DynamicsRecord,
+};
 pub use repair::{repair_assignment, zone_migrations, RepairOutcome};
 pub use runner::{aggregate, run_experiment, run_replication, AlgoStats, RunRecord};
 pub use setup::{build_replication, Replication, SimSetup, TopologySpec};

@@ -4,9 +4,16 @@ fn main() {
     let mut fw = vec![];
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let topo = dve_topology::hierarchical(&dve_topology::HierarchicalConfig::default(), &mut rng);
+        let topo =
+            dve_topology::hierarchical(&dve_topology::HierarchicalConfig::default(), &mut rng);
         let m = dve_topology::DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
-        fw.push((m.fraction_within(250.0), m.fraction_within(200.0), m.mean_rtt()));
+        fw.push((
+            m.fraction_within(250.0),
+            m.fraction_within(200.0),
+            m.mean_rtt(),
+        ));
     }
-    for (a, b, c) in fw { println!("P(<=250)={a:.3}  P(<=200)={b:.3}  mean={c:.1}"); }
+    for (a, b, c) in fw {
+        println!("P(<=250)={a:.3}  P(<=200)={b:.3}  mean={c:.1}");
+    }
 }

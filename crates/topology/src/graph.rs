@@ -250,7 +250,7 @@ impl Graph {
                         continue;
                     }
                     let d = self.coord_dist(u, v);
-                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
                         best = Some((u, v, d));
                     }
                 }

@@ -83,7 +83,10 @@ impl TopologyStats {
         let clustering = if n == 0 {
             0.0
         } else {
-            (0..n).map(|v| clustering_coefficient(graph, v)).sum::<f64>() / n as f64
+            (0..n)
+                .map(|v| clustering_coefficient(graph, v))
+                .sum::<f64>()
+                / n as f64
         };
         let (diameter, mean_distance) = if n < 2 {
             (0.0, 0.0)

@@ -37,10 +37,7 @@ impl PartialOrd for HeapEntry {
 /// `(distances, predecessor)` where `predecessor[v]` is the node before
 /// `v` on a shortest path from `source` (`None` for the source and for
 /// unreachable nodes).
-pub fn dijkstra_with_predecessors(
-    graph: &Graph,
-    source: usize,
-) -> (Vec<f64>, Vec<Option<usize>>) {
+pub fn dijkstra_with_predecessors(graph: &Graph, source: usize) -> (Vec<f64>, Vec<Option<usize>>) {
     let n = graph.node_count();
     assert!(source < n, "source {source} out of range ({n} nodes)");
     let mut dist = vec![f64::INFINITY; n];

@@ -103,7 +103,7 @@ pub fn transit_stub<R: Rng + ?Sized>(config: &TransitStubConfig, rng: &mut R) ->
                 config.waxman,
                 rng,
             );
-            as_of_node.extend(std::iter::repeat(next_as).take(stub.len()));
+            as_of_node.extend(std::iter::repeat_n(next_as, stub.len()));
             next_as += 1;
             // Stub-to-transit uplink from a random stub router.
             let gw = stub[rng.gen_range(0..stub.len())];

@@ -178,16 +178,7 @@ pub fn waxman_incremental<R: Rng + ?Sized>(
 ) -> Graph {
     let mut g = Graph::new();
     let l = side * std::f64::consts::SQRT_2;
-    waxman_incremental_into(
-        &mut g,
-        n,
-        m,
-        Point::new(0.0, 0.0),
-        side,
-        l,
-        params,
-        rng,
-    );
+    waxman_incremental_into(&mut g, n, m, Point::new(0.0, 0.0), side, l, params, rng);
     g
 }
 
@@ -259,13 +250,7 @@ mod tests {
         let side = 1000.0;
         let avg_len = |beta: f64, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let g = waxman_incremental(
-                120,
-                2,
-                side,
-                WaxmanParams { alpha: 0.9, beta },
-                &mut rng,
-            );
+            let g = waxman_incremental(120, 2, side, WaxmanParams { alpha: 0.9, beta }, &mut rng);
             g.total_weight() / g.edge_count() as f64
         };
         let local = avg_len(0.02, 5);

@@ -134,7 +134,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let weights = vec![1.0; 10];
         let table = WeightedIndex::new(&weights);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for _ in 0..2000 {
             seen[m.sample_zone_weighted(0, &weights, &table, &mut rng)] = true;
         }

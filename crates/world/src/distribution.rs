@@ -119,11 +119,7 @@ impl WeightedIndex {
 /// at random across items. An alternative to the paper's 10x hot-zone
 /// model for studies of smoother popularity skew (real MMOG zone
 /// popularity is closer to Zipf than to two-level).
-pub fn zipf_weights<R: rand::Rng + ?Sized>(
-    items: usize,
-    exponent: f64,
-    rng: &mut R,
-) -> Vec<f64> {
+pub fn zipf_weights<R: rand::Rng + ?Sized>(items: usize, exponent: f64, rng: &mut R) -> Vec<f64> {
     assert!(exponent >= 0.0, "Zipf exponent must be >= 0");
     let mut ranks: Vec<usize> = (1..=items).collect();
     // Fisher-Yates shuffle so rank 1 lands on a random item.

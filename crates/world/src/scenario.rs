@@ -161,10 +161,15 @@ impl ScenarioConfig {
 
     /// The four DVE configurations of Table 1, smallest to largest.
     pub fn table1_configs() -> Vec<ScenarioConfig> {
-        ["5s-15z-200c-100cp", "10s-30z-400c-200cp", "20s-80z-1000c-500cp", "30s-160z-2000c-1000cp"]
-            .iter()
-            .map(|s| ScenarioConfig::from_notation(s).expect("static notation"))
-            .collect()
+        [
+            "5s-15z-200c-100cp",
+            "10s-30z-400c-200cp",
+            "20s-80z-1000c-500cp",
+            "30s-160z-2000c-1000cp",
+        ]
+        .iter()
+        .map(|s| ScenarioConfig::from_notation(s).expect("static notation"))
+        .collect()
     }
 }
 

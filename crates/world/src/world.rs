@@ -63,7 +63,10 @@ impl std::fmt::Display for WorldError {
         match self {
             WorldError::BadConfig(msg) => write!(f, "bad scenario config: {msg}"),
             WorldError::NotEnoughNodes { nodes, servers } => {
-                write!(f, "{servers} servers need distinct nodes, topology has {nodes}")
+                write!(
+                    f,
+                    "{servers} servers need distinct nodes, topology has {nodes}"
+                )
             }
         }
     }
@@ -82,14 +85,22 @@ impl World {
         rng: &mut R,
     ) -> Result<World, WorldError> {
         config.validate().map_err(WorldError::BadConfig)?;
-        assert_eq!(as_of_node.len(), num_nodes, "region labels must cover nodes");
+        assert_eq!(
+            as_of_node.len(),
+            num_nodes,
+            "region labels must cover nodes"
+        );
         if num_nodes < config.servers {
             return Err(WorldError::NotEnoughNodes {
                 nodes: num_nodes,
                 servers: config.servers,
             });
         }
-        let regions = as_of_node.iter().copied().max().map_or(1, |m| m as usize + 1);
+        let regions = as_of_node
+            .iter()
+            .copied()
+            .max()
+            .map_or(1, |m| m as usize + 1);
 
         // --- Servers: distinct random nodes, capacities per policy. ---
         let server_nodes = sample_distinct(num_nodes, config.servers, rng);

@@ -28,8 +28,8 @@ fn main() {
     // D = 60 ms (fast-paced FPS on a continental backbone).
     let mut scenario = ScenarioConfig::from_notation("5s-30z-600c-300cp").expect("notation");
     scenario.correlation = 0.6; // regional communities
-    let world = World::generate(&scenario, topo.node_count(), &topo.as_of_node, &mut rng)
-        .expect("world");
+    let world =
+        World::generate(&scenario, topo.node_count(), &topo.as_of_node, &mut rng).expect("world");
     print!("server PoPs: ");
     for (k, s) in world.servers.iter().enumerate() {
         print!("{}{}", if k > 0 { ", " } else { "" }, names[s.node]);
@@ -37,7 +37,10 @@ fn main() {
     println!("\n");
 
     let inst = CapInstance::build(&world, &delays, 0.5, 60.0, ErrorModel::KING, &mut rng);
-    println!("{:<12}{:>8}{:>8}{:>12}", "algorithm", "pQoS", "R", "forwarded");
+    println!(
+        "{:<12}{:>8}{:>8}{:>12}",
+        "algorithm", "pQoS", "R", "forwarded"
+    );
     for algo in CapAlgorithm::HEURISTICS {
         let a = solve(&inst, algo, StuckPolicy::BestEffort, &mut rng).expect("solve");
         let m = evaluate(&inst, &a);

@@ -14,8 +14,8 @@
 use dve::assign::{
     evaluate, exact_iap, grez, iap_total_cost, solve, BbConfig, CapAlgorithm, StuckPolicy,
 };
-use dve::sim::{build_replication, SimSetup, TopologySpec};
 use dve::prelude::HierarchicalConfig;
+use dve::sim::{build_replication, SimSetup, TopologySpec};
 use dve::world::ScenarioConfig;
 use std::time::Instant;
 

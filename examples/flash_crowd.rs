@@ -33,7 +33,10 @@ fn main() {
     )
     .expect("solve");
     let m0 = evaluate(&rep.instance, &steady);
-    println!("steady state: pQoS {:.3}, utilisation {:.3}", m0.pqos, m0.utilization);
+    println!(
+        "steady state: pQoS {:.3}, utilisation {:.3}",
+        m0.pqos, m0.utilization
+    );
 
     // Flash crowd: pick the busiest zone and march 30% of all players in,
     // with some background churn (simulated via joins/leaves).
@@ -58,9 +61,7 @@ fn main() {
             stormers += 1;
         }
     }
-    println!(
-        "flash crowd: {stormers} players storm zone {hot_zone} (+50 join, -50 leave)"
-    );
+    println!("flash crowd: {stormers} players storm zone {hot_zone} (+50 join, -50 leave)");
 
     let crowd_instance = CapInstance::build(
         &outcome.world,

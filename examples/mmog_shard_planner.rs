@@ -18,7 +18,10 @@ use dve::sim::{run_experiment, SimSetup, TopologySpec};
 fn main() {
     let target_pqos = 0.95;
     println!("MMOG shard planner: 2000 players, 160 zones, D = 250 ms");
-    println!("QoS target: {:.0}% of players within the bound\n", target_pqos * 100.0);
+    println!(
+        "QoS target: {:.0}% of players within the bound\n",
+        target_pqos * 100.0
+    );
     println!(
         "{:<10}{:>14}{:>12}{:>10}{:>8}",
         "servers", "capacity(Mbps)", "GreZ-GreC", "RanZ-VirC", "met?"
@@ -57,7 +60,7 @@ fn main() {
             );
             if met {
                 let cost = servers as f64 * 1.0 + capacity_mbps / 1000.0; // toy cost model
-                if cheapest.map_or(true, |(c, _, _)| cost < c) {
+                if cheapest.is_none_or(|(c, _, _)| cost < c) {
                     cheapest = Some((cost, servers, capacity_mbps));
                 }
             }

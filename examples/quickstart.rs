@@ -42,7 +42,10 @@ fn main() {
     let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
 
     // 4. Solve with each named algorithm and report.
-    println!("\n{:<12}{:>8}{:>8}{:>12}{:>12}", "algorithm", "pQoS", "R", "p50 delay", "p95 delay");
+    println!(
+        "\n{:<12}{:>8}{:>8}{:>12}{:>12}",
+        "algorithm", "pQoS", "R", "p50 delay", "p95 delay"
+    );
     for algo in CapAlgorithm::HEURISTICS {
         let assignment =
             solve(&inst, algo, StuckPolicy::BestEffort, &mut rng).expect("heuristics cannot fail");

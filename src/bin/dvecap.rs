@@ -70,7 +70,10 @@ fn flag_parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str,
 
 fn cmd_topology(flags: &HashMap<String, String>) -> ExitCode {
     let seed: u64 = flag_parse(flags, "seed", 42);
-    let kind = flags.get("kind").map(String::as_str).unwrap_or("hierarchical");
+    let kind = flags
+        .get("kind")
+        .map(String::as_str)
+        .unwrap_or("hierarchical");
     let mut rng = StdRng::seed_from_u64(seed);
     let topo: Topology = match kind {
         "hierarchical" => hierarchical(&HierarchicalConfig::default(), &mut rng),

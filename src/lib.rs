@@ -51,13 +51,9 @@ pub use dve_world as world;
 pub mod prelude {
     pub use dve_assign::{
         evaluate, grec, grez, ranz, solve, virc, Assignment, BbConfig, CapAlgorithm, CapInstance,
-        Metrics, StuckPolicy,
+        CostMatrix, IncrementalEval, Metrics, StuckPolicy,
     };
     pub use dve_sim::{run_experiment, SimSetup, TopologySpec};
-    pub use dve_topology::{
-        hierarchical, us_backbone, DelayMatrix, HierarchicalConfig, Topology,
-    };
-    pub use dve_world::{
-        BandwidthModel, DistributionType, ErrorModel, ScenarioConfig, World,
-    };
+    pub use dve_topology::{hierarchical, us_backbone, DelayMatrix, HierarchicalConfig, Topology};
+    pub use dve_world::{BandwidthModel, DistributionType, ErrorModel, ScenarioConfig, World};
 }

@@ -25,7 +25,10 @@ fn scenario_larger_than_topology_is_rejected() {
     let scenario = ScenarioConfig::default(); // 20 servers
     let labels = vec![0u16; 10];
     match World::generate(&scenario, 10, &labels, &mut rng) {
-        Err(WorldError::NotEnoughNodes { nodes: 10, servers: 20 }) => {}
+        Err(WorldError::NotEnoughNodes {
+            nodes: 10,
+            servers: 20,
+        }) => {}
         other => panic!("expected NotEnoughNodes, got {other:?}"),
     }
 }
@@ -70,7 +73,13 @@ fn overloaded_instance_strict_vs_best_effort() {
         Err(IapError::Infeasible)
     ));
     // Best effort completes, flags the overflow via validation.
-    let a = solve(&inst, CapAlgorithm::GreZGreC, StuckPolicy::BestEffort, &mut rng).unwrap();
+    let a = solve(
+        &inst,
+        CapAlgorithm::GreZGreC,
+        StuckPolicy::BestEffort,
+        &mut rng,
+    )
+    .unwrap();
     assert!(!a.is_feasible(&inst));
     assert!(!a.validate(&inst).is_empty());
 }

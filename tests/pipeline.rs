@@ -121,7 +121,13 @@ fn error_model_degrades_but_does_not_break() {
     let scenario = ScenarioConfig::from_notation("5s-15z-200c-100cp").unwrap();
     let world = World::generate(&scenario, topo.node_count(), &topo.as_of_node, &mut rng).unwrap();
     let noisy = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::IDMAPS, &mut rng);
-    let a = solve(&noisy, CapAlgorithm::GreZGreC, StuckPolicy::Strict, &mut rng).unwrap();
+    let a = solve(
+        &noisy,
+        CapAlgorithm::GreZGreC,
+        StuckPolicy::Strict,
+        &mut rng,
+    )
+    .unwrap();
     let m = evaluate(&noisy, &a);
     assert!(m.pqos > 0.3, "even with e=2 the greedy should do something");
     assert!(a.is_feasible(&noisy));
@@ -135,7 +141,13 @@ fn backbone_pipeline_works() {
     let scenario = ScenarioConfig::from_notation("4s-12z-150c-100cp").unwrap();
     let world = World::generate(&scenario, topo.node_count(), &topo.as_of_node, &mut rng).unwrap();
     let inst = CapInstance::build(&world, &delays, 0.5, 60.0, ErrorModel::PERFECT, &mut rng);
-    let a = solve(&inst, CapAlgorithm::GreZGreC, StuckPolicy::BestEffort, &mut rng).unwrap();
+    let a = solve(
+        &inst,
+        CapAlgorithm::GreZGreC,
+        StuckPolicy::BestEffort,
+        &mut rng,
+    )
+    .unwrap();
     let m = evaluate(&inst, &a);
     assert!((0.0..=1.0).contains(&m.pqos));
 }

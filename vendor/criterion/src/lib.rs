@@ -1,0 +1,313 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Implements the measurement surface this workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`](struct@BenchmarkGroup),
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple but
+//! honest timing loop: per sample, the measured closure is batched until
+//! the batch runs long enough for the monotonic clock to resolve it, and
+//! the reported statistics (median, min, max over samples) come from
+//! wall-clock time. No plotting, no HTML report, no statistical
+//! regression testing. See `vendor/README.md` for why external crates
+//! are vendored.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Respect the filter argument `cargo bench -- <filter>` passes;
+        // ignore harness flags such as `--bench`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op (CLI args are read in `default`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id.full_name(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            sample_size,
+        };
+        f(&mut bencher);
+        report(name, &bencher.samples);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Upstream-compatible knob; the vendored harness keeps its fixed
+    /// per-sample budget.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream finalises the report here; the vendored
+    /// harness reports eagerly).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match (&self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => format!("{}/{}", self.name, p),
+            (false, None) => self.name.clone(),
+            (true, Some(p)) => p.clone(),
+            (true, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, batching calls per sample so short closures are
+    /// resolvable by the monotonic clock.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and pick a batch size aiming at ~budget/sample_size per
+        // sample.
+        let started = Instant::now();
+        black_box(f());
+        let once = started.elapsed().max(Duration::from_nanos(50));
+        let per_sample = self.budget.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / once.as_secs_f64()).ceil() as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{name:<56} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    println!(
+        "{name:<56} time: [{} {} {}]",
+        format_time(min),
+        format_time(median),
+        format_time(max)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring upstream `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(10),
+            filter: None,
+        };
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                hits += 1;
+                black_box(hits)
+            })
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("alg", 42).full_name(), "alg/42");
+        assert_eq!(BenchmarkId::from("plain").full_name(), "plain");
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(2e-9).ends_with("ns"));
+        assert!(format_time(2e-6).ends_with("µs"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2.0).ends_with(" s"));
+    }
+}

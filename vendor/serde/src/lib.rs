@@ -1,0 +1,15 @@
+//! Offline stub of the `serde` facade: marker traits plus the no-op
+//! derive macros from the vendored `serde_derive`. Nothing in this
+//! workspace serialises through serde (JSON artefacts are written by
+//! hand), so the traits carry no methods; deriving them keeps the source
+//! compatible with the real serde stack. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stub for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stub for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

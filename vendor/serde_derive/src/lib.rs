@@ -1,0 +1,23 @@
+//! Offline stub of the `serde_derive` proc macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on result structs for
+//! forward compatibility, but nothing in-tree serialises through serde
+//! (JSON artefacts are emitted by hand). The derives therefore expand to
+//! nothing; swapping in the real serde stack later requires no source
+//! changes. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
