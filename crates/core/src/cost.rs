@@ -12,7 +12,12 @@
 //! server orderings and regrets the greedy needs) in one parallel
 //! O(k·m) pass, and [`IncrementalEval`] maintains server loads and the
 //! total cost (eq. 4) under shift/swap moves with O(1) delta
-//! evaluation. All counts are small integers stored exactly in `f64`, so
+//! evaluation. Under churn the matrix is **carried, not rebuilt**:
+//! [`CostMatrix::apply_delta`] consumes the structured
+//! [`WorldDelta`](dve_world::WorldDelta) of a join/leave/move batch and
+//! touches only the affected zone columns (each event changes at most
+//! two), and [`IncrementalEval::rebase`] re-syncs a carried target
+//! vector onto the updated instance in O(n + m). All counts are small integers stored exactly in `f64`, so
 //! every consumer sees **bit-identical costs** to the naive scan, and
 //! the deterministic searches (GreZ, [`improve_iap`](crate::improve_iap))
 //! make exactly the decisions the originals made, only faster — the
@@ -24,10 +29,15 @@
 //! step-for-step (see [`anneal_iap_with`](crate::anneal_iap_with)).
 
 use crate::instance::CapInstance;
+use dve_world::WorldDelta;
 
 /// Dense precomputation of the IAP cost `C^I` with the per-zone
 /// structures the greedy and local-search algorithms consume.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full precomputed state (counts, orderings,
+/// regrets) — the equivalence the churn property tests assert between a
+/// delta-updated matrix and a fresh build.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostMatrix {
     servers: usize,
     zones: usize,
@@ -86,19 +96,9 @@ impl CostMatrix {
         };
 
         let mut order = vec![0u32; n * m];
-        let mut regret = Vec::with_capacity(n);
+        let mut regret = vec![0.0; n];
         for z in 0..n {
-            let counts = &cost[z * m..(z + 1) * m];
-            let row = &mut order[z * m..(z + 1) * m];
-            for (i, slot) in row.iter_mut().enumerate() {
-                *slot = i as u32;
-            }
-            row.sort_unstable_by_key(|&s| (counts[s as usize], s));
-            regret.push(if m >= 2 {
-                f64::from(counts[row[1] as usize]) - f64::from(counts[row[0] as usize])
-            } else {
-                0.0
-            });
+            regret[z] = order_zone(&cost[z * m..(z + 1) * m], &mut order[z * m..(z + 1) * m]);
         }
         CostMatrix {
             servers: m,
@@ -106,6 +106,90 @@ impl CostMatrix {
             cost,
             order,
             regret,
+        }
+    }
+
+    /// Updates the matrix across a churn step by touching only the
+    /// affected zone columns, instead of rebuilding from all k clients.
+    ///
+    /// `old` is the instance the matrix currently describes, `new` the
+    /// post-delta instance (built by [`CapInstance::apply_delta`], so
+    /// survivor rows are carried): a leave subtracts the leaver's
+    /// violator indicators from its old zone (read from `old`), a join
+    /// adds the joiner's (read from `new`), and a move does one of each —
+    /// at most two columns per event. The per-zone orderings and regrets
+    /// are then re-derived for the touched zones only. Total work is
+    /// O(|delta|·m + t·m log m) for t touched zones, versus the O(k·m)
+    /// full [`CostMatrix::build`]; the result is **bit-identical** to a
+    /// fresh build on `new` (integer counts, same sort keys).
+    ///
+    /// This is the convenience form for when both instances are alive at
+    /// once. The churn engine carries the instance by value
+    /// ([`CapInstance::apply_delta`] consumes it), so it calls the two
+    /// phases directly: [`CostMatrix::retire_departures`] on the
+    /// pre-churn instance, then [`CostMatrix::admit_arrivals`] on the
+    /// carried one.
+    pub fn apply_delta(&mut self, old: &CapInstance, new: &CapInstance, delta: &WorldDelta) {
+        assert_eq!(
+            old.delay_bound(),
+            new.delay_bound(),
+            "delay bound must be unchanged"
+        );
+        self.retire_departures(old, delta);
+        self.admit_arrivals(new, delta);
+    }
+
+    /// Phase 1 of a churn update: subtract every departing row — leavers
+    /// from their zone, movers from their *from* zone — reading the rows
+    /// from the pre-churn instance (they may be recycled afterwards).
+    /// Orderings are not touched; [`CostMatrix::admit_arrivals`] must
+    /// follow with the same delta.
+    pub fn retire_departures(&mut self, pre: &CapInstance, delta: &WorldDelta) {
+        let m = self.servers;
+        assert_eq!(pre.num_servers(), m, "server set must be unchanged");
+        assert_eq!(pre.num_zones(), self.zones, "zone count must be unchanged");
+        let bound = pre.delay_bound();
+        for leave in &delta.leaves {
+            let counts = &mut self.cost[leave.zone * m..(leave.zone + 1) * m];
+            for (count, &delay) in counts.iter_mut().zip(pre.obs_cs_row(leave.client)) {
+                *count -= u32::from(delay > bound);
+            }
+        }
+        for mv in &delta.moves {
+            let counts = &mut self.cost[mv.from * m..(mv.from + 1) * m];
+            for (count, &delay) in counts.iter_mut().zip(pre.obs_cs_row(mv.old_index)) {
+                *count -= u32::from(delay > bound);
+            }
+        }
+    }
+
+    /// Phase 2 of a churn update: add every arriving row — joiners to
+    /// their zone, movers to their *to* zone — reading the rows from the
+    /// post-churn instance, then re-derive the ordering and regret of
+    /// every touched zone.
+    pub fn admit_arrivals(&mut self, post: &CapInstance, delta: &WorldDelta) {
+        let m = self.servers;
+        assert_eq!(post.num_servers(), m, "server set must be unchanged");
+        assert_eq!(post.num_zones(), self.zones, "zone count must be unchanged");
+        let bound = post.delay_bound();
+        for mv in &delta.moves {
+            let counts = &mut self.cost[mv.to * m..(mv.to + 1) * m];
+            for (count, &delay) in counts.iter_mut().zip(post.obs_cs_row(mv.new_index)) {
+                *count += u32::from(delay > bound);
+            }
+        }
+        for join in &delta.joins {
+            let counts = &mut self.cost[join.zone * m..(join.zone + 1) * m];
+            for (count, &delay) in counts.iter_mut().zip(post.obs_cs_row(join.client)) {
+                *count += u32::from(delay > bound);
+            }
+        }
+
+        for z in delta.touched_zones() {
+            self.regret[z] = order_zone(
+                &self.cost[z * m..(z + 1) * m],
+                &mut self.order[z * m..(z + 1) * m],
+            );
         }
     }
 
@@ -177,6 +261,22 @@ impl CostMatrix {
     }
 }
 
+/// Rebuilds one zone's desirability order in place and returns its
+/// regret: servers sorted by (cost ascending, index ascending), regret =
+/// second-best − best cost (0 with fewer than two servers).
+fn order_zone(counts: &[u32], row: &mut [u32]) -> f64 {
+    let m = counts.len();
+    for (i, slot) in row.iter_mut().enumerate() {
+        *slot = i as u32;
+    }
+    row.sort_unstable_by_key(|&s| (counts[s as usize], s));
+    if m >= 2 {
+        f64::from(counts[row[1] as usize]) - f64::from(counts[row[0] as usize])
+    } else {
+        0.0
+    }
+}
+
 /// Incremental evaluation state for IAP move-based search: maintains
 /// per-server loads and the total cost (eq. 4) of a target vector, with
 /// O(1) evaluation and application of shift and swap moves.
@@ -212,6 +312,30 @@ impl<'a> IncrementalEval<'a> {
             matrix,
             total_cost: matrix.total_cost(target_of_zone),
             target: target_of_zone.to_vec(),
+            loads,
+        }
+    }
+
+    /// Re-syncs the state onto a post-churn instance and delta-updated
+    /// matrix, carrying the target vector (the zone count is
+    /// churn-invariant, so a zone→server map survives any
+    /// [`WorldDelta`]). Loads and the total cost are recomputed against
+    /// the new zone bandwidths in O(n + m), reusing both buffers —
+    /// no O(k·m) work anywhere in the churn epoch.
+    pub fn rebase<'b>(self, inst: &'b CapInstance, matrix: &'b CostMatrix) -> IncrementalEval<'b> {
+        assert_eq!(self.target.len(), inst.num_zones());
+        assert_eq!(matrix.num_zones(), inst.num_zones());
+        let mut loads = self.loads;
+        loads.clear();
+        loads.resize(inst.num_servers(), 0.0);
+        for (z, &s) in self.target.iter().enumerate() {
+            loads[s] += inst.zone_bps(z);
+        }
+        IncrementalEval {
+            inst,
+            matrix,
+            total_cost: matrix.total_cost(&self.target),
+            target: self.target,
             loads,
         }
     }
@@ -423,6 +547,110 @@ mod tests {
         let delta = eval.swap_delta(1, 2);
         eval.apply_swap(1, 2);
         assert_eq!(eval.total_cost(), before + delta);
+    }
+
+    /// Churn fixture: a generated world, its instance/matrix, and a
+    /// dynamics outcome with the carried post-delta instance.
+    fn churn_fixture(
+        seed: u64,
+        joins: usize,
+        leaves: usize,
+        moves: usize,
+    ) -> (CapInstance, CapInstance, dve_world::DynamicsOutcome) {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::{apply_dynamics, DynamicsBatch, ErrorModel, ScenarioConfig, World};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = flat_waxman(40, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("4s-8z-80c-100cp").unwrap();
+        let world = World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
+        let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        let batch = DynamicsBatch {
+            joins,
+            leaves,
+            moves,
+        };
+        let outcome = apply_dynamics(&world, &batch, 40, &mut rng);
+        let carried = inst
+            .clone()
+            .apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+        (inst, carried, outcome)
+    }
+
+    #[test]
+    fn delta_update_matches_fresh_build() {
+        let (old, new, outcome) = churn_fixture(3, 20, 25, 15);
+        let mut matrix = CostMatrix::build(&old);
+        matrix.apply_delta(&old, &new, &outcome.delta);
+        assert_eq!(matrix, CostMatrix::build(&new));
+    }
+
+    #[test]
+    fn empty_delta_update_is_identity() {
+        let (old, new, outcome) = churn_fixture(5, 0, 0, 0);
+        let mut matrix = CostMatrix::build(&old);
+        let before = matrix.clone();
+        matrix.apply_delta(&old, &new, &outcome.delta);
+        assert_eq!(matrix, before);
+    }
+
+    #[test]
+    fn delta_update_chains_across_epochs() {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::{apply_dynamics, DynamicsBatch, ErrorModel, ScenarioConfig, World};
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let topo = flat_waxman(40, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("4s-8z-80c-100cp").unwrap();
+        let mut world = World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
+        let mut inst =
+            CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        let mut matrix = CostMatrix::build(&inst);
+        let batch = DynamicsBatch {
+            joins: 10,
+            leaves: 12,
+            moves: 8,
+        };
+        for epoch in 0..5 {
+            let outcome = apply_dynamics(&world, &batch, 40, &mut rng);
+            // Alternate between the convenience form and the two-phase
+            // form the engine uses around the consuming instance carry.
+            let new_inst = if epoch % 2 == 0 {
+                let new_inst =
+                    inst.clone()
+                        .apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+                matrix.apply_delta(&inst, &new_inst, &outcome.delta);
+                new_inst
+            } else {
+                matrix.retire_departures(&inst, &outcome.delta);
+                let new_inst = inst.apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+                matrix.admit_arrivals(&new_inst, &outcome.delta);
+                new_inst
+            };
+            assert_eq!(matrix, CostMatrix::build(&new_inst));
+            world = outcome.world;
+            inst = new_inst;
+        }
+    }
+
+    #[test]
+    fn rebase_carries_target_and_resyncs_state() {
+        let (old, new, outcome) = churn_fixture(7, 15, 20, 10);
+        let old_matrix = CostMatrix::build(&old);
+        let target: Vec<usize> = (0..old.num_zones())
+            .map(|z| z % old.num_servers())
+            .collect();
+        let eval = IncrementalEval::new(&old, &old_matrix, &target);
+
+        let mut new_matrix = old_matrix.clone();
+        new_matrix.apply_delta(&old, &new, &outcome.delta);
+        let rebased = eval.rebase(&new, &new_matrix);
+        assert_eq!(rebased.target(), &target[..]);
+        let fresh = IncrementalEval::new(&new, &new_matrix, &target);
+        assert_eq!(rebased.total_cost(), fresh.total_cost());
+        assert_eq!(rebased.loads(), fresh.loads());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! mesh of the GDSA.
 
 use dve_topology::DelayMatrix;
-use dve_world::{ErrorModel, World};
+use dve_world::{DynamicsOutcome, ErrorModel, World};
 use rand::Rng;
 
 /// Default inter-server provisioning factor from the paper.
@@ -34,7 +34,20 @@ pub struct CapInstance {
     clients: usize,
     servers: usize,
     zones: usize,
-    /// Observed client-to-server RTTs, `clients x servers` row-major.
+    /// Row slot of each client in the `obs_cs`/`true_cs` tables. A fresh
+    /// build is the identity map; [`CapInstance::apply_delta`] keeps
+    /// survivor rows in place and points joiners at leavers' freed slots,
+    /// which is what makes the churn carry O(k) instead of an O(k·m)
+    /// table copy. The tables may therefore hold more rows than there
+    /// are clients (bounded by the peak population seen so far).
+    row_of_client: Vec<u32>,
+    /// Row slots currently unreferenced (freed by leavers and not yet
+    /// recycled). Persisted across [`CapInstance::apply_delta`] calls so
+    /// a leave-heavy epoch's slots survive for later join-heavy epochs —
+    /// without this the tables would grow without bound under
+    /// imbalanced churn.
+    free_rows: Vec<u32>,
+    /// Observed client-to-server RTTs, `servers` per row slot.
     obs_cs: Vec<f64>,
     /// True client-to-server RTTs.
     true_cs: Vec<f64>,
@@ -133,6 +146,8 @@ impl CapInstance {
             clients,
             servers,
             zones,
+            row_of_client: (0..clients as u32).collect(),
+            free_rows: Vec::new(),
             obs_cs,
             true_cs,
             obs_ss,
@@ -144,6 +159,122 @@ impl CapInstance {
             capacity,
             delay_bound,
         }
+    }
+
+    /// Advances this instance across a churn step without rebuilding the
+    /// k×m delay tables — the delta-aware path of the churn engine.
+    ///
+    /// Surviving clients keep both their true and their *observed* delay
+    /// rows (a monitoring system's estimates persist across zone churn;
+    /// nothing about a join elsewhere changes what this client measured).
+    /// The rows never move: the carry rewrites only the client→row-slot
+    /// map, hands leavers' freed slots to joiners (growing the tables
+    /// only when an epoch joins more than it loses), and re-derives the
+    /// zone membership, populations, and the population-dependent
+    /// bandwidth terms (`R^T_c`, `R_z`) for the new world. Total work is
+    /// O(k + joins·m) versus the O(k·m) delay-matrix lookups plus error
+    /// sampling of a fresh [`CapInstance::build`] — which is why the
+    /// method consumes `self` instead of copying the tables.
+    ///
+    /// Every accessor of the result is **bit-identical** to a fresh
+    /// build on `outcome.world` under the perfect error model (survivor
+    /// rows carry the very same values a rebuild would recompute), which
+    /// is what makes the delta-path rewiring of the Table 3 protocol
+    /// behavior-preserving. With an imperfect model the semantics
+    /// deliberately differ: a fresh build would re-sample every
+    /// estimate, the carried instance re-samples only the joiners'.
+    ///
+    /// The server set, provisioning, and delay bound must be unchanged —
+    /// dynamics only touch the client population. When a [`CostMatrix`]
+    /// rides along, call
+    /// [`CostMatrix::retire_departures`](crate::CostMatrix::retire_departures)
+    /// *before* this method (departed rows are gone afterwards) and
+    /// [`CostMatrix::admit_arrivals`](crate::CostMatrix::admit_arrivals)
+    /// after.
+    pub fn apply_delta<R: Rng + ?Sized>(
+        mut self,
+        outcome: &DynamicsOutcome,
+        delays: &DelayMatrix,
+        error: ErrorModel,
+        rng: &mut R,
+    ) -> CapInstance {
+        let world = &outcome.world;
+        let m = self.servers;
+        assert_eq!(world.servers.len(), m, "dynamics must not change servers");
+        assert_eq!(world.zones, self.zones, "dynamics must not change zones");
+        assert_eq!(outcome.carried_from.len(), world.clients.len());
+
+        let clients = world.clients.len();
+        let server_nodes: Vec<usize> = world.servers.iter().map(|s| s.node).collect();
+
+        // Leavers' row slots join the persistent free list for joiners
+        // (this epoch's or a later one's) to reuse.
+        let mut free = std::mem::take(&mut self.free_rows);
+        free.extend(
+            outcome
+                .delta
+                .leaves
+                .iter()
+                .map(|l| self.row_of_client[l.client]),
+        );
+
+        let mut row_of_client = Vec::with_capacity(clients);
+        for (new_idx, prov) in outcome.carried_from.iter().enumerate() {
+            match prov {
+                Some(old) => row_of_client.push(self.row_of_client[*old]),
+                None => {
+                    let slot = free.pop().unwrap_or_else(|| {
+                        let slot = (self.true_cs.len() / m) as u32;
+                        self.true_cs.resize((slot as usize + 1) * m, 0.0);
+                        self.obs_cs.resize((slot as usize + 1) * m, 0.0);
+                        slot
+                    });
+                    let base = slot as usize * m;
+                    let node = world.clients[new_idx].node;
+                    for (j, &server_node) in server_nodes.iter().enumerate() {
+                        let d = delays.rtt(node, server_node);
+                        self.true_cs[base + j] = d;
+                        // `observe` returns `d` untouched (no RNG draw)
+                        // under the perfect model.
+                        self.obs_cs[base + j] = error.observe(d, rng);
+                    }
+                    row_of_client.push(slot);
+                }
+            }
+        }
+        self.row_of_client = row_of_client;
+        self.free_rows = free;
+        self.clients = clients;
+
+        // Zone bookkeeping and the population-dependent bandwidths are
+        // O(k), reusing the existing buffers.
+        self.zone_of_client.clear();
+        self.zone_of_client
+            .extend(world.clients.iter().map(|c| c.zone));
+        for members in &mut self.clients_of_zone {
+            members.clear();
+        }
+        for (c, &z) in self.zone_of_client.iter().enumerate() {
+            self.clients_of_zone[z].push(c);
+        }
+        self.client_target_bps.clear();
+        self.client_target_bps
+            .extend(self.zone_of_client.iter().map(|&z| {
+                world
+                    .config
+                    .bandwidth
+                    .client_target_bps(self.clients_of_zone[z].len())
+            }));
+        for (z, bps) in self.zone_bps.iter_mut().enumerate() {
+            *bps = world
+                .config
+                .bandwidth
+                .zone_bps(self.clients_of_zone[z].len());
+        }
+        self.capacity.clear();
+        self.capacity
+            .extend(world.servers.iter().map(|s| s.capacity_bps));
+        self
     }
 
     /// Builds an instance directly from raw parts (tests and synthetic
@@ -177,6 +308,8 @@ impl CapInstance {
             clients,
             servers,
             zones,
+            row_of_client: (0..clients as u32).collect(),
+            free_rows: Vec::new(),
             obs_cs: cs.clone(),
             true_cs: cs,
             obs_ss: ss.clone(),
@@ -193,6 +326,14 @@ impl CapInstance {
     /// Number of clients `k`.
     pub fn num_clients(&self) -> usize {
         self.clients
+    }
+
+    /// Number of row slots the delay tables currently hold (diagnostics:
+    /// `>= num_clients`, bounded by the peak population this instance
+    /// chain has seen — [`CapInstance::apply_delta`] recycles leavers'
+    /// slots instead of growing the tables).
+    pub fn table_rows(&self) -> usize {
+        self.true_cs.len().checked_div(self.servers).unwrap_or(0)
     }
 
     /// Number of servers `m`.
@@ -220,10 +361,17 @@ impl CapInstance {
         &self.clients_of_zone[z]
     }
 
+    /// Row slot of client `c` in the delay tables (identity on a fresh
+    /// build; [`CapInstance::apply_delta`] remaps it).
+    #[inline]
+    fn row(&self, c: usize) -> usize {
+        self.row_of_client[c] as usize
+    }
+
     /// Observed client→server RTT (what algorithms use).
     #[inline]
     pub fn obs_cs(&self, c: usize, s: usize) -> f64 {
-        self.obs_cs[c * self.servers + s]
+        self.obs_cs[self.row(c) * self.servers + s]
     }
 
     /// Observed RTTs from client `c` to every server (row of the k×m
@@ -232,13 +380,14 @@ impl CapInstance {
     /// delays without per-entry index arithmetic.
     #[inline]
     pub fn obs_cs_row(&self, c: usize) -> &[f64] {
-        &self.obs_cs[c * self.servers..(c + 1) * self.servers]
+        let base = self.row(c) * self.servers;
+        &self.obs_cs[base..base + self.servers]
     }
 
     /// True client→server RTT (what QoS is judged on).
     #[inline]
     pub fn true_cs(&self, c: usize, s: usize) -> f64 {
-        self.true_cs[c * self.servers + s]
+        self.true_cs[self.row(c) * self.servers + s]
     }
 
     /// Observed server→server RTT (provisioned).
@@ -415,6 +564,147 @@ mod tests {
                 assert!((inst.true_ss(a, b) - 0.5 * raw).abs() < 1e-9);
                 // Perfect error: observed == true.
                 assert_eq!(inst.obs_ss(a, b), inst.true_ss(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_fresh_build_under_perfect_error() {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::{apply_dynamics, DynamicsBatch, ScenarioConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let topo = flat_waxman(40, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("4s-8z-60c-100cp").unwrap();
+        let world = dve_world::World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
+        let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+
+        let batch = DynamicsBatch {
+            joins: 15,
+            leaves: 20,
+            moves: 10,
+        };
+        let outcome = apply_dynamics(&world, &batch, 40, &mut rng);
+        let carried = inst
+            .clone()
+            .apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+        let fresh = CapInstance::build(
+            &outcome.world,
+            &delays,
+            0.5,
+            250.0,
+            ErrorModel::PERFECT,
+            &mut rng,
+        );
+
+        assert_eq!(carried.num_clients(), fresh.num_clients());
+        assert_eq!(carried.num_zones(), fresh.num_zones());
+        for c in 0..fresh.num_clients() {
+            assert_eq!(carried.zone_of(c), fresh.zone_of(c));
+            assert_eq!(carried.client_target_bps(c), fresh.client_target_bps(c));
+            for s in 0..fresh.num_servers() {
+                assert_eq!(carried.obs_cs(c, s), fresh.obs_cs(c, s), "c={c} s={s}");
+                assert_eq!(carried.true_cs(c, s), fresh.true_cs(c, s));
+            }
+        }
+        for z in 0..fresh.num_zones() {
+            assert_eq!(carried.zone_bps(z), fresh.zone_bps(z));
+            assert_eq!(carried.clients_in_zone(z), fresh.clients_in_zone(z));
+        }
+        for a in 0..fresh.num_servers() {
+            assert_eq!(carried.capacity(a), fresh.capacity(a));
+            for b in 0..fresh.num_servers() {
+                assert_eq!(carried.obs_ss(a, b), fresh.obs_ss(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_recycles_slots_under_imbalanced_churn() {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::{apply_dynamics, DynamicsBatch, ScenarioConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(23);
+        let topo = flat_waxman(40, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("4s-8z-80c-100cp").unwrap();
+        let mut world =
+            dve_world::World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
+        let mut inst =
+            CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        assert_eq!(inst.table_rows(), 80);
+
+        // Alternate leave-heavy and join-heavy epochs: slots freed in one
+        // epoch must be recycled by a *later* epoch's joiners, so the
+        // tables stay bounded by the peak population instead of growing
+        // by 30 rows per cycle.
+        let drain = DynamicsBatch {
+            joins: 0,
+            leaves: 30,
+            moves: 5,
+        };
+        let refill = DynamicsBatch {
+            joins: 30,
+            leaves: 0,
+            moves: 5,
+        };
+        for cycle in 0..5 {
+            for batch in [&drain, &refill] {
+                let outcome = apply_dynamics(&world, batch, 40, &mut rng);
+                inst = inst.apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+                world = outcome.world;
+                assert!(
+                    inst.table_rows() <= 80,
+                    "cycle {cycle}: tables grew to {} rows for {} clients",
+                    inst.table_rows(),
+                    inst.num_clients()
+                );
+            }
+            assert_eq!(inst.num_clients(), 80);
+        }
+    }
+
+    #[test]
+    fn apply_delta_keeps_survivor_estimates_under_error() {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::{apply_dynamics, DynamicsBatch, ScenarioConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(19);
+        let topo = flat_waxman(40, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("4s-8z-60c-100cp").unwrap();
+        let world = dve_world::World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
+        let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::IDMAPS, &mut rng);
+
+        let batch = DynamicsBatch {
+            joins: 5,
+            leaves: 5,
+            moves: 5,
+        };
+        let outcome = apply_dynamics(&world, &batch, 40, &mut rng);
+        let carried = inst
+            .clone()
+            .apply_delta(&outcome, &delays, ErrorModel::IDMAPS, &mut rng);
+        for (new_idx, prov) in outcome.carried_from.iter().enumerate() {
+            if let Some(old) = prov {
+                for s in 0..inst.num_servers() {
+                    // Survivors keep the very estimates they already had.
+                    assert_eq!(carried.obs_cs(new_idx, s), inst.obs_cs(*old, s));
+                }
+            } else {
+                for s in 0..inst.num_servers() {
+                    // Joiners' estimates stay within the error envelope.
+                    let t = carried.true_cs(new_idx, s);
+                    let o = carried.obs_cs(new_idx, s);
+                    assert!(o >= t / 2.0 - 1e-9 && o <= t * 2.0 + 1e-9);
+                }
             }
         }
     }

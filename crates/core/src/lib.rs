@@ -92,7 +92,10 @@ pub use joint::{exact_joint_cap, joint_milp, JointError, JointOutcome};
 pub use local_search::{improve_iap, improve_iap_with, LocalSearchStats};
 pub use lp_round::{iap_lower_bound, iap_lp_bound, lp_round_iap};
 pub use metrics::{cdf_at, evaluate, fig4_grid, Metrics};
-pub use rap::{exact_rap, grec, rap_gap, rap_total_cost, violating_clients, virc, RapError};
+pub use rap::{
+    exact_rap, exact_rap_with, grec, grec_with, rap_gap, rap_gap_with, rap_total_cost,
+    violating_clients, virc, RapError, RelayTable,
+};
 pub use two_phase::{
     solve, solve_iap, solve_rap, solve_with, CapAlgorithm, IapMethod, RapMethod, SolveError,
 };

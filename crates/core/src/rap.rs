@@ -11,6 +11,21 @@
 //!   branch-and-bound, using the exact reduction to the violating list
 //!   (clients already within the bound optimally stay on their target at
 //!   zero cost and zero extra resource).
+//!
+//! ## The relay table
+//!
+//! Both cost-driven RAP solvers are driven by `C^R_cs` — the residual
+//! delay over the bound of reaching client `c`'s target through contact
+//! `s` (eq. 8). [`RelayTable`] evaluates that cost **once** per
+//! (violating client, contact) pair — what [`CostMatrix`](crate::CostMatrix)
+//! is to the IAP phase, this is to the RAP phase: GreC's desirability
+//! sort, its warm start inside the exact solver, and the exact solver's
+//! GAP build all read the same precomputed row instead of re-evaluating
+//! the path-delay formula in their inner loops. [`grec_with`] and
+//! [`exact_rap_with`] consume a prebuilt table; the plain-named variants
+//! build one internally. Entries are the identical `f64`s the naive
+//! evaluation produces, so decisions are bit-identical (property-tested
+//! against [`crate::reference`]).
 
 use crate::instance::CapInstance;
 use dve_milp::{BbConfig, GapInstance, GapOutcome, LpError};
@@ -55,31 +70,124 @@ fn zone_loads(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<f64> {
     loads
 }
 
+/// Precomputed `C^R` relay costs for one (instance, target vector) pair.
+///
+/// Row `r` holds, for violating client `violating()[r]`, the cost of
+/// routing through every candidate contact server — eq. 8 evaluated once
+/// per pair, in a parallel pass, instead of inside every consumer's
+/// inner loop. Entries are bit-identical to
+/// [`CapInstance::rap_cost`], so table-driven solvers make exactly the
+/// decisions the naive ones made.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayTable {
+    servers: usize,
+    /// The violating list `L_E`, ascending client index.
+    le: Vec<usize>,
+    /// `C^R` costs, `L_E`-major: row `r` belongs to client `le[r]`.
+    cost: Vec<f64>,
+}
+
+impl RelayTable {
+    /// Builds the table for a target vector: finds the violating list and
+    /// evaluates its full m-wide cost rows, on
+    /// [`dve_par::par_map`] when more than one worker is available.
+    pub fn build(inst: &CapInstance, target_of_zone: &[usize]) -> RelayTable {
+        let m = inst.num_servers();
+        let le = violating_clients(inst, target_of_zone);
+        let cost: Vec<f64> = if dve_par::default_threads() <= 1 || le.len() <= 1 {
+            let mut cost = Vec::with_capacity(le.len() * m);
+            for &c in &le {
+                let t = target_of_zone[inst.zone_of(c)];
+                cost.extend((0..m).map(|s| inst.rap_cost(c, s, t)));
+            }
+            cost
+        } else {
+            let rows: Vec<Vec<f64>> = dve_par::par_map(&le, |&c| {
+                let t = target_of_zone[inst.zone_of(c)];
+                (0..m).map(|s| inst.rap_cost(c, s, t)).collect()
+            });
+            let mut cost = Vec::with_capacity(le.len() * m);
+            for row in rows {
+                cost.extend_from_slice(&row);
+            }
+            cost
+        };
+        RelayTable {
+            servers: m,
+            le,
+            cost,
+        }
+    }
+
+    /// The violating list `L_E` (ascending client index).
+    pub fn violating(&self) -> &[usize] {
+        &self.le
+    }
+
+    /// Whether no client violates its target-delay bound.
+    pub fn is_empty(&self) -> bool {
+        self.le.is_empty()
+    }
+
+    /// `C^R` of routing `violating()[row]` through contact `server`.
+    #[inline]
+    pub fn cost(&self, row: usize, server: usize) -> f64 {
+        self.cost[row * self.servers + server]
+    }
+
+    /// The full cost row of `violating()[row]`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.cost[row * self.servers..(row + 1) * self.servers]
+    }
+}
+
 /// **GreC** — greedy assignment of clients (Fig. 3 of the paper).
 ///
 /// Deterministic given the instance and targets. The regret `rho` follows
 /// the same sign-fixed Romeijn–Morales convention as
-/// [`grez`](crate::iap::grez).
+/// [`grez`](crate::iap::grez). Evaluates eq. 8 inline — the single-shot
+/// path has no table to amortise; use [`grec_with`] when a
+/// [`RelayTable`] is shared across consumers (as [`exact_rap_with`] and
+/// the churn engine do).
 pub fn grec(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<usize> {
+    let le = violating_clients(inst, target_of_zone);
+    grec_impl(inst, target_of_zone, &le, |k, s| {
+        let c = le[k];
+        inst.rap_cost(c, s, target_of_zone[inst.zone_of(c)])
+    })
+}
+
+/// [`grec`] on a prebuilt [`RelayTable`] (which must describe the same
+/// instance and target vector).
+pub fn grec_with(inst: &CapInstance, target_of_zone: &[usize], table: &RelayTable) -> Vec<usize> {
+    grec_impl(inst, target_of_zone, table.violating(), |k, s| {
+        table.cost(k, s)
+    })
+}
+
+/// The one GreC implementation, generic over where `C^R` of
+/// (violating-row `k`, server `s`) comes from — the inline eq. 8
+/// evaluation or a [`RelayTable`] row. Both sources produce the same
+/// `f64`s, so the two public entry points are bit-identical.
+fn grec_impl<F: Fn(usize, usize) -> f64>(
+    inst: &CapInstance,
+    target_of_zone: &[usize],
+    le: &[usize],
+    cost: F,
+) -> Vec<usize> {
     let m = inst.num_servers();
-    let mut contact = vec![usize::MAX; inst.num_clients()];
+    // Clients off the violating list keep the natural connection.
+    let mut contact: Vec<usize> = (0..inst.num_clients())
+        .map(|c| target_of_zone[inst.zone_of(c)])
+        .collect();
     let mut loads = zone_loads(inst, target_of_zone);
-    let mut le: Vec<usize> = Vec::new();
-    for c in 0..inst.num_clients() {
-        let t = target_of_zone[inst.zone_of(c)];
-        if inst.obs_cs(c, t) <= inst.delay_bound() {
-            contact[c] = t; // within bound: keep the natural connection
-        } else {
-            le.push(c);
-        }
-    }
 
     // Desirability lists over all servers for each violating client.
     let mut lists: Vec<Vec<(f64, usize)>> = Vec::with_capacity(le.len());
     let mut regret: Vec<(f64, usize)> = Vec::with_capacity(le.len());
-    for (k, &c) in le.iter().enumerate() {
-        let t = target_of_zone[inst.zone_of(c)];
-        let mut mu: Vec<(f64, usize)> = (0..m).map(|s| (-inst.rap_cost(c, s, t), s)).collect();
+    for k in 0..le.len() {
+        let mut mu: Vec<(f64, usize)> = (0..m).map(|s| (-cost(k, s), s)).collect();
         mu.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
         let rho = if m >= 2 { mu[0].0 - mu[1].0 } else { 0.0 };
         regret.push((rho, k));
@@ -90,7 +198,6 @@ pub fn grec(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<usize> {
     for &(_, k) in &regret {
         let c = le[k];
         let t = target_of_zone[inst.zone_of(c)];
-        let mut placed = false;
         for &(_, s) in &lists[k] {
             let rc = if s == t {
                 0.0
@@ -100,14 +207,11 @@ pub fn grec(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<usize> {
             if loads[s] + rc <= inst.capacity(s) + 1e-9 {
                 contact[c] = s;
                 loads[s] += rc;
-                placed = true;
                 break;
             }
         }
-        if !placed {
-            // Fall back to the target: zero extra load, always available.
-            contact[c] = t;
-        }
+        // If nothing fit, `contact[c]` still holds the target: zero extra
+        // load, always available — the explicit fallback of Fig. 3.
     }
     contact
 }
@@ -123,11 +227,41 @@ pub fn violating_clients(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<us
         .collect()
 }
 
+/// The GAP reduction's constraint side, shared by both cost-row sources:
+/// demand rows (forwarding overhead off-target, zero on-target) and the
+/// residual capacities — clamped at zero so an (infeasible) overfull
+/// zone assignment still admits the contact = target column.
+fn gap_constraints(
+    inst: &CapInstance,
+    target_of_zone: &[usize],
+    le: &[usize],
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let m = inst.num_servers();
+    let loads = zone_loads(inst, target_of_zone);
+    let demand = (0..m)
+        .map(|s| {
+            le.iter()
+                .map(|&c| {
+                    if s == target_of_zone[inst.zone_of(c)] {
+                        0.0
+                    } else {
+                        inst.client_forwarding_bps(c)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let capacity = (0..m)
+        .map(|s| (inst.capacity(s) - loads[s]).max(0.0))
+        .collect();
+    (demand, capacity)
+}
+
 /// Builds the GAP form of Definition 2.3 restricted to the violating list
 /// (exact reduction: within-bound clients stay at cost 0 / demand 0).
 pub fn rap_gap(inst: &CapInstance, target_of_zone: &[usize], le: &[usize]) -> GapInstance {
     let m = inst.num_servers();
-    let loads = zone_loads(inst, target_of_zone);
+    let (demand, capacity) = gap_constraints(inst, target_of_zone, le);
     GapInstance {
         cost: (0..m)
             .map(|s| {
@@ -136,42 +270,62 @@ pub fn rap_gap(inst: &CapInstance, target_of_zone: &[usize], le: &[usize]) -> Ga
                     .collect()
             })
             .collect(),
-        demand: (0..m)
-            .map(|s| {
-                le.iter()
-                    .map(|&c| {
-                        if s == target_of_zone[inst.zone_of(c)] {
-                            0.0
-                        } else {
-                            inst.client_forwarding_bps(c)
-                        }
-                    })
-                    .collect()
-            })
-            .collect(),
-        // Residual capacity; clamp at zero so an (infeasible) overfull
-        // zone assignment still admits the contact = target column.
-        capacity: (0..m)
-            .map(|s| (inst.capacity(s) - loads[s]).max(0.0))
-            .collect(),
+        demand,
+        capacity,
     }
 }
 
-/// Exact RAP via branch-and-bound, warm-started with [`grec`].
+/// [`rap_gap`] reading the precomputed costs of a [`RelayTable`] instead
+/// of re-evaluating eq. 8 per (server, client) cell.
+pub fn rap_gap_with(
+    inst: &CapInstance,
+    target_of_zone: &[usize],
+    table: &RelayTable,
+) -> GapInstance {
+    let m = inst.num_servers();
+    let le = table.violating();
+    let (demand, capacity) = gap_constraints(inst, target_of_zone, le);
+    GapInstance {
+        cost: (0..m)
+            .map(|s| (0..le.len()).map(|k| table.cost(k, s)).collect())
+            .collect(),
+        demand,
+        capacity,
+    }
+}
+
+/// Exact RAP via branch-and-bound, warm-started with [`grec`]. Builds a
+/// [`RelayTable`] internally; use [`exact_rap_with`] to share one.
 pub fn exact_rap(
     inst: &CapInstance,
     target_of_zone: &[usize],
     config: &BbConfig,
 ) -> Result<Vec<usize>, RapError> {
-    let le = violating_clients(inst, target_of_zone);
+    exact_rap_with(
+        inst,
+        target_of_zone,
+        &RelayTable::build(inst, target_of_zone),
+        config,
+    )
+}
+
+/// [`exact_rap`] on a prebuilt [`RelayTable`]: the violating list, the
+/// GreC warm start, and the GAP cost rows all come from the one table.
+pub fn exact_rap_with(
+    inst: &CapInstance,
+    target_of_zone: &[usize],
+    table: &RelayTable,
+    config: &BbConfig,
+) -> Result<Vec<usize>, RapError> {
+    let le = table.violating();
     let mut contact = virc(inst, target_of_zone);
     if le.is_empty() {
         return Ok(contact);
     }
-    let gap = rap_gap(inst, target_of_zone, &le);
+    let gap = rap_gap_with(inst, target_of_zone, table);
     let mut config = config.clone();
     if config.initial_incumbent.is_none() {
-        let greedy = grec(inst, target_of_zone);
+        let greedy = grec_with(inst, target_of_zone, table);
         let mut values = vec![0.0; inst.num_servers() * le.len()];
         let mut cost = 0.0;
         let mut feasible_seed = true;
@@ -324,6 +478,56 @@ mod tests {
         assert_eq!(rap_total_cost(&inst, &targets, &[0, 0]), 50.0);
         // c0 via relay: 160 under bound -> cost 0.
         assert_eq!(rap_total_cost(&inst, &targets, &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn relay_table_matches_naive_costs() {
+        let inst = relay_inst();
+        let targets = vec![0];
+        let table = RelayTable::build(&inst, &targets);
+        assert_eq!(table.violating(), &[0]);
+        assert!(!table.is_empty());
+        for (k, &c) in table.violating().iter().enumerate() {
+            for s in 0..inst.num_servers() {
+                assert_eq!(table.cost(k, s), inst.rap_cost(c, s, targets[0]));
+            }
+            assert_eq!(table.row(k).len(), inst.num_servers());
+        }
+    }
+
+    #[test]
+    fn table_driven_solvers_match_plain_ones() {
+        let inst = relay_inst();
+        let targets = vec![0];
+        let table = RelayTable::build(&inst, &targets);
+        assert_eq!(grec_with(&inst, &targets, &table), grec(&inst, &targets));
+        let plain = exact_rap(&inst, &targets, &BbConfig::default()).unwrap();
+        let shared = exact_rap_with(&inst, &targets, &table, &BbConfig::default()).unwrap();
+        assert_eq!(plain, shared);
+        // The GAP built from the table is the GAP built naively.
+        let le = violating_clients(&inst, &targets);
+        let naive_gap = rap_gap(&inst, &targets, &le);
+        let table_gap = rap_gap_with(&inst, &targets, &table);
+        assert_eq!(naive_gap.cost, table_gap.cost);
+        assert_eq!(naive_gap.demand, table_gap.demand);
+        assert_eq!(naive_gap.capacity, table_gap.capacity);
+    }
+
+    #[test]
+    fn empty_relay_table_when_all_within_bound() {
+        let inst = CapInstance::from_raw(
+            2,
+            1,
+            vec![0],
+            vec![100.0, 200.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0],
+            vec![10_000.0; 2],
+            250.0,
+        );
+        let table = RelayTable::build(&inst, &[0]);
+        assert!(table.is_empty());
+        assert_eq!(grec_with(&inst, &[0], &table), virc(&inst, &[0]));
     }
 
     #[test]

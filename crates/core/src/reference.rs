@@ -1,9 +1,13 @@
-//! Naive reference implementations of the cost-driven IAP algorithms.
+//! Naive reference implementations of the cost-driven assignment
+//! algorithms.
 //!
 //! These are the pre-[`CostMatrix`](crate::CostMatrix) versions of
-//! [`grez`](crate::grez) and [`improve_iap`](crate::improve_iap),
-//! evaluating every cost through the O(zone population)
-//! [`CapInstance::iap_cost`] scan. They exist for two reasons only:
+//! [`grez`](crate::grez) and [`improve_iap`](crate::improve_iap)
+//! (evaluating every cost through the O(zone population)
+//! [`CapInstance::iap_cost`] scan), and the
+//! pre-[`RelayTable`](crate::RelayTable) version of [`grec`](crate::grec)
+//! with its from-first-principles `C^R` evaluation. They exist for two
+//! reasons only:
 //!
 //! * the property tests assert the rewritten algorithms reach
 //!   **bit-identical** results;
@@ -21,6 +25,80 @@
 use crate::iap::{best_effort_server, iap_total_cost, IapError, StuckPolicy};
 use crate::instance::CapInstance;
 use crate::local_search::LocalSearchStats;
+
+/// The naive `C^R` evaluation (eq. 8) written out from first principles:
+/// observed path delay through the contact, residual over the bound. The
+/// ground truth [`RelayTable`](crate::RelayTable) entries are verified
+/// against.
+#[doc(hidden)]
+pub fn rap_cost_reference(inst: &CapInstance, c: usize, contact: usize, target: usize) -> f64 {
+    let total = if contact == target {
+        inst.obs_cs(c, target)
+    } else {
+        inst.obs_cs(c, contact) + inst.obs_ss(contact, target)
+    };
+    (total - inst.delay_bound()).max(0.0)
+}
+
+/// The pre-[`RelayTable`](crate::RelayTable) GreC: desirability lists
+/// built by evaluating eq. 8 inside the loop, one call per
+/// (violating client, server) pair, plus a second evaluation pass for the
+/// within-bound partition.
+#[doc(hidden)]
+pub fn grec_reference(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<usize> {
+    let m = inst.num_servers();
+    let mut contact = vec![usize::MAX; inst.num_clients()];
+    let mut loads = vec![0.0; m];
+    for (z, &s) in target_of_zone.iter().enumerate() {
+        loads[s] += inst.zone_bps(z);
+    }
+    let mut le: Vec<usize> = Vec::new();
+    for c in 0..inst.num_clients() {
+        let t = target_of_zone[inst.zone_of(c)];
+        if inst.obs_cs(c, t) <= inst.delay_bound() {
+            contact[c] = t;
+        } else {
+            le.push(c);
+        }
+    }
+
+    let mut lists: Vec<Vec<(f64, usize)>> = Vec::with_capacity(le.len());
+    let mut regret: Vec<(f64, usize)> = Vec::with_capacity(le.len());
+    for (k, &c) in le.iter().enumerate() {
+        let t = target_of_zone[inst.zone_of(c)];
+        let mut mu: Vec<(f64, usize)> = (0..m)
+            .map(|s| (-rap_cost_reference(inst, c, s, t), s))
+            .collect();
+        mu.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        let rho = if m >= 2 { mu[0].0 - mu[1].0 } else { 0.0 };
+        regret.push((rho, k));
+        lists.push(mu);
+    }
+    regret.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+
+    for &(_, k) in &regret {
+        let c = le[k];
+        let t = target_of_zone[inst.zone_of(c)];
+        let mut placed = false;
+        for &(_, s) in &lists[k] {
+            let rc = if s == t {
+                0.0
+            } else {
+                inst.client_forwarding_bps(c)
+            };
+            if loads[s] + rc <= inst.capacity(s) + 1e-9 {
+                contact[c] = s;
+                loads[s] += rc;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            contact[c] = t;
+        }
+    }
+    contact
+}
 
 /// The pre-refactor GreZ: per-zone desirability lists built by sorting
 /// naive cost scans.
@@ -160,6 +238,16 @@ mod tests {
         assert_eq!(
             grez(&inst, StuckPolicy::Strict).unwrap(),
             grez_reference(&inst, StuckPolicy::Strict).unwrap()
+        );
+    }
+
+    #[test]
+    fn fast_grec_matches_reference() {
+        let inst = inst();
+        let targets = vec![0, 1, 0];
+        assert_eq!(
+            crate::rap::grec(&inst, &targets),
+            grec_reference(&inst, &targets)
         );
     }
 

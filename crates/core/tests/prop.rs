@@ -295,3 +295,92 @@ proptest! {
         prop_assert!(joint.assignment.is_feasible(&inst));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The tentpole churn property: over any random sequence of
+    /// join/leave/move deltas, the carried instance and the
+    /// delta-updated `CostMatrix` are bit-identical to fresh rebuilds on
+    /// the post-delta world — same counts, same orderings, same regrets,
+    /// hence identical solver decisions.
+    #[test]
+    fn cost_matrix_delta_bit_identical_to_fresh_build_over_churn(
+        seed in any::<u64>(),
+        epochs in 1usize..4,
+        joins in 0usize..25,
+        leaves in 0usize..25,
+        moves in 0usize..25,
+    ) {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::{apply_dynamics, DynamicsBatch, ErrorModel, ScenarioConfig, World};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = flat_waxman(30, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("3s-6z-40c-100cp").unwrap();
+        let mut world = World::generate(&config, 30, &topo.as_of_node, &mut rng).unwrap();
+        let mut inst =
+            CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        let mut matrix = CostMatrix::build(&inst);
+        let batch = DynamicsBatch { joins, leaves, moves };
+        for _ in 0..epochs {
+            let outcome = apply_dynamics(&world, &batch, 30, &mut rng);
+            matrix.retire_departures(&inst, &outcome.delta);
+            inst = inst.apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+            matrix.admit_arrivals(&inst, &outcome.delta);
+
+            let fresh = CapInstance::build(
+                &outcome.world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng,
+            );
+            prop_assert_eq!(&matrix, &CostMatrix::build(&fresh));
+            prop_assert_eq!(&matrix, &CostMatrix::build(&inst));
+            // The carried instance is accessor-identical to a fresh build
+            // (rows live in recycled slots, values must not differ).
+            prop_assert_eq!(inst.num_clients(), fresh.num_clients());
+            for c in 0..fresh.num_clients() {
+                prop_assert_eq!(inst.zone_of(c), fresh.zone_of(c));
+                prop_assert_eq!(inst.client_target_bps(c), fresh.client_target_bps(c));
+                for s in 0..fresh.num_servers() {
+                    prop_assert_eq!(inst.obs_cs(c, s), fresh.obs_cs(c, s));
+                    prop_assert_eq!(inst.true_cs(c, s), fresh.true_cs(c, s));
+                }
+            }
+            for z in 0..fresh.num_zones() {
+                prop_assert_eq!(inst.zone_bps(z), fresh.zone_bps(z));
+            }
+            world = outcome.world;
+        }
+    }
+
+    /// `RelayTable` entries equal the naive eq. 8 evaluation kept in
+    /// `dve_assign::reference`, and the table-driven GreC makes exactly
+    /// the decisions the naive GreC makes.
+    #[test]
+    fn relay_table_matches_naive_cr_evaluation(
+        seed in any::<u64>(),
+        servers in 2usize..5,
+        zones in 1usize..8,
+        clients in 0usize..30,
+        slack in 1usize..3,
+    ) {
+        let inst = random_instance(seed, servers, zones, clients, slack as f64);
+        let targets = grez(&inst, StuckPolicy::BestEffort).unwrap();
+        let table = RelayTable::build(&inst, &targets);
+        prop_assert_eq!(table.violating(), &violating_clients(&inst, &targets)[..]);
+        for (k, &c) in table.violating().iter().enumerate() {
+            let t = targets[inst.zone_of(c)];
+            for s in 0..servers {
+                prop_assert_eq!(
+                    table.cost(k, s),
+                    reference::rap_cost_reference(&inst, c, s, t),
+                    "C^R mismatch at client {} server {}", c, s
+                );
+            }
+        }
+        let fast = grec_with(&inst, &targets, &table);
+        let naive = reference::grec_reference(&inst, &targets);
+        prop_assert_eq!(&fast, &naive, "GreC decisions diverged");
+        prop_assert_eq!(&grec(&inst, &targets), &naive);
+    }
+}

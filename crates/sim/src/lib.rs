@@ -7,7 +7,10 @@
 //! * [`SimSetup`] / [`TopologySpec`] — what to simulate;
 //! * [`run_experiment`] — replicated, parallelised execution with
 //!   per-algorithm aggregation ([`AlgoStats`]);
-//! * [`run_dynamics`] — the Before/After/Executed protocol;
+//! * [`run_dynamics`] — the Before/After/Executed protocol, on the
+//!   delta path (instances carried across churn, not rebuilt);
+//! * [`run_churn`] — the delta-aware churn engine: `CostMatrix` carried
+//!   across epochs via `WorldDelta`, incremental repair per epoch;
 //! * [`experiments`] — Table 1, Fig. 4, Fig. 5, Fig. 6, Table 3, Table 4
 //!   and the ablation study, each with a paper-style `render()`;
 //! * [`stats`] — replication statistics (mean, std, CI95).
@@ -32,7 +35,9 @@ pub mod stats;
 pub use dynamics::{
     carry_assignment, run_dynamics, run_dynamics_once, CarryPolicy, DynamicsRecord,
 };
-pub use repair::{repair_assignment, zone_migrations, RepairOutcome};
-pub use runner::{aggregate, run_experiment, run_replication, AlgoStats, RunRecord};
+pub use repair::{repair_assignment, repair_assignment_with, zone_migrations, RepairOutcome};
+pub use runner::{
+    aggregate, run_churn, run_experiment, run_replication, AlgoStats, ChurnEpochRecord, RunRecord,
+};
 pub use setup::{build_replication, Replication, SimSetup, TopologySpec};
 pub use stats::{Accumulator, Summary};

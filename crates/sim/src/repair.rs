@@ -18,7 +18,7 @@
 //! The repair study compares this against "never re-execute" and "full
 //! re-execute" on pQoS, migrations, and solve time.
 
-use dve_assign::{grec, Assignment, CapInstance};
+use dve_assign::{grec, Assignment, CapInstance, CostMatrix};
 
 /// Result of an incremental repair.
 #[derive(Debug, Clone)]
@@ -36,9 +36,23 @@ pub fn zone_migrations(old: &[usize], new: &[usize]) -> usize {
 }
 
 /// Repairs a carried-over target map against a post-dynamics instance.
-/// See the module docs for the strategy.
+/// Builds a [`CostMatrix`] internally; the churn engine calls
+/// [`repair_assignment_with`] to reuse the delta-updated matrix it
+/// already carries. See the module docs for the strategy.
 pub fn repair_assignment(inst: &CapInstance, previous_targets: &[usize]) -> RepairOutcome {
+    repair_assignment_with(inst, &CostMatrix::build(inst), previous_targets)
+}
+
+/// [`repair_assignment`] on a prebuilt [`CostMatrix`] for the instance.
+/// Matrix reads are bit-identical to the naive `iap_cost` scans, so the
+/// repair makes exactly the same migration decisions either way.
+pub fn repair_assignment_with(
+    inst: &CapInstance,
+    matrix: &CostMatrix,
+    previous_targets: &[usize],
+) -> RepairOutcome {
     assert_eq!(previous_targets.len(), inst.num_zones());
+    assert_eq!(matrix.num_zones(), inst.num_zones());
     let m = inst.num_servers();
     let mut targets = previous_targets.to_vec();
     let mut loads = vec![0.0; m];
@@ -71,8 +85,9 @@ pub fn repair_assignment(inst: &CapInstance, previous_targets: &[usize]) -> Repa
             let dest = (0..m)
                 .filter(|&s| s != over && loads[s] + demand <= inst.capacity(s) + 1e-9)
                 .min_by(|&a, &b| {
-                    inst.iap_cost(a, z)
-                        .partial_cmp(&inst.iap_cost(b, z))
+                    matrix
+                        .cost(a, z)
+                        .partial_cmp(&matrix.cost(b, z))
                         .expect("finite")
                 });
             if let Some(dest) = dest {
@@ -91,14 +106,14 @@ pub fn repair_assignment(inst: &CapInstance, previous_targets: &[usize]) -> Repa
     // cascading migrations).
     for z in 0..inst.num_zones() {
         let cur = targets[z];
-        let cur_cost = inst.iap_cost(cur, z);
-        if cur_cost == 0.0 {
+        if matrix.count(cur, z) == 0 {
             continue;
         }
+        let cur_cost = matrix.cost(cur, z);
         let demand = inst.zone_bps(z);
         let better = (0..m)
             .filter(|&s| s != cur && loads[s] + demand <= inst.capacity(s) + 1e-9)
-            .map(|s| (inst.iap_cost(s, z), s))
+            .map(|s| (matrix.cost(s, z), s))
             .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         if let Some((cost, s)) = better {
             if cost < cur_cost {
@@ -192,6 +207,98 @@ mod tests {
         assert_eq!(out.zones_migrated, 1);
         let m = evaluate(&inst, &out.assignment);
         assert_eq!(m.pqos, 1.0);
+    }
+
+    #[test]
+    fn matrix_and_naive_repairs_agree() {
+        let inst = overload_instance();
+        let naive = repair_assignment(&inst, &[0, 0]);
+        let matrix = CostMatrix::build(&inst);
+        let fast = repair_assignment_with(&inst, &matrix, &[0, 0]);
+        assert_eq!(
+            naive.assignment.target_of_zone,
+            fast.assignment.target_of_zone
+        );
+        assert_eq!(
+            naive.assignment.contact_of_client,
+            fast.assignment.contact_of_client
+        );
+        assert_eq!(naive.zones_migrated, fast.zones_migrated);
+    }
+
+    #[test]
+    fn empty_violating_list_keeps_natural_contacts() {
+        // Every client within bound on its target: the violating list is
+        // empty, so repair's GreC pass must leave contact = target and
+        // migrate nothing.
+        let inst = CapInstance::from_raw(
+            2,
+            2,
+            vec![0, 1],
+            vec![100.0, 400.0, 400.0, 100.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0, 1000.0],
+            vec![9000.0, 9000.0],
+            250.0,
+        );
+        assert!(dve_assign::violating_clients(&inst, &[0, 1]).is_empty());
+        let out = repair_assignment(&inst, &[0, 1]);
+        assert_eq!(out.zones_migrated, 0);
+        assert_eq!(out.assignment.contact_of_client, vec![0, 1]);
+        assert_eq!(evaluate(&inst, &out.assignment).pqos, 1.0);
+    }
+
+    #[test]
+    fn all_servers_overloaded_is_best_effort_identity() {
+        // Both servers are over capacity no matter how zones are placed:
+        // the evacuation loop finds no destination with room and must
+        // stop without thrashing (no migrations, targets untouched).
+        let inst = CapInstance::from_raw(
+            2,
+            2,
+            vec![0, 1],
+            vec![100.0, 400.0, 100.0, 400.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0, 1000.0],
+            vec![500.0, 500.0], // each zone alone overflows either server
+            250.0,
+        );
+        let out = repair_assignment(&inst, &[0, 1]);
+        assert_eq!(out.zones_migrated, 0);
+        assert_eq!(out.assignment.target_of_zone, vec![0, 1]);
+        assert!(!out.assignment.is_feasible(&inst));
+    }
+
+    #[test]
+    fn repairs_instance_with_emptied_zone() {
+        // A churn delta can drain a zone completely; the emptied zone has
+        // zero demand and must neither block evacuation nor be migrated
+        // for QoS (it has no clients to violate anything).
+        let inst = CapInstance::from_raw(
+            2,
+            3,
+            vec![0, 0, 2], // zone 1 is empty
+            vec![100.0, 400.0, 300.0, 400.0, 400.0, 100.0],
+            vec![0.0, 60.0, 60.0, 0.0],
+            vec![1000.0, 1000.0, 1000.0],
+            vec![9000.0, 9000.0],
+            250.0,
+        );
+        assert_eq!(inst.zone_bps(1), 0.0);
+        let out = repair_assignment(&inst, &[0, 0, 0]);
+        assert!(out.assignment.is_feasible(&inst));
+        // The emptied zone keeps its (cost-0) placement; the populated
+        // far zone moves to its good server.
+        assert_eq!(out.assignment.target_of_zone[1], 0);
+        assert_eq!(out.assignment.target_of_zone[2], 1);
+        let m = evaluate(&inst, &out.assignment);
+        assert!(m.pqos >= 2.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn zone_migrations_rejects_length_mismatch() {
+        zone_migrations(&[0, 1], &[0, 1, 2]);
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! randomly leave the virtual world and 200 clients randomly move to
 //! another zone").
 //!
-//! Applying dynamics returns both the updated world and a provenance map
-//! so the simulation can carry surviving clients' contact/target servers
-//! across the change (the paper's "After" column measures QoS *without*
-//! re-running the assignment algorithms).
+//! Applying dynamics returns the updated world, a provenance map so the
+//! simulation can carry surviving clients' contact/target servers across
+//! the change (the paper's "After" column measures QoS *without*
+//! re-running the assignment algorithms), and a structured [`WorldDelta`]
+//! — the exact join/leave/move events with their affected zones — so
+//! downstream cost structures can update incrementally instead of
+//! rebuilding per epoch (Section 3.4's "execute again" step, made cheap).
 
 use crate::world::{Client, World};
 use rand::Rng;
@@ -33,6 +36,98 @@ impl DynamicsBatch {
     }
 }
 
+/// A client joining the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientJoin {
+    /// Index of the joiner in the *new* world's client vector.
+    pub client: usize,
+    /// Zone the joiner appears in.
+    pub zone: usize,
+}
+
+/// A client leaving the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientLeave {
+    /// Index of the leaver in the *old* world's client vector.
+    pub client: usize,
+    /// Zone the leaver was in.
+    pub zone: usize,
+}
+
+/// A surviving client moving between zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneMove {
+    /// Index of the mover in the *old* world's client vector.
+    pub old_index: usize,
+    /// Index of the mover in the *new* world's client vector.
+    pub new_index: usize,
+    /// Zone the client left.
+    pub from: usize,
+    /// Zone the client entered.
+    pub to: usize,
+}
+
+/// Structured description of one churn step: every join, leave, and
+/// zone move with its affected zone(s) and both-world client indices.
+///
+/// This is the contract incremental consumers build on: a join or leave
+/// touches exactly one zone, a move touches exactly two, so a delta-aware
+/// cost structure (`CostMatrix::apply_delta` in `dve-assign`) only has to
+/// revisit [`WorldDelta::touched_zones`] instead of rebuilding all n
+/// zones from the k clients.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorldDelta {
+    /// Clients that joined, ascending by new-world index.
+    pub joins: Vec<ClientJoin>,
+    /// Clients that left, ascending by old-world index.
+    pub leaves: Vec<ClientLeave>,
+    /// Surviving clients whose zone changed, ascending by new-world index.
+    pub moves: Vec<ZoneMove>,
+}
+
+impl WorldDelta {
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.joins.is_empty() && self.leaves.is_empty() && self.moves.is_empty()
+    }
+
+    /// Total number of churn events (joins + leaves + moves).
+    pub fn len(&self) -> usize {
+        self.joins.len() + self.leaves.len() + self.moves.len()
+    }
+
+    /// Zones whose membership changed, sorted and deduplicated.
+    pub fn touched_zones(&self) -> Vec<usize> {
+        let mut zones: Vec<usize> = self
+            .joins
+            .iter()
+            .map(|j| j.zone)
+            .chain(self.leaves.iter().map(|l| l.zone))
+            .chain(self.moves.iter().flat_map(|m| [m.from, m.to]))
+            .collect();
+        zones.sort_unstable();
+        zones.dedup();
+        zones
+    }
+
+    /// Net population change per zone (`zones` long): joins and move-ins
+    /// count +1, leaves and move-outs −1.
+    pub fn population_shift(&self, zones: usize) -> Vec<isize> {
+        let mut shift = vec![0isize; zones];
+        for j in &self.joins {
+            shift[j.zone] += 1;
+        }
+        for l in &self.leaves {
+            shift[l.zone] -= 1;
+        }
+        for m in &self.moves {
+            shift[m.from] -= 1;
+            shift[m.to] += 1;
+        }
+        shift
+    }
+}
+
 /// Result of applying dynamics.
 #[derive(Debug, Clone)]
 pub struct DynamicsOutcome {
@@ -43,6 +138,8 @@ pub struct DynamicsOutcome {
     pub carried_from: Vec<Option<usize>>,
     /// New-world indices of clients that changed zone.
     pub moved: Vec<usize>,
+    /// The structured churn events, for delta-aware consumers.
+    pub delta: WorldDelta,
 }
 
 /// Applies a [`DynamicsBatch`] to a world.
@@ -86,6 +183,7 @@ pub fn apply_dynamics<R: Rng + ?Sized>(
     let survivors = clients.len();
     let moves = batch.moves.min(survivors);
     let mut moved = Vec::with_capacity(moves);
+    let mut zone_moves: Vec<ZoneMove> = Vec::with_capacity(moves);
     if survivors > 0 {
         let mut order: Vec<usize> = (0..survivors).collect();
         for k in 0..moves {
@@ -100,19 +198,41 @@ pub fn apply_dynamics<R: Rng + ?Sized>(
                     new_zone += 1; // uniform over zones != old_zone
                 }
                 clients[i].zone = new_zone;
+                zone_moves.push(ZoneMove {
+                    old_index: carried_from[i].expect("movers are survivors"),
+                    new_index: i,
+                    from: old_zone,
+                    to: new_zone,
+                });
             }
             moved.push(i);
         }
     }
+    zone_moves.sort_unstable_by_key(|m| m.new_index);
 
     // Joiners.
+    let mut joins = Vec::with_capacity(batch.joins);
     for _ in 0..batch.joins {
-        clients.push(Client {
-            node: rng.gen_range(0..num_nodes),
-            zone: rng.gen_range(0..world.zones),
+        // Same draw order as the pre-delta implementation (node, then
+        // zone) so fixed-seed runs stay reproducible across versions.
+        let node = rng.gen_range(0..num_nodes);
+        let zone = rng.gen_range(0..world.zones);
+        joins.push(ClientJoin {
+            client: clients.len(),
+            zone,
         });
+        clients.push(Client { node, zone });
         carried_from.push(None);
     }
+
+    let mut leave_events: Vec<ClientLeave> = idx[..leaves]
+        .iter()
+        .map(|&i| ClientLeave {
+            client: i,
+            zone: world.clients[i].zone,
+        })
+        .collect();
+    leave_events.sort_unstable_by_key(|l| l.client);
 
     let mut new_world = world.clone();
     new_world.clients = clients;
@@ -120,6 +240,11 @@ pub fn apply_dynamics<R: Rng + ?Sized>(
         world: new_world,
         carried_from,
         moved,
+        delta: WorldDelta {
+            joins,
+            leaves: leave_events,
+            moves: zone_moves,
+        },
     }
 }
 
@@ -200,6 +325,85 @@ mod tests {
         let out = apply_dynamics(&w, &batch, 100, &mut rng);
         assert!(out.world.clients.is_empty());
         assert!(out.moved.is_empty());
+    }
+
+    #[test]
+    fn delta_is_consistent_with_provenance() {
+        let w = small_world(11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let batch = DynamicsBatch {
+            joins: 25,
+            leaves: 35,
+            moves: 15,
+        };
+        let out = apply_dynamics(&w, &batch, 100, &mut rng);
+        let d = &out.delta;
+        assert_eq!(d.joins.len(), 25);
+        assert_eq!(d.leaves.len(), 35);
+        assert_eq!(d.moves.len(), 15);
+        assert_eq!(d.len(), 75);
+        assert!(!d.is_empty());
+
+        // Joins are exactly the provenance-None clients, zones match.
+        let joined: Vec<usize> = out
+            .carried_from
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(d.joins.iter().map(|j| j.client).collect::<Vec<_>>(), joined);
+        for j in &d.joins {
+            assert_eq!(out.world.clients[j.client].zone, j.zone);
+        }
+
+        // Leaves are exactly the old indices absent from the provenance.
+        let survived: std::collections::HashSet<usize> =
+            out.carried_from.iter().flatten().copied().collect();
+        for l in &d.leaves {
+            assert!(!survived.contains(&l.client));
+            assert_eq!(w.clients[l.client].zone, l.zone);
+        }
+        assert!(d.leaves.windows(2).all(|p| p[0].client < p[1].client));
+
+        // Moves map old zone -> new zone through the provenance.
+        for m in &d.moves {
+            assert_eq!(out.carried_from[m.new_index], Some(m.old_index));
+            assert_eq!(w.clients[m.old_index].zone, m.from);
+            assert_eq!(out.world.clients[m.new_index].zone, m.to);
+            assert_ne!(m.from, m.to);
+        }
+
+        // Population shift reconciles old and new zone populations.
+        let shift = d.population_shift(w.zones);
+        let mut old_pop = vec![0isize; w.zones];
+        for c in &w.clients {
+            old_pop[c.zone] += 1;
+        }
+        let mut new_pop = vec![0isize; w.zones];
+        for c in &out.world.clients {
+            new_pop[c.zone] += 1;
+        }
+        for z in 0..w.zones {
+            assert_eq!(old_pop[z] + shift[z], new_pop[z], "zone {z}");
+        }
+        // Touched zones cover every population change.
+        let touched = d.touched_zones();
+        for z in 0..w.zones {
+            if shift[z] != 0 {
+                assert!(touched.contains(&z));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_delta_for_empty_batch() {
+        let w = small_world(13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let out = apply_dynamics(&w, &DynamicsBatch::default(), 100, &mut rng);
+        assert!(out.delta.is_empty());
+        assert_eq!(out.delta.len(), 0);
+        assert!(out.delta.touched_zones().is_empty());
     }
 
     #[test]

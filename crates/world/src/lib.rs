@@ -41,7 +41,9 @@ mod world;
 pub use bandwidth::BandwidthModel;
 pub use correlation::CorrelationModel;
 pub use distribution::{hot_weights, zipf_weights, DistributionType, WeightedIndex};
-pub use dynamics::{apply_dynamics, DynamicsBatch, DynamicsOutcome};
+pub use dynamics::{
+    apply_dynamics, ClientJoin, ClientLeave, DynamicsBatch, DynamicsOutcome, WorldDelta, ZoneMove,
+};
 pub use error::ErrorModel;
 pub use mobility::{MobilityModel, ZoneGrid};
 pub use scenario::{CapacityPolicy, NotationError, ScenarioConfig};
