@@ -1,0 +1,123 @@
+//! Compares a freshly measured `BENCH_table1.json` against the committed
+//! baseline and fails on perf regressions — CI's bench-diff gate.
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin table1 -- --quick --json BENCH_fresh.json
+//! cargo run --release -p dve-bench --bin bench_diff -- BENCH_fresh.json BENCH_table1.json
+//! ```
+//!
+//! Exit status: 0 when every (configuration, algorithm) pair is within
+//! the threshold, 1 on any regression or missing pair, 2 on usage or
+//! parse errors.
+//!
+//! Flags: `--threshold F` (default 0.25: fail beyond +25%) and
+//! `--min-ms F` (default 0.05: pairs whose gated statistic sits under
+//! the floor on either side are reported but not gated — microsecond
+//! timings are scheduler noise). The gated statistic is the **minimum**
+//! solve time over the replications (`exec_ms.min`): noise is additive,
+//! so minima are stable where means flap (see `dve_bench::diff`).
+
+use dve_bench::diff::{compare, entries, parse, BenchEntry};
+
+fn load(path: &str) -> Vec<BenchEntry> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path}: {e}");
+        std::process::exit(2);
+    });
+    entries(&doc).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff <fresh.json> <baseline.json> [--threshold F] [--min-ms F]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 0.25f64;
+    let mut floor_ms = 0.05f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--min-ms" => {
+                floor_ms = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let fresh = load(&paths[0]);
+    let baseline = load(&paths[1]);
+
+    let report = compare(&fresh, &baseline, threshold, floor_ms);
+    println!(
+        "bench_diff: {} vs {}: {} pairs compared, {} below the {floor_ms} ms floor, \
+         threshold +{:.0}%",
+        paths[0],
+        paths[1],
+        report.compared,
+        report.below_floor,
+        threshold * 100.0
+    );
+    for base in &baseline {
+        if let Some(new) = fresh
+            .iter()
+            .find(|e| e.config == base.config && e.algorithm == base.algorithm)
+        {
+            println!(
+                "  {:<24} {:<12} min {:>10.3} ms -> {:>10.3} ms ({:+.1}%)  mean {:>10.3} -> {:>10.3}",
+                base.config,
+                base.algorithm,
+                base.exec_ms,
+                new.exec_ms,
+                (new.exec_ms / base.exec_ms - 1.0) * 100.0,
+                base.exec_mean_ms,
+                new.exec_mean_ms,
+            );
+        }
+    }
+    for missing in &report.missing {
+        println!("  MISSING in fresh results: {missing}");
+    }
+    for r in &report.regressions {
+        println!(
+            "  REGRESSION {:<24} {:<12} {:.3} ms -> {:.3} ms ({:.2}x, limit {:.2}x)",
+            r.config,
+            r.algorithm,
+            r.baseline_ms,
+            r.fresh_ms,
+            r.ratio(),
+            1.0 + threshold
+        );
+    }
+    if report.passed() {
+        println!("bench_diff: PASS");
+    } else {
+        println!(
+            "bench_diff: FAIL ({} regressions, {} missing)",
+            report.regressions.len(),
+            report.missing.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,541 @@
+//! Perf-trajectory regression checking for `BENCH_table1.json`.
+//!
+//! `run_all` (and `table1 --json`) emit a machine-readable baseline of
+//! per-algorithm solve times. CI regenerates a fresh copy and runs
+//! [`compare`] against the committed one, failing the build when any
+//! (configuration, algorithm) pair regressed by more than the threshold
+//! — the bench-regression gate of the perf trajectory. The gated
+//! statistic is the **minimum** over the replications (see
+//! [`BenchEntry::exec_ms`]): timing noise is additive, so minima are
+//! the stable signal on shared runners.
+//!
+//! The workspace's serde is a vendored no-op stub (`vendor/README.md`),
+//! so this module carries its own minimal JSON reader: [`parse`]
+//! understands exactly the JSON subset the baseline files use (objects,
+//! arrays, strings without escapes beyond `\"`/`\\`/`\/`/`\n`/`\t`,
+//! f64 numbers, booleans, null).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (f64 precision, like the emitter).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What was expected.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error<T>(&self, message: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            self.error(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b.is_ascii_digit() || *b == b'-' => self.number(),
+            _ => self.error("expected a value"),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            self.error(&format!("expected '{text}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are utf8");
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Json::Num(x)),
+            Err(_) => {
+                self.pos = start;
+                self.error("malformed number")
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.error("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    // Collected as raw bytes so multi-byte UTF-8
+                    // sequences survive intact; validate once at the end.
+                    return match String::from_utf8(out) {
+                        Ok(s) => Ok(s),
+                        Err(_) => self.error("invalid UTF-8 in string"),
+                    };
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = match self.bytes.get(self.pos) {
+                        Some(b'"') => b'"',
+                        Some(b'\\') => b'\\',
+                        Some(b'/') => b'/',
+                        Some(b'n') => b'\n',
+                        Some(b't') => b'\t',
+                        _ => return self.error("unsupported escape"),
+                    };
+                    out.push(escaped);
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(members));
+            }
+            self.expect(b',')?;
+        }
+    }
+}
+
+/// Parses a JSON document (the subset the baseline files use).
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.error("trailing content");
+    }
+    Ok(value)
+}
+
+/// One (configuration, algorithm) measurement from a baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Scenario notation, e.g. `20s-80z-1000c-500cp`.
+    pub config: String,
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// **Minimum** solve time across the replications, milliseconds —
+    /// the statistic the gate compares. Wall-clock noise on shared CI
+    /// runners is strictly additive, so min-of-N is far more stable than
+    /// the mean (observed on a busy single-core box: means of identical
+    /// builds swing ±45%, minima stay within ~10–20%).
+    pub exec_ms: f64,
+    /// Mean solve time, milliseconds (reported, not gated).
+    pub exec_mean_ms: f64,
+    /// Replications behind the statistics. With a single sample the
+    /// "minimum" is just that sample, so [`compare`] gates such pairs at
+    /// double the threshold (long exact-solver runs amortise scheduler
+    /// noise, but one sample deserves slack).
+    pub samples: u64,
+    /// Mean pQoS (carried along for the report; not gated).
+    pub pqos: f64,
+}
+
+/// Extracts the per-algorithm measurements of a `BENCH_table1.json`
+/// document.
+pub fn entries(doc: &Json) -> Result<Vec<BenchEntry>, String> {
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'rows' array")?;
+    let mut out = Vec::new();
+    for row in rows {
+        let config = row
+            .get("config")
+            .and_then(Json::as_str)
+            .ok_or("row without 'config'")?;
+        let algorithms = row
+            .get("algorithms")
+            .and_then(Json::as_arr)
+            .ok_or("row without 'algorithms'")?;
+        for algo in algorithms {
+            let name = algo
+                .get("algorithm")
+                .and_then(Json::as_str)
+                .ok_or("algorithm without a name")?;
+            let exec_ms = algo
+                .get("exec_ms")
+                .and_then(|s| s.get("min"))
+                .and_then(Json::as_num)
+                .ok_or("algorithm without exec_ms.min")?;
+            let exec_mean_ms = algo
+                .get("exec_ms")
+                .and_then(|s| s.get("mean"))
+                .and_then(Json::as_num)
+                .ok_or("algorithm without exec_ms.mean")?;
+            let samples = algo
+                .get("exec_ms")
+                .and_then(|s| s.get("n"))
+                .and_then(Json::as_num)
+                .ok_or("algorithm without exec_ms.n")? as u64;
+            let pqos = algo
+                .get("pqos")
+                .and_then(|s| s.get("mean"))
+                .and_then(Json::as_num)
+                .ok_or("algorithm without pqos.mean")?;
+            out.push(BenchEntry {
+                config: config.to_string(),
+                algorithm: name.to_string(),
+                exec_ms,
+                exec_mean_ms,
+                samples,
+                pqos,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// One over-threshold slowdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Scenario notation.
+    pub config: String,
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Committed baseline minimum, ms.
+    pub baseline_ms: f64,
+    /// Freshly measured minimum, ms.
+    pub fresh_ms: f64,
+}
+
+impl Regression {
+    /// Slowdown factor (fresh / baseline).
+    pub fn ratio(&self) -> f64 {
+        self.fresh_ms / self.baseline_ms
+    }
+}
+
+/// Outcome of comparing a fresh baseline against the committed one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Pairs actually compared against the threshold.
+    pub compared: usize,
+    /// Pairs skipped because either side's gated minimum sat below the
+    /// noise floor.
+    pub below_floor: usize,
+    /// Baseline pairs with no fresh counterpart (renamed/removed tiers
+    /// fail the gate: a silently dropped measurement is a regression).
+    pub missing: Vec<String>,
+    /// Over-threshold slowdowns.
+    pub regressions: Vec<Regression>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.regressions.is_empty()
+    }
+}
+
+/// Compares `fresh` measurements against the committed `baseline`.
+///
+/// The gated statistic is each pair's **minimum** solve time
+/// ([`BenchEntry::exec_ms`]); a pair regresses when
+/// `fresh > baseline * (1 + threshold)`. Pairs where either side's
+/// minimum is under `floor_ms` are reported but not gated: sub-floor
+/// timings are scheduler noise, and failing CI on a 3 µs → 5 µs
+/// "regression" would make the gate useless. Pairs where either side
+/// has a single replication (the exact solver in CI) are gated at
+/// **double** the threshold — one sample of a long solve amortises
+/// noise well, but has no minimum-of-N protection. Extra fresh entries
+/// (new tiers) are ignored — they become the baseline when committed.
+pub fn compare(
+    fresh: &[BenchEntry],
+    baseline: &[BenchEntry],
+    threshold: f64,
+    floor_ms: f64,
+) -> DiffReport {
+    let mut report = DiffReport::default();
+    for base in baseline {
+        let Some(new) = fresh
+            .iter()
+            .find(|e| e.config == base.config && e.algorithm == base.algorithm)
+        else {
+            report
+                .missing
+                .push(format!("{} / {}", base.config, base.algorithm));
+            continue;
+        };
+        if base.exec_ms < floor_ms || new.exec_ms < floor_ms {
+            report.below_floor += 1;
+            continue;
+        }
+        report.compared += 1;
+        let threshold = if base.samples < 2 || new.samples < 2 {
+            threshold * 2.0
+        } else {
+            threshold
+        };
+        if new.exec_ms > base.exec_ms * (1.0 + threshold) {
+            report.regressions.push(Regression {
+                config: base.config.clone(),
+                algorithm: base.algorithm.clone(),
+                baseline_ms: base.exec_ms,
+                fresh_ms: new.exec_ms,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(config: &str, algorithm: &str, exec_ms: f64) -> BenchEntry {
+        BenchEntry {
+            config: config.to_string(),
+            algorithm: algorithm.to_string(),
+            exec_ms,
+            exec_mean_ms: exec_ms * 1.2,
+            samples: 10,
+            pqos: 0.9,
+        }
+    }
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(parse("\"a\\\"b\"").unwrap(), Json::Str("a\"b".to_string()));
+        let doc = parse(r#"{"a": [1, 2, {"b": false}], "c": "x"}"#).unwrap();
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        let arr = doc.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn multibyte_utf8_strings_survive_parsing() {
+        assert_eq!(
+            parse("\"naïve — ünïcodé\"").unwrap(),
+            Json::Str("naïve — ünïcodé".to_string())
+        );
+    }
+
+    #[test]
+    fn single_sample_pairs_get_doubled_threshold() {
+        let mut base = entry("tier1", "lp_solve", 100.0);
+        base.samples = 1;
+        // +40% on a single-sample pair: inside the doubled (+50%) limit.
+        let mut fresh = entry("tier1", "lp_solve", 140.0);
+        fresh.samples = 1;
+        let report = compare(&[fresh.clone()], &[base.clone()], 0.25, 0.05);
+        assert!(report.passed());
+        // +60% fails even with the slack.
+        fresh.exec_ms = 160.0;
+        assert!(!compare(&[fresh], &[base], 0.25, 0.05).passed());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"open").is_err());
+    }
+
+    #[test]
+    fn parses_the_committed_baseline() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_table1.json");
+        let text = std::fs::read_to_string(path).expect("committed baseline exists");
+        let doc = parse(&text).expect("committed baseline parses");
+        let list = entries(&doc).expect("committed baseline has the expected shape");
+        assert!(list.len() >= 16, "4 tiers x 4 heuristics at least");
+        assert!(list
+            .iter()
+            .any(|e| e.algorithm == "GreZ-GreC" && e.config == "30s-160z-2000c-1000cp"));
+        for e in &list {
+            assert!(e.exec_ms >= 0.0);
+            assert!((0.0..=1.0).contains(&e.pqos));
+        }
+        // Identical files never regress against themselves.
+        let report = compare(&list, &list, 0.25, 0.05);
+        assert!(report.passed());
+        assert!(report.compared > 0);
+    }
+
+    #[test]
+    fn flags_regressions_over_threshold_only() {
+        let baseline = vec![entry("tier1", "A", 10.0), entry("tier1", "B", 10.0)];
+        let fresh = vec![entry("tier1", "A", 12.4), entry("tier1", "B", 12.6)];
+        let report = compare(&fresh, &baseline, 0.25, 0.05);
+        assert_eq!(report.compared, 2);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].algorithm, "B");
+        assert!((report.regressions[0].ratio() - 1.26).abs() < 1e-9);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn noise_floor_suppresses_micro_timings() {
+        let baseline = vec![entry("tier1", "A", 0.003)];
+        let fresh = vec![entry("tier1", "A", 0.010)]; // 3.3x but microseconds
+        let report = compare(&fresh, &baseline, 0.25, 0.05);
+        assert_eq!(report.below_floor, 1);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn missing_pairs_fail_the_gate() {
+        let baseline = vec![entry("tier1", "A", 10.0)];
+        let report = compare(&[], &baseline, 0.25, 0.05);
+        assert_eq!(report.missing, vec!["tier1 / A".to_string()]);
+        assert!(!report.passed());
+        // Extra fresh entries are fine.
+        let fresh = vec![entry("tier1", "A", 10.0), entry("tier9", "Z", 1.0)];
+        assert!(compare(&fresh, &baseline, 0.25, 0.05).passed());
+    }
+}

@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+
 use dve_assign::CapInstance;
 use dve_sim::experiments::ExpOptions;
 use dve_sim::{build_replication, SimSetup, TopologySpec};
@@ -56,33 +58,45 @@ pub fn small_instance_for(notation: &str, seed: u64) -> (CapInstance, StdRng) {
     (rep.instance, rep.rng)
 }
 
-/// Parses the shared binary CLI flags into experiment options.
-pub fn options_from_args() -> ExpOptions {
+/// Parses the shared experiment flags out of `args`, returning the
+/// options and the arguments it did not consume (binary-specific flags
+/// like `table1`'s `--json`).
+pub fn parse_options(args: &[String]) -> (ExpOptions, Vec<String>) {
     let mut options = ExpOptions::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => options = ExpOptions::quick(),
             "--large" => options.large_scale = true,
             "--runs" => {
-                let v = args.next().expect("--runs needs a value");
+                let v = iter.next().expect("--runs needs a value");
                 options.runs = v.parse().expect("--runs must be an integer");
             }
             "--exact-runs" => {
-                let v = args.next().expect("--exact-runs needs a value");
+                let v = iter.next().expect("--exact-runs needs a value");
                 options.exact_runs = v.parse().expect("--exact-runs must be an integer");
             }
             "--seed" => {
-                let v = args.next().expect("--seed needs a value");
+                let v = iter.next().expect("--seed needs a value");
                 options.base_seed = v.parse().expect("--seed must be an integer");
             }
-            other => {
-                eprintln!(
-                    "unknown flag {other}; supported: --quick --large --runs N --exact-runs N --seed S"
-                );
-                std::process::exit(2);
-            }
+            other => rest.push(other.to_string()),
         }
+    }
+    (options, rest)
+}
+
+/// Parses the shared binary CLI flags into experiment options, rejecting
+/// anything a binary did not consume itself.
+pub fn options_from_args() -> ExpOptions {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (options, rest) = parse_options(&args);
+    if let Some(other) = rest.first() {
+        eprintln!(
+            "unknown flag {other}; supported: --quick --large --runs N --exact-runs N --seed S"
+        );
+        std::process::exit(2);
     }
     options
 }

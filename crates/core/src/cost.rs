@@ -145,21 +145,17 @@ impl CostMatrix {
     /// Orderings are not touched; [`CostMatrix::admit_arrivals`] must
     /// follow with the same delta.
     pub fn retire_departures(&mut self, pre: &CapInstance, delta: &WorldDelta) {
-        let m = self.servers;
-        assert_eq!(pre.num_servers(), m, "server set must be unchanged");
+        assert_eq!(
+            pre.num_servers(),
+            self.servers,
+            "server set must be unchanged"
+        );
         assert_eq!(pre.num_zones(), self.zones, "zone count must be unchanged");
-        let bound = pre.delay_bound();
         for leave in &delta.leaves {
-            let counts = &mut self.cost[leave.zone * m..(leave.zone + 1) * m];
-            for (count, &delay) in counts.iter_mut().zip(pre.obs_cs_row(leave.client)) {
-                *count -= u32::from(delay > bound);
-            }
+            self.retire_client(pre, leave.client, leave.zone);
         }
         for mv in &delta.moves {
-            let counts = &mut self.cost[mv.from * m..(mv.from + 1) * m];
-            for (count, &delay) in counts.iter_mut().zip(pre.obs_cs_row(mv.old_index)) {
-                *count -= u32::from(delay > bound);
-            }
+            self.retire_client(pre, mv.old_index, mv.from);
         }
     }
 
@@ -168,25 +164,64 @@ impl CostMatrix {
     /// post-churn instance, then re-derive the ordering and regret of
     /// every touched zone.
     pub fn admit_arrivals(&mut self, post: &CapInstance, delta: &WorldDelta) {
-        let m = self.servers;
-        assert_eq!(post.num_servers(), m, "server set must be unchanged");
+        assert_eq!(
+            post.num_servers(),
+            self.servers,
+            "server set must be unchanged"
+        );
         assert_eq!(post.num_zones(), self.zones, "zone count must be unchanged");
-        let bound = post.delay_bound();
         for mv in &delta.moves {
-            let counts = &mut self.cost[mv.to * m..(mv.to + 1) * m];
-            for (count, &delay) in counts.iter_mut().zip(post.obs_cs_row(mv.new_index)) {
-                *count += u32::from(delay > bound);
-            }
+            self.admit_client(post, mv.new_index, mv.to);
         }
         for join in &delta.joins {
-            let counts = &mut self.cost[join.zone * m..(join.zone + 1) * m];
-            for (count, &delay) in counts.iter_mut().zip(post.obs_cs_row(join.client)) {
-                *count += u32::from(delay > bound);
-            }
+            self.admit_client(post, join.client, join.zone);
         }
+        self.refresh_zones(&delta.touched_zones());
+    }
 
-        for z in delta.touched_zones() {
-            self.regret[z] = order_zone(
+    /// Subtracts one client's violator indicators from `zone`'s column —
+    /// the event-level half of [`CostMatrix::retire_departures`], used by
+    /// the streaming engine where churn arrives one event at a time. The
+    /// row is read from `pre`, the instance that still holds it; the
+    /// zone's ordering/regret go stale until [`CostMatrix::refresh_zones`]
+    /// runs. O(m).
+    #[inline]
+    pub fn retire_client(&mut self, pre: &CapInstance, client: usize, zone: usize) {
+        let m = self.servers;
+        let bound = pre.delay_bound();
+        let counts = &mut self.cost[zone * m..(zone + 1) * m];
+        for (count, &delay) in counts.iter_mut().zip(pre.obs_cs_row(client)) {
+            *count -= u32::from(delay > bound);
+        }
+    }
+
+    /// Adds one client's violator indicators to `zone`'s column — the
+    /// event-level half of [`CostMatrix::admit_arrivals`]. The row is
+    /// read from `post`, the instance that admitted the client; the
+    /// zone's ordering/regret go stale until [`CostMatrix::refresh_zones`]
+    /// runs. O(m).
+    #[inline]
+    pub fn admit_client(&mut self, post: &CapInstance, client: usize, zone: usize) {
+        let m = self.servers;
+        let bound = post.delay_bound();
+        let counts = &mut self.cost[zone * m..(zone + 1) * m];
+        for (count, &delay) in counts.iter_mut().zip(post.obs_cs_row(client)) {
+            *count += u32::from(delay > bound);
+        }
+    }
+
+    /// Re-derives the desirability ordering and regret of each listed
+    /// zone from its current counts — the deferred tail of a run of
+    /// [`CostMatrix::retire_client`]/[`CostMatrix::admit_client`] calls.
+    /// After refreshing every touched zone the matrix is bit-identical to
+    /// a fresh [`CostMatrix::build`] of the updated instance. O(zones·m
+    /// log m).
+    pub fn refresh_zones(&mut self, zones: &[usize]) {
+        let m = self.servers;
+        for &z in zones {
+            // The previous order is a valid permutation and nearly
+            // sorted; re-sorting it beats rebuilding from the identity.
+            self.regret[z] = reorder_zone(
                 &self.cost[z * m..(z + 1) * m],
                 &mut self.order[z * m..(z + 1) * m],
             );
@@ -261,16 +296,26 @@ impl CostMatrix {
     }
 }
 
-/// Rebuilds one zone's desirability order in place and returns its
+/// Rebuilds one zone's desirability order from scratch and returns its
 /// regret: servers sorted by (cost ascending, index ascending), regret =
 /// second-best − best cost (0 with fewer than two servers).
 fn order_zone(counts: &[u32], row: &mut [u32]) -> f64 {
-    let m = counts.len();
     for (i, slot) in row.iter_mut().enumerate() {
         *slot = i as u32;
     }
+    reorder_zone(counts, row)
+}
+
+/// [`order_zone`] when `row` already holds a permutation of the servers
+/// (a previously derived order). The sort key is a strict total order, so
+/// the result is identical to sorting from the identity — but a churn
+/// update perturbs only a few counts, the permutation is nearly sorted,
+/// and the pattern-defeating sort finishes in near-linear time. This is
+/// what keeps the streaming engine's per-flush
+/// [`CostMatrix::refresh_zones`] cheap.
+fn reorder_zone(counts: &[u32], row: &mut [u32]) -> f64 {
     row.sort_unstable_by_key(|&s| (counts[s as usize], s));
-    if m >= 2 {
+    if row.len() >= 2 {
         f64::from(counts[row[1] as usize]) - f64::from(counts[row[0] as usize])
     } else {
         0.0
@@ -632,6 +677,75 @@ mod tests {
             assert_eq!(matrix, CostMatrix::build(&new_inst));
             world = outcome.world;
             inst = new_inst;
+        }
+    }
+
+    /// Event-level matrix maintenance (retire/admit per client + deferred
+    /// zone refresh) tracks a fresh build across a random stream of
+    /// in-place instance ops.
+    #[test]
+    fn per_client_updates_match_fresh_build() {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::{ErrorModel, ScenarioConfig, World};
+        use rand::Rng;
+
+        let mut rng = StdRng::seed_from_u64(31);
+        let topo = flat_waxman(40, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("4s-8z-80c-100cp").unwrap();
+        let world = World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
+        let mut inst =
+            CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        let server_nodes: Vec<usize> = world.servers.iter().map(|s| s.node).collect();
+        let model = world.config.bandwidth;
+        let mut matrix = CostMatrix::build(&inst);
+
+        for round in 0..40 {
+            let mut touched: Vec<usize> = Vec::new();
+            // A micro-batch of a few random events, maintained per event.
+            for _ in 0..3 {
+                match rng.gen_range(0..3) {
+                    0 if inst.num_clients() > 0 => {
+                        let c = rng.gen_range(0..inst.num_clients());
+                        let z = inst.zone_of(c);
+                        matrix.retire_client(&inst, c, z);
+                        inst.stream_leave(c, &model);
+                        touched.push(z);
+                    }
+                    1 => {
+                        let node = rng.gen_range(0..40);
+                        let z = rng.gen_range(0..world.zones);
+                        let idx = inst.stream_join(
+                            node,
+                            z,
+                            &server_nodes,
+                            &delays,
+                            &model,
+                            ErrorModel::PERFECT,
+                            &mut rng,
+                        );
+                        matrix.admit_client(&inst, idx, z);
+                        touched.push(z);
+                    }
+                    _ if inst.num_clients() > 0 => {
+                        let c = rng.gen_range(0..inst.num_clients());
+                        let from = inst.zone_of(c);
+                        let to = rng.gen_range(0..world.zones);
+                        if from != to {
+                            matrix.retire_client(&inst, c, from);
+                            inst.stream_move(c, to, &model);
+                            matrix.admit_client(&inst, c, to);
+                            touched.push(from);
+                            touched.push(to);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            matrix.refresh_zones(&touched);
+            assert_eq!(matrix, CostMatrix::build(&inst), "round {round}");
         }
     }
 

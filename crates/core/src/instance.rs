@@ -19,7 +19,7 @@
 //! mesh of the GDSA.
 
 use dve_topology::DelayMatrix;
-use dve_world::{DynamicsOutcome, ErrorModel, World};
+use dve_world::{BandwidthModel, DynamicsOutcome, ErrorModel, World};
 use rand::Rng;
 
 /// Default inter-server provisioning factor from the paper.
@@ -67,6 +67,19 @@ pub struct CapInstance {
     capacity: Vec<f64>,
     /// Delay bound `D`, ms.
     delay_bound: f64,
+}
+
+/// Result of [`CapInstance::stream_leave`]: which zone lost a client and
+/// which client index was swap-relocated into the freed index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamDeparture {
+    /// Zone the departed client was in.
+    pub zone: usize,
+    /// Former index of the client that now occupies the departed
+    /// client's index (always the previous last index), or `None` if the
+    /// departed client was itself last. Engine-side per-client state
+    /// (contacts, ids) must apply the same relocation.
+    pub relocated: Option<usize>,
 }
 
 impl CapInstance {
@@ -275,6 +288,141 @@ impl CapInstance {
         self.capacity
             .extend(world.servers.iter().map(|s| s.capacity_bps));
         self
+    }
+
+    /// Removes one client **in place** — the event-level counterpart of
+    /// [`CapInstance::apply_delta`] for the streaming serving loop, where
+    /// a per-flush O(k) rebuild of the zone bookkeeping would blow the
+    /// per-event latency budget.
+    ///
+    /// The departed client's index is backfilled by **swap-remove**: the
+    /// current last client is relocated into `client`'s index (returned
+    /// so engine-side per-client state can follow), its delay row staying
+    /// exactly where it was — only the row-slot map entry moves. The
+    /// leaver's row slot joins `free_rows` for a later
+    /// [`CapInstance::stream_join`] to recycle. Total work is O(m + zone
+    /// population): the member-list edits plus the population-dependent
+    /// bandwidth refresh of the one touched zone.
+    ///
+    /// Unlike the batch compaction of `apply_delta` (survivors keep their
+    /// relative order), swap-remove *permutes* client indices; all
+    /// aggregate views (zone populations, `zone_bps`, [`CostMatrix`]
+    /// columns, pQoS) are permutation-invariant, which is what the stream
+    /// engine's equivalence tests assert. `model` must be the bandwidth
+    /// model the instance was built with (world-built instances; raw
+    /// instances from [`CapInstance::from_raw`] have no model).
+    pub fn stream_leave(&mut self, client: usize, model: &BandwidthModel) -> StreamDeparture {
+        assert!(client < self.clients, "client {client} out of range");
+        let zone = self.zone_of_client[client];
+        self.free_rows.push(self.row_of_client[client]);
+        let pos = self.clients_of_zone[zone]
+            .iter()
+            .position(|&c| c == client)
+            .expect("zone membership is consistent");
+        self.clients_of_zone[zone].swap_remove(pos);
+
+        let last = self.clients - 1;
+        let relocated = if client != last {
+            let last_zone = self.zone_of_client[last];
+            self.row_of_client[client] = self.row_of_client[last];
+            self.zone_of_client[client] = last_zone;
+            self.client_target_bps[client] = self.client_target_bps[last];
+            let last_pos = self.clients_of_zone[last_zone]
+                .iter()
+                .position(|&c| c == last)
+                .expect("zone membership is consistent");
+            self.clients_of_zone[last_zone][last_pos] = client;
+            Some(last)
+        } else {
+            None
+        };
+        self.row_of_client.truncate(last);
+        self.zone_of_client.truncate(last);
+        self.client_target_bps.truncate(last);
+        self.clients = last;
+        self.refresh_zone_bandwidth(zone, model);
+        StreamDeparture { zone, relocated }
+    }
+
+    /// Adds one client **in place**, filling a recycled (or fresh) delay
+    /// row from the node delay matrix exactly as
+    /// [`CapInstance::apply_delta`] does for joiners — same formula, same
+    /// `error.observe` draw discipline, so a streamed join is
+    /// bit-identical to its batch counterpart. Returns the new client's
+    /// index (always `num_clients() - 1` before the call returns).
+    /// O(m + zone population).
+    pub fn stream_join<R: Rng + ?Sized>(
+        &mut self,
+        node: usize,
+        zone: usize,
+        server_nodes: &[usize],
+        delays: &DelayMatrix,
+        model: &BandwidthModel,
+        error: ErrorModel,
+        rng: &mut R,
+    ) -> usize {
+        assert!(zone < self.zones, "zone {zone} out of range");
+        assert_eq!(
+            server_nodes.len(),
+            self.servers,
+            "server set must be unchanged"
+        );
+        let idx = self.clients;
+        let slot = self.free_rows.pop().unwrap_or_else(|| {
+            let slot = (self.true_cs.len() / self.servers) as u32;
+            self.true_cs.resize((slot as usize + 1) * self.servers, 0.0);
+            self.obs_cs.resize((slot as usize + 1) * self.servers, 0.0);
+            slot
+        });
+        let base = slot as usize * self.servers;
+        for (j, &server_node) in server_nodes.iter().enumerate() {
+            let d = delays.rtt(node, server_node);
+            self.true_cs[base + j] = d;
+            self.obs_cs[base + j] = error.observe(d, rng);
+        }
+        self.row_of_client.push(slot);
+        self.zone_of_client.push(zone);
+        self.client_target_bps.push(0.0); // set by the refresh below
+        self.clients_of_zone[zone].push(idx);
+        self.clients += 1;
+        self.refresh_zone_bandwidth(zone, model);
+        idx
+    }
+
+    /// Moves one client between zones **in place**: membership lists and
+    /// the population-dependent bandwidths of both zones are updated, the
+    /// delay row stays put (physical location is unchanged). A move to
+    /// the client's current zone is a no-op. O(both zone populations).
+    pub fn stream_move(&mut self, client: usize, zone: usize, model: &BandwidthModel) {
+        assert!(client < self.clients, "client {client} out of range");
+        assert!(zone < self.zones, "zone {zone} out of range");
+        let from = self.zone_of_client[client];
+        if from == zone {
+            return;
+        }
+        let pos = self.clients_of_zone[from]
+            .iter()
+            .position(|&c| c == client)
+            .expect("zone membership is consistent");
+        self.clients_of_zone[from].swap_remove(pos);
+        self.clients_of_zone[zone].push(client);
+        self.zone_of_client[client] = zone;
+        self.refresh_zone_bandwidth(from, model);
+        self.refresh_zone_bandwidth(zone, model);
+    }
+
+    /// Recomputes `zone_bps` and the members' `R^T_c` for one zone from
+    /// its current population — the same formulas
+    /// [`CapInstance::build`] evaluates, so incrementally maintained
+    /// values are bit-identical to a fresh build's.
+    fn refresh_zone_bandwidth(&mut self, z: usize, model: &BandwidthModel) {
+        let population = self.clients_of_zone[z].len();
+        self.zone_bps[z] = model.zone_bps(population);
+        let target_bps = model.client_target_bps(population);
+        for i in 0..population {
+            let c = self.clients_of_zone[z][i];
+            self.client_target_bps[c] = target_bps;
+        }
     }
 
     /// Builds an instance directly from raw parts (tests and synthetic
@@ -706,6 +854,135 @@ mod tests {
                     assert!(o >= t / 2.0 - 1e-9 && o <= t * 2.0 + 1e-9);
                 }
             }
+        }
+    }
+
+    /// Drives a random stream-op sequence against a mirror world that
+    /// applies the same swap-remove semantics, then asserts every
+    /// accessor of the in-place instance is bit-identical to a fresh
+    /// build of the mirror world.
+    #[test]
+    fn stream_ops_match_fresh_build_of_mirror_world() {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::{Client, ScenarioConfig};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(23);
+        let topo = flat_waxman(40, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("4s-8z-60c-100cp").unwrap();
+        let world = dve_world::World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
+        let mut inst =
+            CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        let server_nodes: Vec<usize> = world.servers.iter().map(|s| s.node).collect();
+        let model = world.config.bandwidth;
+        let mut mirror: Vec<Client> = world.clients.clone();
+
+        for step in 0..300 {
+            match rng.gen_range(0..3) {
+                0 if !mirror.is_empty() => {
+                    let c = rng.gen_range(0..mirror.len());
+                    let dep = inst.stream_leave(c, &model);
+                    assert_eq!(dep.zone, mirror[c].zone);
+                    let last = mirror.len() - 1;
+                    assert_eq!(dep.relocated, (c != last).then_some(last));
+                    mirror.swap_remove(c);
+                }
+                1 => {
+                    let node = rng.gen_range(0..40);
+                    let zone = rng.gen_range(0..world.zones);
+                    let idx = inst.stream_join(
+                        node,
+                        zone,
+                        &server_nodes,
+                        &delays,
+                        &model,
+                        ErrorModel::PERFECT,
+                        &mut rng,
+                    );
+                    assert_eq!(idx, mirror.len());
+                    mirror.push(Client { node, zone });
+                }
+                _ if !mirror.is_empty() => {
+                    let c = rng.gen_range(0..mirror.len());
+                    let zone = rng.gen_range(0..world.zones);
+                    inst.stream_move(c, zone, &model);
+                    mirror[c].zone = zone;
+                }
+                _ => {}
+            }
+
+            if step % 50 != 49 {
+                continue;
+            }
+            let mut mirror_world = world.clone();
+            mirror_world.clients = mirror.clone();
+            let fresh = CapInstance::build(
+                &mirror_world,
+                &delays,
+                0.5,
+                250.0,
+                ErrorModel::PERFECT,
+                &mut rng,
+            );
+            assert_eq!(inst.num_clients(), fresh.num_clients());
+            for c in 0..fresh.num_clients() {
+                assert_eq!(inst.zone_of(c), fresh.zone_of(c), "step {step} c={c}");
+                assert_eq!(inst.client_target_bps(c), fresh.client_target_bps(c));
+                for s in 0..fresh.num_servers() {
+                    assert_eq!(inst.obs_cs(c, s), fresh.obs_cs(c, s), "step {step}");
+                    assert_eq!(inst.true_cs(c, s), fresh.true_cs(c, s));
+                }
+            }
+            for z in 0..fresh.num_zones() {
+                assert_eq!(inst.zone_bps(z), fresh.zone_bps(z), "step {step} z={z}");
+                let mut a: Vec<usize> = inst.clients_in_zone(z).to_vec();
+                let mut b: Vec<usize> = fresh.clients_in_zone(z).to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "step {step} z={z}");
+                for s in 0..fresh.num_servers() {
+                    assert_eq!(inst.iap_cost(s, z), fresh.iap_cost(s, z));
+                }
+            }
+        }
+    }
+
+    /// Leave-heavy streams recycle row slots: the tables never grow past
+    /// the peak population.
+    #[test]
+    fn stream_ops_recycle_row_slots() {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::ScenarioConfig;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(29);
+        let topo = flat_waxman(30, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("3s-6z-50c-100cp").unwrap();
+        let world = dve_world::World::generate(&config, 30, &topo.as_of_node, &mut rng).unwrap();
+        let mut inst =
+            CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        let server_nodes: Vec<usize> = world.servers.iter().map(|s| s.node).collect();
+        let model = world.config.bandwidth;
+
+        for round in 0..20 {
+            // Churn one out, one in, forever: population and table size
+            // must both stay pinned at 50 rows.
+            inst.stream_leave(round % inst.num_clients(), &model);
+            inst.stream_join(
+                round % 30,
+                round % 6,
+                &server_nodes,
+                &delays,
+                &model,
+                ErrorModel::PERFECT,
+                &mut rng,
+            );
+            assert_eq!(inst.num_clients(), 50);
+            assert_eq!(inst.table_rows(), 50);
         }
     }
 

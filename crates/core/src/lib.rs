@@ -87,14 +87,14 @@ pub use iap::{
     exact_iap, exact_iap_with, grez, grez_with, iap_gap, iap_gap_with, iap_total_cost, ranz,
     IapError, StuckPolicy,
 };
-pub use instance::{CapInstance, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING};
+pub use instance::{CapInstance, StreamDeparture, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING};
 pub use joint::{exact_joint_cap, joint_milp, JointError, JointOutcome};
 pub use local_search::{improve_iap, improve_iap_with, LocalSearchStats};
 pub use lp_round::{iap_lower_bound, iap_lp_bound, lp_round_iap};
 pub use metrics::{cdf_at, evaluate, fig4_grid, Metrics};
 pub use rap::{
     exact_rap, exact_rap_with, grec, grec_with, rap_gap, rap_gap_with, rap_total_cost,
-    violating_clients, virc, RapError, RelayTable,
+    violating_clients, violating_clients_in, virc, RapError, RelayTable,
 };
 pub use two_phase::{
     solve, solve_iap, solve_rap, solve_with, CapAlgorithm, IapMethod, RapMethod, SolveError,

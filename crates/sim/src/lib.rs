@@ -11,6 +11,11 @@
 //!   delta path (instances carried across churn, not rebuilt);
 //! * [`run_churn`] — the delta-aware churn engine: `CostMatrix` carried
 //!   across epochs via `WorldDelta`, incremental repair per epoch;
+//! * [`ServeEngine`] / [`run_stream`] — the always-on streaming serving
+//!   layer: per-event joins/leaves/moves coalesced into micro-batches,
+//!   applied in place with a zone-scoped incremental repair and a
+//!   per-event latency histogram ([`run_stream_batch_compat`] pins the
+//!   stream path to `run_churn` bit for bit at epoch granularity);
 //! * [`experiments`] — Table 1, Fig. 4, Fig. 5, Fig. 6, Table 3, Table 4
 //!   and the ablation study, each with a paper-style `render()`;
 //! * [`stats`] — replication statistics (mean, std, CI95).
@@ -29,6 +34,7 @@ mod dynamics;
 pub mod experiments;
 mod repair;
 mod runner;
+mod serve;
 mod setup;
 pub mod stats;
 
@@ -39,5 +45,9 @@ pub use repair::{repair_assignment, repair_assignment_with, zone_migrations, Rep
 pub use runner::{
     aggregate, run_churn, run_experiment, run_replication, AlgoStats, ChurnEpochRecord, RunRecord,
 };
+pub use serve::{
+    run_stream, run_stream_batch_compat, ClientId, FlushReport, ServeConfig, ServeEngine,
+    ServeError, ServeStats, StreamEpochRecord, StreamEvent, StreamReport,
+};
 pub use setup::{build_replication, Replication, SimSetup, TopologySpec};
-pub use stats::{Accumulator, Summary};
+pub use stats::{Accumulator, LatencyHistogram, Summary};

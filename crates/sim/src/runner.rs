@@ -10,7 +10,7 @@ use crate::stats::{Accumulator, Summary};
 use dve_assign::{
     evaluate, grec, grez_with, solve, Assignment, CapAlgorithm, CostMatrix, Metrics, StuckPolicy,
 };
-use dve_world::{apply_dynamics, DynamicsBatch, ErrorModel};
+use dve_world::{apply_dynamics, DynamicsBatch, DynamicsOutcome, ErrorModel, World};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -86,6 +86,28 @@ pub fn run_churn(
     epochs: usize,
     policy: StuckPolicy,
 ) -> Vec<ChurnEpochRecord> {
+    run_churn_with(setup, index, batch, epochs, policy, |_, outcome| outcome)
+}
+
+/// [`run_churn`] with a hook between the dynamics draw and the carry:
+/// `route` receives the pre-churn world and the drawn
+/// [`DynamicsOutcome`] and returns the outcome the engine consumes.
+/// The batch path routes it through unchanged;
+/// [`run_stream_batch_compat`](crate::run_stream_batch_compat) replays
+/// it as a per-event stream through a `DeltaBuffer` — one shared loop,
+/// so the stream-vs-batch equivalence tests can never drift on harness
+/// details.
+pub(crate) fn run_churn_with<F>(
+    setup: &SimSetup,
+    index: usize,
+    batch: &DynamicsBatch,
+    epochs: usize,
+    policy: StuckPolicy,
+    mut route: F,
+) -> Vec<ChurnEpochRecord>
+where
+    F: FnMut(&World, DynamicsOutcome) -> DynamicsOutcome,
+{
     let mut rep = build_replication(setup, index);
     let error = ErrorModel::new(setup.error_factor);
     let mut matrix = CostMatrix::build(&rep.instance);
@@ -102,6 +124,7 @@ pub fn run_churn(
     for epoch in 0..epochs {
         let old_zone_of: Vec<usize> = (0..inst.num_clients()).map(|c| inst.zone_of(c)).collect();
         let outcome = apply_dynamics(&world, batch, rep.topology.node_count(), &mut rep.rng);
+        let outcome = route(&world, outcome);
 
         let started = Instant::now();
         // Two-phase matrix update around the consuming instance carry:
@@ -315,6 +338,95 @@ mod tests {
             assert_eq!(x.zones_migrated, y.zones_migrated);
             assert_eq!(x.clients, y.clients);
         }
+    }
+
+    /// Capacity-starved setup: every server's capacity is below any
+    /// populated zone's demand, so every placement is overloaded no
+    /// matter what the solver or the repair does.
+    fn overloaded_setup() -> SimSetup {
+        let mut setup = small_setup(1);
+        setup.scenario.total_capacity_bps = 1000.0;
+        setup.scenario.min_capacity_bps = 100.0;
+        setup
+    }
+
+    /// A batch that drains the whole population (leaves >= clients, so
+    /// every zone passes through an emptied state) and repopulates it.
+    fn drain_and_refill() -> DynamicsBatch {
+        DynamicsBatch {
+            joins: 80,
+            leaves: 1000,
+            moves: 10,
+        }
+    }
+
+    #[test]
+    fn churn_best_effort_survives_emptied_zones_and_total_overload() {
+        let setup = overloaded_setup();
+        let rep = build_replication(&setup, 0);
+        let max_cap = (0..rep.instance.num_servers())
+            .map(|s| rep.instance.capacity(s))
+            .fold(0.0, f64::max);
+        let min_zone = (0..rep.instance.num_zones())
+            .map(|z| rep.instance.zone_bps(z))
+            .filter(|&b| b > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max_cap < min_zone,
+            "precondition: any populated zone overloads any server ({max_cap} vs {min_zone})"
+        );
+
+        let records = run_churn(&setup, 0, &drain_and_refill(), 4, StuckPolicy::BestEffort);
+        assert_eq!(records.len(), 4);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.epoch, i);
+            // Epoch 0 drains all 100 and admits 80; afterwards the
+            // population is fully replaced every epoch.
+            assert_eq!(r.clients, 80);
+            assert!((0.0..=1.0).contains(&r.pqos_carried));
+            assert!((0.0..=1.0).contains(&r.pqos_repaired));
+            // Nothing fits anywhere: the best-effort repair must not
+            // thrash zones it cannot place.
+            assert_eq!(
+                r.zones_migrated, 0,
+                "epoch {i} migrated under total overload"
+            );
+            assert!(r.update_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn churn_strict_survives_emptied_zones_when_capacity_allows() {
+        // Feasible capacities: Strict must carry the engine through
+        // epochs that empty zones outright (a zero-demand zone fits any
+        // server, so strict placement never gets stuck on it).
+        let setup = small_setup(1);
+        let records = run_churn(&setup, 0, &drain_and_refill(), 3, StuckPolicy::Strict);
+        assert_eq!(records.len(), 3);
+        for r in &records {
+            assert_eq!(r.clients, 80);
+            assert!((0.0..=1.0).contains(&r.pqos_repaired));
+        }
+        // Deterministic under Strict too.
+        let again = run_churn(&setup, 0, &drain_and_refill(), 3, StuckPolicy::Strict);
+        for (a, b) in records.iter().zip(&again) {
+            assert_eq!(a.pqos_repaired, b.pqos_repaired);
+            assert_eq!(a.zones_migrated, b.zones_migrated);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "initial GreZ failed")]
+    fn churn_strict_refuses_infeasible_initial_world() {
+        // With every server overloaded from the start, Strict fails the
+        // initial solve loudly instead of serving an infeasible world.
+        run_churn(
+            &overloaded_setup(),
+            0,
+            &drain_and_refill(),
+            1,
+            StuckPolicy::Strict,
+        );
     }
 
     #[test]

@@ -2,9 +2,13 @@
 //!
 //! The paper reports averages over 50 runs; this module provides the
 //! aggregation: mean, sample standard deviation, and a normal-theory 95%
-//! confidence half-width (adequate at 50 replications).
+//! confidence half-width (adequate at 50 replications) — plus the
+//! [`LatencyHistogram`] the streaming serving engine records per-event
+//! latencies into (log-bucketed, bounded memory, conservative quantile
+//! upper bounds — what the `stream` bench gates its SLO on).
 
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -116,6 +120,151 @@ impl Summary {
     }
 }
 
+/// Values below this are binned exactly (one bucket per nanosecond).
+const EXACT_NS: u64 = 64;
+/// Sub-buckets per octave above [`EXACT_NS`] (12.5% worst-case
+/// resolution).
+const SUB_BITS: u32 = 3;
+/// Smallest exponent using sub-bucketed octaves (`EXACT_NS = 2^6`).
+const FIRST_EXP: u32 = 6;
+/// 64 exact buckets + 8 sub-buckets for each of the 58 octaves of a u64.
+const BUCKETS: usize = EXACT_NS as usize + ((64 - FIRST_EXP as usize) << SUB_BITS as usize);
+
+/// Fixed-memory histogram of event latencies with ~12.5% worst-case
+/// bucket resolution.
+///
+/// Latencies are recorded in nanoseconds into log-spaced buckets (exact
+/// below 64 ns, eight sub-buckets per power of two above), so a
+/// serving-loop histogram costs a few KiB regardless of event volume.
+/// [`LatencyHistogram::quantile_upper_ns`] reports the *upper bound* of
+/// the quantile's bucket — conservative in the direction a latency gate
+/// cares about: if the reported p99 passes the SLO, the true p99 does
+/// too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Bucket index of a nanosecond value.
+fn bucket_of(ns: u64) -> usize {
+    if ns < EXACT_NS {
+        return ns as usize;
+    }
+    let exp = 63 - ns.leading_zeros();
+    let sub = ((ns >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize;
+    EXACT_NS as usize + (((exp - FIRST_EXP) as usize) << SUB_BITS as usize) + sub
+}
+
+/// Inclusive upper bound of a bucket, in nanoseconds.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < EXACT_NS as usize {
+        return idx as u64;
+    }
+    let rel = idx - EXACT_NS as usize;
+    let exp = FIRST_EXP + (rel >> SUB_BITS as usize) as u32;
+    let sub = (rel & ((1 << SUB_BITS) - 1)) as u64;
+    // Values in the bucket satisfy ns < (8 + sub + 1) << (exp - 3).
+    ((1 << SUB_BITS as u64) + sub + 1)
+        .saturating_mul(1 << (exp - SUB_BITS))
+        .saturating_sub(1)
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one latency in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded events.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.total as f64
+        }
+    }
+
+    /// Exact maximum recorded latency in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Exact minimum recorded latency in nanoseconds (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Conservative quantile: the upper bound of the bucket containing
+    /// the `q`-quantile observation (`q` in [0, 1]; 0 when empty). The
+    /// true quantile is at most this value and at least 1/1.125 of it.
+    pub fn quantile_upper_ns(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Never report past the exact maximum.
+                return bucket_upper(idx).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// One-line rendering of the distribution (microseconds).
+    pub fn render_us(&self) -> String {
+        format!(
+            "n={} mean={:.1}us p50<={:.1}us p99<={:.1}us max={:.1}us",
+            self.total,
+            self.mean_ns() / 1e3,
+            self.quantile_upper_ns(0.50) as f64 / 1e3,
+            self.quantile_upper_ns(0.99) as f64 / 1e3,
+            self.max_ns as f64 / 1e3,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +311,84 @@ mod tests {
         let s = a.summary();
         assert_eq!(s.min, -5.0);
         assert_eq!(s.max, 10.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_tight() {
+        // Every value maps to a bucket whose upper bound is >= the value
+        // and within 12.5% of it (or exact below 64 ns).
+        let mut prev = 0usize;
+        for ns in [
+            0u64,
+            1,
+            5,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            12_345,
+            1_000_000,
+            250_000_000,
+            u64::MAX / 2,
+        ] {
+            let idx = bucket_of(ns);
+            assert!(idx >= prev, "buckets must be monotone in value");
+            prev = idx;
+            let upper = bucket_upper(idx);
+            assert!(upper >= ns, "upper {upper} < value {ns}");
+            if ns >= 64 {
+                assert!(
+                    upper as f64 <= ns as f64 * 1.125,
+                    "upper {upper} too loose for {ns}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_exact_stats() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 200, 300, 400] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean_ns(), 250.0);
+        assert_eq!(h.min_ns(), 100);
+        assert_eq!(h.max_ns(), 400);
+        assert_eq!(h.quantile_upper_ns(1.0), 400);
+        // p50 falls in 200's bucket; the bound covers 200.
+        assert!(h.quantile_upper_ns(0.5) >= 200);
+        assert!(h.quantile_upper_ns(0.5) <= 225);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_exact_percentiles() {
+        let mut h = LatencyHistogram::new();
+        let values: Vec<u64> = (1..=1000u64).map(|i| i * 977).collect();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        for &(q, rank) in &[(0.5f64, 500usize), (0.9, 900), (0.99, 990)] {
+            let exact = values[rank - 1];
+            let bound = h.quantile_upper_ns(q);
+            assert!(bound >= exact, "q={q}: bound {bound} < exact {exact}");
+            assert!(
+                bound as f64 <= exact as f64 * 1.125,
+                "q={q}: bound {bound} too loose for {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_empty_and_duration_entry() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.quantile_upper_ns(0.99), 0);
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min_ns(), 3_000);
+        assert!(h.render_us().contains("n=1"));
     }
 }

@@ -12,7 +12,10 @@
 //! * [`BandwidthModel`] — the quadratic zone-bandwidth model of [20]
 //!   (25 msg/s x 100 B defaults);
 //! * [`ErrorModel`] — King/IDMaps-style delay estimation error (Table 4);
-//! * [`apply_dynamics`] — join/leave/move population dynamics (Table 3).
+//! * [`apply_dynamics`] — join/leave/move population dynamics (Table 3);
+//! * [`WorldEvent`] / [`DeltaBuffer`] — the same dynamics as a continuous
+//!   event stream, coalesced into batch-shaped deltas for the serving
+//!   engine in `dve-sim`.
 //!
 //! ```
 //! use dve_world::{ScenarioConfig, World};
@@ -36,6 +39,7 @@ mod dynamics;
 mod error;
 mod mobility;
 mod scenario;
+mod stream;
 mod world;
 
 pub use bandwidth::BandwidthModel;
@@ -47,4 +51,5 @@ pub use dynamics::{
 pub use error::ErrorModel;
 pub use mobility::{MobilityModel, ZoneGrid};
 pub use scenario::{CapacityPolicy, NotationError, ScenarioConfig};
+pub use stream::{DeltaBuffer, StreamError, WorldEvent};
 pub use world::{Client, Server, World, WorldError};
