@@ -14,7 +14,7 @@
 //! ```
 
 use criterion::{black_box, criterion_group, Criterion};
-use dve_assign::{CapInstance, CostMatrix};
+use dve_assign::{CapInstance, CostMatrix, DelayLayout};
 use dve_sim::experiments::scaling::LARGE_TIER;
 use dve_sim::{build_replication, SimSetup, TopologySpec};
 use dve_topology::HierarchicalConfig;
@@ -55,12 +55,13 @@ fn bench_delta_vs_rebuild(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(5);
         b.iter(|| {
             let outcome = apply_dynamics(&world, &batch, rep.topology.node_count(), &mut rng);
-            let fresh = CapInstance::build(
+            let fresh = CapInstance::from_world(
                 &outcome.world,
                 &rep.delays,
                 setup.provisioning,
                 setup.delay_bound_ms,
                 ErrorModel::PERFECT,
+                DelayLayout::Dense64,
                 &mut rng,
             );
             let matrix = CostMatrix::build(&fresh);
@@ -111,12 +112,13 @@ fn check_churn_speedup() {
         // all k clients. The RNG is untouched under the perfect error
         // model, so both paths see identical inputs.
         let t = Instant::now();
-        let fresh_inst = CapInstance::build(
+        let fresh_inst = CapInstance::from_world(
             &outcome.world,
             &rep.delays,
             setup.provisioning,
             setup.delay_bound_ms,
             ErrorModel::PERFECT,
+            DelayLayout::Dense64,
             &mut rng,
         );
         let fresh_matrix = CostMatrix::build(&fresh_inst);

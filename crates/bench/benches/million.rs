@@ -1,0 +1,288 @@
+//! The million-client acceptance run (`scale-1m` CI gate).
+//!
+//! Claim checked in release mode: the blocked `DelaySource` pipeline
+//! builds, solves, and serves the [`MILLION_TIER`]
+//! (`200s-4000z-1000000c`) **end-to-end on one core in bounded memory**:
+//!
+//! * topology delays come from [`OnDemandDelays`] — the node×node matrix
+//!   is never materialised;
+//! * the instance + cost matrix come out of one blocked pass of
+//!   [`CapInstance::from_world_with_matrix`] in the shared-by-node
+//!   layout — **no dense k×m table of any width exists at any point**
+//!   (asserted: the delay rows are substrate-sized);
+//! * GreZ + incremental local search + GreC solve the tier, and the
+//!   [`ServeEngine`] streams join/leave/move events over it, with the
+//!   initial admission recorded in the separate warm-up phase;
+//! * peak RSS stays under a fixed ceiling and the run completes within
+//!   a wall-clock budget.
+//!
+//! Build throughput, peak RSS, thread count, and serve latencies are
+//! written to `BENCH_million.json` (uploaded as a CI artifact) so the
+//! scale trajectory is machine-readable like `BENCH_table1.json`.
+//!
+//! Environment knobs (all optional):
+//! * `DVE_MILLION_CLIENTS` — reduced-size variant for slow runners
+//!   (capacity is re-derived from the bandwidth model at the same
+//!   ~1.3× head-room);
+//! * `DVE_MILLION_RSS_CEILING_MB` — memory ceiling, default 1024;
+//! * `DVE_MILLION_BUDGET_S` — wall-clock budget, default 900;
+//! * `DVE_MILLION_JSON` — output path, default `BENCH_million.json`.
+//!
+//! ```bash
+//! cargo bench -p dve-bench --bench million
+//! ```
+
+use dve_assign::{
+    evaluate, grec, grez_with, improve_iap_with, Assignment, CapInstance, CostMatrix, DelayLayout,
+    StuckPolicy,
+};
+use dve_sim::experiments::scaling::MILLION_TIER;
+use dve_sim::{peak_rss_bytes, ServeConfig, ServeEngine, StreamEvent};
+use dve_topology::{hierarchical, HierarchicalConfig, OnDemandDelays};
+use dve_world::{ErrorModel, ScenarioConfig, World, WorldDelays};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Join events streamed through the warm-up window (initial-admission
+/// phase) before the gated steady phase.
+const WARMUP_EVENTS: usize = 2_000;
+
+/// Steady join/leave/move events streamed after warm-up.
+const STEADY_EVENTS: usize = 6_000;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// The tier to run: the canonical [`MILLION_TIER`], or a reduced-size
+/// variant with capacity re-derived for the same head-room.
+fn tier_notation(clients: usize) -> String {
+    if clients == 1_000_000 {
+        return MILLION_TIER.to_string();
+    }
+    let base = ScenarioConfig::from_notation(MILLION_TIER).expect("static notation");
+    let mean_pop = (clients / base.zones).max(1);
+    let demand = base.zones as f64 * base.bandwidth.zone_bps(mean_pop);
+    let cap_mbps = (demand * 1.3 / 1e6).ceil() as u64;
+    format!("{}s-{}z-{clients}c-{cap_mbps}cp", base.servers, base.zones)
+}
+
+fn main() {
+    // The claim is single-core; respect an explicit override but pin to
+    // one worker by default so CI and laptops measure the same thing.
+    if std::env::var("DVE_THREADS").is_err() {
+        std::env::set_var("DVE_THREADS", "1");
+    }
+    let clients = env_u64("DVE_MILLION_CLIENTS", 1_000_000) as usize;
+    let rss_ceiling = env_u64("DVE_MILLION_RSS_CEILING_MB", 1024) * 1024 * 1024;
+    let budget_s = env_u64("DVE_MILLION_BUDGET_S", 900);
+    let notation = tier_notation(clients);
+    let started = Instant::now();
+
+    // --- Substrate: graph + on-demand delays, no node matrix. ---
+    let mut rng = StdRng::seed_from_u64(42);
+    let t = Instant::now();
+    let topo = hierarchical(&HierarchicalConfig::default(), &mut rng);
+    let source = OnDemandDelays::from_graph(&topo.graph, 500.0, 8).expect("connected");
+    let topo_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // --- World + gather table. ---
+    let config = ScenarioConfig::from_notation(&notation).expect("tier notation");
+    let t = Instant::now();
+    let world = World::generate(&config, topo.node_count(), &topo.as_of_node, &mut rng)
+        .expect("tier fits the substrate");
+    let delays = WorldDelays::for_world(Arc::new(source), &world);
+    let world_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // --- Blocked one-pass instance + cost matrix, shared rows. ---
+    let t = Instant::now();
+    let (inst, matrix) = CapInstance::from_world_with_matrix(
+        &world,
+        &delays,
+        0.5,
+        250.0,
+        ErrorModel::PERFECT,
+        DelayLayout::SharedByNode,
+        &mut rng,
+    );
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let build_rate = clients as f64 / (build_ms / 1e3);
+    let table_bytes = inst.delay_table_bytes();
+    // The tentpole's structural claim: delay rows are substrate-sized —
+    // a dense k×m table (f64: k*m*16 bytes for obs+true) never exists.
+    assert_eq!(
+        table_bytes,
+        delays.nodes() * config.servers * 8,
+        "delay rows must be shared per node, not per client"
+    );
+    println!(
+        "million/build: {notation} in {build_ms:.0} ms ({build_rate:.0} clients/s), \
+         delay rows {table_bytes} bytes ({} nodes x {} servers)",
+        delays.nodes(),
+        config.servers
+    );
+
+    // --- Solve: GreZ + incremental local search + GreC. ---
+    let t = Instant::now();
+    let mut targets = grez_with(&inst, &matrix, StuckPolicy::BestEffort).expect("tier solves");
+    let ls = improve_iap_with(&inst, &matrix, &mut targets, 2);
+    let contact_of_client = grec(&inst, &targets);
+    let solve_ms = t.elapsed().as_secs_f64() * 1e3;
+    let assignment = Assignment {
+        target_of_zone: targets,
+        contact_of_client,
+    };
+    let pqos_initial = evaluate(&inst, &assignment).pqos;
+    println!(
+        "million/solve: GreZ+LS+GreC in {solve_ms:.0} ms \
+         (LS cost {} -> {} in {} sweeps), pQoS {pqos_initial:.4}",
+        ls.initial_cost, ls.final_cost, ls.sweeps
+    );
+    assert!(
+        pqos_initial >= 0.7,
+        "million-tier pQoS {pqos_initial:.3} collapsed"
+    );
+
+    // --- Serve: warm-up admission, then steady join/leave/move. ---
+    let engine_rng = StdRng::seed_from_u64(43);
+    let mut engine = ServeEngine::new(
+        inst,
+        &world,
+        delays.clone(),
+        ErrorModel::PERFECT,
+        StuckPolicy::BestEffort,
+        ServeConfig {
+            max_batch: 64,
+            max_staleness: 4,
+        },
+        engine_rng,
+    )
+    .expect("tier solves");
+    let mut event_rng = StdRng::seed_from_u64(44);
+    let nodes = delays.nodes();
+    let zones = config.zones;
+
+    let t = Instant::now();
+    engine.begin_warmup();
+    let mut live: Vec<dve_sim::ClientId> = Vec::with_capacity(WARMUP_EVENTS);
+    for _ in 0..WARMUP_EVENTS {
+        let id = engine
+            .push(StreamEvent::Join {
+                node: event_rng.gen_range(0..nodes),
+                zone: event_rng.gen_range(0..zones),
+            })
+            .expect("valid join")
+            .expect("joins get ids");
+        live.push(id);
+    }
+    engine.end_warmup();
+    let warmup_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    for _ in 0..STEADY_EVENTS {
+        match event_rng.gen_range(0..3) {
+            0 if live.len() > 100 => {
+                let pick = event_rng.gen_range(0..live.len());
+                let id = live.swap_remove(pick);
+                engine.push(StreamEvent::Leave { id }).expect("valid leave");
+            }
+            1 => {
+                let id = engine
+                    .push(StreamEvent::Join {
+                        node: event_rng.gen_range(0..nodes),
+                        zone: event_rng.gen_range(0..zones),
+                    })
+                    .expect("valid join")
+                    .expect("joins get ids");
+                live.push(id);
+            }
+            _ => {
+                let pick = event_rng.gen_range(0..live.len());
+                engine
+                    .push(StreamEvent::Move {
+                        id: live[pick],
+                        zone: event_rng.gen_range(0..zones),
+                    })
+                    .expect("valid move");
+            }
+        }
+    }
+    engine.flush_now();
+    let steady_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let stats = engine.stats();
+    assert_eq!(stats.warmup.count(), WARMUP_EVENTS as u64);
+    assert_eq!(stats.latency.count(), STEADY_EVENTS as u64);
+    let pqos_served = engine.metrics().pqos;
+    println!(
+        "million/serve: warmup {WARMUP_EVENTS} joins in {warmup_ms:.0} ms [{}], \
+         steady {STEADY_EVENTS} events in {steady_ms:.0} ms [{}], \
+         full_repairs {}, pQoS {pqos_served:.4}",
+        stats.warmup.render_us(),
+        stats.latency.render_us(),
+        stats.full_repairs
+    );
+    assert!(
+        pqos_served >= 0.7,
+        "served pQoS {pqos_served:.3} collapsed under streaming"
+    );
+
+    // The carried books survive a million-client streaming session.
+    assert_eq!(
+        engine.matrix(),
+        &CostMatrix::build(engine.instance()),
+        "carried matrix diverged from a fresh build"
+    );
+
+    // --- Resource gates. ---
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let rss = peak_rss_bytes().unwrap_or(0);
+    let threads = dve_par::default_threads();
+    println!(
+        "million/resources: peak RSS {:.0} MiB (ceiling {:.0} MiB), \
+         {elapsed_s:.1} s wall (budget {budget_s} s), {threads} thread(s)",
+        rss as f64 / (1024.0 * 1024.0),
+        rss_ceiling as f64 / (1024.0 * 1024.0),
+    );
+    if rss > 0 {
+        assert!(
+            rss <= rss_ceiling,
+            "peak RSS {rss} bytes over the {rss_ceiling}-byte ceiling"
+        );
+    }
+    assert!(
+        elapsed_s <= budget_s as f64,
+        "run took {elapsed_s:.0} s, over the {budget_s} s budget"
+    );
+
+    // --- Machine-readable record. ---
+    // `cargo bench` runs with the package as cwd; anchor the default at
+    // the workspace root, next to BENCH_table1.json.
+    let json_path = std::env::var("DVE_MILLION_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_million.json").to_string()
+    });
+    let json = format!(
+        "{{\n  \"experiment\": \"million\",\n  \"tier\": \"{notation}\",\n  \
+         \"clients\": {clients},\n  \"threads\": {threads},\n  \
+         \"peak_rss_bytes\": {rss},\n  \"delay_table_bytes\": {table_bytes},\n  \
+         \"topology_ms\": {topo_ms:.3},\n  \"world_ms\": {world_ms:.3},\n  \
+         \"build_ms\": {build_ms:.3},\n  \"build_clients_per_sec\": {build_rate:.0},\n  \
+         \"solve_ms\": {solve_ms:.3},\n  \"pqos_initial\": {pqos_initial:.6},\n  \
+         \"pqos_served\": {pqos_served:.6},\n  \
+         \"warmup_events\": {WARMUP_EVENTS},\n  \"warmup_ms\": {warmup_ms:.3},\n  \
+         \"warmup_p99_ns\": {},\n  \"steady_events\": {STEADY_EVENTS},\n  \
+         \"steady_ms\": {steady_ms:.3},\n  \"steady_mean_ns\": {:.0},\n  \
+         \"steady_p99_ns\": {},\n  \"full_repairs\": {},\n  \"wall_s\": {elapsed_s:.3}\n}}\n",
+        stats.warmup.quantile_upper_ns(0.99),
+        stats.latency.mean_ns(),
+        stats.latency.quantile_upper_ns(0.99),
+        stats.full_repairs,
+    );
+    std::fs::write(&json_path, json).unwrap_or_else(|e| panic!("could not write {json_path}: {e}"));
+    println!("million: PASS ({json_path} written)");
+}

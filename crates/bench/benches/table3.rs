@@ -4,7 +4,7 @@
 //! for heuristics over exact solvers).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dve_assign::{solve, CapAlgorithm, CapInstance, StuckPolicy};
+use dve_assign::{solve, CapAlgorithm, CapInstance, DelayLayout, StuckPolicy};
 use dve_sim::{build_replication, carry_assignment, CarryPolicy, SimSetup};
 use dve_world::{apply_dynamics, DynamicsBatch, ErrorModel};
 use std::hint::black_box;
@@ -37,12 +37,13 @@ fn bench_table3(c: &mut Criterion) {
 
     let old_zone_of: Vec<usize> = rep.world.clients.iter().map(|c| c.zone).collect();
     let outcome = apply_dynamics(&rep.world, &batch, rep.topology.node_count(), &mut rep.rng);
-    let new_instance = CapInstance::build(
+    let new_instance = CapInstance::from_world(
         &outcome.world,
         &rep.delays,
         0.5,
         250.0,
         ErrorModel::PERFECT,
+        DelayLayout::Dense64,
         &mut rep.rng,
     );
     group.bench_function("carry_assignment/1000c", |b| {

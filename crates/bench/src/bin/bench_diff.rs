@@ -96,6 +96,9 @@ fn main() {
             );
         }
     }
+    for added in &report.added {
+        println!("  NEW pair (no baseline yet, not gated): {added}");
+    }
     for missing in &report.missing {
         println!("  MISSING in fresh results: {missing}");
     }

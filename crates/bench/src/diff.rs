@@ -365,6 +365,11 @@ pub struct DiffReport {
     /// Baseline pairs with no fresh counterpart (renamed/removed tiers
     /// fail the gate: a silently dropped measurement is a regression).
     pub missing: Vec<String>,
+    /// Fresh pairs with no baseline counterpart — **additions, not
+    /// regressions** (a new tier or algorithm landing in the same PR as
+    /// its first measurement). Reported so the operator commits the
+    /// fresh file as the next baseline; never fails the gate.
+    pub added: Vec<String>,
     /// Over-threshold slowdowns.
     pub regressions: Vec<Regression>,
 }
@@ -387,7 +392,8 @@ impl DiffReport {
 /// has a single replication (the exact solver in CI) are gated at
 /// **double** the threshold — one sample of a long solve amortises
 /// noise well, but has no minimum-of-N protection. Extra fresh entries
-/// (new tiers) are ignored — they become the baseline when committed.
+/// (new tiers/algorithms) are listed in [`DiffReport::added`] and never
+/// gated — they become the baseline when committed.
 pub fn compare(
     fresh: &[BenchEntry],
     baseline: &[BenchEntry],
@@ -395,6 +401,16 @@ pub fn compare(
     floor_ms: f64,
 ) -> DiffReport {
     let mut report = DiffReport::default();
+    for new in fresh {
+        if !baseline
+            .iter()
+            .any(|e| e.config == new.config && e.algorithm == new.algorithm)
+        {
+            report
+                .added
+                .push(format!("{} / {}", new.config, new.algorithm));
+        }
+    }
     for base in baseline {
         let Some(new) = fresh
             .iter()
@@ -534,8 +550,33 @@ mod tests {
         let report = compare(&[], &baseline, 0.25, 0.05);
         assert_eq!(report.missing, vec!["tier1 / A".to_string()]);
         assert!(!report.passed());
-        // Extra fresh entries are fine.
-        let fresh = vec![entry("tier1", "A", 10.0), entry("tier9", "Z", 1.0)];
-        assert!(compare(&fresh, &baseline, 0.25, 0.05).passed());
+    }
+
+    /// New (tier, algorithm) pairs appearing only in the fresh JSON are
+    /// additions: reported as such, never failed — while vanished pairs
+    /// keep failing. The asymmetry is the point: dropping a measurement
+    /// hides a regression, adding one cannot.
+    #[test]
+    fn new_pairs_are_reported_as_additions_not_failures() {
+        let baseline = vec![entry("tier1", "A", 10.0)];
+        let fresh = vec![
+            entry("tier1", "A", 10.0),
+            entry("tier9", "Z", 1.0),
+            entry("tier1", "B", 2.0),
+        ];
+        let report = compare(&fresh, &baseline, 0.25, 0.05);
+        assert!(report.passed());
+        assert_eq!(
+            report.added,
+            vec!["tier9 / Z".to_string(), "tier1 / B".to_string()]
+        );
+        assert_eq!(report.compared, 1);
+        // Both directions at once: additions reported, the vanished pair
+        // still fails.
+        let moved = vec![entry("tier2", "A", 10.0)];
+        let report = compare(&moved, &baseline, 0.25, 0.05);
+        assert!(!report.passed());
+        assert_eq!(report.added, vec!["tier2 / A".to_string()]);
+        assert_eq!(report.missing, vec!["tier1 / A".to_string()]);
     }
 }

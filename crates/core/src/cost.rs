@@ -72,9 +72,7 @@ impl CostMatrix {
             for c in 0..inst.num_clients() {
                 let z = inst.zone_of(c);
                 let counts = &mut cost[z * m..(z + 1) * m];
-                for (count, &delay) in counts.iter_mut().zip(inst.obs_cs_row(c)) {
-                    *count += u32::from(delay > bound);
-                }
+                inst.fold_obs_row(c, |j, delay| counts[j] += u32::from(delay > bound));
             }
             cost
         } else {
@@ -82,9 +80,7 @@ impl CostMatrix {
             let per_zone: Vec<Vec<u32>> = dve_par::par_map(&zone_indices, |&z| {
                 let mut counts = vec![0u32; m];
                 for &c in inst.clients_in_zone(z) {
-                    for (count, &delay) in counts.iter_mut().zip(inst.obs_cs_row(c)) {
-                        *count += u32::from(delay > bound);
-                    }
+                    inst.fold_obs_row(c, |j, delay| counts[j] += u32::from(delay > bound));
                 }
                 counts
             });
@@ -94,15 +90,28 @@ impl CostMatrix {
             }
             cost
         };
+        CostMatrix::from_counts(m, n, cost)
+    }
 
-        let mut order = vec![0u32; n * m];
-        let mut regret = vec![0.0; n];
-        for z in 0..n {
-            regret[z] = order_zone(&cost[z * m..(z + 1) * m], &mut order[z * m..(z + 1) * m]);
+    /// Assembles a matrix from already-accumulated violator counts
+    /// (zone-major) — the tail of the blocked one-pass builder
+    /// [`CapInstance::from_world_with_matrix`](crate::CapInstance::from_world_with_matrix),
+    /// which folds each client block's rows into these counts while the
+    /// rows are hot. Derives the per-zone orderings and regrets exactly
+    /// as [`CostMatrix::build`] does.
+    pub(crate) fn from_counts(servers: usize, zones: usize, cost: Vec<u32>) -> CostMatrix {
+        assert_eq!(cost.len(), zones * servers, "counts must be zone-major");
+        let mut order = vec![0u32; zones * servers];
+        let mut regret = vec![0.0; zones];
+        for z in 0..zones {
+            regret[z] = order_zone(
+                &cost[z * servers..(z + 1) * servers],
+                &mut order[z * servers..(z + 1) * servers],
+            );
         }
         CostMatrix {
-            servers: m,
-            zones: n,
+            servers,
+            zones,
             cost,
             order,
             regret,
@@ -190,9 +199,7 @@ impl CostMatrix {
         let m = self.servers;
         let bound = pre.delay_bound();
         let counts = &mut self.cost[zone * m..(zone + 1) * m];
-        for (count, &delay) in counts.iter_mut().zip(pre.obs_cs_row(client)) {
-            *count -= u32::from(delay > bound);
-        }
+        pre.fold_obs_row(client, |j, delay| counts[j] -= u32::from(delay > bound));
     }
 
     /// Adds one client's violator indicators to `zone`'s column — the
@@ -205,9 +212,7 @@ impl CostMatrix {
         let m = self.servers;
         let bound = post.delay_bound();
         let counts = &mut self.cost[zone * m..(zone + 1) * m];
-        for (count, &delay) in counts.iter_mut().zip(post.obs_cs_row(client)) {
-            *count += u32::from(delay > bound);
-        }
+        post.fold_obs_row(client, |j, delay| counts[j] += u32::from(delay > bound));
     }
 
     /// Re-derives the desirability ordering and regret of each listed
@@ -611,6 +616,7 @@ mod tests {
         let config = ScenarioConfig::from_notation("4s-8z-80c-100cp").unwrap();
         let world = World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
         let inst = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        let handle = dve_world::WorldDelays::from_matrix(delays, &world);
         let batch = DynamicsBatch {
             joins,
             leaves,
@@ -619,7 +625,7 @@ mod tests {
         let outcome = apply_dynamics(&world, &batch, 40, &mut rng);
         let carried = inst
             .clone()
-            .apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+            .apply_delta(&outcome, &handle, ErrorModel::PERFECT, &mut rng);
         (inst, carried, outcome)
     }
 
@@ -652,6 +658,7 @@ mod tests {
         let mut world = World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
         let mut inst =
             CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        let handle = dve_world::WorldDelays::from_matrix(delays, &world);
         let mut matrix = CostMatrix::build(&inst);
         let batch = DynamicsBatch {
             joins: 10,
@@ -665,12 +672,12 @@ mod tests {
             let new_inst = if epoch % 2 == 0 {
                 let new_inst =
                     inst.clone()
-                        .apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+                        .apply_delta(&outcome, &handle, ErrorModel::PERFECT, &mut rng);
                 matrix.apply_delta(&inst, &new_inst, &outcome.delta);
                 new_inst
             } else {
                 matrix.retire_departures(&inst, &outcome.delta);
-                let new_inst = inst.apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+                let new_inst = inst.apply_delta(&outcome, &handle, ErrorModel::PERFECT, &mut rng);
                 matrix.admit_arrivals(&new_inst, &outcome.delta);
                 new_inst
             };
@@ -696,7 +703,7 @@ mod tests {
         let world = World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
         let mut inst =
             CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
-        let server_nodes: Vec<usize> = world.servers.iter().map(|s| s.node).collect();
+        let handle = dve_world::WorldDelays::from_matrix(delays, &world);
         let model = world.config.bandwidth;
         let mut matrix = CostMatrix::build(&inst);
 
@@ -718,8 +725,7 @@ mod tests {
                         let idx = inst.stream_join(
                             node,
                             z,
-                            &server_nodes,
-                            &delays,
+                            &handle,
                             &model,
                             ErrorModel::PERFECT,
                             &mut rng,

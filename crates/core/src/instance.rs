@@ -18,8 +18,9 @@
 //! the default factor is 0.5), modelling the well-provisioned inter-server
 //! mesh of the GDSA.
 
+use crate::cost::CostMatrix;
 use dve_topology::DelayMatrix;
-use dve_world::{BandwidthModel, DynamicsOutcome, ErrorModel, World};
+use dve_world::{BandwidthModel, DynamicsOutcome, ErrorModel, World, WorldDelays};
 use rand::Rng;
 
 /// Default inter-server provisioning factor from the paper.
@@ -28,29 +29,198 @@ pub const DEFAULT_PROVISIONING: f64 = 0.5;
 /// Default delay bound (FPS-class interactivity, 250 ms).
 pub const DEFAULT_DELAY_BOUND_MS: f64 = 250.0;
 
+/// Clients per block of the blocked one-pass builders
+/// ([`CapInstance::from_world`]): rows are written and their cost-matrix
+/// columns folded while the block is hot in cache.
+const BUILD_BLOCK: usize = 4096;
+
+/// How an instance stores its k×m client→server delay rows. The row-slot
+/// indirection (`row_of_client`) decouples client identity from storage,
+/// so all three layouts serve the same accessor API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayLayout {
+    /// Per-client `f64` rows — the historical layout; supports per-client
+    /// observation error and churn carries. O(k·m·16) bytes.
+    #[default]
+    Dense64,
+    /// Per-client `f32` rows — opt-in compact representation, halving
+    /// memory at ≤ one `f32` ulp of relative delay error (violator
+    /// decisions can differ only for delays within that ulp of the
+    /// bound). O(k·m·8) bytes.
+    Compact32,
+    /// Rows shared per topology node: `row_of_client` points at the
+    /// world-level node→server gather table instead of per-client
+    /// storage. Requires perfect observations (all clients at a node see
+    /// the node's true delays). O(nodes·m·8) bytes — **independent of
+    /// the client population**, the million-client layout.
+    SharedByNode,
+}
+
+/// Layout-polymorphic storage behind the delay accessors; indexed by
+/// `row_slot * servers + server`.
+#[derive(Debug, Clone)]
+enum DelayTable {
+    Dense {
+        obs: Vec<f64>,
+        tru: Vec<f64>,
+    },
+    Compact {
+        obs: Vec<f32>,
+        tru: Vec<f32>,
+    },
+    /// One row per topology node, shared by every client at that node
+    /// (observed == true by the layout's perfect-observation contract).
+    /// The table itself is the [`WorldDelays`] gather table behind its
+    /// `Arc` — instances, engines, and clones all reference the one
+    /// substrate-sized copy.
+    Shared {
+        rtt: std::sync::Arc<Vec<f64>>,
+    },
+}
+
+impl DelayTable {
+    fn layout(&self) -> DelayLayout {
+        match self {
+            DelayTable::Dense { .. } => DelayLayout::Dense64,
+            DelayTable::Compact { .. } => DelayLayout::Compact32,
+            DelayTable::Shared { .. } => DelayLayout::SharedByNode,
+        }
+    }
+
+    fn rows(&self, m: usize) -> usize {
+        let cells = match self {
+            DelayTable::Dense { tru, .. } => tru.len(),
+            DelayTable::Compact { tru, .. } => tru.len(),
+            DelayTable::Shared { rtt } => rtt.len(),
+        };
+        cells.checked_div(m).unwrap_or(0)
+    }
+
+    /// Resident bytes of the delay rows (diagnostics for the memory
+    /// gates of the million-client tier).
+    fn bytes(&self) -> usize {
+        match self {
+            DelayTable::Dense { obs, tru } => (obs.len() + tru.len()) * 8,
+            DelayTable::Compact { obs, tru } => (obs.len() + tru.len()) * 4,
+            DelayTable::Shared { rtt } => rtt.len() * 8,
+        }
+    }
+
+    #[inline]
+    fn obs(&self, i: usize) -> f64 {
+        match self {
+            DelayTable::Dense { obs, .. } => obs[i],
+            DelayTable::Compact { obs, .. } => f64::from(obs[i]),
+            DelayTable::Shared { rtt } => rtt[i],
+        }
+    }
+
+    #[inline]
+    fn tru(&self, i: usize) -> f64 {
+        match self {
+            DelayTable::Dense { tru, .. } => tru[i],
+            DelayTable::Compact { tru, .. } => f64::from(tru[i]),
+            DelayTable::Shared { rtt } => rtt[i],
+        }
+    }
+
+    /// Streams `f(server, observed_delay)` over one row without
+    /// materialising it — the bulk accessor of the cost-matrix paths,
+    /// with the layout dispatched once per row, not per entry.
+    #[inline]
+    fn fold_obs<F: FnMut(usize, f64)>(&self, base: usize, m: usize, mut f: F) {
+        match self {
+            DelayTable::Dense { obs, .. } => {
+                for (j, &d) in obs[base..base + m].iter().enumerate() {
+                    f(j, d);
+                }
+            }
+            DelayTable::Compact { obs, .. } => {
+                for (j, &d) in obs[base..base + m].iter().enumerate() {
+                    f(j, f64::from(d));
+                }
+            }
+            DelayTable::Shared { rtt } => {
+                for (j, &d) in rtt[base..base + m].iter().enumerate() {
+                    f(j, d);
+                }
+            }
+        }
+    }
+
+    /// Appends a fresh all-zero row, returning its slot. Per-client
+    /// layouts only — shared rows are substrate-owned.
+    fn alloc_row(&mut self, m: usize) -> u32 {
+        let slot = self.rows(m) as u32;
+        match self {
+            DelayTable::Dense { obs, tru } => {
+                obs.resize((slot as usize + 1) * m, 0.0);
+                tru.resize((slot as usize + 1) * m, 0.0);
+            }
+            DelayTable::Compact { obs, tru } => {
+                obs.resize((slot as usize + 1) * m, 0.0);
+                tru.resize((slot as usize + 1) * m, 0.0);
+            }
+            DelayTable::Shared { .. } => unreachable!("shared rows are never allocated"),
+        }
+        slot
+    }
+
+    /// Fills one row from true delays, drawing the observation error in
+    /// server order (the same draw discipline as a fresh build).
+    fn write_row<R: Rng + ?Sized>(
+        &mut self,
+        slot: u32,
+        m: usize,
+        row: &[f64],
+        error: ErrorModel,
+        rng: &mut R,
+    ) {
+        let base = slot as usize * m;
+        match self {
+            DelayTable::Dense { obs, tru } => {
+                for (j, &d) in row.iter().enumerate() {
+                    tru[base + j] = d;
+                    // `observe` returns `d` untouched (no RNG draw)
+                    // under the perfect model.
+                    obs[base + j] = error.observe(d, rng);
+                }
+            }
+            DelayTable::Compact { obs, tru } => {
+                for (j, &d) in row.iter().enumerate() {
+                    tru[base + j] = d as f32;
+                    obs[base + j] = error.observe(d, rng) as f32;
+                }
+            }
+            DelayTable::Shared { .. } => unreachable!("shared rows are never written"),
+        }
+    }
+}
+
 /// A fully materialised CAP instance.
 #[derive(Debug, Clone)]
 pub struct CapInstance {
     clients: usize,
     servers: usize,
     zones: usize,
-    /// Row slot of each client in the `obs_cs`/`true_cs` tables. A fresh
+    /// Row slot of each client in the delay table. A fresh per-client
     /// build is the identity map; [`CapInstance::apply_delta`] keeps
     /// survivor rows in place and points joiners at leavers' freed slots,
     /// which is what makes the churn carry O(k) instead of an O(k·m)
-    /// table copy. The tables may therefore hold more rows than there
-    /// are clients (bounded by the peak population seen so far).
+    /// table copy. Under [`DelayLayout::SharedByNode`] the slot is the
+    /// client's topology node — many clients share one row, which is the
+    /// whole point of the indirection. Per-client tables may hold more
+    /// rows than there are clients (bounded by the peak population seen
+    /// so far).
     row_of_client: Vec<u32>,
     /// Row slots currently unreferenced (freed by leavers and not yet
     /// recycled). Persisted across [`CapInstance::apply_delta`] calls so
     /// a leave-heavy epoch's slots survive for later join-heavy epochs —
     /// without this the tables would grow without bound under
-    /// imbalanced churn.
+    /// imbalanced churn. Always empty under the shared layout.
     free_rows: Vec<u32>,
-    /// Observed client-to-server RTTs, `servers` per row slot.
-    obs_cs: Vec<f64>,
-    /// True client-to-server RTTs.
-    true_cs: Vec<f64>,
+    /// Client→server delay rows (observed + true), layout-polymorphic.
+    cs: DelayTable,
     /// Observed server-to-server RTTs (provisioning already applied).
     obs_ss: Vec<f64>,
     /// True server-to-server RTTs (provisioning already applied).
@@ -139,20 +309,8 @@ impl CapInstance {
             error.observe_matrix(servers, &true_ss, rng)
         };
 
-        let zone_of_client: Vec<usize> = world.clients.iter().map(|c| c.zone).collect();
-        let mut clients_of_zone: Vec<Vec<usize>> = vec![Vec::new(); zones];
-        for (c, &z) in zone_of_client.iter().enumerate() {
-            clients_of_zone[z].push(c);
-        }
-        let populations: Vec<usize> = clients_of_zone.iter().map(|v| v.len()).collect();
-        let client_target_bps: Vec<f64> = zone_of_client
-            .iter()
-            .map(|&z| world.config.bandwidth.client_target_bps(populations[z]))
-            .collect();
-        let zone_bps: Vec<f64> = populations
-            .iter()
-            .map(|&n| world.config.bandwidth.zone_bps(n))
-            .collect();
+        let (zone_of_client, clients_of_zone, client_target_bps, zone_bps) =
+            zone_bookkeeping(world);
         let capacity = world.servers.iter().map(|s| s.capacity_bps).collect();
 
         CapInstance {
@@ -161,8 +319,10 @@ impl CapInstance {
             zones,
             row_of_client: (0..clients as u32).collect(),
             free_rows: Vec::new(),
-            obs_cs,
-            true_cs,
+            cs: DelayTable::Dense {
+                obs: obs_cs,
+                tru: true_cs,
+            },
             obs_ss,
             true_ss,
             zone_of_client,
@@ -172,6 +332,260 @@ impl CapInstance {
             capacity,
             delay_bound,
         }
+    }
+
+    /// Builds an instance from a populated world over the delay
+    /// **pipeline** — the blocked one-pass construction of the
+    /// million-client engine. Where [`CapInstance::build`] walks a dense
+    /// node×node [`DelayMatrix`], this consumes a [`WorldDelays`] handle
+    /// (any [`dve_topology::DelaySource`] behind a node→server gather)
+    /// and fills the delay rows in fixed-size client blocks, in the
+    /// layout of your choice:
+    ///
+    /// * [`DelayLayout::Dense64`] — **bit-identical** to
+    ///   [`CapInstance::build`] on the same matrix-backed delays (same
+    ///   lookups, same error-draw order), property-tested;
+    /// * [`DelayLayout::Compact32`] — rows rounded to `f32`, half the
+    ///   memory, bounded relative error;
+    /// * [`DelayLayout::SharedByNode`] — no per-client rows at all
+    ///   (requires the perfect error model): memory is bounded by the
+    ///   substrate, not the population.
+    pub fn from_world<R: Rng + ?Sized>(
+        world: &World,
+        delays: &WorldDelays,
+        provisioning: f64,
+        delay_bound: f64,
+        error: ErrorModel,
+        layout: DelayLayout,
+        rng: &mut R,
+    ) -> CapInstance {
+        Self::from_world_impl(
+            world,
+            delays,
+            provisioning,
+            delay_bound,
+            error,
+            layout,
+            rng,
+            false,
+        )
+        .0
+    }
+
+    /// [`CapInstance::from_world`] fused with the [`CostMatrix`] build:
+    /// each client block's rows are folded into their zone columns while
+    /// still hot in cache, so instance **and** matrix come out of one
+    /// blocked pass over the population — no second O(k·m) sweep. The
+    /// matrix is bit-identical to `CostMatrix::build` of the returned
+    /// instance (integer counts commute over any accumulation order).
+    pub fn from_world_with_matrix<R: Rng + ?Sized>(
+        world: &World,
+        delays: &WorldDelays,
+        provisioning: f64,
+        delay_bound: f64,
+        error: ErrorModel,
+        layout: DelayLayout,
+        rng: &mut R,
+    ) -> (CapInstance, CostMatrix) {
+        let (inst, matrix) = Self::from_world_impl(
+            world,
+            delays,
+            provisioning,
+            delay_bound,
+            error,
+            layout,
+            rng,
+            true,
+        );
+        (inst, matrix.expect("matrix requested"))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn from_world_impl<R: Rng + ?Sized>(
+        world: &World,
+        delays: &WorldDelays,
+        provisioning: f64,
+        delay_bound: f64,
+        error: ErrorModel,
+        layout: DelayLayout,
+        rng: &mut R,
+        want_matrix: bool,
+    ) -> (CapInstance, Option<CostMatrix>) {
+        assert!(
+            (0.0..=1.0).contains(&provisioning),
+            "provisioning factor {provisioning} outside [0,1]"
+        );
+        assert!(delay_bound > 0.0, "delay bound must be positive");
+        let clients = world.clients.len();
+        let servers = world.servers.len();
+        let zones = world.zones;
+        assert_eq!(
+            delays.num_servers(),
+            servers,
+            "delay handle gathered for a different server set"
+        );
+        for (s, server) in world.servers.iter().enumerate() {
+            assert_eq!(
+                delays.server_node(s),
+                server.node,
+                "delay handle gathered for a different server placement"
+            );
+        }
+
+        let mut true_ss = vec![0.0; servers * servers];
+        for a in 0..servers {
+            for b in 0..servers {
+                true_ss[a * servers + b] = provisioning * delays.server_rtt(a, b);
+            }
+        }
+
+        let (zone_of_client, clients_of_zone, client_target_bps, zone_bps) =
+            zone_bookkeeping(world);
+
+        // Delay rows, block by block. Per-client layouts append rows in
+        // client order (drawing the observation error row-major, exactly
+        // the dense build's sequence); the shared layout borrows the
+        // world-level gather table outright and only maps clients onto
+        // node rows.
+        let (mut cs, row_of_client) = match layout {
+            DelayLayout::Dense64 => (
+                DelayTable::Dense {
+                    obs: Vec::with_capacity(clients * servers),
+                    tru: Vec::with_capacity(clients * servers),
+                },
+                (0..clients as u32).collect::<Vec<u32>>(),
+            ),
+            DelayLayout::Compact32 => (
+                DelayTable::Compact {
+                    obs: Vec::with_capacity(clients * servers),
+                    tru: Vec::with_capacity(clients * servers),
+                },
+                (0..clients as u32).collect(),
+            ),
+            DelayLayout::SharedByNode => {
+                assert!(
+                    error.factor == 1.0,
+                    "SharedByNode requires perfect observations \
+                     (per-client estimation error needs per-client rows)"
+                );
+                (
+                    DelayTable::Shared {
+                        rtt: delays.shared_table(),
+                    },
+                    world.clients.iter().map(|c| c.node as u32).collect(),
+                )
+            }
+        };
+        let mut cost = want_matrix.then(|| vec![0u32; zones * servers]);
+        // With workers available, fill per-client rows on the parallel
+        // runtime first (true rows draw no RNG; observation draws follow
+        // in row-major order — exactly the dense reference's discipline,
+        // so the bit-identity claim is thread-count-invariant). On one
+        // core the fill stays inside the block loop so rows and their
+        // cost columns are touched while hot in cache.
+        let par_fill = dve_par::default_threads() > 1
+            && clients > BUILD_BLOCK
+            && !matches!(cs, DelayTable::Shared { .. });
+        if par_fill {
+            match &mut cs {
+                DelayTable::Dense { obs, tru } => {
+                    // In-place parallel fill: the true table is sized up
+                    // front and workers copy gather rows straight into
+                    // their chunks — no transient per-row allocations.
+                    tru.resize(clients * servers, 0.0);
+                    let mut row_chunks: Vec<&mut [f64]> = tru.chunks_mut(servers).collect();
+                    dve_par::par_for_each_mut(&mut row_chunks, |i, row| {
+                        row.copy_from_slice(delays.server_row(world.clients[i].node));
+                    });
+                    if error.factor == 1.0 {
+                        obs.extend_from_slice(tru);
+                    } else {
+                        obs.extend(tru.iter().map(|&d| error.observe(d, rng)));
+                    }
+                }
+                DelayTable::Compact { obs, tru } => {
+                    tru.resize(clients * servers, 0.0);
+                    let mut row_chunks: Vec<&mut [f32]> = tru.chunks_mut(servers).collect();
+                    dve_par::par_for_each_mut(&mut row_chunks, |i, row| {
+                        for (slot, &d) in
+                            row.iter_mut().zip(delays.server_row(world.clients[i].node))
+                        {
+                            *slot = d as f32;
+                        }
+                    });
+                    // Observation draws read the f64 gather rows (not the
+                    // rounded f32 ones) in row-major order — the same
+                    // inputs and RNG sequence as the serial path.
+                    for client in &world.clients {
+                        let row = delays.server_row(client.node);
+                        obs.extend(row.iter().map(|&d| error.observe(d, rng) as f32));
+                    }
+                }
+                DelayTable::Shared { .. } => unreachable!("shared rows are never filled"),
+            }
+        }
+        let mut block_start = 0usize;
+        while block_start < clients {
+            let block_end = (block_start + BUILD_BLOCK).min(clients);
+            if !par_fill {
+                match &mut cs {
+                    DelayTable::Dense { obs, tru } => {
+                        for client in &world.clients[block_start..block_end] {
+                            let row = delays.server_row(client.node);
+                            tru.extend_from_slice(row);
+                            if error.factor == 1.0 {
+                                obs.extend_from_slice(row);
+                            } else {
+                                obs.extend(row.iter().map(|&d| error.observe(d, rng)));
+                            }
+                        }
+                    }
+                    DelayTable::Compact { obs, tru } => {
+                        for client in &world.clients[block_start..block_end] {
+                            let row = delays.server_row(client.node);
+                            tru.extend(row.iter().map(|&d| d as f32));
+                            obs.extend(row.iter().map(|&d| error.observe(d, rng) as f32));
+                        }
+                    }
+                    DelayTable::Shared { .. } => {}
+                }
+            }
+            if let Some(cost) = &mut cost {
+                for c in block_start..block_end {
+                    let base = row_of_client[c] as usize * servers;
+                    let counts =
+                        &mut cost[zone_of_client[c] * servers..(zone_of_client[c] + 1) * servers];
+                    cs.fold_obs(base, servers, |j, d| {
+                        counts[j] += u32::from(d > delay_bound);
+                    });
+                }
+            }
+            block_start = block_end;
+        }
+
+        let obs_ss = if error.factor == 1.0 {
+            true_ss.clone()
+        } else {
+            error.observe_matrix(servers, &true_ss, rng)
+        };
+        let matrix = cost.map(|counts| CostMatrix::from_counts(servers, zones, counts));
+        let inst = CapInstance {
+            clients,
+            servers,
+            zones,
+            row_of_client,
+            free_rows: Vec::new(),
+            cs,
+            obs_ss,
+            true_ss,
+            zone_of_client,
+            clients_of_zone,
+            client_target_bps,
+            zone_bps,
+            capacity: world.servers.iter().map(|s| s.capacity_bps).collect(),
+            delay_bound,
+        };
+        (inst, matrix)
     }
 
     /// Advances this instance across a churn step without rebuilding the
@@ -207,7 +621,7 @@ impl CapInstance {
     pub fn apply_delta<R: Rng + ?Sized>(
         mut self,
         outcome: &DynamicsOutcome,
-        delays: &DelayMatrix,
+        delays: &WorldDelays,
         error: ErrorModel,
         rng: &mut R,
     ) -> CapInstance {
@@ -216,41 +630,50 @@ impl CapInstance {
         assert_eq!(world.servers.len(), m, "dynamics must not change servers");
         assert_eq!(world.zones, self.zones, "dynamics must not change zones");
         assert_eq!(outcome.carried_from.len(), world.clients.len());
+        assert_eq!(delays.num_servers(), m, "delay handle covers the servers");
 
         let clients = world.clients.len();
-        let server_nodes: Vec<usize> = world.servers.iter().map(|s| s.node).collect();
+        let shared = matches!(self.cs, DelayTable::Shared { .. });
+        assert!(
+            !shared || error.factor == 1.0,
+            "SharedByNode instances carry perfect observations only"
+        );
 
         // Leavers' row slots join the persistent free list for joiners
-        // (this epoch's or a later one's) to reuse.
+        // (this epoch's or a later one's) to reuse. Shared rows belong
+        // to the substrate and are never freed or written.
         let mut free = std::mem::take(&mut self.free_rows);
-        free.extend(
-            outcome
-                .delta
-                .leaves
-                .iter()
-                .map(|l| self.row_of_client[l.client]),
-        );
+        if !shared {
+            free.extend(
+                outcome
+                    .delta
+                    .leaves
+                    .iter()
+                    .map(|l| self.row_of_client[l.client]),
+            );
+        }
 
         let mut row_of_client = Vec::with_capacity(clients);
         for (new_idx, prov) in outcome.carried_from.iter().enumerate() {
             match prov {
                 Some(old) => row_of_client.push(self.row_of_client[*old]),
                 None => {
-                    let slot = free.pop().unwrap_or_else(|| {
-                        let slot = (self.true_cs.len() / m) as u32;
-                        self.true_cs.resize((slot as usize + 1) * m, 0.0);
-                        self.obs_cs.resize((slot as usize + 1) * m, 0.0);
-                        slot
-                    });
-                    let base = slot as usize * m;
                     let node = world.clients[new_idx].node;
-                    for (j, &server_node) in server_nodes.iter().enumerate() {
-                        let d = delays.rtt(node, server_node);
-                        self.true_cs[base + j] = d;
-                        // `observe` returns `d` untouched (no RNG draw)
-                        // under the perfect model.
-                        self.obs_cs[base + j] = error.observe(d, rng);
-                    }
+                    let slot = if shared {
+                        // Per-client layouts panic inside server_row on a
+                        // bad node; fail just as loudly here instead of
+                        // at some later accessor of the poisoned slot.
+                        assert!(
+                            node < self.cs.rows(m),
+                            "joiner node {node} outside the shared delay table"
+                        );
+                        node as u32
+                    } else {
+                        let slot = free.pop().unwrap_or_else(|| self.cs.alloc_row(m));
+                        self.cs
+                            .write_row(slot, m, delays.server_row(node), error, rng);
+                        slot
+                    };
                     row_of_client.push(slot);
                 }
             }
@@ -314,7 +737,9 @@ impl CapInstance {
     pub fn stream_leave(&mut self, client: usize, model: &BandwidthModel) -> StreamDeparture {
         assert!(client < self.clients, "client {client} out of range");
         let zone = self.zone_of_client[client];
-        self.free_rows.push(self.row_of_client[client]);
+        if !matches!(self.cs, DelayTable::Shared { .. }) {
+            self.free_rows.push(self.row_of_client[client]);
+        }
         let pos = self.clients_of_zone[zone]
             .iter()
             .position(|&c| c == client)
@@ -345,41 +770,48 @@ impl CapInstance {
     }
 
     /// Adds one client **in place**, filling a recycled (or fresh) delay
-    /// row from the node delay matrix exactly as
-    /// [`CapInstance::apply_delta`] does for joiners — same formula, same
+    /// row from the world's delay handle exactly as
+    /// [`CapInstance::apply_delta`] does for joiners — same lookups, same
     /// `error.observe` draw discipline, so a streamed join is
-    /// bit-identical to its batch counterpart. Returns the new client's
-    /// index (always `num_clients() - 1` before the call returns).
-    /// O(m + zone population).
+    /// bit-identical to its batch counterpart. Under the shared layout no
+    /// row is written at all: the joiner is pointed at its node's row.
+    /// Returns the new client's index (always `num_clients() - 1` before
+    /// the call returns). O(m + zone population).
     pub fn stream_join<R: Rng + ?Sized>(
         &mut self,
         node: usize,
         zone: usize,
-        server_nodes: &[usize],
-        delays: &DelayMatrix,
+        delays: &WorldDelays,
         model: &BandwidthModel,
         error: ErrorModel,
         rng: &mut R,
     ) -> usize {
         assert!(zone < self.zones, "zone {zone} out of range");
         assert_eq!(
-            server_nodes.len(),
+            delays.num_servers(),
             self.servers,
             "server set must be unchanged"
         );
         let idx = self.clients;
-        let slot = self.free_rows.pop().unwrap_or_else(|| {
-            let slot = (self.true_cs.len() / self.servers) as u32;
-            self.true_cs.resize((slot as usize + 1) * self.servers, 0.0);
-            self.obs_cs.resize((slot as usize + 1) * self.servers, 0.0);
+        let slot = if matches!(self.cs, DelayTable::Shared { .. }) {
+            assert!(
+                error.factor == 1.0,
+                "SharedByNode instances carry perfect observations only"
+            );
+            assert!(
+                node < self.cs.rows(self.servers),
+                "joiner node {node} outside the shared delay table"
+            );
+            node as u32
+        } else {
+            let slot = self
+                .free_rows
+                .pop()
+                .unwrap_or_else(|| self.cs.alloc_row(self.servers));
+            self.cs
+                .write_row(slot, self.servers, delays.server_row(node), error, rng);
             slot
-        });
-        let base = slot as usize * self.servers;
-        for (j, &server_node) in server_nodes.iter().enumerate() {
-            let d = delays.rtt(node, server_node);
-            self.true_cs[base + j] = d;
-            self.obs_cs[base + j] = error.observe(d, rng);
-        }
+        };
         self.row_of_client.push(slot);
         self.zone_of_client.push(zone);
         self.client_target_bps.push(0.0); // set by the refresh below
@@ -458,8 +890,10 @@ impl CapInstance {
             zones,
             row_of_client: (0..clients as u32).collect(),
             free_rows: Vec::new(),
-            obs_cs: cs.clone(),
-            true_cs: cs,
+            cs: DelayTable::Dense {
+                obs: cs.clone(),
+                tru: cs,
+            },
             obs_ss: ss.clone(),
             true_ss: ss,
             zone_of_client,
@@ -477,11 +911,24 @@ impl CapInstance {
     }
 
     /// Number of row slots the delay tables currently hold (diagnostics:
-    /// `>= num_clients`, bounded by the peak population this instance
-    /// chain has seen — [`CapInstance::apply_delta`] recycles leavers'
-    /// slots instead of growing the tables).
+    /// for per-client layouts `>= num_clients`, bounded by the peak
+    /// population this instance chain has seen —
+    /// [`CapInstance::apply_delta`] recycles leavers' slots instead of
+    /// growing the tables; for [`DelayLayout::SharedByNode`] the
+    /// substrate's node count, independent of the population).
     pub fn table_rows(&self) -> usize {
-        self.true_cs.len().checked_div(self.servers).unwrap_or(0)
+        self.cs.rows(self.servers)
+    }
+
+    /// The delay-row storage layout of this instance.
+    pub fn layout(&self) -> DelayLayout {
+        self.cs.layout()
+    }
+
+    /// Resident bytes of the delay rows — the structure the blocked
+    /// pipeline exists to bound (diagnostics for the scale gates).
+    pub fn delay_table_bytes(&self) -> usize {
+        self.cs.bytes()
     }
 
     /// Number of servers `m`.
@@ -519,23 +966,33 @@ impl CapInstance {
     /// Observed client→server RTT (what algorithms use).
     #[inline]
     pub fn obs_cs(&self, c: usize, s: usize) -> f64 {
-        self.obs_cs[self.row(c) * self.servers + s]
+        self.cs.obs(self.row(c) * self.servers + s)
     }
 
-    /// Observed RTTs from client `c` to every server (row of the k×m
-    /// table); lets batch consumers such as
-    /// [`CostMatrix::build`](crate::CostMatrix::build) stream a client's
-    /// delays without per-entry index arithmetic.
+    /// Streams `f(server, observed_delay)` over client `c`'s delay row —
+    /// the bulk accessor of the cost-matrix paths
+    /// ([`CostMatrix::build`](crate::CostMatrix::build) and the per-event
+    /// column updates), layout-dispatched once per row instead of per
+    /// entry.
     #[inline]
-    pub fn obs_cs_row(&self, c: usize) -> &[f64] {
-        let base = self.row(c) * self.servers;
-        &self.obs_cs[base..base + self.servers]
+    pub fn fold_obs_row<F: FnMut(usize, f64)>(&self, c: usize, f: F) {
+        self.cs
+            .fold_obs(self.row(c) * self.servers, self.servers, f);
+    }
+
+    /// Copies client `c`'s observed delay row into `out` (length `m`) —
+    /// for consumers that genuinely need random access to a row (the
+    /// joint MILP builder); the hot paths use
+    /// [`CapInstance::fold_obs_row`].
+    pub fn copy_obs_row(&self, c: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.servers, "row buffer must cover servers");
+        self.fold_obs_row(c, |j, d| out[j] = d);
     }
 
     /// True client→server RTT (what QoS is judged on).
     #[inline]
     pub fn true_cs(&self, c: usize, s: usize) -> f64 {
-        self.true_cs[self.row(c) * self.servers + s]
+        self.cs.tru(self.row(c) * self.servers + s)
     }
 
     /// Observed server→server RTT (provisioned).
@@ -614,6 +1071,28 @@ impl CapInstance {
             self.true_cs(c, contact) + self.true_ss(contact, target)
         }
     }
+}
+
+/// One O(k) pass deriving zone membership and the population-dependent
+/// bandwidth terms — shared by the dense and the blocked builders so the
+/// two paths can never disagree on the formulas.
+#[allow(clippy::type_complexity)]
+fn zone_bookkeeping(world: &World) -> (Vec<usize>, Vec<Vec<usize>>, Vec<f64>, Vec<f64>) {
+    let zone_of_client: Vec<usize> = world.clients.iter().map(|c| c.zone).collect();
+    let mut clients_of_zone: Vec<Vec<usize>> = vec![Vec::new(); world.zones];
+    for (c, &z) in zone_of_client.iter().enumerate() {
+        clients_of_zone[z].push(c);
+    }
+    let populations: Vec<usize> = clients_of_zone.iter().map(|v| v.len()).collect();
+    let client_target_bps: Vec<f64> = zone_of_client
+        .iter()
+        .map(|&z| world.config.bandwidth.client_target_bps(populations[z]))
+        .collect();
+    let zone_bps: Vec<f64> = populations
+        .iter()
+        .map(|&n| world.config.bandwidth.zone_bps(n))
+        .collect();
+    (zone_of_client, clients_of_zone, client_target_bps, zone_bps)
 }
 
 #[cfg(test)]
@@ -736,9 +1215,10 @@ mod tests {
             moves: 10,
         };
         let outcome = apply_dynamics(&world, &batch, 40, &mut rng);
+        let handle = WorldDelays::from_matrix(delays.clone(), &world);
         let carried = inst
             .clone()
-            .apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+            .apply_delta(&outcome, &handle, ErrorModel::PERFECT, &mut rng);
         let fresh = CapInstance::build(
             &outcome.world,
             &delays,
@@ -785,6 +1265,7 @@ mod tests {
             dve_world::World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
         let mut inst =
             CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        let handle = WorldDelays::from_matrix(delays.clone(), &world);
         assert_eq!(inst.table_rows(), 80);
 
         // Alternate leave-heavy and join-heavy epochs: slots freed in one
@@ -804,7 +1285,7 @@ mod tests {
         for cycle in 0..5 {
             for batch in [&drain, &refill] {
                 let outcome = apply_dynamics(&world, batch, 40, &mut rng);
-                inst = inst.apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+                inst = inst.apply_delta(&outcome, &handle, ErrorModel::PERFECT, &mut rng);
                 world = outcome.world;
                 assert!(
                     inst.table_rows() <= 80,
@@ -837,9 +1318,10 @@ mod tests {
             moves: 5,
         };
         let outcome = apply_dynamics(&world, &batch, 40, &mut rng);
+        let handle = WorldDelays::from_matrix(delays.clone(), &world);
         let carried = inst
             .clone()
-            .apply_delta(&outcome, &delays, ErrorModel::IDMAPS, &mut rng);
+            .apply_delta(&outcome, &handle, ErrorModel::IDMAPS, &mut rng);
         for (new_idx, prov) in outcome.carried_from.iter().enumerate() {
             if let Some(old) = prov {
                 for s in 0..inst.num_servers() {
@@ -875,7 +1357,7 @@ mod tests {
         let world = dve_world::World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
         let mut inst =
             CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
-        let server_nodes: Vec<usize> = world.servers.iter().map(|s| s.node).collect();
+        let handle = WorldDelays::from_matrix(delays.clone(), &world);
         let model = world.config.bandwidth;
         let mut mirror: Vec<Client> = world.clients.clone();
 
@@ -895,8 +1377,7 @@ mod tests {
                     let idx = inst.stream_join(
                         node,
                         zone,
-                        &server_nodes,
-                        &delays,
+                        &handle,
                         &model,
                         ErrorModel::PERFECT,
                         &mut rng,
@@ -965,7 +1446,7 @@ mod tests {
         let world = dve_world::World::generate(&config, 30, &topo.as_of_node, &mut rng).unwrap();
         let mut inst =
             CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
-        let server_nodes: Vec<usize> = world.servers.iter().map(|s| s.node).collect();
+        let handle = WorldDelays::from_matrix(delays.clone(), &world);
         let model = world.config.bandwidth;
 
         for round in 0..20 {
@@ -975,8 +1456,7 @@ mod tests {
             inst.stream_join(
                 round % 30,
                 round % 6,
-                &server_nodes,
-                &delays,
+                &handle,
                 &model,
                 ErrorModel::PERFECT,
                 &mut rng,
@@ -984,6 +1464,294 @@ mod tests {
             assert_eq!(inst.num_clients(), 50);
             assert_eq!(inst.table_rows(), 50);
         }
+    }
+
+    /// Fixture for the blocked-builder tests: a generated world, its
+    /// dense matrix, and the matching pipeline handle.
+    fn blocked_fixture(
+        seed: u64,
+        notation: &str,
+    ) -> (
+        dve_world::World,
+        DelayMatrix,
+        WorldDelays,
+        rand::rngs::StdRng,
+    ) {
+        use dve_topology::{flat_waxman, WaxmanParams};
+        use dve_world::ScenarioConfig;
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = flat_waxman(40, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation(notation).unwrap();
+        let world = dve_world::World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
+        let handle = WorldDelays::from_matrix(delays.clone(), &world);
+        (world, delays, handle, rng)
+    }
+
+    /// The blocked f64 build is bit-identical to the dense reference —
+    /// including under an error model (the blocked path draws the same
+    /// RNG sequence in the same order).
+    #[test]
+    fn from_world_dense_is_bit_identical_to_build() {
+        for error in [ErrorModel::PERFECT, ErrorModel::KING] {
+            let (world, delays, handle, rng) = blocked_fixture(41, "4s-8z-70c-100cp");
+            let mut rng_a = rng.clone();
+            let mut rng_b = rng;
+            let dense = CapInstance::build(&world, &delays, 0.5, 250.0, error, &mut rng_a);
+            let blocked = CapInstance::from_world(
+                &world,
+                &handle,
+                0.5,
+                250.0,
+                error,
+                DelayLayout::Dense64,
+                &mut rng_b,
+            );
+            assert_eq!(blocked.layout(), DelayLayout::Dense64);
+            assert_eq!(dense.num_clients(), blocked.num_clients());
+            for c in 0..dense.num_clients() {
+                assert_eq!(dense.zone_of(c), blocked.zone_of(c));
+                assert_eq!(dense.client_target_bps(c), blocked.client_target_bps(c));
+                for s in 0..dense.num_servers() {
+                    assert_eq!(dense.obs_cs(c, s), blocked.obs_cs(c, s), "c={c} s={s}");
+                    assert_eq!(dense.true_cs(c, s), blocked.true_cs(c, s));
+                }
+            }
+            for a in 0..dense.num_servers() {
+                for b in 0..dense.num_servers() {
+                    assert_eq!(dense.obs_ss(a, b), blocked.obs_ss(a, b));
+                    assert_eq!(dense.true_ss(a, b), blocked.true_ss(a, b));
+                }
+            }
+            // The two builders leave the RNG in the same state.
+            assert_eq!(
+                rand::Rng::gen::<u64>(&mut rng_a),
+                rand::Rng::gen::<u64>(&mut rng_b),
+                "builders must consume identical draw sequences"
+            );
+        }
+    }
+
+    /// The fused one-pass matrix equals a fresh `CostMatrix::build` of
+    /// the produced instance, in every layout.
+    #[test]
+    fn from_world_with_matrix_matches_fresh_cost_matrix() {
+        for layout in [
+            DelayLayout::Dense64,
+            DelayLayout::Compact32,
+            DelayLayout::SharedByNode,
+        ] {
+            let (world, _delays, handle, mut rng) = blocked_fixture(43, "4s-8z-90c-100cp");
+            let (inst, matrix) = CapInstance::from_world_with_matrix(
+                &world,
+                &handle,
+                0.5,
+                250.0,
+                ErrorModel::PERFECT,
+                layout,
+                &mut rng,
+            );
+            assert_eq!(inst.layout(), layout);
+            assert_eq!(matrix, crate::CostMatrix::build(&inst), "{layout:?}");
+        }
+    }
+
+    /// SharedByNode is accessor-identical to the dense build under
+    /// perfect observations, with memory bounded by the substrate.
+    #[test]
+    fn shared_layout_matches_dense_under_perfect() {
+        let (world, delays, handle, rng) = blocked_fixture(47, "4s-8z-120c-100cp");
+        let mut rng_a = rng.clone();
+        let mut rng_b = rng;
+        let dense =
+            CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng_a);
+        let shared = CapInstance::from_world(
+            &world,
+            &handle,
+            0.5,
+            250.0,
+            ErrorModel::PERFECT,
+            DelayLayout::SharedByNode,
+            &mut rng_b,
+        );
+        for c in 0..dense.num_clients() {
+            for s in 0..dense.num_servers() {
+                assert_eq!(dense.obs_cs(c, s), shared.obs_cs(c, s));
+                assert_eq!(dense.true_cs(c, s), shared.true_cs(c, s));
+            }
+        }
+        // 40 nodes x 4 servers x 8 bytes, regardless of the 120 clients.
+        assert_eq!(shared.delay_table_bytes(), 40 * 4 * 8);
+        assert!(dense.delay_table_bytes() > shared.delay_table_bytes());
+        assert_eq!(shared.table_rows(), 40);
+    }
+
+    /// Shared-layout stream ops stay accessor-identical to a dense
+    /// mirror instance driven by the same events, and never grow the
+    /// table or the free list.
+    #[test]
+    fn shared_layout_stream_ops_match_dense_mirror() {
+        use rand::Rng;
+        let (world, delays, handle, rng) = blocked_fixture(53, "4s-8z-60c-100cp");
+        let mut rng_a = rng.clone();
+        let mut rng_b = rng;
+        let mut dense =
+            CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng_a);
+        let mut shared = CapInstance::from_world(
+            &world,
+            &handle,
+            0.5,
+            250.0,
+            ErrorModel::PERFECT,
+            DelayLayout::SharedByNode,
+            &mut rng_b,
+        );
+        let model = world.config.bandwidth;
+        for step in 0..200 {
+            match rng_a.gen_range(0..3) {
+                0 if dense.num_clients() > 1 => {
+                    let c = rng_a.gen_range(0..dense.num_clients());
+                    let a = dense.stream_leave(c, &model);
+                    let b = shared.stream_leave(c, &model);
+                    assert_eq!(a, b);
+                }
+                1 => {
+                    let node = rng_a.gen_range(0..40);
+                    let zone = rng_a.gen_range(0..world.zones);
+                    let ia = dense.stream_join(
+                        node,
+                        zone,
+                        &handle,
+                        &model,
+                        ErrorModel::PERFECT,
+                        &mut rng_b,
+                    );
+                    let ib = shared.stream_join(
+                        node,
+                        zone,
+                        &handle,
+                        &model,
+                        ErrorModel::PERFECT,
+                        &mut rng_b,
+                    );
+                    assert_eq!(ia, ib);
+                }
+                _ => {
+                    let c = rng_a.gen_range(0..dense.num_clients());
+                    let zone = rng_a.gen_range(0..world.zones);
+                    dense.stream_move(c, zone, &model);
+                    shared.stream_move(c, zone, &model);
+                }
+            }
+            if step % 40 == 39 {
+                assert_eq!(dense.num_clients(), shared.num_clients());
+                for c in 0..dense.num_clients() {
+                    assert_eq!(dense.zone_of(c), shared.zone_of(c));
+                    for s in 0..dense.num_servers() {
+                        assert_eq!(dense.obs_cs(c, s), shared.obs_cs(c, s), "step {step}");
+                    }
+                }
+                assert_eq!(shared.table_rows(), 40, "shared table never grows");
+                assert!(shared.free_rows.is_empty(), "shared rows are never freed");
+            }
+        }
+    }
+
+    /// The compact f32 layout stays within one f32 ulp of the dense
+    /// delays — and therefore within a relative error of 2^-23.
+    #[test]
+    fn compact_layout_bounds_relative_error() {
+        let (world, delays, handle, rng) = blocked_fixture(59, "4s-8z-80c-100cp");
+        let mut rng_a = rng.clone();
+        let mut rng_b = rng;
+        let dense =
+            CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng_a);
+        let compact = CapInstance::from_world(
+            &world,
+            &handle,
+            0.5,
+            250.0,
+            ErrorModel::PERFECT,
+            DelayLayout::Compact32,
+            &mut rng_b,
+        );
+        let tol = f32::EPSILON as f64;
+        for c in 0..dense.num_clients() {
+            for s in 0..dense.num_servers() {
+                let d = dense.obs_cs(c, s);
+                let q = compact.obs_cs(c, s);
+                assert!((d - q).abs() <= d.abs() * tol, "c={c} s={s}: {q} vs {d}");
+                let dt = dense.true_cs(c, s);
+                let qt = compact.true_cs(c, s);
+                assert!((dt - qt).abs() <= dt.abs() * tol);
+            }
+        }
+        assert_eq!(compact.delay_table_bytes() * 2, dense.delay_table_bytes());
+    }
+
+    /// The worker-parallel row fill (engaged above `BUILD_BLOCK`
+    /// clients) is bit-identical to the single-core blocked fill — the
+    /// thread-count-invariance the blocked builder promises. Toggled via
+    /// `DVE_THREADS`; both settings are safe for any concurrently
+    /// running test (every parallel/serial pair in this crate is
+    /// equivalence-tested).
+    #[test]
+    fn par_fill_matches_serial_fill_above_block_size() {
+        let (world, _delays, handle, rng) = blocked_fixture(67, "4s-8z-5000c-200cp");
+        assert!(world.clients.len() > BUILD_BLOCK);
+        let previous = std::env::var("DVE_THREADS").ok();
+        for error in [ErrorModel::PERFECT, ErrorModel::KING] {
+            let mut rng_a = rng.clone();
+            let mut rng_b = rng.clone();
+            std::env::set_var("DVE_THREADS", "1");
+            let (serial, serial_matrix) = CapInstance::from_world_with_matrix(
+                &world,
+                &handle,
+                0.5,
+                250.0,
+                error,
+                DelayLayout::Dense64,
+                &mut rng_a,
+            );
+            std::env::set_var("DVE_THREADS", "4");
+            let (par, par_matrix) = CapInstance::from_world_with_matrix(
+                &world,
+                &handle,
+                0.5,
+                250.0,
+                error,
+                DelayLayout::Dense64,
+                &mut rng_b,
+            );
+            assert_eq!(serial_matrix, par_matrix);
+            for c in 0..serial.num_clients() {
+                for s in 0..serial.num_servers() {
+                    assert_eq!(serial.obs_cs(c, s), par.obs_cs(c, s), "c={c} s={s}");
+                    assert_eq!(serial.true_cs(c, s), par.true_cs(c, s));
+                }
+            }
+        }
+        match previous {
+            Some(v) => std::env::set_var("DVE_THREADS", v),
+            None => std::env::remove_var("DVE_THREADS"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SharedByNode requires perfect observations")]
+    fn shared_layout_rejects_error_models() {
+        let (world, _delays, handle, mut rng) = blocked_fixture(61, "4s-8z-30c-100cp");
+        let _ = CapInstance::from_world(
+            &world,
+            &handle,
+            0.5,
+            250.0,
+            ErrorModel::KING,
+            DelayLayout::SharedByNode,
+            &mut rng,
+        );
     }
 
     #[test]

@@ -87,7 +87,9 @@ pub use iap::{
     exact_iap, exact_iap_with, grez, grez_with, iap_gap, iap_gap_with, iap_total_cost, ranz,
     IapError, StuckPolicy,
 };
-pub use instance::{CapInstance, StreamDeparture, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING};
+pub use instance::{
+    CapInstance, DelayLayout, StreamDeparture, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING,
+};
 pub use joint::{exact_joint_cap, joint_milp, JointError, JointOutcome};
 pub use local_search::{improve_iap, improve_iap_with, LocalSearchStats};
 pub use lp_round::{iap_lower_bound, iap_lp_bound, lp_round_iap};

@@ -322,12 +322,13 @@ proptest! {
         let mut world = World::generate(&config, 30, &topo.as_of_node, &mut rng).unwrap();
         let mut inst =
             CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng);
+        let handle = dve_world::WorldDelays::from_matrix(delays.clone(), &world);
         let mut matrix = CostMatrix::build(&inst);
         let batch = DynamicsBatch { joins, leaves, moves };
         for _ in 0..epochs {
             let outcome = apply_dynamics(&world, &batch, 30, &mut rng);
             matrix.retire_departures(&inst, &outcome.delta);
-            inst = inst.apply_delta(&outcome, &delays, ErrorModel::PERFECT, &mut rng);
+            inst = inst.apply_delta(&outcome, &handle, ErrorModel::PERFECT, &mut rng);
             matrix.admit_arrivals(&inst, &outcome.delta);
 
             let fresh = CapInstance::build(
@@ -351,6 +352,91 @@ proptest! {
             }
             world = outcome.world;
         }
+    }
+
+    /// The blocked `DelaySource` pipeline (satellite of the million-client
+    /// engine): on random worlds, the blocked one-pass f64 build of both
+    /// `CapInstance` and `CostMatrix` is **bit-identical** to the dense
+    /// reference builds; the shared-by-node layout is accessor-identical
+    /// under perfect observations; and the f32 layout stays within one
+    /// f32 ulp of relative error per delay.
+    #[test]
+    fn blocked_builds_match_dense_reference_on_random_worlds(
+        seed in any::<u64>(),
+        servers in 2usize..6,
+        zones in 1usize..10,
+        clients in 1usize..80,
+        error_factor in 1u8..3,
+    ) {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::{ErrorModel, ScenarioConfig, World, WorldDelays};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = flat_waxman(35, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let notation = format!("{servers}s-{zones}z-{clients}c-100cp");
+        let config = ScenarioConfig::from_notation(&notation).unwrap();
+        let world = World::generate(&config, 35, &topo.as_of_node, &mut rng).unwrap();
+        let handle = WorldDelays::from_matrix(delays.clone(), &world);
+        let error = ErrorModel::new(f64::from(error_factor));
+
+        // Dense reference and blocked f64 path, fed identical RNG clones.
+        let mut rng_a = rng.clone();
+        let mut rng_b = rng.clone();
+        let dense = CapInstance::build(&world, &delays, 0.5, 250.0, error, &mut rng_a);
+        let dense_matrix = CostMatrix::build(&dense);
+        let (blocked, blocked_matrix) = CapInstance::from_world_with_matrix(
+            &world, &handle, 0.5, 250.0, error, DelayLayout::Dense64, &mut rng_b,
+        );
+        prop_assert_eq!(&blocked_matrix, &dense_matrix);
+        prop_assert_eq!(dense.num_clients(), blocked.num_clients());
+        for c in 0..dense.num_clients() {
+            prop_assert_eq!(dense.zone_of(c), blocked.zone_of(c));
+            prop_assert_eq!(dense.client_target_bps(c), blocked.client_target_bps(c));
+            for s in 0..servers {
+                prop_assert_eq!(dense.obs_cs(c, s), blocked.obs_cs(c, s));
+                prop_assert_eq!(dense.true_cs(c, s), blocked.true_cs(c, s));
+            }
+        }
+        for a in 0..servers {
+            for b in 0..servers {
+                prop_assert_eq!(dense.obs_ss(a, b), blocked.obs_ss(a, b));
+                prop_assert_eq!(dense.true_ss(a, b), blocked.true_ss(a, b));
+            }
+        }
+
+        // Compact f32: bounded relative error on every delay, and a
+        // matrix that matches its own (rounded) instance exactly.
+        let mut rng_c = rng.clone();
+        let (compact, compact_matrix) = CapInstance::from_world_with_matrix(
+            &world, &handle, 0.5, 250.0, error, DelayLayout::Compact32, &mut rng_c,
+        );
+        prop_assert_eq!(&compact_matrix, &CostMatrix::build(&compact));
+        let tol = f64::from(f32::EPSILON);
+        for c in 0..dense.num_clients() {
+            for s in 0..servers {
+                let d = dense.obs_cs(c, s);
+                let q = compact.obs_cs(c, s);
+                prop_assert!((d - q).abs() <= d.abs() * tol, "obs c={} s={}: {} vs {}", c, s, q, d);
+            }
+        }
+
+        // Shared-by-node: identical to dense under perfect observations.
+        let mut rng_d = rng.clone();
+        let mut rng_e = rng;
+        let perfect = CapInstance::build(&world, &delays, 0.5, 250.0, ErrorModel::PERFECT, &mut rng_d);
+        let (shared, shared_matrix) = CapInstance::from_world_with_matrix(
+            &world, &handle, 0.5, 250.0, ErrorModel::PERFECT, DelayLayout::SharedByNode, &mut rng_e,
+        );
+        prop_assert_eq!(&shared_matrix, &CostMatrix::build(&perfect));
+        for c in 0..perfect.num_clients() {
+            for s in 0..servers {
+                prop_assert_eq!(perfect.obs_cs(c, s), shared.obs_cs(c, s));
+                prop_assert_eq!(perfect.true_cs(c, s), shared.true_cs(c, s));
+            }
+        }
+        // Shared memory is substrate-bounded: 35 nodes x m x 8 bytes.
+        prop_assert_eq!(shared.delay_table_bytes(), 35 * servers * 8);
     }
 
     /// `RelayTable` entries equal the naive eq. 8 evaluation kept in

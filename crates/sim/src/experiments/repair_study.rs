@@ -91,12 +91,13 @@ pub fn run_with(options: &ExpOptions, ticks: usize, batch: DynamicsBatch) -> Rep
             let old_zone_of: Vec<usize> = world.clients.iter().map(|c| c.zone).collect();
             let outcome = apply_dynamics(&world, &batch, rep.topology.node_count(), &mut rep.rng);
             world = outcome.world.clone();
-            let inst = CapInstance::build(
+            let inst = CapInstance::from_world(
                 &world,
                 &rep.delays,
                 0.5,
                 250.0,
                 ErrorModel::PERFECT,
+                dve_assign::DelayLayout::Dense64,
                 &mut rep.rng,
             );
             // Carry each strategy's assignment across the churn first.

@@ -42,6 +42,16 @@ pub struct Scaling {
 /// demand around 52 Gbps; 65 Gbps capacity leaves realistic head-room.
 pub const LARGE_TIER: &str = "100s-1000z-50000c-65000cp";
 
+/// The million-client tier of the blocked delay pipeline: 200 servers,
+/// 4000 zones, 1 000 000 clients. Zone populations average 250, so the
+/// quadratic bandwidth model puts expected demand near 5.0 Tbps; 6.5 Tbps
+/// total capacity (32.5 Gbps per server) keeps the same ~1.3× head-room
+/// as [`LARGE_TIER`]. Built only through
+/// [`CapInstance::from_world`](dve_assign::CapInstance::from_world) with
+/// the shared-by-node layout — a dense k×m f64 table would be 3.2 GB
+/// before the solver even starts.
+pub const MILLION_TIER: &str = "200s-4000z-1000000c-6500000cp";
+
 /// Scale points beyond the paper's proportions, opened up by the
 /// precomputed cost-matrix engine: a mid step and [`LARGE_TIER`].
 pub fn large_tiers() -> Vec<(usize, String)> {
@@ -148,6 +158,23 @@ mod tests {
         // Quality must not collapse with scale.
         assert!(largest.pqos.mean > 0.8);
         assert!(s.render().contains("8000"));
+    }
+
+    #[test]
+    fn million_tier_notation_is_valid_and_feasible() {
+        use dve_world::ScenarioConfig;
+        let config = ScenarioConfig::from_notation(MILLION_TIER).expect("valid tier notation");
+        assert_eq!(config.clients, 1_000_000);
+        assert_eq!(config.servers, 200);
+        let mean_pop = config.clients / config.zones;
+        let expected_demand = config.zones as f64 * config.bandwidth.zone_bps(mean_pop);
+        assert!(
+            expected_demand < config.total_capacity_bps,
+            "{MILLION_TIER}: expected demand {expected_demand:.2e} exceeds capacity"
+        );
+        // Head-room comparable to the 50k tier (~1.2-1.4x).
+        let headroom = config.total_capacity_bps / expected_demand;
+        assert!((1.1..1.6).contains(&headroom), "head-room {headroom:.2}");
     }
 
     #[test]

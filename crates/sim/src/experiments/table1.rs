@@ -110,6 +110,15 @@ impl Table1 {
         out.push_str(&format!("  \"runs\": {},\n", options.runs));
         out.push_str(&format!("  \"exact_runs\": {},\n", options.exact_runs));
         out.push_str(&format!("  \"base_seed\": {},\n", options.base_seed));
+        // Host-comparability metadata: baselines from different worker
+        // widths or memory envelopes are not like-for-like, so record
+        // both alongside the timings (multi-core runs gate against
+        // multi-core baselines, see ROADMAP).
+        out.push_str(&format!("  \"threads\": {},\n", dve_par::default_threads()));
+        out.push_str(&format!(
+            "  \"peak_rss_bytes\": {},\n",
+            crate::stats::peak_rss_bytes().unwrap_or(0)
+        ));
         out.push_str("  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             out.push_str(&format!(

@@ -58,9 +58,9 @@ use dve_assign::{
     evaluate, grec, grez_with, violating_clients_in, Assignment, CapInstance, CostMatrix, IapError,
     Metrics, StuckPolicy,
 };
-use dve_topology::DelayMatrix;
 use dve_world::{
-    apply_dynamics, BandwidthModel, DeltaBuffer, DynamicsBatch, ErrorModel, World, WorldEvent,
+    apply_dynamics, BandwidthModel, DeltaBuffer, DynamicsBatch, ErrorModel, MobilityModel, World,
+    WorldDelays, WorldEvent,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -179,7 +179,14 @@ pub struct ServeStats {
     /// Times the engine fell back to the full repair pass.
     pub full_repairs: u64,
     /// Per-event latency: push to end of the applying flush.
+    /// Steady-state only — events flushed inside a
+    /// [`ServeEngine::begin_warmup`] window land in
+    /// [`ServeStats::warmup`] instead, so build/admission of an initial
+    /// population never pollutes the gated quantiles.
     pub latency: LatencyHistogram,
+    /// Per-event latency of warm-up windows (initial-population
+    /// admission, cold caches) — recorded, reported, not gated.
+    pub warmup: LatencyHistogram,
 }
 
 /// What one flush did.
@@ -248,8 +255,7 @@ pub struct ServeEngine {
     id_of_client: Vec<ClientId>,
     index_of_id: HashMap<ClientId, usize>,
     next_id: ClientId,
-    server_nodes: Vec<usize>,
-    delays: DelayMatrix,
+    delays: WorldDelays,
     model: BandwidthModel,
     error: ErrorModel,
     rng: StdRng,
@@ -257,6 +263,8 @@ pub struct ServeEngine {
     pending_joins: HashSet<ClientId>,
     pending_leaves: HashSet<ClientId>,
     staleness: usize,
+    /// Whether flushes currently record into the warm-up histogram.
+    warming_up: bool,
     config: ServeConfig,
     stats: ServeStats,
 }
@@ -267,13 +275,14 @@ impl ServeEngine {
     /// the carried [`CostMatrix`] and the incremental load books, and
     /// numbers the initial clients `0..k` in index order.
     ///
-    /// `delays` is owned: joiners' delay rows are filled from it with the
-    /// same formula the batch carry uses. `rng` is drawn from only when
+    /// `delays` is the world's delay-pipeline handle (owned): joiners'
+    /// delay rows are filled from its node→server gather with the same
+    /// lookups the batch carry uses. `rng` is drawn from only when
     /// `error` actually distorts (joiner estimate sampling).
     pub fn new(
         instance: CapInstance,
         world: &World,
-        delays: DelayMatrix,
+        delays: WorldDelays,
         error: ErrorModel,
         policy: StuckPolicy,
         config: ServeConfig,
@@ -283,6 +292,11 @@ impl ServeEngine {
         assert!(
             config.max_staleness >= 1,
             "max_staleness must be at least 1"
+        );
+        assert_eq!(
+            delays.num_servers(),
+            instance.num_servers(),
+            "delay handle covers the instance's servers"
         );
         let matrix = CostMatrix::build(&instance);
         let target_of_zone = grez_with(&instance, &matrix, policy)?;
@@ -297,7 +311,6 @@ impl ServeEngine {
             id_of_client: (0..k as ClientId).collect(),
             index_of_id: (0..k).map(|c| (c as ClientId, c)).collect(),
             next_id: k as ClientId,
-            server_nodes: world.servers.iter().map(|s| s.node).collect(),
             model: world.config.bandwidth,
             delays,
             error,
@@ -306,6 +319,7 @@ impl ServeEngine {
             pending_joins: HashSet::new(),
             pending_leaves: HashSet::new(),
             staleness: 0,
+            warming_up: false,
             config,
             stats: ServeStats::default(),
             inst: instance,
@@ -315,6 +329,29 @@ impl ServeEngine {
         };
         engine.rebuild_loads();
         Ok(engine)
+    }
+
+    /// Enters a warm-up window: pending events are flushed first, then
+    /// every event applied until [`ServeEngine::end_warmup`] records its
+    /// latency into [`ServeStats::warmup`] instead of the gated
+    /// steady-state histogram. Use it while admitting an initial
+    /// population or repopulating after a topology change, so one-off
+    /// build traffic cannot pollute the serving-SLO quantiles.
+    pub fn begin_warmup(&mut self) {
+        self.flush_now();
+        self.warming_up = true;
+    }
+
+    /// Leaves the warm-up window (flushing anything still buffered into
+    /// the warm-up histogram).
+    pub fn end_warmup(&mut self) {
+        self.flush_now();
+        self.warming_up = false;
+    }
+
+    /// Whether the engine is inside a warm-up window.
+    pub fn is_warming_up(&self) -> bool {
+        self.warming_up
     }
 
     /// The carried instance (advanced in place by flushes).
@@ -393,10 +430,10 @@ impl ServeEngine {
                         zones: self.inst.num_zones(),
                     });
                 }
-                if node >= self.delays.len() {
+                if node >= self.delays.nodes() {
                     return Err(ServeError::NodeOutOfRange {
                         node,
-                        nodes: self.delays.len(),
+                        nodes: self.delays.nodes(),
                     });
                 }
                 let id = self.next_id;
@@ -494,8 +531,13 @@ impl ServeEngine {
         self.capacity_ok = (0..m).all(|s| self.load(s) <= self.inst.capacity(s) + 1e-9);
 
         let finished = Instant::now();
+        let histogram = if self.warming_up {
+            &mut self.stats.warmup
+        } else {
+            &mut self.stats.latency
+        };
         for ev in &events {
-            self.stats.latency.record(finished.duration_since(ev.at()));
+            histogram.record(finished.duration_since(ev.at()));
         }
         self.stats.events += events.len() as u64;
         self.stats.flushes += 1;
@@ -553,7 +595,6 @@ impl ServeEngine {
         let idx = self.inst.stream_join(
             node,
             zone,
-            &self.server_nodes,
             &self.delays,
             &self.model,
             self.error,
@@ -898,6 +939,23 @@ pub fn run_stream(
     policy: StuckPolicy,
     config: ServeConfig,
 ) -> StreamReport {
+    run_stream_with_warmup(setup, index, batch, 0, epochs, policy, config)
+}
+
+/// [`run_stream`] with `warmup_epochs` initial epochs streamed inside a
+/// [`ServeEngine::begin_warmup`] window: their events are applied and
+/// timed into [`ServeStats::warmup`], but produce no epoch records and
+/// never touch the gated steady-state histogram. This is how the latency
+/// benches separate cold-start/admission traffic from the serving SLO.
+pub fn run_stream_with_warmup(
+    setup: &SimSetup,
+    index: usize,
+    batch: &DynamicsBatch,
+    warmup_epochs: usize,
+    epochs: usize,
+    policy: StuckPolicy,
+    config: ServeConfig,
+) -> StreamReport {
     let rep = build_replication(setup, index);
     let error = ErrorModel::new(setup.error_factor);
     let engine_rng = StdRng::seed_from_u64(setup.base_seed.wrapping_add(index as u64) ^ 0x5e4e);
@@ -917,7 +975,13 @@ pub fn run_stream(
     let mut ids: Vec<ClientId> = (0..world.clients.len() as ClientId).collect();
     let mut records = Vec::with_capacity(epochs);
     let mut seen = (0u64, 0u64, 0u64); // (migrated, full repairs, flushes)
-    for epoch in 0..epochs {
+    if warmup_epochs > 0 {
+        engine.begin_warmup();
+    }
+    for epoch in 0..warmup_epochs + epochs {
+        if epoch == warmup_epochs && engine.is_warming_up() {
+            engine.end_warmup();
+        }
         let outcome = apply_dynamics(&world, batch, rep.topology.node_count(), &mut rng);
         let mut join_ids = Vec::with_capacity(outcome.delta.joins.len());
         for event in outcome.to_events() {
@@ -959,8 +1023,78 @@ pub fn run_stream(
         world = outcome.world;
 
         let stats = engine.stats();
+        if epoch >= warmup_epochs {
+            records.push(StreamEpochRecord {
+                epoch: epoch - warmup_epochs,
+                clients: engine.num_clients(),
+                pqos: engine.metrics().pqos,
+                zones_migrated: stats.zones_migrated - seen.0,
+                full_repairs: stats.full_repairs - seen.1,
+                flushes: stats.flushes - seen.2,
+            });
+        }
+        seen = (stats.zones_migrated, stats.full_repairs, stats.flushes);
+    }
+    StreamReport {
+        records,
+        stats: engine.stats().clone(),
+    }
+}
+
+/// Drives a [`ServeEngine`] from a [`MobilityModel`] instead of Table 3
+/// batch traces (the avatar-walk workload): each tick draws the model's
+/// move events against a mirror world, pushes them as [`StreamEvent`]s,
+/// heartbeats the engine, and samples quality at the tick boundary.
+///
+/// Mobility emits only moves, so engine client indices coincide with the
+/// mirror world's and ids never retire. Ticks run inside the steady
+/// phase; the caller's `config` controls micro-batching exactly as in
+/// [`run_stream`].
+pub fn run_mobility_stream(
+    setup: &SimSetup,
+    index: usize,
+    model: &MobilityModel,
+    ticks: usize,
+    policy: StuckPolicy,
+    config: ServeConfig,
+) -> StreamReport {
+    let rep = build_replication(setup, index);
+    let error = ErrorModel::new(setup.error_factor);
+    let engine_rng = StdRng::seed_from_u64(setup.base_seed.wrapping_add(index as u64) ^ 0x306b);
+    let mut engine = ServeEngine::new(
+        rep.instance,
+        &rep.world,
+        rep.delays,
+        error,
+        policy,
+        config,
+        engine_rng,
+    )
+    .unwrap_or_else(|e| panic!("initial GreZ failed on run {index}: {e}"));
+
+    let mut world = rep.world;
+    let mut rng = rep.rng;
+    let mut records = Vec::with_capacity(ticks);
+    let mut seen = (0u64, 0u64, 0u64);
+    for tick in 0..ticks {
+        for event in model.events(&world, &mut rng) {
+            let WorldEvent::Move { client, zone } = event else {
+                unreachable!("mobility emits only moves");
+            };
+            world.clients[client].zone = zone;
+            engine
+                .push(StreamEvent::Move {
+                    id: engine.id_at(client),
+                    zone,
+                })
+                .expect("mobility events are valid");
+        }
+        engine.tick();
+        engine.flush_now();
+
+        let stats = engine.stats();
         records.push(StreamEpochRecord {
-            epoch,
+            epoch: tick,
             clients: engine.num_clients(),
             pqos: engine.metrics().pqos,
             zones_migrated: stats.zones_migrated - seen.0,
@@ -1296,6 +1430,111 @@ mod tests {
             );
         }
         assert!(report.stats.latency.count() >= 5 * 55);
+    }
+
+    /// Warm-up pin (satellite): events flushed inside a warm-up window
+    /// land in `stats.warmup` and never touch the gated steady-state
+    /// histogram — so initial-population admission cannot pollute the
+    /// per-event quantiles.
+    #[test]
+    fn warmup_phase_keeps_steady_quantiles_clean() {
+        let mut engine = boot_engine(
+            &small_setup(),
+            ServeConfig {
+                max_batch: 4,
+                max_staleness: 4,
+            },
+        );
+        engine.begin_warmup();
+        assert!(engine.is_warming_up());
+        for node in 0..10 {
+            engine
+                .push(StreamEvent::Join {
+                    node,
+                    zone: node % 15,
+                })
+                .unwrap();
+        }
+        engine.end_warmup();
+        assert!(!engine.is_warming_up());
+        assert_eq!(engine.stats().warmup.count(), 10);
+        assert_eq!(
+            engine.stats().latency.count(),
+            0,
+            "warm-up admission leaked into the steady histogram"
+        );
+        // Steady traffic records into the gated histogram only.
+        engine.push(StreamEvent::Leave { id: 0 }).unwrap();
+        engine.push(StreamEvent::Move { id: 1, zone: 3 }).unwrap();
+        engine.flush_now();
+        assert_eq!(engine.stats().warmup.count(), 10);
+        assert_eq!(engine.stats().latency.count(), 2);
+        assert_engine_consistent(&engine);
+    }
+
+    /// `run_stream_with_warmup` applies warm-up epochs (same trace, same
+    /// quality trajectory) but excludes them from records and the gated
+    /// histogram: the steady records equal the plain run's tail.
+    #[test]
+    fn run_stream_warmup_epochs_shift_records_only() {
+        let setup = small_setup();
+        let batch = DynamicsBatch {
+            joins: 15,
+            leaves: 15,
+            moves: 10,
+        };
+        let config = ServeConfig {
+            max_batch: 8,
+            max_staleness: 4,
+        };
+        let plain = run_stream(&setup, 0, &batch, 3, StuckPolicy::BestEffort, config);
+        let warmed =
+            run_stream_with_warmup(&setup, 0, &batch, 1, 2, StuckPolicy::BestEffort, config);
+        assert_eq!(warmed.records.len(), 2);
+        assert_eq!(warmed.stats.warmup.count(), 40);
+        assert_eq!(warmed.stats.latency.count(), 80);
+        assert_eq!(
+            warmed.stats.latency.count() + warmed.stats.warmup.count(),
+            plain.stats.latency.count()
+        );
+        for (w, p) in warmed.records.iter().zip(plain.records.iter().skip(1)) {
+            assert_eq!(w.clients, p.clients);
+            assert_eq!(w.pqos, p.pqos);
+            assert_eq!(w.zones_migrated, p.zones_migrated);
+            assert_eq!(w.epoch + 1, p.epoch);
+        }
+    }
+
+    /// The mobility-model driver (ROADMAP "next candidate"): avatar
+    /// walks stream through the engine, population stays fixed, quality
+    /// holds, and the run is deterministic.
+    #[test]
+    fn mobility_stream_serves_avatar_walks() {
+        use dve_world::MobilityModel;
+        let setup = small_setup();
+        let model = MobilityModel::new(15, 0.2);
+        let config = ServeConfig {
+            max_batch: 16,
+            max_staleness: 2,
+        };
+        let report = run_mobility_stream(&setup, 0, &model, 6, StuckPolicy::BestEffort, config);
+        assert_eq!(report.records.len(), 6);
+        for r in &report.records {
+            assert_eq!(r.clients, 120, "mobility never changes population");
+            assert!((0.0..=1.0).contains(&r.pqos));
+        }
+        // ~20% of 120 clients per tick actually move.
+        assert!(
+            report.stats.events >= 60,
+            "only {} move events over 6 ticks",
+            report.stats.events
+        );
+        assert_eq!(report.stats.events, report.stats.latency.count());
+        let again = run_mobility_stream(&setup, 0, &model, 6, StuckPolicy::BestEffort, config);
+        for (a, b) in report.records.iter().zip(&again.records) {
+            assert_eq!(a.pqos, b.pqos);
+            assert_eq!(a.zones_migrated, b.zones_migrated);
+        }
     }
 
     /// run_stream is deterministic given the setup and config.

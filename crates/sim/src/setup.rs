@@ -2,14 +2,15 @@
 //! populate, and the global experiment knobs (delay bound, provisioning,
 //! error factor, replication count, seeding).
 
-use dve_assign::{CapInstance, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING};
+use dve_assign::{CapInstance, DelayLayout, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING};
 use dve_topology::{
-    hierarchical, transit_stub, us_backbone, DelayMatrix, HierarchicalConfig, Topology,
-    TransitStubConfig, WaxmanParams,
+    hierarchical, transit_stub, us_backbone, DelayMatrix, DelaySource, HierarchicalConfig,
+    OnDemandDelays, Topology, TransitStubConfig, WaxmanParams,
 };
-use dve_world::{ErrorModel, ScenarioConfig, World};
+use dve_world::{ErrorModel, ScenarioConfig, World, WorldDelays};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Which topology family a simulation uses.
 #[derive(Debug, Clone)]
@@ -50,6 +51,24 @@ impl TopologySpec {
     }
 }
 
+/// How replication delays are sourced — the topology end of the
+/// pluggable delay pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayMode {
+    /// Dense all-pairs [`DelayMatrix`]: exact diameter scaling, O(V²)
+    /// memory — the paper-fidelity default.
+    #[default]
+    Dense,
+    /// [`OnDemandDelays`]: landmark-estimated scaling, O(V+E) memory,
+    /// per-query Dijkstra — the million-client mode (the node matrix is
+    /// never materialised).
+    OnDemand {
+        /// Extra farthest-first eccentricity probes beyond the double
+        /// sweep (see [`OnDemandDelays::from_graph`]).
+        landmarks: usize,
+    },
+}
+
 /// Complete experiment setup.
 #[derive(Debug, Clone)]
 pub struct SimSetup {
@@ -57,6 +76,10 @@ pub struct SimSetup {
     pub scenario: ScenarioConfig,
     /// The topology family.
     pub topology: TopologySpec,
+    /// How node delays are sourced (dense matrix vs on-demand graph).
+    pub delay_mode: DelayMode,
+    /// Delay-row storage layout of the built instances.
+    pub delay_layout: DelayLayout,
     /// Maximum pairwise RTT after scaling, ms (paper: 500).
     pub max_rtt_ms: f64,
     /// Inter-server provisioning factor (paper: 0.5).
@@ -80,6 +103,8 @@ impl Default for SimSetup {
         SimSetup {
             scenario: ScenarioConfig::default(),
             topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+            delay_mode: DelayMode::default(),
+            delay_layout: DelayLayout::default(),
             max_rtt_ms: 500.0,
             provisioning: DEFAULT_PROVISIONING,
             delay_bound_ms: DEFAULT_DELAY_BOUND_MS,
@@ -94,8 +119,10 @@ impl Default for SimSetup {
 pub struct Replication {
     /// The generated topology.
     pub topology: Topology,
-    /// Scaled node-to-node RTTs.
-    pub delays: DelayMatrix,
+    /// The delay pipeline handle: the node delay source behind the
+    /// node→server gather table (replaces the dense node-to-node matrix
+    /// previous versions carried here).
+    pub delays: WorldDelays,
     /// The populated world.
     pub world: World,
     /// The CAP instance handed to the algorithms.
@@ -107,12 +134,29 @@ pub struct Replication {
 }
 
 /// Builds replication `index` of a setup deterministically.
+///
+/// The whole pipeline runs behind [`DelaySource`]: the topology's delays
+/// are wrapped per [`SimSetup::delay_mode`], gathered into a
+/// [`WorldDelays`] handle for the world's servers, and the instance is
+/// built by the blocked one-pass [`CapInstance::from_world`] in the
+/// configured [`SimSetup::delay_layout`]. With the defaults (dense
+/// matrix source, `Dense64` rows) every value is bit-identical to the
+/// historical `CapInstance::build` path — property-tested in
+/// `dve-assign` — so seeded experiments reproduce exactly.
 pub fn build_replication(setup: &SimSetup, index: usize) -> Replication {
     let seed = setup.base_seed.wrapping_add(index as u64);
     let mut rng = StdRng::seed_from_u64(seed);
     let topology = setup.topology.generate(&mut rng);
-    let delays = DelayMatrix::from_graph(&topology.graph, setup.max_rtt_ms)
-        .expect("generated topologies are connected");
+    let source: Arc<dyn DelaySource> = match setup.delay_mode {
+        DelayMode::Dense => Arc::new(
+            DelayMatrix::from_graph(&topology.graph, setup.max_rtt_ms)
+                .expect("generated topologies are connected"),
+        ),
+        DelayMode::OnDemand { landmarks } => Arc::new(
+            OnDemandDelays::from_graph(&topology.graph, setup.max_rtt_ms, landmarks)
+                .expect("generated topologies are connected"),
+        ),
+    };
     let world = World::generate(
         &setup.scenario,
         topology.node_count(),
@@ -120,12 +164,14 @@ pub fn build_replication(setup: &SimSetup, index: usize) -> Replication {
         &mut rng,
     )
     .expect("scenario must fit the topology");
-    let instance = CapInstance::build(
+    let delays = WorldDelays::for_world(source, &world);
+    let instance = CapInstance::from_world(
         &world,
         &delays,
         setup.provisioning,
         setup.delay_bound_ms,
         ErrorModel::new(setup.error_factor),
+        setup.delay_layout,
         &mut rng,
     );
     Replication {
@@ -187,7 +233,53 @@ mod tests {
         assert_eq!(r.instance.num_servers(), 5);
         assert_eq!(r.instance.num_zones(), 15);
         assert_eq!(r.topology.node_count(), 50);
-        assert!((r.delays.max_rtt() - 500.0).abs() < 1e-6);
+        assert_eq!(r.delays.nodes(), 50);
+        assert_eq!(r.delays.num_servers(), 5);
+        // Gathered RTTs live inside the configured 500 ms scale.
+        assert!(r
+            .delays
+            .table()
+            .iter()
+            .all(|&d| d.is_finite() && (0.0..=500.0 + 1e-9).contains(&d)));
+    }
+
+    /// The on-demand source and the compact/shared layouts plug into the
+    /// same replication path; under perfect observations the shared
+    /// layout's instance is accessor-identical to the dense default.
+    #[test]
+    fn delay_modes_and_layouts_compose() {
+        let mut dense_setup = small_setup();
+        dense_setup.runs = 1;
+        let dense = build_replication(&dense_setup, 0);
+
+        let mut shared_setup = dense_setup.clone();
+        shared_setup.delay_layout = dve_assign::DelayLayout::SharedByNode;
+        let shared = build_replication(&shared_setup, 0);
+        assert_eq!(
+            shared.instance.layout(),
+            dve_assign::DelayLayout::SharedByNode
+        );
+        for c in 0..dense.instance.num_clients() {
+            for s in 0..dense.instance.num_servers() {
+                assert_eq!(dense.instance.obs_cs(c, s), shared.instance.obs_cs(c, s));
+            }
+        }
+
+        let mut lazy_setup = dense_setup.clone();
+        lazy_setup.delay_mode = DelayMode::OnDemand { landmarks: 2 };
+        lazy_setup.delay_layout = dve_assign::DelayLayout::SharedByNode;
+        let lazy = build_replication(&lazy_setup, 0);
+        // Same world (delay sourcing draws no world RNG), different
+        // delay model: on-demand RTTs upper-bound the dense ones.
+        assert_eq!(lazy.world.clients, dense.world.clients);
+        for node in 0..lazy.delays.nodes() {
+            for s in 0..lazy.delays.num_servers() {
+                assert!(
+                    lazy.delays.client_rtt(node, s) >= dense.delays.client_rtt(node, s) - 1e-6,
+                    "node {node} server {s}"
+                );
+            }
+        }
     }
 
     #[test]

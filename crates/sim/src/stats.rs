@@ -265,9 +265,36 @@ impl LatencyHistogram {
     }
 }
 
+/// Peak resident set size of this process in bytes (Linux `VmHWM`),
+/// `None` where the kernel interface is unavailable. This is the number
+/// the scale gates and the bench JSON record: it bounds what the whole
+/// pipeline — substrate, world, instance, matrix, serving books — ever
+/// held at once, which is the claim the blocked delay pipeline makes.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peak_rss_reports_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("Linux exposes VmHWM");
+            // A running test binary holds at least a megabyte and less
+            // than a terabyte.
+            assert!(rss > 1 << 20, "peak RSS {rss} implausibly small");
+            assert!(rss < 1 << 40, "peak RSS {rss} implausibly large");
+        }
+    }
 
     #[test]
     fn welford_matches_naive() {

@@ -1,0 +1,192 @@
+//! The world-layer delay handle: a [`DelaySource`] plus the gathered
+//! node→server RTT table — the **only** delay structure the assignment
+//! and serving layers need.
+//!
+//! Before this module, every consumer threaded a dense node×node
+//! `DelayMatrix` through the pipeline, even though the CAP only ever
+//! asks for delays *towards the m server nodes*. [`WorldDelays`] gathers
+//! exactly that shape once (`O(nodes × servers)` memory, one bulk
+//! [`DelaySource::gather_to`] call — m Dijkstras for a graph-backed
+//! source, m row reads for a dense one) and keeps the source handle for
+//! anything off the hot path. At a million clients on a 500-node
+//! substrate the gather table is ~800 KB where the per-client tables of
+//! the pre-refactor pipeline were gigabytes.
+
+use crate::world::World;
+use dve_topology::{DelayMatrix, DelaySource};
+use std::sync::Arc;
+
+/// A shared delay source plus the node→server gather table for one
+/// world's server placement. Cheap to clone: the gather table sits
+/// behind an [`Arc`], so handles, shared-layout instances, and their
+/// clones all reference **one** substrate-sized table.
+#[derive(Clone)]
+pub struct WorldDelays {
+    source: Arc<dyn DelaySource>,
+    /// Topology node of each server, in server-index order.
+    server_nodes: Vec<usize>,
+    /// `to_server[node * m + s]` = RTT from `node` to server `s`'s node.
+    to_server: Arc<Vec<f64>>,
+}
+
+impl std::fmt::Debug for WorldDelays {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldDelays")
+            .field("nodes", &self.nodes())
+            .field("servers", &self.server_nodes.len())
+            .finish()
+    }
+}
+
+impl WorldDelays {
+    /// Gathers the node→server table for `world`'s servers from any
+    /// delay source.
+    pub fn for_world(source: Arc<dyn DelaySource>, world: &World) -> WorldDelays {
+        Self::for_servers(
+            source,
+            &world.servers.iter().map(|s| s.node).collect::<Vec<_>>(),
+        )
+    }
+
+    /// [`WorldDelays::for_world`] from an explicit server-node list.
+    pub fn for_servers(source: Arc<dyn DelaySource>, server_nodes: &[usize]) -> WorldDelays {
+        let nodes = source.nodes();
+        for &node in server_nodes {
+            assert!(node < nodes, "server node {node} outside the substrate");
+        }
+        let mut to_server = vec![0.0; nodes * server_nodes.len()];
+        source.gather_to(server_nodes, &mut to_server);
+        WorldDelays {
+            source,
+            server_nodes: server_nodes.to_vec(),
+            to_server: Arc::new(to_server),
+        }
+    }
+
+    /// Convenience for the dense pipeline: wraps a [`DelayMatrix`] as
+    /// the source (its gather reads the matrix entries directly, so the
+    /// table is bit-identical to per-pair `rtt` lookups).
+    pub fn from_matrix(matrix: DelayMatrix, world: &World) -> WorldDelays {
+        WorldDelays::for_world(Arc::new(matrix), world)
+    }
+
+    /// Number of topology nodes covered.
+    pub fn nodes(&self) -> usize {
+        self.source.nodes()
+    }
+
+    /// Number of servers gathered.
+    pub fn num_servers(&self) -> usize {
+        self.server_nodes.len()
+    }
+
+    /// Topology node of server `s`.
+    pub fn server_node(&self, s: usize) -> usize {
+        self.server_nodes[s]
+    }
+
+    /// RTT from topology node `node` to server `s`, milliseconds.
+    #[inline]
+    pub fn client_rtt(&self, node: usize, s: usize) -> f64 {
+        self.to_server[node * self.server_nodes.len() + s]
+    }
+
+    /// RTTs from `node` to every server (server-index order).
+    #[inline]
+    pub fn server_row(&self, node: usize) -> &[f64] {
+        let m = self.server_nodes.len();
+        &self.to_server[node * m..(node + 1) * m]
+    }
+
+    /// RTT between the nodes of servers `a` and `b` (read from the
+    /// gather table: a server is a node like any other).
+    #[inline]
+    pub fn server_rtt(&self, a: usize, b: usize) -> f64 {
+        self.client_rtt(self.server_nodes[a], b)
+    }
+
+    /// The full gather table, node-major (`nodes × servers`) — the bulk
+    /// input of the blocked instance builders.
+    pub fn table(&self) -> &[f64] {
+        &self.to_server
+    }
+
+    /// The gather table behind its shared handle — what shared-layout
+    /// instances store, so the substrate-sized table exists exactly once
+    /// no matter how many instances or clones reference it.
+    pub fn shared_table(&self) -> Arc<Vec<f64>> {
+        Arc::clone(&self.to_server)
+    }
+
+    /// The underlying source, for off-hot-path pairwise queries.
+    pub fn source(&self) -> &Arc<dyn DelaySource> {
+        &self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use dve_topology::{flat_waxman, OnDemandDelays, WaxmanParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world_and_matrix(seed: u64) -> (World, DelayMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = flat_waxman(40, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let config = ScenarioConfig::from_notation("4s-8z-60c-100cp").unwrap();
+        let world = World::generate(&config, 40, &topo.as_of_node, &mut rng).unwrap();
+        (world, delays)
+    }
+
+    #[test]
+    fn gather_matches_matrix_lookups_bit_for_bit() {
+        let (world, matrix) = world_and_matrix(1);
+        let wd = WorldDelays::from_matrix(matrix.clone(), &world);
+        assert_eq!(wd.nodes(), 40);
+        assert_eq!(wd.num_servers(), 4);
+        for node in 0..40 {
+            for (s, server) in world.servers.iter().enumerate() {
+                assert_eq!(wd.client_rtt(node, s), matrix.rtt(node, server.node));
+                assert_eq!(wd.server_row(node)[s], matrix.rtt(node, server.node));
+            }
+        }
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(
+                    wd.server_rtt(a, b),
+                    matrix.rtt(world.servers[a].node, world.servers[b].node)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn works_over_an_on_demand_source() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = flat_waxman(50, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let lazy = OnDemandDelays::from_graph(&topo.graph, 500.0, 2).unwrap();
+        let config = ScenarioConfig::from_notation("5s-8z-40c-100cp").unwrap();
+        let world = World::generate(&config, 50, &topo.as_of_node, &mut rng).unwrap();
+        let wd = WorldDelays::for_world(Arc::new(lazy), &world);
+        assert_eq!(wd.num_servers(), 5);
+        for (s, server) in world.servers.iter().enumerate() {
+            assert_eq!(wd.server_node(s), server.node);
+            // A server is at zero RTT from itself.
+            assert_eq!(wd.client_rtt(server.node, s), 0.0);
+        }
+        // Table shape and finiteness.
+        assert_eq!(wd.table().len(), 50 * 5);
+        assert!(wd.table().iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the substrate")]
+    fn rejects_out_of_range_server_nodes() {
+        let (world, matrix) = world_and_matrix(5);
+        let _ = world;
+        WorldDelays::for_servers(Arc::new(matrix), &[99]);
+    }
+}

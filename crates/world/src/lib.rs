@@ -15,7 +15,11 @@
 //! * [`apply_dynamics`] — join/leave/move population dynamics (Table 3);
 //! * [`WorldEvent`] / [`DeltaBuffer`] — the same dynamics as a continuous
 //!   event stream, coalesced into batch-shaped deltas for the serving
-//!   engine in `dve-sim`.
+//!   engine in `dve-sim`;
+//! * [`WorldDelays`] — the delay handle of the pipeline: a shared
+//!   [`DelaySource`] plus the gathered node→server RTT table, replacing
+//!   the dense node×node `DelayMatrix` everywhere downstream
+//!   (O(nodes × servers) instead of O(nodes²) or O(clients × servers)).
 //!
 //! ```
 //! use dve_world::{ScenarioConfig, World};
@@ -34,6 +38,7 @@
 
 mod bandwidth;
 mod correlation;
+mod delays;
 mod distribution;
 mod dynamics;
 mod error;
@@ -44,7 +49,9 @@ mod world;
 
 pub use bandwidth::BandwidthModel;
 pub use correlation::CorrelationModel;
+pub use delays::WorldDelays;
 pub use distribution::{hot_weights, zipf_weights, DistributionType, WeightedIndex};
+pub use dve_topology::{DelaySource, OnDemandDelays};
 pub use dynamics::{
     apply_dynamics, ClientJoin, ClientLeave, DynamicsBatch, DynamicsOutcome, WorldDelta, ZoneMove,
 };

@@ -7,6 +7,7 @@
 //! giving churn experiments a spatially correlated alternative to the
 //! paper's uniform moves.
 
+use crate::stream::WorldEvent;
 use crate::world::World;
 use rand::Rng;
 
@@ -97,12 +98,21 @@ impl MobilityModel {
         }
     }
 
-    /// Advances the world one tick in place; returns the indices of
-    /// clients that moved.
-    pub fn tick<R: Rng + ?Sized>(&self, world: &mut World, rng: &mut R) -> Vec<usize> {
+    /// Draws one tick's moves as a [`WorldEvent`] stream against `world`
+    /// **without mutating it** — the generator that drives the streaming
+    /// serving engine from mobility instead of Table 3 batch traces.
+    ///
+    /// Event client fields are indices into `world.clients` (the base
+    /// world of the tick), so the stream feeds a
+    /// [`DeltaBuffer`](crate::DeltaBuffer) bound to that world directly.
+    /// The RNG discipline is identical to [`MobilityModel::tick`]: one
+    /// uniform draw per client, plus one neighbour draw per mover, in
+    /// client order — ticking a world and replaying the same seed's
+    /// events through a buffer produce the same populations bit for bit.
+    pub fn events<R: Rng + ?Sized>(&self, world: &World, rng: &mut R) -> Vec<WorldEvent> {
         let zones = world.zones;
-        let mut moved = Vec::new();
-        for (i, client) in world.clients.iter_mut().enumerate() {
+        let mut events = Vec::new();
+        for (i, client) in world.clients.iter().enumerate() {
             if rng.gen::<f64>() >= self.move_prob {
                 continue;
             }
@@ -110,10 +120,28 @@ impl MobilityModel {
             if neighbors.is_empty() {
                 continue;
             }
-            client.zone = neighbors[rng.gen_range(0..neighbors.len())];
-            moved.push(i);
+            events.push(WorldEvent::Move {
+                client: i,
+                zone: neighbors[rng.gen_range(0..neighbors.len())],
+            });
         }
-        moved
+        events
+    }
+
+    /// Advances the world one tick in place; returns the indices of
+    /// clients that moved. Defined as [`MobilityModel::events`] applied
+    /// to the world, so the two paths can never drift.
+    pub fn tick<R: Rng + ?Sized>(&self, world: &mut World, rng: &mut R) -> Vec<usize> {
+        self.events(world, rng)
+            .into_iter()
+            .map(|event| match event {
+                WorldEvent::Move { client, zone } => {
+                    world.clients[client].zone = zone;
+                    client
+                }
+                _ => unreachable!("mobility emits only moves"),
+            })
+            .collect()
     }
 }
 
@@ -189,6 +217,52 @@ mod tests {
             if !moved.contains(&i) {
                 assert_eq!(before[i], world.clients[i]);
             }
+        }
+    }
+
+    /// Fixed-seed pin of the generator satellite: a mobility tick's
+    /// event stream, routed through a [`DeltaBuffer`], reproduces the
+    /// directly ticked world bit for bit (and the buffer's delta lists
+    /// exactly the effective movers).
+    #[test]
+    fn event_stream_round_trips_through_delta_buffer() {
+        use crate::stream::DeltaBuffer;
+
+        let config = ScenarioConfig::from_notation("5s-16z-400c-100cp").unwrap();
+        let labels: Vec<u16> = (0..100).map(|n| (n % 5) as u16).collect();
+        let model = MobilityModel::new(16, 0.3);
+        for seed in [11u64, 12, 13] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = crate::world::World::generate(&config, 100, &labels, &mut rng).unwrap();
+
+            // Path A: draw the event stream (same RNG state as a tick).
+            let mut events_rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let events = model.events(&base, &mut events_rng);
+
+            // Path B: tick a clone directly with the same draw sequence.
+            let mut ticked = base.clone();
+            let mut tick_rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let moved = model.tick(&mut ticked, &mut tick_rng);
+            assert_eq!(events.len(), moved.len());
+
+            // The stream through the coalescer reaches the same world.
+            let mut buffer = DeltaBuffer::new(&base);
+            for &event in &events {
+                buffer.push(event).unwrap();
+            }
+            let outcome = buffer.flush(&base);
+            assert_eq!(outcome.world.clients, ticked.clients, "seed {seed}");
+            assert!(outcome.delta.joins.is_empty());
+            assert!(outcome.delta.leaves.is_empty());
+            // Effective moves only: every delta move names a client whose
+            // zone actually changed, and all zone changes are covered.
+            let changed: Vec<usize> = (0..400)
+                .filter(|&c| base.clients[c].zone != ticked.clients[c].zone)
+                .collect();
+            let mut delta_movers: Vec<usize> =
+                outcome.delta.moves.iter().map(|m| m.old_index).collect();
+            delta_movers.sort_unstable();
+            assert_eq!(delta_movers, changed, "seed {seed}");
         }
     }
 

@@ -63,12 +63,13 @@ fn main() {
     }
     println!("flash crowd: {stormers} players storm zone {hot_zone} (+50 join, -50 leave)");
 
-    let crowd_instance = CapInstance::build(
+    let crowd_instance = CapInstance::from_world(
         &outcome.world,
         &rep.delays,
         0.5,
         250.0,
         ErrorModel::PERFECT,
+        DelayLayout::Dense64,
         &mut rep.rng,
     );
     let old_zone_of: Vec<usize> = rep.world.clients.iter().map(|c| c.zone).collect();

@@ -51,9 +51,14 @@ pub use dve_world as world;
 pub mod prelude {
     pub use dve_assign::{
         evaluate, grec, grez, ranz, solve, virc, Assignment, BbConfig, CapAlgorithm, CapInstance,
-        CostMatrix, IncrementalEval, Metrics, StuckPolicy,
+        CostMatrix, DelayLayout, IncrementalEval, Metrics, StuckPolicy,
     };
-    pub use dve_sim::{run_experiment, SimSetup, TopologySpec};
-    pub use dve_topology::{hierarchical, us_backbone, DelayMatrix, HierarchicalConfig, Topology};
-    pub use dve_world::{BandwidthModel, DistributionType, ErrorModel, ScenarioConfig, World};
+    pub use dve_sim::{run_experiment, DelayMode, SimSetup, TopologySpec};
+    pub use dve_topology::{
+        hierarchical, us_backbone, DelayMatrix, DelaySource, HierarchicalConfig, OnDemandDelays,
+        Topology,
+    };
+    pub use dve_world::{
+        BandwidthModel, DistributionType, ErrorModel, ScenarioConfig, World, WorldDelays,
+    };
 }
