@@ -89,8 +89,9 @@ fn bench_delta_vs_rebuild(c: &mut Criterion) {
 }
 
 /// Acceptance: at the production tier, the delta path is ≥ 5× the full
-/// rebuild per epoch and bit-identical to it.
-fn check_churn_speedup() {
+/// rebuild per epoch and bit-identical to it. Returns
+/// (full_ms_per_epoch, delta_ms_per_epoch).
+fn check_churn_speedup() -> (f64, f64) {
     let setup = SimSetup {
         scenario: ScenarioConfig::from_notation(LARGE_TIER).expect("static notation"),
         topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
@@ -150,11 +151,23 @@ fn check_churn_speedup() {
         speedup >= 5.0,
         "churn delta-update speedup {speedup:.2}x below the required 5x"
     );
+    (full_s * 1e3 / EPOCHS as f64, delta_s * 1e3 / EPOCHS as f64)
 }
 
 criterion_group!(benches, bench_delta_vs_rebuild);
 
 fn main() {
     benches();
-    check_churn_speedup();
+    let (full_ms, delta_ms) = check_churn_speedup();
+    let path = dve_bench::write_bench_record(
+        "churn",
+        &[
+            ("tier", format!("\"{LARGE_TIER}\"")),
+            ("epochs", format!("{EPOCHS}")),
+            ("full_rebuild_ms_per_epoch", format!("{full_ms:.3}")),
+            ("delta_update_ms_per_epoch", format!("{delta_ms:.3}")),
+            ("speedup", format!("{:.3}", full_ms / delta_ms)),
+        ],
+    );
+    println!("churn: record written to {path}");
 }

@@ -37,9 +37,12 @@ use dve_assign::{
     StuckPolicy,
 };
 use dve_sim::experiments::scaling::MILLION_TIER;
-use dve_sim::{peak_rss_bytes, ServeConfig, ServeEngine, StreamEvent};
+use dve_sim::{
+    peak_rss_bytes, run_mobility_stream_with, DelayMode, QualityEstimator, ServeConfig,
+    ServeEngine, SimSetup, StreamEvent,
+};
 use dve_topology::{hierarchical, HierarchicalConfig, OnDemandDelays};
-use dve_world::{ErrorModel, ScenarioConfig, World, WorldDelays};
+use dve_world::{ErrorModel, InterArrival, MobilityModel, ScenarioConfig, World, WorldDelays};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -51,6 +54,20 @@ const WARMUP_EVENTS: usize = 2_000;
 
 /// Steady join/leave/move events streamed after warm-up.
 const STEADY_EVENTS: usize = 6_000;
+
+/// Ticks of the gated mobility epoch loop (avatar walks served through
+/// a fresh engine at the same tier).
+const MOBILITY_TICKS: usize = 3;
+
+/// Per-tick move probability of the mobility phase: ~2 000 movers per
+/// tick at the full tier — enough to exercise the zone-sharded repair
+/// scan and the streaming path without dominating the wall budget.
+const MOBILITY_PROB: f64 = 0.002;
+
+/// Clients sampled per tick by the streaming quality estimator (the
+/// O(k) exact evaluation is precisely what mobility-at-the-million-tier
+/// must avoid; 10 000 samples put the standard error at ~0.005).
+const MOBILITY_SAMPLE: usize = 10_000;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -159,6 +176,7 @@ fn main() {
         ServeConfig {
             max_batch: 64,
             max_staleness: 4,
+            ..Default::default()
         },
         engine_rng,
     )
@@ -239,6 +257,56 @@ fn main() {
         "carried matrix diverged from a fresh build"
     );
 
+    // --- Mobility: avatar-walk epochs at the same tier. ---
+    // A fresh million-tier replication (on-demand delays, shared rows)
+    // driven by the mobility model through the streaming engine, with
+    // exponential inter-arrival offsets and the **sampled** quality
+    // estimator — the O(k)-free path that makes per-tick quality
+    // affordable at this population.
+    let t = Instant::now();
+    let mobility_setup = SimSetup {
+        scenario: config.clone(),
+        topology: dve_sim::TopologySpec::Hierarchical(HierarchicalConfig::default()),
+        delay_mode: DelayMode::OnDemand { landmarks: 8 },
+        delay_layout: DelayLayout::SharedByNode,
+        runs: 1,
+        ..Default::default()
+    };
+    let model = MobilityModel::new(config.zones, MOBILITY_PROB);
+    let mobility = run_mobility_stream_with(
+        &mobility_setup,
+        0,
+        &model,
+        MOBILITY_TICKS,
+        StuckPolicy::BestEffort,
+        ServeConfig {
+            max_batch: 64,
+            max_staleness: 2,
+            arrival: InterArrival::Exponential {
+                mean_gap_ticks: 1.0 / (clients as f64 * MOBILITY_PROB).max(1.0),
+            },
+        },
+        QualityEstimator::Sampled {
+            sample: MOBILITY_SAMPLE,
+        },
+    );
+    let mobility_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(mobility.records.len(), MOBILITY_TICKS);
+    let pqos_mobility = mobility.records.last().expect("ticks ran").pqos;
+    println!(
+        "million/mobility: {MOBILITY_TICKS} ticks x ~{:.0} movers in {mobility_ms:.0} ms \
+         ({} events, {} flushes, full_repairs {}), sampled pQoS {pqos_mobility:.4}",
+        clients as f64 * MOBILITY_PROB,
+        mobility.stats.events,
+        mobility.stats.flushes,
+        mobility.stats.full_repairs,
+    );
+    assert!(mobility.stats.events > 0, "mobility phase served no events");
+    assert!(
+        pqos_mobility >= 0.7,
+        "million-tier mobility pQoS {pqos_mobility:.3} collapsed"
+    );
+
     // --- Resource gates. ---
     let elapsed_s = started.elapsed().as_secs_f64();
     let rss = peak_rss_bytes().unwrap_or(0);
@@ -261,28 +329,46 @@ fn main() {
     );
 
     // --- Machine-readable record. ---
-    // `cargo bench` runs with the package as cwd; anchor the default at
-    // the workspace root, next to BENCH_table1.json.
-    let json_path = std::env::var("DVE_MILLION_JSON").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_million.json").to_string()
-    });
-    let json = format!(
-        "{{\n  \"experiment\": \"million\",\n  \"tier\": \"{notation}\",\n  \
-         \"clients\": {clients},\n  \"threads\": {threads},\n  \
-         \"peak_rss_bytes\": {rss},\n  \"delay_table_bytes\": {table_bytes},\n  \
-         \"topology_ms\": {topo_ms:.3},\n  \"world_ms\": {world_ms:.3},\n  \
-         \"build_ms\": {build_ms:.3},\n  \"build_clients_per_sec\": {build_rate:.0},\n  \
-         \"solve_ms\": {solve_ms:.3},\n  \"pqos_initial\": {pqos_initial:.6},\n  \
-         \"pqos_served\": {pqos_served:.6},\n  \
-         \"warmup_events\": {WARMUP_EVENTS},\n  \"warmup_ms\": {warmup_ms:.3},\n  \
-         \"warmup_p99_ns\": {},\n  \"steady_events\": {STEADY_EVENTS},\n  \
-         \"steady_ms\": {steady_ms:.3},\n  \"steady_mean_ns\": {:.0},\n  \
-         \"steady_p99_ns\": {},\n  \"full_repairs\": {},\n  \"wall_s\": {elapsed_s:.3}\n}}\n",
-        stats.warmup.quantile_upper_ns(0.99),
-        stats.latency.mean_ns(),
-        stats.latency.quantile_upper_ns(0.99),
-        stats.full_repairs,
+    // The shared writer stamps experiment/threads/peak_rss_bytes and
+    // anchors the file at the workspace root, next to BENCH_table1.json.
+    let json_path = dve_bench::write_bench_record(
+        "million",
+        &[
+            ("tier", format!("\"{notation}\"")),
+            ("clients", format!("{clients}")),
+            ("delay_table_bytes", format!("{table_bytes}")),
+            ("topology_ms", format!("{topo_ms:.3}")),
+            ("world_ms", format!("{world_ms:.3}")),
+            ("build_ms", format!("{build_ms:.3}")),
+            ("build_clients_per_sec", format!("{build_rate:.0}")),
+            ("solve_ms", format!("{solve_ms:.3}")),
+            ("pqos_initial", format!("{pqos_initial:.6}")),
+            ("pqos_served", format!("{pqos_served:.6}")),
+            ("warmup_events", format!("{WARMUP_EVENTS}")),
+            ("warmup_ms", format!("{warmup_ms:.3}")),
+            (
+                "warmup_p99_ns",
+                format!("{}", stats.warmup.quantile_upper_ns(0.99)),
+            ),
+            ("steady_events", format!("{STEADY_EVENTS}")),
+            ("steady_ms", format!("{steady_ms:.3}")),
+            ("steady_mean_ns", format!("{:.0}", stats.latency.mean_ns())),
+            (
+                "steady_p99_ns",
+                format!("{}", stats.latency.quantile_upper_ns(0.99)),
+            ),
+            ("full_repairs", format!("{}", stats.full_repairs)),
+            ("mobility_ticks", format!("{MOBILITY_TICKS}")),
+            ("mobility_events", format!("{}", mobility.stats.events)),
+            ("mobility_ms", format!("{mobility_ms:.3}")),
+            ("pqos_mobility", format!("{pqos_mobility:.6}")),
+            ("wall_s", format!("{elapsed_s:.3}")),
+        ],
     );
-    std::fs::write(&json_path, json).unwrap_or_else(|e| panic!("could not write {json_path}: {e}"));
+    // Legacy override: mirror the record wherever the operator asked.
+    if let Ok(extra) = std::env::var("DVE_MILLION_JSON") {
+        std::fs::copy(&json_path, &extra)
+            .unwrap_or_else(|e| panic!("could not copy record to {extra}: {e}"));
+    }
     println!("million: PASS ({json_path} written)");
 }

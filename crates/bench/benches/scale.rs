@@ -74,7 +74,8 @@ fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 }
 
 /// Acceptance check 1: the engine path is ≥ 5× the naive path.
-fn check_speedup() {
+/// Returns (naive_ms, matrix_ms).
+fn check_speedup() -> (f64, f64) {
     let (inst, _) = dve_bench::small_instance_for(TABLE1_LARGEST, 7);
     // Identical results first — the speedup must not come from doing
     // different work.
@@ -107,10 +108,12 @@ fn check_speedup() {
         speedup >= 5.0,
         "cost-matrix engine speedup {speedup:.2}x below the required 5x"
     );
+    (naive_s * 1e3, fast_s * 1e3)
 }
 
 /// Acceptance check 2: the 50 000-client tier solves end-to-end < 10 s.
-fn check_large_tier() {
+/// Returns (build_s, solve_s, pqos).
+fn check_large_tier() -> (f64, f64, f64) {
     let setup = SimSetup {
         scenario: ScenarioConfig::from_notation(LARGE_TIER).expect("static notation"),
         topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
@@ -141,12 +144,28 @@ fn check_large_tier() {
         "large-tier end-to-end took {total:.2} s (budget 10 s)"
     );
     assert!(metrics.pqos > 0.5, "large-tier quality collapsed");
+    (build_s, solve_s, metrics.pqos)
 }
 
 criterion_group!(benches, bench_engine_vs_naive, bench_cost_matrix_build);
 
 fn main() {
     benches();
-    check_speedup();
-    check_large_tier();
+    let (naive_ms, matrix_ms) = check_speedup();
+    let (build_s, solve_s, pqos) = check_large_tier();
+    // Machine-readable record keyed by worker width, for the scale-mc
+    // job's artifacts (bench_diff refuses cross-width comparisons).
+    let path = dve_bench::write_bench_record(
+        "scale",
+        &[
+            ("grez_improve_naive_ms", format!("{naive_ms:.3}")),
+            ("grez_improve_matrix_ms", format!("{matrix_ms:.3}")),
+            ("speedup", format!("{:.3}", naive_ms / matrix_ms)),
+            ("large_tier", format!("\"{LARGE_TIER}\"")),
+            ("large_build_s", format!("{build_s:.3}")),
+            ("large_solve_s", format!("{solve_s:.3}")),
+            ("large_pqos", format!("{pqos:.6}")),
+        ],
+    );
+    println!("scale: record written to {path}");
 }

@@ -72,6 +72,7 @@ fn bench_event_serve(c: &mut Criterion) {
         ServeConfig {
             max_batch: 1,
             max_staleness: 1,
+            ..Default::default()
         },
         rep.rng,
     )
@@ -104,8 +105,8 @@ fn bench_event_serve(c: &mut Criterion) {
 }
 
 /// Acceptance: per-event latency SLO at the production tier, plus the
-/// carried-state bit-identity check.
-fn check_stream_latency() {
+/// carried-state bit-identity check. Returns (mean_ns, p99_ns, pqos).
+fn check_stream_latency() -> (f64, u64, f64) {
     let setup = SimSetup {
         scenario: ScenarioConfig::from_notation(LARGE_TIER).expect("static notation"),
         topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
@@ -119,6 +120,7 @@ fn check_stream_latency() {
     let config = ServeConfig {
         max_batch: 16,
         max_staleness: 4,
+        ..Default::default()
     };
     let batch = DynamicsBatch::paper_default();
     let report = run_stream_with_warmup(
@@ -180,6 +182,7 @@ fn check_stream_latency() {
         "streamed pQoS {:.3} collapsed at the production tier",
         last.pqos
     );
+    (mean, p99, last.pqos)
 }
 
 /// The carried matrix stays bit-identical to a fresh build under
@@ -254,5 +257,16 @@ criterion_group!(benches, bench_event_serve);
 fn main() {
     benches();
     check_carried_state_identity();
-    check_stream_latency();
+    let (mean_ns, p99_ns, pqos) = check_stream_latency();
+    let path = dve_bench::write_bench_record(
+        "stream",
+        &[
+            ("tier", format!("\"{LARGE_TIER}\"")),
+            ("epochs", format!("{EPOCHS}")),
+            ("steady_mean_ns", format!("{mean_ns:.0}")),
+            ("steady_p99_ns", format!("{p99_ns}")),
+            ("pqos", format!("{pqos:.6}")),
+        ],
+    );
+    println!("stream: record written to {path}");
 }

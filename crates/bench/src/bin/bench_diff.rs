@@ -17,9 +17,9 @@
 //! solve time over the replications (`exec_ms.min`): noise is additive,
 //! so minima are stable where means flap (see `dve_bench::diff`).
 
-use dve_bench::diff::{compare, entries, parse, BenchEntry};
+use dve_bench::diff::{compare, entries, parse, thread_mismatch, BenchEntry, Json};
 
-fn load(path: &str) -> Vec<BenchEntry> {
+fn load(path: &str) -> (Json, Vec<BenchEntry>) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("bench_diff: cannot read {path}: {e}");
         std::process::exit(2);
@@ -28,10 +28,11 @@ fn load(path: &str) -> Vec<BenchEntry> {
         eprintln!("bench_diff: {path}: {e}");
         std::process::exit(2);
     });
-    entries(&doc).unwrap_or_else(|e| {
+    let list = entries(&doc).unwrap_or_else(|e| {
         eprintln!("bench_diff: {path}: {e}");
         std::process::exit(2);
-    })
+    });
+    (doc, list)
 }
 
 fn usage() -> ! {
@@ -66,8 +67,17 @@ fn main() {
     if paths.len() != 2 {
         usage();
     }
-    let fresh = load(&paths[0]);
-    let baseline = load(&paths[1]);
+    let (fresh_doc, fresh) = load(&paths[0]);
+    let (baseline_doc, baseline) = load(&paths[1]);
+    if let Some((f, b)) = thread_mismatch(&fresh_doc, &baseline_doc) {
+        eprintln!(
+            "bench_diff: refusing to compare: {} was measured on {f} thread(s) but {} on {b} — \
+             widths must match for a like-for-like diff (re-measure, or commit a baseline for \
+             this width)",
+            paths[0], paths[1]
+        );
+        std::process::exit(2);
+    }
 
     let report = compare(&fresh, &baseline, threshold, floor_ms);
     println!(

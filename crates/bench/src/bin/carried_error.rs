@@ -1,0 +1,17 @@
+//! Regenerates the carried-estimate error study: pQoS drift when the
+//! delta path keeps survivors' observed delay estimates across churn
+//! versus re-sampling every estimate each epoch (per-client layouts;
+//! `SharedByNode` is perfect-knowledge by construction).
+//!
+//! ```bash
+//! cargo run --release -p dve-bench --bin carried_error
+//! ```
+
+use dve_sim::experiments::drift;
+
+fn main() {
+    let options = dve_bench::options_from_args();
+    eprintln!("carried_error: {} runs per error factor", options.runs);
+    let result = drift::run(&options);
+    println!("{}", result.render());
+}

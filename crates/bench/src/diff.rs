@@ -334,6 +334,24 @@ pub fn entries(doc: &Json) -> Result<Vec<BenchEntry>, String> {
     Ok(out)
 }
 
+/// The top-level `threads` field of a baseline document, when present
+/// (baselines predating the field have none).
+pub fn doc_threads(doc: &Json) -> Option<u64> {
+    doc.get("threads").and_then(Json::as_num).map(|x| x as u64)
+}
+
+/// Returns `(fresh, baseline)` worker widths when both documents declare
+/// them and they differ. Timings from different widths are not
+/// like-for-like — a 1-thread baseline would hide a multi-core
+/// regression (or flag a phantom one) — so the gate must **refuse** to
+/// diff such documents instead of silently comparing them.
+pub fn thread_mismatch(fresh: &Json, baseline: &Json) -> Option<(u64, u64)> {
+    match (doc_threads(fresh), doc_threads(baseline)) {
+        (Some(f), Some(b)) if f != b => Some((f, b)),
+        _ => None,
+    }
+}
+
 /// One over-threshold slowdown.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
@@ -501,6 +519,22 @@ mod tests {
         assert!(parse("{\"a\" 1}").is_err());
         assert!(parse("12 34").is_err());
         assert!(parse("\"open").is_err());
+    }
+
+    #[test]
+    fn thread_mismatch_refusal_logic() {
+        let one = parse(r#"{"threads": 1, "rows": []}"#).unwrap();
+        let eight = parse(r#"{"threads": 8, "rows": []}"#).unwrap();
+        let unmarked = parse(r#"{"rows": []}"#).unwrap();
+        assert_eq!(doc_threads(&one), Some(1));
+        assert_eq!(doc_threads(&unmarked), None);
+        // Mismatched widths are refused in both directions.
+        assert_eq!(thread_mismatch(&eight, &one), Some((8, 1)));
+        assert_eq!(thread_mismatch(&one, &eight), Some((1, 8)));
+        // Same width, or a legacy unmarked side, still compares.
+        assert_eq!(thread_mismatch(&one, &one), None);
+        assert_eq!(thread_mismatch(&one, &unmarked), None);
+        assert_eq!(thread_mismatch(&unmarked, &eight), None);
     }
 
     #[test]

@@ -58,6 +58,29 @@ pub fn small_instance_for(notation: &str, seed: u64) -> (CapInstance, StdRng) {
     (rep.instance, rep.rng)
 }
 
+/// Writes a flat machine-readable bench record to
+/// `BENCH_<name>.json` at the workspace root (next to
+/// `BENCH_table1.json`), stamping the worker width and peak RSS so
+/// future baselines are compared like for like (`bench_diff` refuses
+/// mismatched `threads`). `fields` are appended verbatim as JSON
+/// members — pass numbers pre-formatted. Returns the path written.
+pub fn write_bench_record(name: &str, fields: &[(&str, String)]) -> String {
+    let path = format!("{}/../../BENCH_{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"experiment\": \"{name}\",\n"));
+    json.push_str(&format!("  \"threads\": {},\n", dve_par::default_threads()));
+    json.push_str(&format!(
+        "  \"peak_rss_bytes\": {}",
+        dve_sim::peak_rss_bytes().unwrap_or(0)
+    ));
+    for (key, value) in fields {
+        json.push_str(&format!(",\n  \"{key}\": {value}"));
+    }
+    json.push_str("\n}\n");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+    path
+}
+
 /// Parses the shared experiment flags out of `args`, returning the
 /// options and the arguments it did not consume (binary-specific flags
 /// like `table1`'s `--json`).

@@ -52,45 +52,53 @@ pub struct CostMatrix {
 }
 
 impl CostMatrix {
-    /// Builds the matrix in a single parallel O(k·m) pass.
-    ///
-    /// With more than one worker available, zones are counted
-    /// independently on [`dve_par::par_map`]; on a single core the
-    /// build degenerates to one cache-friendly client-major sweep over
-    /// the k×m delay table (no per-zone allocation, rows visited in
-    /// memory order). Either way the result is identical to calling
-    /// [`CapInstance::iap_cost`] for all (server, zone) pairs; the
-    /// orderings add O(n·m log m).
+    /// Builds the matrix in a single parallel O(k·m) pass on
+    /// [`dve_par::default_threads`] workers: see
+    /// [`CostMatrix::build_threads`].
     pub fn build(inst: &CapInstance) -> CostMatrix {
+        Self::build_threads(inst, dve_par::default_threads())
+    }
+
+    /// [`CostMatrix::build`] with an explicit worker count (tests and
+    /// benches pin widths; the default reads `DVE_THREADS`).
+    ///
+    /// The client population is split into contiguous shards on the
+    /// [`dve_par::par_map_reduce_with`] seam: each worker streams its
+    /// clients' delay rows in memory order into a private count
+    /// accumulator, and the accumulators merge element-wise in
+    /// worker-index order. `u32` additions commute exactly, so the
+    /// counts are **bit-identical at any thread count** — equal to
+    /// calling [`CapInstance::iap_cost`] for all (server, zone) pairs —
+    /// and the per-zone orderings/regrets derive from them
+    /// deterministically (each zone independent). The orderings add
+    /// O(n·m log m), sharded across the team too.
+    pub fn build_threads(inst: &CapInstance, threads: usize) -> CostMatrix {
         let m = inst.num_servers();
         let n = inst.num_zones();
         let bound = inst.delay_bound();
+        let k = inst.num_clients();
+        // Shard over client blocks, not single clients: the reduce seam
+        // then hands each worker long contiguous row runs (cache-order
+        // streaming) and the work list stays tiny.
+        let blocks: Vec<std::ops::Range<usize>> = (0..k)
+            .step_by(COUNT_BLOCK)
+            .map(|lo| lo..(lo + COUNT_BLOCK).min(k))
+            .collect();
 
-        let cost: Vec<u32> = if dve_par::default_threads() <= 1 || n <= 1 {
-            // Client-major: stream the delay table once, in row order.
-            let mut cost = vec![0u32; n * m];
-            for c in 0..inst.num_clients() {
-                let z = inst.zone_of(c);
-                let counts = &mut cost[z * m..(z + 1) * m];
-                inst.fold_obs_row(c, |j, delay| counts[j] += u32::from(delay > bound));
-            }
-            cost
-        } else {
-            let zone_indices: Vec<usize> = (0..n).collect();
-            let per_zone: Vec<Vec<u32>> = dve_par::par_map(&zone_indices, |&z| {
-                let mut counts = vec![0u32; m];
-                for &c in inst.clients_in_zone(z) {
+        let cost: Vec<u32> = dve_par::par_map_reduce_with(
+            threads,
+            &blocks,
+            || vec![0u32; n * m],
+            |acc, _, block| {
+                for c in block.clone() {
+                    let z = inst.zone_of(c);
+                    let counts = &mut acc[z * m..(z + 1) * m];
                     inst.fold_obs_row(c, |j, delay| counts[j] += u32::from(delay > bound));
                 }
-                counts
-            });
-            let mut cost = Vec::with_capacity(n * m);
-            for counts in per_zone {
-                cost.extend_from_slice(&counts);
-            }
-            cost
-        };
-        CostMatrix::from_counts(m, n, cost)
+            },
+            merge_counts,
+        );
+        CostMatrix::from_counts_threads(m, n, cost, threads)
     }
 
     /// Assembles a matrix from already-accumulated violator counts
@@ -98,16 +106,32 @@ impl CostMatrix {
     /// [`CapInstance::from_world_with_matrix`](crate::CapInstance::from_world_with_matrix),
     /// which folds each client block's rows into these counts while the
     /// rows are hot. Derives the per-zone orderings and regrets exactly
-    /// as [`CostMatrix::build`] does.
-    pub(crate) fn from_counts(servers: usize, zones: usize, cost: Vec<u32>) -> CostMatrix {
+    /// as [`CostMatrix::build`] does — independent rows, so they are
+    /// derived on disjoint mutable shards of the worker team; result
+    /// identical at any width (each zone's sort reads only its own
+    /// counts).
+    pub(crate) fn from_counts_threads(
+        servers: usize,
+        zones: usize,
+        cost: Vec<u32>,
+        threads: usize,
+    ) -> CostMatrix {
         assert_eq!(cost.len(), zones * servers, "counts must be zone-major");
         let mut order = vec![0u32; zones * servers];
         let mut regret = vec![0.0; zones];
-        for z in 0..zones {
-            regret[z] = order_zone(
-                &cost[z * servers..(z + 1) * servers],
-                &mut order[z * servers..(z + 1) * servers],
-            );
+        if threads <= 1 || zones < PAR_ZONE_MIN || servers == 0 {
+            for z in 0..zones {
+                regret[z] = order_zone(
+                    &cost[z * servers..(z + 1) * servers],
+                    &mut order[z * servers..(z + 1) * servers],
+                );
+            }
+        } else {
+            let mut rows: Vec<(&mut [u32], &mut f64)> =
+                order.chunks_mut(servers).zip(regret.iter_mut()).collect();
+            dve_par::par_for_each_mut_with(threads, &mut rows, |z, (row, rho)| {
+                **rho = order_zone(&cost[z * servers..(z + 1) * servers], row);
+            });
         }
         CostMatrix {
             servers,
@@ -222,14 +246,39 @@ impl CostMatrix {
     /// a fresh [`CostMatrix::build`] of the updated instance. O(zones·m
     /// log m).
     pub fn refresh_zones(&mut self, zones: &[usize]) {
+        self.refresh_zones_threads(zones, dve_par::default_threads());
+    }
+
+    /// [`CostMatrix::refresh_zones`] on an explicit worker team. Zones
+    /// are refreshed independently (each sort reads only its own counts
+    /// and previous order), so workers compute the new orderings against
+    /// the pre-refresh state and a serial pass writes them back in list
+    /// order — bit-identical to the serial loop at any width, duplicate
+    /// zone entries included (a second reorder of a sorted row is the
+    /// identity).
+    pub fn refresh_zones_threads(&mut self, zones: &[usize], threads: usize) {
         let m = self.servers;
-        for &z in zones {
-            // The previous order is a valid permutation and nearly
-            // sorted; re-sorting it beats rebuilding from the identity.
-            self.regret[z] = reorder_zone(
-                &self.cost[z * m..(z + 1) * m],
-                &mut self.order[z * m..(z + 1) * m],
-            );
+        if threads <= 1 || zones.len() < PAR_ZONE_MIN {
+            for &z in zones {
+                // The previous order is a valid permutation and nearly
+                // sorted; re-sorting it beats rebuilding from the identity.
+                self.regret[z] = reorder_zone(
+                    &self.cost[z * m..(z + 1) * m],
+                    &mut self.order[z * m..(z + 1) * m],
+                );
+            }
+            return;
+        }
+        let cost = &self.cost;
+        let order = &self.order;
+        let refreshed: Vec<(Vec<u32>, f64)> = dve_par::par_map_with(threads, zones, |_, &z| {
+            let mut row = order[z * m..(z + 1) * m].to_vec();
+            let rho = reorder_zone(&cost[z * m..(z + 1) * m], &mut row);
+            (row, rho)
+        });
+        for (&z, (row, rho)) in zones.iter().zip(refreshed) {
+            self.order[z * m..(z + 1) * m].copy_from_slice(&row);
+            self.regret[z] = rho;
         }
     }
 
@@ -299,6 +348,26 @@ impl CostMatrix {
             .map(|s| (0..self.zones).map(|z| self.cost(s, z)).collect())
             .collect()
     }
+}
+
+/// Clients per shard of the parallel count fold
+/// ([`CostMatrix::build_threads`]).
+const COUNT_BLOCK: usize = 4096;
+
+/// Minimum zone count before the ordering/refresh paths bother spinning
+/// up the worker team (below it the per-zone sorts are cheaper than the
+/// scope setup).
+const PAR_ZONE_MIN: usize = 64;
+
+/// Element-wise sum of two per-worker count accumulators — the exact
+/// (commutative, associative) merge of the reduce seam: the folded
+/// counts are bit-identical at any thread count.
+pub(crate) fn merge_counts(mut a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+    a
 }
 
 /// Rebuilds one zone's desirability order from scratch and returns its

@@ -359,6 +359,34 @@ impl CapInstance {
         layout: DelayLayout,
         rng: &mut R,
     ) -> CapInstance {
+        Self::from_world_threads(
+            world,
+            delays,
+            provisioning,
+            delay_bound,
+            error,
+            layout,
+            dve_par::default_threads(),
+            rng,
+        )
+    }
+
+    /// [`CapInstance::from_world`] with an explicit worker count (tests
+    /// and benches pin widths; the default reads `DVE_THREADS`). The
+    /// result is bit-identical at any width: the parallel row fill
+    /// preserves the dense build's value and RNG discipline, and the
+    /// cost fold (when a matrix is requested) runs on the exact-count
+    /// reduce seam.
+    pub fn from_world_threads<R: Rng + ?Sized>(
+        world: &World,
+        delays: &WorldDelays,
+        provisioning: f64,
+        delay_bound: f64,
+        error: ErrorModel,
+        layout: DelayLayout,
+        threads: usize,
+        rng: &mut R,
+    ) -> CapInstance {
         Self::from_world_impl(
             world,
             delays,
@@ -366,6 +394,7 @@ impl CapInstance {
             delay_bound,
             error,
             layout,
+            threads,
             rng,
             false,
         )
@@ -387,6 +416,35 @@ impl CapInstance {
         layout: DelayLayout,
         rng: &mut R,
     ) -> (CapInstance, CostMatrix) {
+        Self::from_world_with_matrix_threads(
+            world,
+            delays,
+            provisioning,
+            delay_bound,
+            error,
+            layout,
+            dve_par::default_threads(),
+            rng,
+        )
+    }
+
+    /// [`CapInstance::from_world_with_matrix`] with an explicit worker
+    /// count. With more than one worker the cost fold leaves the block
+    /// loop and runs as its own pass on the
+    /// [`dve_par::par_map_reduce_with`] seam (per-worker `u32` count
+    /// accumulators merged in worker-index order — integer adds commute,
+    /// so the matrix is **bit-identical at any thread count** and to the
+    /// single-core in-block fold).
+    pub fn from_world_with_matrix_threads<R: Rng + ?Sized>(
+        world: &World,
+        delays: &WorldDelays,
+        provisioning: f64,
+        delay_bound: f64,
+        error: ErrorModel,
+        layout: DelayLayout,
+        threads: usize,
+        rng: &mut R,
+    ) -> (CapInstance, CostMatrix) {
         let (inst, matrix) = Self::from_world_impl(
             world,
             delays,
@@ -394,6 +452,7 @@ impl CapInstance {
             delay_bound,
             error,
             layout,
+            threads,
             rng,
             true,
         );
@@ -408,6 +467,7 @@ impl CapInstance {
         delay_bound: f64,
         error: ErrorModel,
         layout: DelayLayout,
+        threads: usize,
         rng: &mut R,
         want_matrix: bool,
     ) -> (CapInstance, Option<CostMatrix>) {
@@ -483,9 +543,8 @@ impl CapInstance {
         // so the bit-identity claim is thread-count-invariant). On one
         // core the fill stays inside the block loop so rows and their
         // cost columns are touched while hot in cache.
-        let par_fill = dve_par::default_threads() > 1
-            && clients > BUILD_BLOCK
-            && !matches!(cs, DelayTable::Shared { .. });
+        let par_fill =
+            threads > 1 && clients > BUILD_BLOCK && !matches!(cs, DelayTable::Shared { .. });
         if par_fill {
             match &mut cs {
                 DelayTable::Dense { obs, tru } => {
@@ -494,7 +553,7 @@ impl CapInstance {
                     // their chunks — no transient per-row allocations.
                     tru.resize(clients * servers, 0.0);
                     let mut row_chunks: Vec<&mut [f64]> = tru.chunks_mut(servers).collect();
-                    dve_par::par_for_each_mut(&mut row_chunks, |i, row| {
+                    dve_par::par_for_each_mut_with(threads, &mut row_chunks, |i, row| {
                         row.copy_from_slice(delays.server_row(world.clients[i].node));
                     });
                     if error.factor == 1.0 {
@@ -506,7 +565,7 @@ impl CapInstance {
                 DelayTable::Compact { obs, tru } => {
                     tru.resize(clients * servers, 0.0);
                     let mut row_chunks: Vec<&mut [f32]> = tru.chunks_mut(servers).collect();
-                    dve_par::par_for_each_mut(&mut row_chunks, |i, row| {
+                    dve_par::par_for_each_mut_with(threads, &mut row_chunks, |i, row| {
                         for (slot, &d) in
                             row.iter_mut().zip(delays.server_row(world.clients[i].node))
                         {
@@ -523,6 +582,44 @@ impl CapInstance {
                 }
                 DelayTable::Shared { .. } => unreachable!("shared rows are never filled"),
             }
+        }
+        // The second half of the blocked build: folding the rows into
+        // their zone's cost column. Once every row is materialised ahead
+        // of the fold — the par-filled per-client layouts and the
+        // substrate-owned shared table — the fold leaves the block loop
+        // and runs on the reduce seam: per-worker `u32` count
+        // accumulators over contiguous client blocks, merged
+        // element-wise in worker-index order. Integer adds commute, so
+        // the counts are bit-identical to the in-block serial fold at
+        // any thread count (property-tested).
+        let par_fold = want_matrix
+            && threads > 1
+            && clients > BUILD_BLOCK
+            && (par_fill || matches!(cs, DelayTable::Shared { .. }));
+        if par_fold {
+            let blocks: Vec<std::ops::Range<usize>> = (0..clients)
+                .step_by(BUILD_BLOCK)
+                .map(|lo| lo..(lo + BUILD_BLOCK).min(clients))
+                .collect();
+            let cs = &cs;
+            let row_of_client = &row_of_client;
+            let zone_of_client = &zone_of_client;
+            cost = Some(dve_par::par_map_reduce_with(
+                threads,
+                &blocks,
+                || vec![0u32; zones * servers],
+                |acc, _, block| {
+                    for c in block.clone() {
+                        let base = row_of_client[c] as usize * servers;
+                        let counts = &mut acc
+                            [zone_of_client[c] * servers..(zone_of_client[c] + 1) * servers];
+                        cs.fold_obs(base, servers, |j, d| {
+                            counts[j] += u32::from(d > delay_bound);
+                        });
+                    }
+                },
+                crate::cost::merge_counts,
+            ));
         }
         let mut block_start = 0usize;
         while block_start < clients {
@@ -550,14 +647,16 @@ impl CapInstance {
                     DelayTable::Shared { .. } => {}
                 }
             }
-            if let Some(cost) = &mut cost {
-                for c in block_start..block_end {
-                    let base = row_of_client[c] as usize * servers;
-                    let counts =
-                        &mut cost[zone_of_client[c] * servers..(zone_of_client[c] + 1) * servers];
-                    cs.fold_obs(base, servers, |j, d| {
-                        counts[j] += u32::from(d > delay_bound);
-                    });
+            if !par_fold {
+                if let Some(cost) = &mut cost {
+                    for c in block_start..block_end {
+                        let base = row_of_client[c] as usize * servers;
+                        let counts = &mut cost
+                            [zone_of_client[c] * servers..(zone_of_client[c] + 1) * servers];
+                        cs.fold_obs(base, servers, |j, d| {
+                            counts[j] += u32::from(d > delay_bound);
+                        });
+                    }
                 }
             }
             block_start = block_end;
@@ -568,7 +667,8 @@ impl CapInstance {
         } else {
             error.observe_matrix(servers, &true_ss, rng)
         };
-        let matrix = cost.map(|counts| CostMatrix::from_counts(servers, zones, counts));
+        let matrix =
+            cost.map(|counts| CostMatrix::from_counts_threads(servers, zones, counts, threads));
         let inst = CapInstance {
             clients,
             servers,

@@ -37,6 +37,14 @@
 //!   build one internally.
 //! * [`CapInstance::build`] materialises the k×m delay table in
 //!   parallel, so instance construction scales with cores too.
+//! * Every hot path past the row fill is **sharded** on the `dve-par`
+//!   execution seam: the cost fold and the ordering/regret derivations
+//!   run as per-worker exact accumulators merged in worker-index order,
+//!   the local-search sweep as parallel zone-shard proposals with a
+//!   serial canonical commit, and the violator scans as concatenated
+//!   shard hit-lists. All of it is **bit-identical to the serial path
+//!   at any thread count** (property-tested across
+//!   `DVE_THREADS ∈ {1, 2, 8}` via the explicit `*_threads` variants).
 //!
 //! The pre-refactor implementations survive in [`reference`] solely for
 //! equivalence tests and the `scale` bench's speedup measurement.
@@ -91,12 +99,13 @@ pub use instance::{
     CapInstance, DelayLayout, StreamDeparture, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING,
 };
 pub use joint::{exact_joint_cap, joint_milp, JointError, JointOutcome};
-pub use local_search::{improve_iap, improve_iap_with, LocalSearchStats};
+pub use local_search::{improve_iap, improve_iap_with, improve_iap_with_threads, LocalSearchStats};
 pub use lp_round::{iap_lower_bound, iap_lp_bound, lp_round_iap};
 pub use metrics::{cdf_at, evaluate, fig4_grid, Metrics};
 pub use rap::{
     exact_rap, exact_rap_with, grec, grec_with, rap_gap, rap_gap_with, rap_total_cost,
-    violating_clients, violating_clients_in, virc, RapError, RelayTable,
+    violating_clients, violating_clients_in, violating_clients_in_threads,
+    violating_clients_threads, virc, RapError, RelayTable,
 };
 pub use two_phase::{
     solve, solve_iap, solve_rap, solve_with, CapAlgorithm, IapMethod, RapMethod, SolveError,

@@ -17,9 +17,36 @@
 //! the final assignment) are bit-identical to evaluating every move with
 //! the naive [`CapInstance::iap_cost`] scan, which the property tests
 //! assert against [`crate::reference::improve_iap_reference`].
+//!
+//! ## The sharded sweep
+//!
+//! With more than one worker the sweep runs **zone-sharded** on the
+//! `dve-par` execution seam, in two phases per move type:
+//!
+//! 1. **Propose** (parallel) — workers scan zone shards and emit, per
+//!    zone, the ascending candidate list of cost-improving moves. The
+//!    *cost* side of a move verdict reads only the matrix and the
+//!    proposing zones' targets, never the server loads, and a zone's
+//!    target cannot change before the zone itself commits — so the
+//!    proposals computed against the phase-start state are exactly the
+//!    candidates the serial scan would consider.
+//! 2. **Commit** (serial) — candidates are applied in the serial scan's
+//!    canonical order, with the load-dependent capacity test evaluated
+//!    live. Swap pairs whose zones were modified by an earlier commit in
+//!    the same phase ("dirty" zones) are re-evaluated on the spot, which
+//!    is O(1) through [`IncrementalEval`].
+//!
+//! The committed decisions are therefore **bit-identical to the serial
+//! sweep at any thread count** — property-tested across
+//! `DVE_THREADS ∈ {1, 2, 8}` — while the O(n·m) shift scan and the
+//! O(n²) swap scan run at full width.
 
 use crate::cost::{CostMatrix, IncrementalEval};
 use crate::instance::CapInstance;
+
+/// Minimum zone count before a sweep bothers spinning up the worker
+/// team (below it scope setup dwarfs the scans).
+const PAR_SWEEP_MIN: usize = 64;
 
 /// Statistics from a [`improve_iap`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,12 +77,32 @@ pub fn improve_iap(
 }
 
 /// [`improve_iap`] on a prebuilt [`CostMatrix`], so pipelines solving
-/// and polishing on the same instance pay for the matrix once.
+/// and polishing on the same instance pay for the matrix once. Runs the
+/// sweep on [`dve_par::default_threads`] workers (see the module docs).
 pub fn improve_iap_with(
     inst: &CapInstance,
     matrix: &CostMatrix,
     target_of_zone: &mut [usize],
     max_sweeps: usize,
+) -> LocalSearchStats {
+    improve_iap_with_threads(
+        inst,
+        matrix,
+        target_of_zone,
+        max_sweeps,
+        dve_par::default_threads(),
+    )
+}
+
+/// [`improve_iap_with`] with an explicit worker count (tests and
+/// benches pin widths; the default reads `DVE_THREADS`). Decisions are
+/// bit-identical at any width.
+pub fn improve_iap_with_threads(
+    inst: &CapInstance,
+    matrix: &CostMatrix,
+    target_of_zone: &mut [usize],
+    max_sweeps: usize,
+    threads: usize,
 ) -> LocalSearchStats {
     let m = inst.num_servers();
     let n = inst.num_zones();
@@ -68,49 +115,14 @@ pub fn improve_iap_with(
         swaps: 0,
         sweeps: 0,
     };
+    let sharded = threads > 1 && n >= PAR_SWEEP_MIN;
     for _ in 0..max_sweeps {
-        let mut improved = false;
         stats.sweeps += 1;
-        // Shift moves: first improvement per zone. `shift_improves` is
-        // the integer-exact form of the naive path's
-        // `new_cost < cur_cost - 1e-12`, and a zone already at zero
-        // violators can never improve, so it is pruned without touching
-        // its m candidates. Candidate selection order (and hence the
-        // final assignment) is unchanged: the capacity test only runs
-        // for servers the naive path would also have accepted.
-        for z in 0..n {
-            if eval.current_count(z) == 0 {
-                continue;
-            }
-            let cur = eval.target()[z];
-            for s in 0..m {
-                if s == cur || !eval.shift_improves(z, s) || !eval.shift_fits(z, s) {
-                    continue;
-                }
-                eval.apply_shift(z, s);
-                stats.shifts += 1;
-                improved = true;
-                break;
-            }
-        }
-        // Swap moves: a pair where both zones sit at zero violators can
-        // never improve, pruning the quadratic scan to pairs that still
-        // have something to gain.
-        for a in 0..n {
-            for b in (a + 1)..n {
-                if eval.target()[a] == eval.target()[b] {
-                    continue;
-                }
-                if eval.current_count(a) == 0 && eval.current_count(b) == 0 {
-                    continue;
-                }
-                if eval.swap_improves(a, b) && eval.swap_fits(a, b) {
-                    eval.apply_swap(a, b);
-                    stats.swaps += 1;
-                    improved = true;
-                }
-            }
-        }
+        let improved = if sharded {
+            sweep_sharded(&mut eval, m, n, threads, &mut stats)
+        } else {
+            sweep_serial(&mut eval, m, n, &mut stats)
+        };
         if !improved {
             break;
         }
@@ -118,6 +130,220 @@ pub fn improve_iap_with(
     stats.final_cost = eval.total_cost();
     target_of_zone.copy_from_slice(eval.target());
     stats
+}
+
+/// One serial first-improvement sweep — the reference semantics every
+/// sharded sweep must reproduce bit for bit.
+fn sweep_serial(
+    eval: &mut IncrementalEval,
+    m: usize,
+    n: usize,
+    stats: &mut LocalSearchStats,
+) -> bool {
+    let mut improved = false;
+    // Shift moves: first improvement per zone. `shift_improves` is
+    // the integer-exact form of the naive path's
+    // `new_cost < cur_cost - 1e-12`, and a zone already at zero
+    // violators can never improve, so it is pruned without touching
+    // its m candidates. Candidate selection order (and hence the
+    // final assignment) is unchanged: the capacity test only runs
+    // for servers the naive path would also have accepted.
+    for z in 0..n {
+        if eval.current_count(z) == 0 {
+            continue;
+        }
+        let cur = eval.target()[z];
+        for s in 0..m {
+            if s == cur || !eval.shift_improves(z, s) || !eval.shift_fits(z, s) {
+                continue;
+            }
+            eval.apply_shift(z, s);
+            stats.shifts += 1;
+            improved = true;
+            break;
+        }
+    }
+    // Swap moves: a pair where both zones sit at zero violators can
+    // never improve, pruning the quadratic scan to pairs that still
+    // have something to gain.
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if swap_pair(eval, a, b, stats) {
+                improved = true;
+            }
+        }
+    }
+    improved
+}
+
+/// The serial swap scan's per-pair step: full verdict under the current
+/// state, applied when improving and fitting. Returns whether a swap
+/// was applied.
+#[inline]
+fn swap_pair(eval: &mut IncrementalEval, a: usize, b: usize, stats: &mut LocalSearchStats) -> bool {
+    if eval.target()[a] == eval.target()[b] {
+        return false;
+    }
+    if eval.current_count(a) == 0 && eval.current_count(b) == 0 {
+        return false;
+    }
+    if eval.swap_improves(a, b) && eval.swap_fits(a, b) {
+        eval.apply_swap(a, b);
+        stats.swaps += 1;
+        return true;
+    }
+    false
+}
+
+/// The zone-sharded sweep: parallel proposal scans, serial canonical
+/// commits. See the module docs for why this is bit-identical to
+/// [`sweep_serial`].
+fn sweep_sharded(
+    eval: &mut IncrementalEval,
+    m: usize,
+    n: usize,
+    threads: usize,
+    stats: &mut LocalSearchStats,
+) -> bool {
+    let mut improved = false;
+    let zones: Vec<usize> = (0..n).collect();
+
+    // --- Shift phase. ---
+    // Propose: per zone, the ascending-server list of cost-improving
+    // candidates. A zone's target cannot change before the zone itself
+    // commits (shifts only touch the committed zone), so the verdicts
+    // computed here are exactly what the serial scan evaluates.
+    let shift_candidates: Vec<Vec<u32>> = {
+        let eval = &*eval;
+        dve_par::par_map_with(threads, &zones, |_, &z| {
+            if eval.current_count(z) == 0 {
+                return Vec::new();
+            }
+            let cur = eval.target()[z];
+            (0..m)
+                .filter(|&s| s != cur && eval.shift_improves(z, s))
+                .map(|s| s as u32)
+                .collect()
+        })
+    };
+    // Commit: first candidate that fits the *live* loads, in zone order
+    // — the deferred capacity test of the serial scan.
+    for (z, candidates) in shift_candidates.iter().enumerate() {
+        for &s in candidates {
+            let s = s as usize;
+            if eval.shift_fits(z, s) {
+                eval.apply_shift(z, s);
+                stats.shifts += 1;
+                improved = true;
+                break;
+            }
+        }
+    }
+
+    // --- Swap phase (on the post-shift state). ---
+    // Propose: for each zone `a`, the ascending partners `b > a` whose
+    // swap is improving under the phase-start targets.
+    let swap_candidates: Vec<Vec<u32>> = {
+        let eval = &*eval;
+        dve_par::par_map_with(threads, &zones, |_, &a| {
+            let count_a = eval.current_count(a);
+            ((a + 1)..n)
+                .filter(|&b| {
+                    eval.target()[a] != eval.target()[b]
+                        && !(count_a == 0 && eval.current_count(b) == 0)
+                        && eval.swap_improves(a, b)
+                })
+                .map(|b| b as u32)
+                .collect()
+        })
+    };
+    // Commit in the serial scan's lexicographic pair order. Zones whose
+    // target changed during this phase are "dirty": their phase-start
+    // verdicts are stale, so every pair touching one is re-evaluated
+    // live (O(1)); pairs of two clean zones reuse the proposal verdict
+    // unchanged (their targets — the only state the cost verdict reads —
+    // are still the phase-start ones).
+    let mut dirty = vec![false; n];
+    let mut dirty_sorted: Vec<usize> = Vec::new();
+    for a in 0..n {
+        if dirty[a] {
+            // The serial scan sees `a`'s new target for the whole row.
+            for b in (a + 1)..n {
+                if swap_pair(eval, a, b, stats) {
+                    improved = true;
+                    mark_dirty(&mut dirty, &mut dirty_sorted, a);
+                    mark_dirty(&mut dirty, &mut dirty_sorted, b);
+                }
+            }
+            continue;
+        }
+        // Fast walk while `a` is clean: merge the proposed clean
+        // partners with the already-dirty partners, ascending. Dirt can
+        // only grow mid-row by applying a swap — which dirties `a` and
+        // drops the row to the serial tail — so the snapshot below
+        // covers the whole walk.
+        let mut pi = 0usize;
+        let mut di = dirty_sorted.partition_point(|&z| z <= a);
+        let dirty_len = dirty_sorted.len();
+        loop {
+            let proposed = swap_candidates[a].get(pi).map(|&b| b as usize);
+            let dirtied = (di < dirty_len).then(|| dirty_sorted[di]);
+            let b = match (proposed, dirtied) {
+                (None, None) => break,
+                (Some(p), None) => {
+                    pi += 1;
+                    p
+                }
+                (None, Some(d)) => {
+                    di += 1;
+                    d
+                }
+                (Some(p), Some(d)) => {
+                    if p < d {
+                        pi += 1;
+                        p
+                    } else {
+                        di += 1;
+                        pi += usize::from(p == d);
+                        d
+                    }
+                }
+            };
+            let applied = if dirty[b] {
+                swap_pair(eval, a, b, stats)
+            } else if eval.swap_fits(a, b) {
+                // Clean pair from the proposal list: improving by the
+                // still-valid phase-start verdict; only fitness is live.
+                eval.apply_swap(a, b);
+                stats.swaps += 1;
+                true
+            } else {
+                false
+            };
+            if applied {
+                improved = true;
+                mark_dirty(&mut dirty, &mut dirty_sorted, a);
+                mark_dirty(&mut dirty, &mut dirty_sorted, b);
+                // `a` is dirty now: finish its row serially.
+                for b in (b + 1)..n {
+                    if swap_pair(eval, a, b, stats) {
+                        mark_dirty(&mut dirty, &mut dirty_sorted, b);
+                    }
+                }
+                break;
+            }
+        }
+    }
+    improved
+}
+
+/// Marks a zone dirty, keeping the sorted dirty list in step.
+fn mark_dirty(dirty: &mut [bool], dirty_sorted: &mut Vec<usize>, z: usize) {
+    if !dirty[z] {
+        dirty[z] = true;
+        let at = dirty_sorted.partition_point(|&x| x < z);
+        dirty_sorted.insert(at, z);
+    }
 }
 
 #[cfg(test)]
@@ -194,5 +420,62 @@ mod tests {
         assert_eq!(t, vec![1, 1, 0]);
         assert_eq!(stats.sweeps, 0);
         assert_eq!(stats.initial_cost, stats.final_cost);
+    }
+
+    /// The sharded sweep commits exactly the serial sweep's decisions:
+    /// same targets, same move counters, same costs — across widths and
+    /// across many random starts on a zone count that actually engages
+    /// the sharded path.
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_serial() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(77);
+        // 6 servers x 96 zones (>= PAR_SWEEP_MIN), tight capacities so
+        // both fitness rejections and swaps actually occur.
+        let m = 6usize;
+        let n = 96usize;
+        let k = 480usize;
+        let zone_of_client: Vec<usize> = (0..k).map(|c| c % n).collect();
+        let cs: Vec<f64> = (0..k * m).map(|_| rng.gen_range(50.0..450.0)).collect();
+        let mut ss = vec![0.0; m * m];
+        for a in 0..m {
+            for b in 0..m {
+                if a != b {
+                    ss[a * m + b] = 40.0;
+                }
+            }
+        }
+        // Mean load per server is 80 kbps; capacities just above it so
+        // fitness rejections, shifts, and swaps all actually occur.
+        let capacity: Vec<f64> = (0..m).map(|s| 88_000.0 + 4_000.0 * s as f64).collect();
+        let inst = CapInstance::from_raw(
+            m,
+            n,
+            zone_of_client,
+            cs,
+            ss,
+            vec![1000.0; k],
+            capacity,
+            250.0,
+        );
+        let matrix = CostMatrix::build(&inst);
+        let mut moves = 0usize;
+        for trial in 0..10 {
+            let start: Vec<usize> = (0..n).map(|_| rng.gen_range(0..m)).collect();
+            let mut serial = start.clone();
+            let serial_stats = improve_iap_with_threads(&inst, &matrix, &mut serial, 30, 1);
+            for threads in [2usize, 8] {
+                let mut sharded = start.clone();
+                let sharded_stats =
+                    improve_iap_with_threads(&inst, &matrix, &mut sharded, 30, threads);
+                assert_eq!(serial, sharded, "trial {trial} threads {threads}");
+                assert_eq!(
+                    serial_stats, sharded_stats,
+                    "trial {trial} threads {threads}"
+                );
+            }
+            moves += serial_stats.shifts + serial_stats.swaps;
+        }
+        assert!(moves > 0, "fixture never exercised a move");
     }
 }

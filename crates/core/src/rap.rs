@@ -30,6 +30,13 @@
 use crate::instance::CapInstance;
 use dve_milp::{BbConfig, GapInstance, GapOutcome, LpError};
 
+/// Clients per shard of the parallel violator scans.
+const SCAN_BLOCK: usize = 4096;
+
+/// Minimum violating-list length before GreC's desirability sort spins
+/// up the worker team.
+const PAR_LE_MIN: usize = 256;
+
 /// Errors from the exact RAP solver (the greedy variants cannot fail: the
 /// contact = target fallback consumes no extra resource).
 #[derive(Debug, Clone, PartialEq)]
@@ -170,7 +177,7 @@ pub fn grec_with(inst: &CapInstance, target_of_zone: &[usize], table: &RelayTabl
 /// (violating-row `k`, server `s`) comes from — the inline eq. 8
 /// evaluation or a [`RelayTable`] row. Both sources produce the same
 /// `f64`s, so the two public entry points are bit-identical.
-fn grec_impl<F: Fn(usize, usize) -> f64>(
+fn grec_impl<F: Fn(usize, usize) -> f64 + Sync>(
     inst: &CapInstance,
     target_of_zone: &[usize],
     le: &[usize],
@@ -183,15 +190,35 @@ fn grec_impl<F: Fn(usize, usize) -> f64>(
         .collect();
     let mut loads = zone_loads(inst, target_of_zone);
 
-    // Desirability lists over all servers for each violating client.
+    // Desirability lists over all servers for each violating client —
+    // read-only rows sorted by a strict total order, so the O(|L_E|·m
+    // log m) bulk of GreC shards across the worker team with the
+    // result identical at any width; only the capacity-aware commit
+    // below is serial.
+    let rows: Vec<usize> = (0..le.len()).collect();
+    let cost = &cost;
     let mut lists: Vec<Vec<(f64, usize)>> = Vec::with_capacity(le.len());
     let mut regret: Vec<(f64, usize)> = Vec::with_capacity(le.len());
-    for k in 0..le.len() {
+    let desirability = |k: usize| {
         let mut mu: Vec<(f64, usize)> = (0..m).map(|s| (-cost(k, s), s)).collect();
         mu.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
         let rho = if m >= 2 { mu[0].0 - mu[1].0 } else { 0.0 };
-        regret.push((rho, k));
-        lists.push(mu);
+        (mu, rho)
+    };
+    if dve_par::default_threads() > 1 && le.len() >= PAR_LE_MIN {
+        for (k, (mu, rho)) in dve_par::par_map(&rows, |&k| desirability(k))
+            .into_iter()
+            .enumerate()
+        {
+            regret.push((rho, k));
+            lists.push(mu);
+        }
+    } else {
+        for k in rows {
+            let (mu, rho) = desirability(k);
+            regret.push((rho, k));
+            lists.push(mu);
+        }
     }
     regret.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
 
@@ -217,14 +244,43 @@ fn grec_impl<F: Fn(usize, usize) -> f64>(
 }
 
 /// Clients whose observed delay to their target exceeds the bound (the
-/// list `L_E` of Fig. 3).
+/// list `L_E` of Fig. 3), scanned on [`dve_par::default_threads`]
+/// workers: see [`violating_clients_threads`].
 pub fn violating_clients(inst: &CapInstance, target_of_zone: &[usize]) -> Vec<usize> {
-    (0..inst.num_clients())
-        .filter(|&c| {
-            let t = target_of_zone[inst.zone_of(c)];
-            inst.obs_cs(c, t) > inst.delay_bound()
-        })
-        .collect()
+    violating_clients_threads(inst, target_of_zone, dve_par::default_threads())
+}
+
+/// [`violating_clients`] with an explicit worker count. The O(k) scan
+/// shards into contiguous client blocks on the reduce seam; per-worker
+/// hit lists concatenate in worker-index order, which *is* ascending
+/// client order — bit-identical to the serial scan at any width.
+pub fn violating_clients_threads(
+    inst: &CapInstance,
+    target_of_zone: &[usize],
+    threads: usize,
+) -> Vec<usize> {
+    let k = inst.num_clients();
+    let blocks: Vec<std::ops::Range<usize>> = (0..k)
+        .step_by(SCAN_BLOCK)
+        .map(|lo| lo..(lo + SCAN_BLOCK).min(k))
+        .collect();
+    dve_par::par_map_reduce_with(
+        threads,
+        &blocks,
+        Vec::new,
+        |acc: &mut Vec<usize>, _, block| {
+            for c in block.clone() {
+                let t = target_of_zone[inst.zone_of(c)];
+                if inst.obs_cs(c, t) > inst.delay_bound() {
+                    acc.push(c);
+                }
+            }
+        },
+        |mut a, b| {
+            a.extend(b);
+            a
+        },
+    )
 }
 
 /// [`violating_clients`] restricted to the members of `zones` — the
@@ -239,16 +295,39 @@ pub fn violating_clients_in(
     target_of_zone: &[usize],
     zones: &[usize],
 ) -> Vec<usize> {
-    let mut out: Vec<usize> = zones
-        .iter()
-        .flat_map(|&z| {
+    violating_clients_in_threads(inst, target_of_zone, zones, dve_par::default_threads())
+}
+
+/// [`violating_clients_in`] with an explicit worker count — the sharded
+/// form of the incremental repair's touched-zone rescan. Zones shard
+/// across the team (each worker scans whole zones, read-only), the
+/// per-worker hit lists concatenate in worker-index order, and the
+/// final sort + dedup normalises exactly as the serial path does —
+/// bit-identical output at any width.
+pub fn violating_clients_in_threads(
+    inst: &CapInstance,
+    target_of_zone: &[usize],
+    zones: &[usize],
+    threads: usize,
+) -> Vec<usize> {
+    let mut out: Vec<usize> = dve_par::par_map_reduce_with(
+        threads,
+        zones,
+        Vec::new,
+        |acc: &mut Vec<usize>, _, &z| {
             let t = target_of_zone[z];
-            inst.clients_in_zone(z)
-                .iter()
-                .copied()
-                .filter(move |&c| inst.obs_cs(c, t) > inst.delay_bound())
-        })
-        .collect();
+            acc.extend(
+                inst.clients_in_zone(z)
+                    .iter()
+                    .copied()
+                    .filter(|&c| inst.obs_cs(c, t) > inst.delay_bound()),
+            );
+        },
+        |mut a, b| {
+            a.extend(b);
+            a
+        },
+    );
     out.sort_unstable();
     out.dedup();
     out

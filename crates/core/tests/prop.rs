@@ -470,3 +470,165 @@ proptest! {
         prop_assert_eq!(&grec(&inst, &targets), &naive);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Thread-count invariance of the sharded count fold: the matrix
+    /// built on 1, 2, and 8 workers is bit-identical (per-worker `u32`
+    /// accumulators merged in worker-index order commute exactly).
+    #[test]
+    fn cost_matrix_build_is_thread_count_invariant(
+        seed in any::<u64>(),
+        servers in 2usize..6,
+        zones in 1usize..80,
+        clients in 0usize..400,
+    ) {
+        let inst = random_instance(seed, servers, zones, clients, 2.0);
+        let serial = CostMatrix::build_threads(&inst, 1);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(
+                &CostMatrix::build_threads(&inst, threads),
+                &serial,
+                "threads={}", threads
+            );
+        }
+    }
+
+    /// Thread-count invariance of the sharded `refresh_zones`: after a
+    /// run of per-client retirements leaves orderings stale, refreshing
+    /// on any width reaches the same matrix bit for bit (duplicate zone
+    /// entries included).
+    #[test]
+    fn refresh_zones_is_thread_count_invariant(
+        seed in any::<u64>(),
+        servers in 2usize..6,
+        zones in 64usize..90,
+        clients in 200usize..400,
+        retire in 1usize..40,
+    ) {
+        let inst = random_instance(seed, servers, zones, clients, 2.0);
+        let stale = {
+            let mut matrix = CostMatrix::build(&inst);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            // Retire a distinct random subset (a client can leave once).
+            let mut pool: Vec<usize> = (0..inst.num_clients()).collect();
+            for _ in 0..retire.min(inst.num_clients()) {
+                let c = pool.swap_remove(rng.gen_range(0..pool.len()));
+                matrix.retire_client(&inst, c, inst.zone_of(c));
+            }
+            matrix
+        };
+        let mut touched: Vec<usize> = (0..zones).collect();
+        touched.extend(0..zones / 2); // duplicates must be harmless
+        let mut serial = stale.clone();
+        serial.refresh_zones_threads(&touched, 1);
+        for threads in [2usize, 8] {
+            let mut sharded = stale.clone();
+            sharded.refresh_zones_threads(&touched, threads);
+            prop_assert_eq!(&sharded, &serial, "threads={}", threads);
+        }
+    }
+
+    /// Thread-count invariance of the sharded violator scans (full and
+    /// zone-scoped — the incremental repair's rescan path).
+    #[test]
+    fn violator_scans_are_thread_count_invariant(
+        seed in any::<u64>(),
+        servers in 2usize..6,
+        zones in 1usize..80,
+        clients in 0usize..400,
+    ) {
+        let inst = random_instance(seed, servers, zones, clients, 2.0);
+        let targets = grez(&inst, StuckPolicy::BestEffort).unwrap();
+        let full = violating_clients_threads(&inst, &targets, 1);
+        let scoped_zones: Vec<usize> = (0..zones).filter(|z| z % 3 != 1).collect();
+        let scoped = violating_clients_in_threads(&inst, &targets, &scoped_zones, 1);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(
+                &violating_clients_threads(&inst, &targets, threads),
+                &full, "threads={}", threads
+            );
+            prop_assert_eq!(
+                &violating_clients_in_threads(&inst, &targets, &scoped_zones, threads),
+                &scoped, "threads={}", threads
+            );
+        }
+    }
+
+    /// Thread-count invariance of the sharded local-search sweep on
+    /// zone counts that engage the propose/commit machinery.
+    #[test]
+    fn sharded_sweep_is_thread_count_invariant(
+        seed in any::<u64>(),
+        servers in 3usize..6,
+        zones in 64usize..100,
+        clients in 200usize..400,
+    ) {
+        let inst = random_instance(seed, servers, zones, clients, 1.3);
+        let matrix = CostMatrix::build(&inst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1005);
+        let start: Vec<usize> = (0..zones).map(|_| rng.gen_range(0..servers)).collect();
+        let mut serial = start.clone();
+        let serial_stats = improve_iap_with_threads(&inst, &matrix, &mut serial, 25, 1);
+        for threads in [2usize, 8] {
+            let mut sharded = start.clone();
+            let sharded_stats =
+                improve_iap_with_threads(&inst, &matrix, &mut sharded, 25, threads);
+            prop_assert_eq!(&sharded, &serial, "threads={}", threads);
+            prop_assert_eq!(sharded_stats, serial_stats, "threads={}", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Thread-count invariance of the blocked one-pass builder at a
+    /// population that engages the parallel row fill *and* the parallel
+    /// cost fold (> one build block): instance accessors and the folded
+    /// matrix are bit-identical on 1, 2, and 8 workers, for the dense
+    /// and the shared layouts.
+    #[test]
+    fn blocked_build_fold_is_thread_count_invariant(
+        seed in any::<u64>(),
+        extra in 0usize..1500,
+    ) {
+        use dve_topology::{flat_waxman, DelayMatrix, WaxmanParams};
+        use dve_world::{ErrorModel, ScenarioConfig, World, WorldDelays};
+
+        let clients = 4200 + extra; // > BUILD_BLOCK so the fold shards
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = flat_waxman(35, 2, 100.0, WaxmanParams::default(), &mut rng);
+        let delays = DelayMatrix::from_graph(&topo.graph, 500.0).unwrap();
+        let notation = format!("3s-12z-{clients}c-200cp");
+        let config = ScenarioConfig::from_notation(&notation).unwrap();
+        let world = World::generate(&config, 35, &topo.as_of_node, &mut rng).unwrap();
+        let handle = WorldDelays::from_matrix(delays, &world);
+
+        for (layout, error) in [
+            (DelayLayout::Dense64, ErrorModel::new(1.2)),
+            (DelayLayout::Dense64, ErrorModel::PERFECT),
+            (DelayLayout::SharedByNode, ErrorModel::PERFECT),
+        ] {
+            let mut rng_a = rng.clone();
+            let (base_inst, base_matrix) = CapInstance::from_world_with_matrix_threads(
+                &world, &handle, 0.5, 250.0, error, layout, 1, &mut rng_a,
+            );
+            for threads in [2usize, 8] {
+                let mut rng_b = rng.clone();
+                let (inst, matrix) = CapInstance::from_world_with_matrix_threads(
+                    &world, &handle, 0.5, 250.0, error, layout, threads, &mut rng_b,
+                );
+                prop_assert_eq!(&matrix, &base_matrix, "threads={}", threads);
+                prop_assert_eq!(inst.num_clients(), base_inst.num_clients());
+                for c in (0..inst.num_clients()).step_by(97) {
+                    for s in 0..inst.num_servers() {
+                        prop_assert_eq!(inst.obs_cs(c, s), base_inst.obs_cs(c, s));
+                        prop_assert_eq!(inst.true_cs(c, s), base_inst.true_cs(c, s));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -9,6 +9,10 @@
 //! * [`par_map`] / [`par_map_with`] — map a function over a slice on a
 //!   scoped worker team, returning results **in input order** regardless of
 //!   completion order (deterministic output for deterministic `f`).
+//! * [`par_map_reduce`] / [`par_map_reduce_with`] — the deterministic
+//!   reduce seam: contiguous chunks folded into per-worker accumulators,
+//!   merged in worker-index order (bit-identical at any width for exact
+//!   accumulations — the seam every sharded compute layer rides).
 //! * [`par_for_each_mut`] — in-place parallel mutation of disjoint elements.
 //! * [`ThreadPool`] — a small persistent pool for `'static` jobs, used by
 //!   long-running sweeps that want to amortise thread spawning.
@@ -119,6 +123,89 @@ where
         .collect()
 }
 
+/// Maps-and-reduces `items` on [`default_threads`] workers through the
+/// deterministic reduce seam: see [`par_map_reduce_with`].
+pub fn par_map_reduce<T, A, I, F, M>(items: &[T], init: I, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, &T) + Sync,
+    M: Fn(A, A) -> A,
+{
+    par_map_reduce_with(default_threads(), items, init, fold, merge)
+}
+
+/// The deterministic reduce seam of the sharded execution engine: folds
+/// `items` into per-worker accumulators and merges them **in
+/// worker-index order**.
+///
+/// `items` is split into `threads` *contiguous* chunks (worker `w` owns
+/// indices `[w·⌈n/threads⌉, (w+1)·⌈n/threads⌉)`); each worker starts
+/// from `init()` and applies `fold(acc, index, item)` over its chunk in
+/// ascending index order; the accumulators are then combined
+/// left-to-right with `merge`, worker 0 first. The whole schedule is a
+/// pure function of `(threads, items.len())` — no work stealing — so a
+/// run is bit-reproducible at a fixed width, and when `fold`/`merge`
+/// form an **exactly associative** accumulation (integer counters,
+/// `u32`/`u64` sums, list concatenation keyed by index) the result is
+/// bit-identical at *any* thread count, which is what the
+/// thread-invariance property tests of the compute layers assert.
+/// Floating-point sums are only reproducible per width, not across
+/// widths — keep those out of this seam or make them exact.
+pub fn par_map_reduce_with<T, A, I, F, M>(
+    threads: usize,
+    items: &[T],
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, &T) + Sync,
+    M: Fn(A, A) -> A,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n == 0 {
+        let mut acc = init();
+        for (i, t) in items.iter().enumerate() {
+            fold(&mut acc, i, t);
+        }
+        return acc;
+    }
+
+    let per = n.div_ceil(threads);
+    let init = &init;
+    let fold = &fold;
+    let accs: Vec<A> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let lo = w * per;
+                    let hi = ((w + 1) * per).min(n);
+                    let mut acc = init();
+                    for i in lo..hi {
+                        fold(&mut acc, i, &items[i]);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dve-par worker panicked"))
+            .collect()
+    })
+    .expect("dve-par scope panicked");
+
+    let mut accs = accs.into_iter();
+    let first = accs.next().expect("at least one worker");
+    accs.fold(first, merge)
+}
+
 /// Applies `f` to every element of `items` in parallel, mutating in place.
 ///
 /// Each element is visited exactly once; elements are disjoint so no
@@ -128,7 +215,17 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
-    let threads = default_threads().clamp(1, items.len().max(1));
+    par_for_each_mut_with(default_threads(), items, f)
+}
+
+/// [`par_for_each_mut`] with an explicit worker count (tests and benches
+/// pin widths; the default reads `DVE_THREADS`).
+pub fn par_for_each_mut_with<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         for (i, t) in items.iter_mut().enumerate() {
             f(i, t);
@@ -223,6 +320,69 @@ mod tests {
         par_map_with(8, &input, |_, &i| {
             counters[i].fetch_add(1, Ordering::Relaxed);
         });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_matches_serial_fold_at_any_width() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let serial: u64 = items.iter().map(|&x| x * 3 + 1).sum();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let total = par_map_reduce_with(
+                threads,
+                &items,
+                || 0u64,
+                |acc, _, &x| *acc += x * 3 + 1,
+                |a, b| a + b,
+            );
+            assert_eq!(total, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_merges_in_worker_index_order() {
+        // Concatenation is order-sensitive: worker-index merging must
+        // reproduce the input order exactly, at every width.
+        let items: Vec<u32> = (0..257).collect();
+        for threads in [1usize, 2, 5, 16] {
+            let out = par_map_reduce_with(
+                threads,
+                &items,
+                Vec::new,
+                |acc: &mut Vec<u32>, i, &x| acc.push(x + i as u32),
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            );
+            let expected: Vec<u32> = items.iter().map(|&x| 2 * x).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_empty_and_single() {
+        let out: u32 = par_map_reduce(&[] as &[u32], || 7, |acc, _, &x| *acc += x, |a, b| a + b);
+        assert_eq!(out, 7, "empty input returns init()");
+        let out = par_map_reduce_with(8, &[5u32], || 0, |acc, _, &x| *acc += x, |a, b| a + b);
+        assert_eq!(out, 5);
+    }
+
+    #[test]
+    fn par_map_reduce_visits_each_item_exactly_once() {
+        let counters: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        let input: Vec<usize> = (0..1000).collect();
+        par_map_reduce_with(
+            8,
+            &input,
+            || (),
+            |_, _, &i| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            },
+            |_, _| (),
+        );
         for (i, c) in counters.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
         }

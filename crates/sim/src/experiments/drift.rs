@@ -1,0 +1,237 @@
+//! Carried-estimate error study (extension, à la Table 4): how much
+//! pQoS drifts when the delta path **keeps survivors' observed delay
+//! estimates** across churn instead of re-sampling them.
+//!
+//! Under imperfect delay knowledge the churn engine's
+//! [`CapInstance::apply_delta`] deliberately carries each survivor's
+//! existing estimates — a monitoring system's measurements persist; a
+//! join elsewhere changes nothing about what this client observed —
+//! while a fresh per-epoch [`CapInstance::from_world`] build re-samples
+//! every estimate from the error model. This study runs both policies
+//! over the same world trajectory and quantifies the gap:
+//!
+//! * **carried** — the production delta path: instance and
+//!   [`CostMatrix`] carried across every [`WorldDelta`], survivors keep
+//!   their estimates, only joiners sample fresh ones;
+//! * **fresh** — a full rebuild per epoch: every client's estimates
+//!   re-drawn, matrix rebuilt from all k clients.
+//!
+//! Both repair their own carried assignment with the same incremental
+//! [`repair_assignment_with`] pass and are judged on **true** delays.
+//! With the perfect model (`e = 1.0`) the two paths are bit-identical
+//! (the carry property the churn engine is built on), so that row pins
+//! the harness at exactly zero drift.
+//!
+//! Scope: per-client layouts only. [`DelayLayout::SharedByNode`]
+//! (`dve_assign::DelayLayout`) is **perfect-knowledge by construction**
+//! — clients read their node's true gather row, there are no per-client
+//! estimates to carry or re-sample — so the question this study asks
+//! does not exist for it.
+
+use crate::dynamics::{carry_assignment, CarryPolicy};
+use crate::experiments::ExpOptions;
+use crate::repair::repair_assignment_with;
+use crate::setup::{build_replication, SimSetup};
+use crate::stats::Summary;
+use dve_assign::{
+    evaluate, grec, grez_with, Assignment, CapInstance, CostMatrix, DelayLayout, StuckPolicy,
+};
+use dve_world::{apply_dynamics, DynamicsBatch, ErrorModel, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One error factor's aggregated outcome.
+#[derive(Debug, Clone)]
+pub struct DriftFactorStats {
+    /// The estimation error factor `e` (1.0 = perfect control row).
+    pub factor: f64,
+    /// Executed pQoS per (run, epoch), carried-estimate path.
+    pub pqos_carried: Summary,
+    /// Executed pQoS per (run, epoch), fresh re-sampling path.
+    pub pqos_fresh: Summary,
+    /// Per-(run, epoch) paired difference `carried − fresh` — the
+    /// drift the carried estimates cost (negative) or save (positive).
+    pub drift: Summary,
+}
+
+/// Full study result.
+#[derive(Debug, Clone)]
+pub struct DriftStudy {
+    /// One row per error factor.
+    pub factors: Vec<DriftFactorStats>,
+    /// Churn epochs per replication.
+    pub epochs: usize,
+}
+
+/// Churn epochs each replication is carried across.
+const EPOCHS: usize = 6;
+
+/// Runs the study on the paper's default scenario with the Table 3
+/// batch mix, for `e ∈ {1.0, 1.2, 2.0}` (perfect control, King, IDMaps).
+pub fn run(options: &ExpOptions) -> DriftStudy {
+    let factors = [1.0, 1.2, 2.0];
+    let batch = DynamicsBatch::paper_default();
+    let rows = factors
+        .iter()
+        .map(|&factor| {
+            let setup = SimSetup {
+                scenario: ScenarioConfig::default(),
+                error_factor: factor,
+                runs: options.runs,
+                base_seed: options.base_seed,
+                ..Default::default()
+            };
+            let indices: Vec<usize> = (0..options.runs).collect();
+            let per_run: Vec<Vec<(f64, f64)>> =
+                dve_par::par_map(&indices, |&i| run_one(&setup, i, &batch));
+            let carried: Vec<f64> = per_run.iter().flatten().map(|&(c, _)| c).collect();
+            let fresh: Vec<f64> = per_run.iter().flatten().map(|&(_, f)| f).collect();
+            let drift: Vec<f64> = per_run.iter().flatten().map(|&(c, f)| c - f).collect();
+            DriftFactorStats {
+                factor,
+                pqos_carried: Summary::of(&carried),
+                pqos_fresh: Summary::of(&fresh),
+                drift: Summary::of(&drift),
+            }
+        })
+        .collect();
+    DriftStudy {
+        factors: rows,
+        epochs: EPOCHS,
+    }
+}
+
+/// One replication: both policies over the same world trajectory,
+/// returning per-epoch `(pqos_carried, pqos_fresh)` pairs.
+fn run_one(setup: &SimSetup, index: usize, batch: &DynamicsBatch) -> Vec<(f64, f64)> {
+    let mut rep = build_replication(setup, index);
+    let error = ErrorModel::new(setup.error_factor);
+    // Separate estimate-sampling streams per path, so the shared
+    // dynamics draw (rep.rng) is identical for both trajectories.
+    let mut rng_carried = StdRng::seed_from_u64(setup.base_seed.wrapping_add(index as u64) ^ 0xca);
+    let mut rng_fresh = StdRng::seed_from_u64(setup.base_seed.wrapping_add(index as u64) ^ 0xf0);
+
+    let mut matrix = CostMatrix::build(&rep.instance);
+    let targets = grez_with(&rep.instance, &matrix, StuckPolicy::BestEffort)
+        .unwrap_or_else(|e| panic!("initial GreZ failed on run {index}: {e}"));
+    let mut carried_assign = Assignment {
+        contact_of_client: grec(&rep.instance, &targets),
+        target_of_zone: targets,
+    };
+    let mut fresh_assign = carried_assign.clone();
+    let mut world = rep.world;
+    let mut inst = rep.instance;
+
+    let mut records = Vec::with_capacity(EPOCHS);
+    for _ in 0..EPOCHS {
+        let old_zone_of: Vec<usize> = world.clients.iter().map(|c| c.zone).collect();
+        let outcome = apply_dynamics(&world, batch, rep.topology.node_count(), &mut rep.rng);
+
+        // Carried path: survivors keep their observed estimates.
+        matrix.retire_departures(&inst, &outcome.delta);
+        let new_inst = inst.apply_delta(&outcome, &rep.delays, error, &mut rng_carried);
+        matrix.admit_arrivals(&new_inst, &outcome.delta);
+        let carried_t = carry_assignment(
+            &carried_assign,
+            &outcome.carried_from,
+            &old_zone_of,
+            &new_inst,
+            CarryPolicy::KeepContact,
+        );
+        let repaired = repair_assignment_with(&new_inst, &matrix, &carried_t.target_of_zone);
+        let pqos_carried = evaluate(&new_inst, &repaired.assignment).pqos;
+        carried_assign = repaired.assignment;
+
+        // Fresh path: every estimate re-sampled, matrix rebuilt.
+        let fresh_inst = CapInstance::from_world(
+            &outcome.world,
+            &rep.delays,
+            setup.provisioning,
+            setup.delay_bound_ms,
+            error,
+            DelayLayout::Dense64,
+            &mut rng_fresh,
+        );
+        let fresh_matrix = CostMatrix::build(&fresh_inst);
+        let fresh_t = carry_assignment(
+            &fresh_assign,
+            &outcome.carried_from,
+            &old_zone_of,
+            &fresh_inst,
+            CarryPolicy::KeepContact,
+        );
+        let fresh_repaired =
+            repair_assignment_with(&fresh_inst, &fresh_matrix, &fresh_t.target_of_zone);
+        let pqos_fresh = evaluate(&fresh_inst, &fresh_repaired.assignment).pqos;
+        fresh_assign = fresh_repaired.assignment;
+
+        records.push((pqos_carried, pqos_fresh));
+        world = outcome.world;
+        inst = new_inst;
+    }
+    records
+}
+
+impl DriftStudy {
+    /// Renders the study table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Carried-estimate error study ({} epochs of Table 3 churn; \
+             executed pQoS, per-client layouts —\n\
+             SharedByNode is perfect-knowledge by construction and out of scope)\n",
+            self.epochs
+        ));
+        out.push_str(&format!(
+            "{:<8}{:>16}{:>16}{:>22}\n",
+            "e", "carried", "fresh", "drift (carried-fresh)"
+        ));
+        for row in &self.factors {
+            out.push_str(&format!(
+                "{:<8}{:>16.4}{:>16.4}{:>15.4} ± {:.4}\n",
+                row.factor,
+                row.pqos_carried.mean,
+                row.pqos_fresh.mean,
+                row.drift.mean,
+                row.drift.ci95
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_knowledge_row_has_exactly_zero_drift() {
+        let study = run(&ExpOptions {
+            runs: 1,
+            ..ExpOptions::quick()
+        });
+        assert_eq!(study.factors.len(), 3);
+        let control = &study.factors[0];
+        assert_eq!(control.factor, 1.0);
+        // Under the perfect model the carried instance is bit-identical
+        // to the fresh build, so the two trajectories coincide exactly.
+        assert_eq!(control.drift.mean, 0.0);
+        assert_eq!(control.drift.min, 0.0);
+        assert_eq!(control.drift.max, 0.0);
+        for row in &study.factors {
+            assert!(
+                (0.0..=1.0).contains(&row.pqos_carried.mean),
+                "e={}",
+                row.factor
+            );
+            assert!(
+                (0.0..=1.0).contains(&row.pqos_fresh.mean),
+                "e={}",
+                row.factor
+            );
+        }
+        let rendered = study.render();
+        assert!(rendered.contains("drift"));
+        assert!(rendered.contains("SharedByNode"));
+    }
+}

@@ -11,11 +11,13 @@
 //! | Table 3 | [`table3`] | pQoS before/after/re-executed under dynamics |
 //! | Table 4 | [`table4`] | pQoS (R) under delay estimation error |
 //! | (extra) | [`ablation`] | regret vs naive ordering, local search, annealing |
+//! | (extra) | [`drift`] | carried vs re-sampled delay estimates under churn |
 //! | (extra) | [`repair_study`] | incremental repair vs full re-execution under churn |
 //! | (extra) | [`topologies`] | algorithm ranking across topology families |
 //! | (extra) | [`scaling`] | solve time vs DVE size (the "timely decisions" claim) |
 
 pub mod ablation;
+pub mod drift;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

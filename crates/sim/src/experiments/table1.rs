@@ -2,12 +2,18 @@
 //! heuristics plus the exact (lp_solve-role) solver on the two small
 //! configurations, with execution times.
 
+use crate::experiments::scaling::LARGE_TIER;
 use crate::experiments::{pqos_r_cell, ExpOptions};
 use crate::runner::{run_experiment, AlgoStats};
-use crate::setup::SimSetup;
-use dve_assign::{CapAlgorithm, StuckPolicy};
+use crate::setup::{build_replication, SimSetup};
+use crate::stats::Summary;
+use dve_assign::{
+    evaluate, grec, grez_with, improve_iap_with_threads, Assignment, CapAlgorithm, CostMatrix,
+    StuckPolicy,
+};
 use dve_world::ScenarioConfig;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// One Table 1 row: a configuration and per-algorithm statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -25,6 +31,71 @@ pub struct Table1Row {
 pub struct Table1 {
     /// One row per configuration.
     pub rows: Vec<Table1Row>,
+    /// Beyond-paper tiers appended with `--large`
+    /// ([`ExpOptions::large_scale`]): currently the [`LARGE_TIER`]
+    /// production configuration measured through the full engine
+    /// pipeline (GreZ-LS-GreC). Emitted into the same JSON `rows` array
+    /// as the paper rows, so the bench-diff gate covers them — and the
+    /// committed single-thread entry is the baseline the multi-core
+    /// `mc` bench measures its speedup against.
+    pub extended: Vec<Table1Row>,
+}
+
+/// The engine-pipeline display name of the extended tier's algorithm:
+/// matrix build + GreZ + 2-sweep local search + GreC — the solve the
+/// million/mc benches run, timed end to end over the shared matrix.
+pub const GREZ_LS_GREC: &str = "GreZ-LS-GreC";
+
+/// Measures [`GREZ_LS_GREC`] on the [`LARGE_TIER`]: per run, one
+/// replication build (untimed) and one timed solve of
+/// `CostMatrix::build_threads(…, 1)` + `grez_with` +
+/// `improve_iap_with_threads(…, 1)` + `grec`. Runs execute **serially
+/// at width 1** — this is the 1-thread baseline the multi-core `mc`
+/// bench gates against, so the timings must be contention-free and
+/// single-threaded regardless of the caller's `DVE_THREADS` (GreC's
+/// internal scans are the one residual width-default; the bench-diff
+/// job pins `DVE_THREADS=1` when regenerating the committed file).
+/// Delays are not pooled (50 000 per run would dominate the JSON for
+/// no gated signal).
+fn grez_ls_grec_stats(options: &ExpOptions) -> AlgoStats {
+    let setup = SimSetup {
+        scenario: ScenarioConfig::from_notation(LARGE_TIER).expect("static notation"),
+        runs: options.runs,
+        base_seed: options.base_seed,
+        ..Default::default()
+    };
+    let samples: Vec<(f64, f64, f64, bool)> = (0..options.runs)
+        .map(|i| {
+            let rep = build_replication(&setup, i);
+            let t0 = Instant::now();
+            let matrix = CostMatrix::build_threads(&rep.instance, 1);
+            let mut targets = grez_with(&rep.instance, &matrix, StuckPolicy::BestEffort)
+                .unwrap_or_else(|e| panic!("GreZ failed on run {i}: {e}"));
+            improve_iap_with_threads(&rep.instance, &matrix, &mut targets, 2, 1);
+            let contact_of_client = grec(&rep.instance, &targets);
+            let exec_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let assignment = Assignment {
+                target_of_zone: targets,
+                contact_of_client,
+            };
+            let metrics = evaluate(&rep.instance, &assignment);
+            (
+                exec_ms,
+                metrics.pqos,
+                metrics.utilization,
+                assignment.is_feasible(&rep.instance),
+            )
+        })
+        .collect();
+    AlgoStats {
+        algorithm: GREZ_LS_GREC.to_string(),
+        pqos: Summary::of(&samples.iter().map(|s| s.1).collect::<Vec<_>>()),
+        utilization: Summary::of(&samples.iter().map(|s| s.2).collect::<Vec<_>>()),
+        exec_ms: Summary::of(&samples.iter().map(|s| s.0).collect::<Vec<_>>()),
+        pooled_delays: Vec::new(),
+        feasible_runs: samples.iter().filter(|s| s.3).count(),
+        runs: samples.len(),
+    }
 }
 
 /// Runs the Table 1 experiment.
@@ -65,7 +136,16 @@ pub fn run(options: &ExpOptions, exact_configs: usize) -> Table1 {
             }
         })
         .collect();
-    Table1 { rows }
+    let extended = if options.large_scale {
+        vec![Table1Row {
+            config: LARGE_TIER.to_string(),
+            heuristics: vec![grez_ls_grec_stats(options)],
+            exact: None,
+        }]
+    } else {
+        Vec::new()
+    };
+    Table1 { rows, extended }
 }
 
 fn summary_json(s: &crate::stats::Summary) -> String {
@@ -120,7 +200,10 @@ impl Table1 {
             crate::stats::peak_rss_bytes().unwrap_or(0)
         ));
         out.push_str("  \"rows\": [\n");
-        for (i, row) in self.rows.iter().enumerate() {
+        // Extended (beyond-paper) tiers land in the same rows array so
+        // the bench-diff gate treats them like any other pair.
+        let rows: Vec<&Table1Row> = self.rows.iter().chain(self.extended.iter()).collect();
+        for (i, row) in rows.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"config\": \"{}\", \"algorithms\": [\n",
                 row.config
@@ -135,7 +218,7 @@ impl Table1 {
             }
             out.push_str(&algos.join(",\n"));
             out.push_str("\n    ]}");
-            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ]\n}\n");
         out
@@ -177,6 +260,21 @@ impl Table1 {
                 None => out.push_str(&format!("{:>14}", "-")),
             }
             out.push('\n');
+        }
+        if !self.extended.is_empty() {
+            out.push_str("\nExtended tiers (beyond paper):\n");
+            for row in &self.extended {
+                for algo in &row.heuristics {
+                    out.push_str(&format!(
+                        "{:<26}{:<14} pQoS {:.3}  exec {:.1} ms (min {:.1})\n",
+                        row.config,
+                        algo.algorithm,
+                        algo.pqos.mean,
+                        algo.exec_ms.mean,
+                        algo.exec_ms.min
+                    ));
+                }
+            }
         }
         out
     }

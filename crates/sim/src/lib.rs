@@ -46,9 +46,9 @@ pub use runner::{
     aggregate, run_churn, run_experiment, run_replication, AlgoStats, ChurnEpochRecord, RunRecord,
 };
 pub use serve::{
-    run_mobility_stream, run_stream, run_stream_batch_compat, run_stream_with_warmup, ClientId,
-    FlushReport, ServeConfig, ServeEngine, ServeError, ServeStats, StreamEpochRecord, StreamEvent,
-    StreamReport,
+    run_mobility_stream, run_mobility_stream_with, run_stream, run_stream_batch_compat,
+    run_stream_with_warmup, ClientId, FlushReport, QualityEstimator, ServeConfig, ServeEngine,
+    ServeError, ServeStats, StreamEpochRecord, StreamEvent, StreamReport,
 };
 pub use setup::{build_replication, DelayMode, Replication, SimSetup, TopologySpec};
 pub use stats::{peak_rss_bytes, Accumulator, LatencyHistogram, Summary};

@@ -59,8 +59,8 @@ use dve_assign::{
     Metrics, StuckPolicy,
 };
 use dve_world::{
-    apply_dynamics, BandwidthModel, DeltaBuffer, DynamicsBatch, ErrorModel, MobilityModel, World,
-    WorldDelays, WorldEvent,
+    apply_dynamics, BandwidthModel, DeltaBuffer, DynamicsBatch, ErrorModel, InterArrival,
+    MobilityModel, World, WorldDelays, WorldEvent,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -146,7 +146,7 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Micro-batch coalescing policy of a [`ServeEngine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Flush as soon as this many events are buffered (1 = apply every
     /// event immediately).
@@ -155,16 +155,43 @@ pub struct ServeConfig {
     /// the staleness bound for quiet periods when `max_batch` is never
     /// reached.
     pub max_staleness: usize,
+    /// How stream events spread over wall-clock within a tick. With
+    /// [`InterArrival::AtTick`] every event lands at its tick boundary
+    /// (the historical batch semantics); with
+    /// [`InterArrival::Exponential`] the runners draw per-event arrival
+    /// offsets, events spill across tick boundaries when a burst
+    /// outruns the tick, and `max_staleness` ticks become a genuine
+    /// wall-clock deadline (see
+    /// [`run_mobility_stream_with`]).
+    pub arrival: InterArrival,
 }
 
 impl Default for ServeConfig {
-    /// 64-event micro-batches, flushed after at most 4 idle ticks.
+    /// 64-event micro-batches, flushed after at most 4 idle ticks,
+    /// events at tick boundaries.
     fn default() -> Self {
         ServeConfig {
             max_batch: 64,
             max_staleness: 4,
+            arrival: InterArrival::AtTick,
         }
     }
+}
+
+/// How the stream runners sample serving quality at tick boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QualityEstimator {
+    /// The exact O(k) [`ServeEngine::metrics`] evaluation — right for
+    /// mid-size tiers, far too slow to run per tick at the million
+    /// tier.
+    Exact,
+    /// [`ServeEngine::pqos_sampled`] over this many uniformly drawn
+    /// clients — an O(sample) unbiased estimate with standard error
+    /// `≈ 0.5/√sample`, the million-tier mode.
+    Sampled {
+        /// Clients sampled per estimate (with replacement).
+        sample: usize,
+    },
 }
 
 /// Lifetime counters of a [`ServeEngine`].
@@ -416,6 +443,34 @@ impl ServeEngine {
     /// Evaluates the current assignment (O(k): not for the hot path).
     pub fn metrics(&self) -> Metrics {
         evaluate(&self.inst, &self.assignment())
+    }
+
+    /// Sampled pQoS estimate: draws `sample` clients uniformly **with
+    /// replacement** from the live population and returns the fraction
+    /// whose true end-to-end delay (client → contact → target, exactly
+    /// the [`evaluate`] rule) is within the bound. O(sample) instead of
+    /// the O(k) full evaluation — the per-tick quality probe of the
+    /// million-client mobility runs, where even one full sweep per tick
+    /// would dominate the epoch. Unbiased, standard error ≈
+    /// `0.5/√sample`; deterministic given `rng`. Returns 1.0 for an
+    /// empty population (matching [`evaluate`]).
+    pub fn pqos_sampled<R: rand::Rng + ?Sized>(&self, sample: usize, rng: &mut R) -> f64 {
+        assert!(sample > 0, "sample size must be positive");
+        let k = self.inst.num_clients();
+        if k == 0 {
+            return 1.0;
+        }
+        let bound = self.inst.delay_bound();
+        let mut with_qos = 0usize;
+        for _ in 0..sample {
+            let c = rng.gen_range(0..k);
+            let target = self.target_of_zone[self.inst.zone_of(c)];
+            let delay = self
+                .inst
+                .true_path_delay(c, self.contact_of_client[c], target);
+            with_qos += usize::from(delay <= bound);
+        }
+        with_qos as f64 / sample as f64
     }
 
     /// Accepts one event. Joins return the assigned [`ClientId`].
@@ -1058,6 +1113,43 @@ pub fn run_mobility_stream(
     policy: StuckPolicy,
     config: ServeConfig,
 ) -> StreamReport {
+    run_mobility_stream_with(
+        setup,
+        index,
+        model,
+        ticks,
+        policy,
+        config,
+        QualityEstimator::Exact,
+    )
+}
+
+/// [`run_mobility_stream`] with an explicit [`QualityEstimator`] — the
+/// form the million-tier mobility runs use, where the per-tick O(k)
+/// exact evaluation (and a forced flush per tick) would swamp the
+/// serving work. The two behaviors `config` selects:
+///
+/// * [`InterArrival::AtTick`] — the historical semantics, byte for
+///   byte: every tick's moves are pushed at the boundary, the engine is
+///   heartbeat once and then **force-flushed**, and quality is sampled
+///   from fully applied state.
+/// * [`InterArrival::Exponential`] — moves are stamped with in-tick
+///   arrival offsets ([`MobilityModel::timed_events`]); an event is
+///   delivered only once the wall-clock reaches its arrival time, so a
+///   burst longer than the tick spills into later ticks, and there is
+///   **no forced flush**: flushing is driven purely by `max_batch` and
+///   the `max_staleness` heartbeat — staleness ticks now genuinely
+///   model wall-clock deadlines. Anything still buffered flushes once
+///   after the final tick.
+pub fn run_mobility_stream_with(
+    setup: &SimSetup,
+    index: usize,
+    model: &MobilityModel,
+    ticks: usize,
+    policy: StuckPolicy,
+    config: ServeConfig,
+    quality: QualityEstimator,
+) -> StreamReport {
     let rep = build_replication(setup, index);
     let error = ErrorModel::new(setup.error_factor);
     let engine_rng = StdRng::seed_from_u64(setup.base_seed.wrapping_add(index as u64) ^ 0x306b);
@@ -1074,35 +1166,87 @@ pub fn run_mobility_stream(
 
     let mut world = rep.world;
     let mut rng = rep.rng;
+    let mut sample_rng = StdRng::seed_from_u64(setup.base_seed.wrapping_add(index as u64) ^ 0x9a11);
+    let timed = !matches!(config.arrival, InterArrival::AtTick);
+    // Events drawn but not yet delivered (arrival time still in the
+    // future), as (absolute arrival tick, mover id, zone). NOT sorted
+    // globally: each tick's schedule is increasing, but a burst longer
+    // than a tick makes its tail overlap the next tick's head — so
+    // delivery drains every *due* entry per tick and orders the drained
+    // set by arrival time (stable on ties, preserving draw order).
+    let mut backlog: Vec<(f64, ClientId, usize)> = Vec::new();
     let mut records = Vec::with_capacity(ticks);
     let mut seen = (0u64, 0u64, 0u64);
     for tick in 0..ticks {
-        for event in model.events(&world, &mut rng) {
-            let WorldEvent::Move { client, zone } = event else {
-                unreachable!("mobility emits only moves");
-            };
-            world.clients[client].zone = zone;
-            engine
-                .push(StreamEvent::Move {
-                    id: engine.id_at(client),
-                    zone,
-                })
-                .expect("mobility events are valid");
+        if timed {
+            for (at, event) in model.timed_events(&world, config.arrival, &mut rng) {
+                let WorldEvent::Move { client, zone } = event else {
+                    unreachable!("mobility emits only moves");
+                };
+                // The avatar moves in the virtual world now; only the
+                // serving event's *delivery* is delayed.
+                let id = engine.id_at(client);
+                world.clients[client].zone = zone;
+                backlog.push((tick as f64 + at, id, zone));
+            }
+            let deadline = (tick + 1) as f64;
+            let mut due: Vec<(f64, ClientId, usize)> = Vec::new();
+            backlog.retain(|&entry| {
+                let is_due = entry.0 < deadline;
+                if is_due {
+                    due.push(entry);
+                }
+                !is_due
+            });
+            due.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (_, id, zone) in due {
+                engine
+                    .push(StreamEvent::Move { id, zone })
+                    .expect("mobility events are valid");
+            }
+        } else {
+            for event in model.events(&world, &mut rng) {
+                let WorldEvent::Move { client, zone } = event else {
+                    unreachable!("mobility emits only moves");
+                };
+                world.clients[client].zone = zone;
+                engine
+                    .push(StreamEvent::Move {
+                        id: engine.id_at(client),
+                        zone,
+                    })
+                    .expect("mobility events are valid");
+            }
         }
         engine.tick();
-        engine.flush_now();
+        if !timed {
+            engine.flush_now();
+        }
 
         let stats = engine.stats();
+        let pqos = match quality {
+            QualityEstimator::Exact => engine.metrics().pqos,
+            QualityEstimator::Sampled { sample } => engine.pqos_sampled(sample, &mut sample_rng),
+        };
         records.push(StreamEpochRecord {
             epoch: tick,
             clients: engine.num_clients(),
-            pqos: engine.metrics().pqos,
+            pqos,
             zones_migrated: stats.zones_migrated - seen.0,
             full_repairs: stats.full_repairs - seen.1,
             flushes: stats.flushes - seen.2,
         });
         seen = (stats.zones_migrated, stats.full_repairs, stats.flushes);
     }
+    // Deliver and apply any spill-over (in arrival order) so the
+    // report's final state covers every drawn event.
+    backlog.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for (_, id, zone) in backlog {
+        engine
+            .push(StreamEvent::Move { id, zone })
+            .expect("mobility events are valid");
+    }
+    engine.flush_now();
     StreamReport {
         records,
         stats: engine.stats().clone(),
@@ -1277,6 +1421,7 @@ mod tests {
             ServeConfig {
                 max_batch: 1,
                 max_staleness: 1,
+                ..Default::default()
             },
         );
         let id = engine
@@ -1307,6 +1452,7 @@ mod tests {
             ServeConfig {
                 max_batch: 100,
                 max_staleness: 2,
+                ..Default::default()
             },
         );
         engine.push(StreamEvent::Leave { id: 0 }).unwrap();
@@ -1328,6 +1474,7 @@ mod tests {
             ServeConfig {
                 max_batch: 100,
                 max_staleness: 100,
+                ..Default::default()
             },
         );
         let id = engine
@@ -1354,6 +1501,7 @@ mod tests {
                 ServeConfig {
                     max_batch,
                     max_staleness: 8,
+                    ..Default::default()
                 },
             );
             let mut rng = StdRng::seed_from_u64(1000 + max_batch as u64);
@@ -1416,6 +1564,7 @@ mod tests {
             ServeConfig {
                 max_batch: 7,
                 max_staleness: 4,
+                ..Default::default()
             },
         );
         assert_eq!(report.records.len(), 5);
@@ -1443,6 +1592,7 @@ mod tests {
             ServeConfig {
                 max_batch: 4,
                 max_staleness: 4,
+                ..Default::default()
             },
         );
         engine.begin_warmup();
@@ -1486,6 +1636,7 @@ mod tests {
         let config = ServeConfig {
             max_batch: 8,
             max_staleness: 4,
+            ..Default::default()
         };
         let plain = run_stream(&setup, 0, &batch, 3, StuckPolicy::BestEffort, config);
         let warmed =
@@ -1516,6 +1667,7 @@ mod tests {
         let config = ServeConfig {
             max_batch: 16,
             max_staleness: 2,
+            ..Default::default()
         };
         let report = run_mobility_stream(&setup, 0, &model, 6, StuckPolicy::BestEffort, config);
         assert_eq!(report.records.len(), 6);
@@ -1537,6 +1689,80 @@ mod tests {
         }
     }
 
+    /// The sampled estimator brackets the exact pQoS (unbiased; a
+    /// whole-population "sample" of size >> k concentrates hard) and is
+    /// deterministic given its RNG.
+    #[test]
+    fn sampled_pqos_tracks_exact_evaluation() {
+        let engine = boot_engine(&small_setup(), ServeConfig::default());
+        let exact = engine.metrics().pqos;
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampled = engine.pqos_sampled(20_000, &mut rng);
+        assert!(
+            (sampled - exact).abs() < 0.02,
+            "sampled {sampled} vs exact {exact}"
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(engine.pqos_sampled(20_000, &mut rng), sampled);
+    }
+
+    /// Exponential arrivals (the wall-clock satellite): the timed
+    /// mobility runner applies every drawn move by the end of the run,
+    /// never force-flushes per tick (flushes are staleness/batch
+    /// driven), and is deterministic. The mirror worlds of the timed and
+    /// boundary paths coincide — only delivery timing differs.
+    #[test]
+    fn timed_mobility_stream_models_wall_clock_staleness() {
+        use dve_world::MobilityModel;
+        let setup = small_setup();
+        let model = MobilityModel::new(15, 0.3);
+        let timed_config = ServeConfig {
+            max_batch: 1000, // flushes come from the staleness heartbeat
+            max_staleness: 2,
+            arrival: InterArrival::Exponential {
+                mean_gap_ticks: 0.02,
+            },
+        };
+        let report = run_mobility_stream_with(
+            &setup,
+            0,
+            &model,
+            6,
+            StuckPolicy::BestEffort,
+            timed_config,
+            QualityEstimator::Exact,
+        );
+        assert_eq!(report.records.len(), 6);
+        for r in &report.records {
+            assert_eq!(r.clients, 120, "mobility never changes population");
+            assert!((0.0..=1.0).contains(&r.pqos));
+        }
+        // Every drawn event was eventually applied...
+        assert!(report.stats.events >= 100, "only {}", report.stats.events);
+        assert_eq!(report.stats.events, report.stats.latency.count());
+        // ...but flushes were staleness-driven, not one-per-tick-forced:
+        // with max_staleness=2 over 6 ticks plus the final drain, far
+        // fewer than the event count.
+        assert!(
+            report.stats.flushes <= 7,
+            "{} flushes for 6 ticks",
+            report.stats.flushes
+        );
+        let again = run_mobility_stream_with(
+            &setup,
+            0,
+            &model,
+            6,
+            StuckPolicy::BestEffort,
+            timed_config,
+            QualityEstimator::Exact,
+        );
+        for (a, b) in report.records.iter().zip(&again.records) {
+            assert_eq!(a.pqos, b.pqos);
+            assert_eq!(a.flushes, b.flushes);
+        }
+    }
+
     /// run_stream is deterministic given the setup and config.
     #[test]
     fn run_stream_is_deterministic() {
@@ -1549,6 +1775,7 @@ mod tests {
         let config = ServeConfig {
             max_batch: 5,
             max_staleness: 3,
+            ..Default::default()
         };
         let a = run_stream(&setup, 0, &batch, 3, StuckPolicy::BestEffort, config);
         let b = run_stream(&setup, 0, &batch, 3, StuckPolicy::BestEffort, config);

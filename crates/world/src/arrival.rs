@@ -1,0 +1,105 @@
+//! Arrival-time distributions for the event stream (extension beyond
+//! the paper).
+//!
+//! The Table 3 protocol and the tick-driven mobility model deliver every
+//! event "at" its epoch or tick — fine for batch studies, but the
+//! serving layer's staleness policy (`max_staleness` ticks between
+//! flushes) only models wall-clock if events actually *spread over*
+//! wall-clock. [`InterArrival`] is that spread: a per-event inter-arrival
+//! gap sampler, measured in ticks, attached to a tick's event draw by
+//! [`MobilityModel::timed_events`](crate::MobilityModel::timed_events).
+//! With [`InterArrival::Exponential`] the events of a tick form a
+//! Poisson-style arrival process, so a staleness bound of `t` ticks is a
+//! wall-clock deadline of `t` tick-lengths — what the latency studies
+//! need ticks to mean.
+
+use rand::Rng;
+
+/// How events spread over wall-clock within the stream, in tick units.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum InterArrival {
+    /// Every event lands at the start of its tick — the historical batch
+    /// semantics (gap 0).
+    #[default]
+    AtTick,
+    /// Exponentially distributed inter-arrival gaps with the given mean,
+    /// in ticks — the memoryless arrival process of classic traffic
+    /// models. `mean_gap_ticks` must be positive and finite.
+    Exponential {
+        /// Mean gap between consecutive events, in ticks.
+        mean_gap_ticks: f64,
+    },
+}
+
+impl InterArrival {
+    /// Draws one inter-arrival gap in ticks. [`InterArrival::AtTick`]
+    /// never touches the RNG (the historical draw discipline is
+    /// preserved bit for bit); the exponential draw uses inverse
+    /// transform sampling on one uniform.
+    pub fn sample_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            InterArrival::AtTick => 0.0,
+            InterArrival::Exponential { mean_gap_ticks } => {
+                assert!(
+                    mean_gap_ticks.is_finite() && mean_gap_ticks > 0.0,
+                    "mean inter-arrival gap must be positive, got {mean_gap_ticks}"
+                );
+                // 1 - u is in (0, 1]: ln never sees zero.
+                -mean_gap_ticks * (1.0 - rng.gen::<f64>()).ln()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn at_tick_draws_nothing_and_returns_zero() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(InterArrival::AtTick.sample_gap(&mut a), 0.0);
+        // The RNG stream is untouched: both generators stay in step.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn exponential_gaps_match_the_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let arrival = InterArrival::Exponential {
+            mean_gap_ticks: 0.25,
+        };
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| arrival.sample_gap(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!(
+            (0.24..0.26).contains(&mean),
+            "empirical mean {mean} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn exponential_gaps_are_positive_and_finite() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let arrival = InterArrival::Exponential {
+            mean_gap_ticks: 2.0,
+        };
+        for _ in 0..1000 {
+            let gap = arrival.sample_gap(&mut rng);
+            assert!(gap.is_finite() && gap >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn exponential_rejects_nonpositive_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        InterArrival::Exponential {
+            mean_gap_ticks: 0.0,
+        }
+        .sample_gap(&mut rng);
+    }
+}

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod bandwidth;
 mod correlation;
 mod delays;
@@ -47,6 +48,7 @@ mod scenario;
 mod stream;
 mod world;
 
+pub use arrival::InterArrival;
 pub use bandwidth::BandwidthModel;
 pub use correlation::CorrelationModel;
 pub use delays::WorldDelays;

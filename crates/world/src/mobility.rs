@@ -7,6 +7,7 @@
 //! giving churn experiments a spatially correlated alternative to the
 //! paper's uniform moves.
 
+use crate::arrival::InterArrival;
 use crate::stream::WorldEvent;
 use crate::world::World;
 use rand::Rng;
@@ -126,6 +127,35 @@ impl MobilityModel {
             });
         }
         events
+    }
+
+    /// [`MobilityModel::events`] with wall-clock arrival offsets: each
+    /// event is stamped with its arrival time **within the tick**,
+    /// starting at the tick boundary (time 0) and advancing by one
+    /// [`InterArrival`] gap per event, in event order.
+    ///
+    /// The move draws happen first, with exactly the RNG discipline of
+    /// [`MobilityModel::events`] (the fixed-seed pins hold); the gap
+    /// draws follow as a separate suffix of the stream, so
+    /// [`InterArrival::AtTick`] — which draws nothing — makes this
+    /// byte-identical to `events` zipped with zeros. Offsets may exceed
+    /// 1.0: a burst longer than the tick simply spills into the next
+    /// one, exactly as a real arrival process would.
+    pub fn timed_events<R: Rng + ?Sized>(
+        &self,
+        world: &World,
+        arrival: InterArrival,
+        rng: &mut R,
+    ) -> Vec<(f64, WorldEvent)> {
+        let events = self.events(world, rng);
+        let mut at = 0.0f64;
+        events
+            .into_iter()
+            .map(|event| {
+                at += arrival.sample_gap(rng);
+                (at, event)
+            })
+            .collect()
     }
 
     /// Advances the world one tick in place; returns the indices of
@@ -264,6 +294,46 @@ mod tests {
             delta_movers.sort_unstable();
             assert_eq!(delta_movers, changed, "seed {seed}");
         }
+    }
+
+    /// Fixed-seed pin of the arrival-time satellite: the timed stream's
+    /// *events* are exactly `events()`'s (the gap draws are a strict
+    /// suffix of the RNG stream), `AtTick` stamps zeros without touching
+    /// the RNG, and the exponential schedule is reproducible bit for bit.
+    #[test]
+    fn timed_events_pin_schedule_at_fixed_seed() {
+        let config = ScenarioConfig::from_notation("5s-16z-400c-100cp").unwrap();
+        let labels: Vec<u16> = (0..100).map(|n| (n % 5) as u16).collect();
+        let mut rng = StdRng::seed_from_u64(31);
+        let world = crate::world::World::generate(&config, 100, &labels, &mut rng).unwrap();
+        let model = MobilityModel::new(16, 0.25);
+        let arrival = crate::InterArrival::Exponential {
+            mean_gap_ticks: 0.01,
+        };
+
+        let mut rng_a = StdRng::seed_from_u64(0xabc1);
+        let plain = model.events(&world, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(0xabc1);
+        let timed = model.timed_events(&world, arrival, &mut rng_b);
+        assert_eq!(timed.len(), plain.len());
+        let stamped: Vec<WorldEvent> = timed.iter().map(|&(_, e)| e).collect();
+        assert_eq!(stamped, plain, "gap draws must not disturb the moves");
+        // Arrival times are strictly increasing (exponential gaps are
+        // almost surely positive) and start after the tick boundary.
+        for w in timed.windows(2) {
+            assert!(w[0].0 < w[1].0, "schedule must be increasing");
+        }
+        assert!(timed.first().unwrap().0 > 0.0);
+
+        // Bit-reproducible schedule at the same seed.
+        let mut rng_c = StdRng::seed_from_u64(0xabc1);
+        assert_eq!(model.timed_events(&world, arrival, &mut rng_c), timed);
+
+        // AtTick: all zeros, RNG untouched beyond the move draws.
+        let mut rng_d = StdRng::seed_from_u64(0xabc1);
+        let at_tick = model.timed_events(&world, crate::InterArrival::AtTick, &mut rng_d);
+        assert!(at_tick.iter().all(|&(t, _)| t == 0.0));
+        assert_eq!(rng_d.gen::<u64>(), rng_a.gen::<u64>());
     }
 
     #[test]
