@@ -285,11 +285,13 @@ fn main() {
             arrival: InterArrival::Exponential {
                 mean_gap_ticks: 1.0 / (clients as f64 * MOBILITY_PROB).max(1.0),
             },
+            ..Default::default()
         },
         QualityEstimator::Sampled {
             sample: MOBILITY_SAMPLE,
         },
-    );
+    )
+    .expect("tier solves");
     let mobility_ms = t.elapsed().as_secs_f64() * 1e3;
     assert_eq!(mobility.records.len(), MOBILITY_TICKS);
     let pqos_mobility = mobility.records.last().expect("ticks ran").pqos;

@@ -131,7 +131,8 @@ fn check_stream_latency() -> (f64, u64, f64) {
         EPOCHS,
         StuckPolicy::BestEffort,
         config,
-    );
+    )
+    .expect("tier solves");
 
     let latency = &report.stats.latency;
     let p99 = latency.quantile_upper_ns(0.99);

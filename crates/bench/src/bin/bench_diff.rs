@@ -16,23 +16,120 @@
 //! timings are scheduler noise). The gated statistic is the **minimum**
 //! solve time over the replications (`exec_ms.min`): noise is additive,
 //! so minima are stable where means flap (see `dve_bench::diff`).
+//!
+//! The tool dispatches on the documents' `experiment` field: when both
+//! sides are `BENCH_recover.json` records it gates the **recovery
+//! trajectory** instead — per schedule scenario, `events_to_recover`
+//! must not grow past the threshold (floored at one 600-event epoch:
+//! recovery is epoch-quantized) and `full_repairs` must be zero.
+//! Mixing a recovery record with a Table 1 baseline is a usage error.
 
-use dve_bench::diff::{compare, entries, parse, thread_mismatch, BenchEntry, Json};
+use dve_bench::diff::{
+    compare, compare_recover, entries, is_recover_doc, parse, recover_entries, thread_mismatch,
+    BenchEntry, DiffReport, Json, RecoverEntry,
+};
 
-fn load(path: &str) -> (Json, Vec<BenchEntry>) {
+fn load_doc(path: &str) -> Json {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("bench_diff: cannot read {path}: {e}");
         std::process::exit(2);
     });
-    let doc = parse(&text).unwrap_or_else(|e| {
+    parse(&text).unwrap_or_else(|e| {
         eprintln!("bench_diff: {path}: {e}");
         std::process::exit(2);
-    });
-    let list = entries(&doc).unwrap_or_else(|e| {
+    })
+}
+
+fn table1_entries(doc: &Json, path: &str) -> Vec<BenchEntry> {
+    entries(doc).unwrap_or_else(|e| {
         eprintln!("bench_diff: {path}: {e}");
         std::process::exit(2);
-    });
-    (doc, list)
+    })
+}
+
+fn recovery_entries(doc: &Json, path: &str) -> Vec<RecoverEntry> {
+    recover_entries(doc).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// One 600-event churn epoch: recovery is observed at epoch boundaries,
+/// so `events_to_recover` deltas inside one epoch are quantization.
+const RECOVER_FLOOR_EVENTS: f64 = 600.0;
+
+fn diff_recover(
+    paths: &[String],
+    fresh: &[RecoverEntry],
+    baseline: &[RecoverEntry],
+    threshold: f64,
+) {
+    let report = compare_recover(fresh, baseline, threshold, RECOVER_FLOOR_EVENTS);
+    println!(
+        "bench_diff: {} vs {} (recovery records): {} scenarios compared, {} within the \
+         {RECOVER_FLOOR_EVENTS:.0}-event epoch floor, threshold +{:.0}%",
+        paths[0],
+        paths[1],
+        report.compared,
+        report.below_floor,
+        threshold * 100.0
+    );
+    for base in baseline {
+        if let Some(new) = fresh.iter().find(|e| e.scenario == base.scenario) {
+            println!(
+                "  {:<14} events_to_recover {:>6.0} -> {:>6.0}  full_repairs {:.0} -> {:.0}  \
+                 shed {:.0} -> {:.0}  trough {:.3} -> {:.3}",
+                base.scenario,
+                base.events_to_recover,
+                new.events_to_recover,
+                base.full_repairs,
+                new.full_repairs,
+                base.shed_events,
+                new.shed_events,
+                base.trough_pqos,
+                new.trough_pqos,
+            );
+        }
+    }
+    for added in &report.added {
+        println!("  NEW scenario (no baseline yet, not gated): {added}");
+    }
+    for missing in &report.missing {
+        println!("  MISSING in fresh results: {missing}");
+    }
+    for r in &report.regressions {
+        if r.algorithm == "full_repairs" {
+            println!(
+                "  REGRESSION {:<14} {:.0} full-repair fallback(s) on the failure path (must be 0)",
+                r.config, r.fresh_ms
+            );
+        } else {
+            println!(
+                "  REGRESSION {:<14} events_to_recover {:.0} -> {:.0} ({:.2}x, limit {:.2}x)",
+                r.config,
+                r.baseline_ms,
+                r.fresh_ms,
+                r.ratio(),
+                1.0 + threshold
+            );
+        }
+    }
+    finish(&report);
+}
+
+/// Prints the verdict and exits non-zero on failure (shared tail of
+/// both diff modes).
+fn finish(report: &DiffReport) {
+    if report.passed() {
+        println!("bench_diff: PASS");
+    } else {
+        println!(
+            "bench_diff: FAIL ({} regressions, {} missing)",
+            report.regressions.len(),
+            report.missing.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 fn usage() -> ! {
@@ -67,8 +164,8 @@ fn main() {
     if paths.len() != 2 {
         usage();
     }
-    let (fresh_doc, fresh) = load(&paths[0]);
-    let (baseline_doc, baseline) = load(&paths[1]);
+    let fresh_doc = load_doc(&paths[0]);
+    let baseline_doc = load_doc(&paths[1]);
     if let Some((f, b)) = thread_mismatch(&fresh_doc, &baseline_doc) {
         eprintln!(
             "bench_diff: refusing to compare: {} was measured on {f} thread(s) but {} on {b} — \
@@ -78,6 +175,25 @@ fn main() {
         );
         std::process::exit(2);
     }
+    match (is_recover_doc(&fresh_doc), is_recover_doc(&baseline_doc)) {
+        (true, true) => {
+            let fresh = recovery_entries(&fresh_doc, &paths[0]);
+            let baseline = recovery_entries(&baseline_doc, &paths[1]);
+            diff_recover(&paths, &fresh, &baseline, threshold);
+            return;
+        }
+        (false, false) => {}
+        _ => {
+            eprintln!(
+                "bench_diff: refusing to compare: exactly one of {} / {} is a recovery record — \
+                 both sides must come from the same bench",
+                paths[0], paths[1]
+            );
+            std::process::exit(2);
+        }
+    }
+    let fresh = table1_entries(&fresh_doc, &paths[0]);
+    let baseline = table1_entries(&baseline_doc, &paths[1]);
 
     let report = compare(&fresh, &baseline, threshold, floor_ms);
     println!(
@@ -123,14 +239,5 @@ fn main() {
             1.0 + threshold
         );
     }
-    if report.passed() {
-        println!("bench_diff: PASS");
-    } else {
-        println!(
-            "bench_diff: FAIL ({} regressions, {} missing)",
-            report.regressions.len(),
-            report.missing.len()
-        );
-        std::process::exit(1);
-    }
+    finish(&report);
 }

@@ -334,6 +334,126 @@ pub fn entries(doc: &Json) -> Result<Vec<BenchEntry>, String> {
     Ok(out)
 }
 
+/// One scenario row of a `BENCH_recover.json` document — the recovery
+/// gate's shape (see `benches/recover.rs`): how many serving events the
+/// engine needed between the first failure and pQoS restoration, and
+/// whether the failure path ever escalated to the full repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverEntry {
+    /// Schedule shape, e.g. `single` / `correlated` / `fail_recover`.
+    pub scenario: String,
+    /// Serving events between the first failure and recovery — the
+    /// gated statistic (deterministic, but epoch-quantized: recovery is
+    /// only observed at epoch boundaries, so it moves in ~600-event
+    /// steps).
+    pub events_to_recover: f64,
+    /// Full-repair fallbacks during the replay. Gated at **zero**
+    /// regardless of the baseline: the failure path promises bounded
+    /// zone-scoped work.
+    pub full_repairs: f64,
+    /// Load shed during the replay (reported, not gated — admission
+    /// policy, not a regression signal).
+    pub shed_events: f64,
+    /// Worst pQoS observed after the failure (reported, not gated —
+    /// the bench itself asserts the collapse floor).
+    pub trough_pqos: f64,
+}
+
+/// Whether a parsed document is a recovery record (`BENCH_recover.json`)
+/// rather than a Table 1 perf baseline — `bench_diff` dispatches on
+/// this.
+pub fn is_recover_doc(doc: &Json) -> bool {
+    doc.get("experiment").and_then(Json::as_str) == Some("recover")
+}
+
+/// Extracts the per-scenario measurements of a `BENCH_recover.json`
+/// document.
+pub fn recover_entries(doc: &Json) -> Result<Vec<RecoverEntry>, String> {
+    let rows = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'scenarios' array")?;
+    let mut out = Vec::new();
+    for row in rows {
+        let num = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("scenario without '{key}'"))
+        };
+        out.push(RecoverEntry {
+            scenario: row
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or("scenario without a name")?
+                .to_string(),
+            events_to_recover: num("events_to_recover")?,
+            full_repairs: num("full_repairs")?,
+            shed_events: num("shed_events")?,
+            trough_pqos: num("trough_pqos")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Compares fresh recovery measurements against the committed baseline.
+///
+/// Gates, per scenario:
+/// * `full_repairs` must be **zero** in the fresh record (reported as a
+///   regression against the scenario even when the baseline also had
+///   them — the invariant is absolute, not relative);
+/// * `events_to_recover` must not exceed
+///   `baseline * (1 + threshold)` — unless both sides sit at or under
+///   `floor_events` (recovery within the first post-failure epoch:
+///   epoch quantization dominates and there is nothing to gate);
+/// * scenarios present in the baseline must still be measured
+///   (vanished rows fail, like vanished Table 1 pairs); new scenarios
+///   are additions and never gated.
+///
+/// Reuses [`DiffReport`]: `config` carries the scenario name and
+/// `algorithm` the gated statistic, with event counts in the `_ms`
+/// fields.
+pub fn compare_recover(
+    fresh: &[RecoverEntry],
+    baseline: &[RecoverEntry],
+    threshold: f64,
+    floor_events: f64,
+) -> DiffReport {
+    let mut report = DiffReport::default();
+    for new in fresh {
+        if new.full_repairs > 0.0 {
+            report.regressions.push(Regression {
+                config: new.scenario.clone(),
+                algorithm: "full_repairs".to_string(),
+                baseline_ms: 0.0,
+                fresh_ms: new.full_repairs,
+            });
+        }
+        if !baseline.iter().any(|e| e.scenario == new.scenario) {
+            report.added.push(new.scenario.clone());
+        }
+    }
+    for base in baseline {
+        let Some(new) = fresh.iter().find(|e| e.scenario == base.scenario) else {
+            report.missing.push(base.scenario.clone());
+            continue;
+        };
+        if base.events_to_recover <= floor_events && new.events_to_recover <= floor_events {
+            report.below_floor += 1;
+            continue;
+        }
+        report.compared += 1;
+        if new.events_to_recover > base.events_to_recover * (1.0 + threshold) {
+            report.regressions.push(Regression {
+                config: base.scenario.clone(),
+                algorithm: "events_to_recover".to_string(),
+                baseline_ms: base.events_to_recover,
+                fresh_ms: new.events_to_recover,
+            });
+        }
+    }
+    report
+}
+
 /// The top-level `threads` field of a baseline document, when present
 /// (baselines predating the field have none).
 pub fn doc_threads(doc: &Json) -> Option<u64> {
@@ -584,6 +704,110 @@ mod tests {
         let report = compare(&[], &baseline, 0.25, 0.05);
         assert_eq!(report.missing, vec!["tier1 / A".to_string()]);
         assert!(!report.passed());
+    }
+
+    fn recover_entry(scenario: &str, events: f64, full_repairs: f64) -> RecoverEntry {
+        RecoverEntry {
+            scenario: scenario.to_string(),
+            events_to_recover: events,
+            full_repairs,
+            shed_events: 0.0,
+            trough_pqos: 0.8,
+        }
+    }
+
+    #[test]
+    fn recover_documents_are_recognised_and_parsed() {
+        let doc = parse(
+            r#"{"experiment": "recover", "threads": 1, "scenarios": [
+                {"scenario": "single", "pre_pqos": 0.95, "trough_pqos": 0.8,
+                 "recovered_epoch": 4, "events_to_recover": 600, "full_repairs": 0,
+                 "shed_events": 0, "queued_joins": 0, "zones_migrated": 42}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(is_recover_doc(&doc));
+        let list = recover_entries(&doc).unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].scenario, "single");
+        assert_eq!(list[0].events_to_recover, 600.0);
+        assert_eq!(list[0].full_repairs, 0.0);
+        // A Table 1 baseline is not a recovery record.
+        let table1 = parse(r#"{"rows": []}"#).unwrap();
+        assert!(!is_recover_doc(&table1));
+        assert!(recover_entries(&table1).is_err());
+    }
+
+    #[test]
+    fn recover_gate_bounds_events_and_forbids_full_repairs() {
+        let baseline = vec![
+            recover_entry("single", 1200.0, 0.0),
+            recover_entry("correlated", 1800.0, 0.0),
+        ];
+        // Within threshold: passes.
+        let fresh = vec![
+            recover_entry("single", 1400.0, 0.0),
+            recover_entry("correlated", 1800.0, 0.0),
+        ];
+        let report = compare_recover(&fresh, &baseline, 0.25, 600.0);
+        assert!(report.passed());
+        assert_eq!(report.compared, 2);
+        // Recovery slowed past the threshold: fails.
+        let slow = vec![
+            recover_entry("single", 1600.0, 0.0),
+            recover_entry("correlated", 1800.0, 0.0),
+        ];
+        let report = compare_recover(&slow, &baseline, 0.25, 600.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].algorithm, "events_to_recover");
+        assert!(!report.passed());
+        // A full repair on the failure path fails even when events shrink —
+        // and even when the (broken) baseline had one too.
+        let escalated = vec![
+            recover_entry("single", 600.0, 1.0),
+            recover_entry("correlated", 1800.0, 0.0),
+        ];
+        let mut broken_baseline = baseline.clone();
+        broken_baseline[0].full_repairs = 2.0;
+        let report = compare_recover(&escalated, &broken_baseline, 0.25, 600.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].algorithm, "full_repairs");
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn recover_gate_floors_epoch_quantization_and_tracks_row_churn() {
+        // Both sides within one epoch: quantization, not a regression.
+        let baseline = vec![recover_entry("single", 600.0, 0.0)];
+        let fresh = vec![recover_entry("single", 600.0, 0.0)];
+        let report = compare_recover(&fresh, &baseline, 0.25, 600.0);
+        assert!(report.passed());
+        assert_eq!(report.below_floor, 1);
+        assert_eq!(report.compared, 0);
+        // New scenarios are additions; vanished scenarios fail.
+        let moved = vec![recover_entry("fail_recover", 600.0, 0.0)];
+        let report = compare_recover(&moved, &baseline, 0.25, 600.0);
+        assert_eq!(report.added, vec!["fail_recover".to_string()]);
+        assert_eq!(report.missing, vec!["single".to_string()]);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn parses_the_committed_recovery_baseline() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recover.json");
+        let text = std::fs::read_to_string(path).expect("committed recovery baseline exists");
+        let doc = parse(&text).expect("committed recovery baseline parses");
+        assert!(is_recover_doc(&doc));
+        let list = recover_entries(&doc).expect("committed recovery baseline has the shape");
+        assert!(list.len() >= 3, "single + correlated + fail_recover");
+        for e in &list {
+            assert_eq!(e.full_repairs, 0.0, "{}: gated at zero", e.scenario);
+            assert!(e.events_to_recover >= 0.0);
+            assert!((0.0..=1.0).contains(&e.trough_pqos));
+        }
+        // Identical files never regress against themselves.
+        let report = compare_recover(&list, &list, 0.25, 600.0);
+        assert!(report.passed());
     }
 
     /// New (tier, algorithm) pairs appearing only in the fresh JSON are

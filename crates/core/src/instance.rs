@@ -1127,6 +1127,16 @@ impl CapInstance {
         self.capacity[s]
     }
 
+    /// Overwrites `C_s` for server `s` — the failure/recovery seam: a
+    /// failed server's capacity is retired to 0 so every downstream
+    /// fit check (repair, GreC, admission) excludes it without special
+    /// cases, and restored to its nominal value on recovery. Delay rows
+    /// and zone bookkeeping are untouched; only capacity changes.
+    pub fn set_capacity(&mut self, s: usize, capacity: f64) {
+        assert!(capacity >= 0.0, "capacity must be non-negative");
+        self.capacity[s] = capacity;
+    }
+
     /// Total capacity (bits/s).
     pub fn total_capacity(&self) -> f64 {
         self.capacity.iter().sum()

@@ -20,6 +20,40 @@
 //!   and the ablation study, each with a paper-style `render()`;
 //! * [`stats`] — replication statistics (mean, std, CI95).
 //!
+//! ## Failure handling
+//!
+//! The serving layer survives server failure and recovery through the
+//! same stream path that serves churn, with a small state machine per
+//! server — **up → down → up** — driven by
+//! [`ServeEngine::fail_server`] and [`ServeEngine::restore_server`]:
+//!
+//! * **Down** retires the server's capacity to zero on the carried
+//!   instance, so every fit check in the repair pipeline (quality
+//!   shifts, evacuation, GreC relays, even the full-repair fallback)
+//!   excludes it with no special cases — then runs the *mass
+//!   evacuation*: every hosted zone leaves largest-first for the
+//!   cheapest survivor with room (or, degraded, the one with most
+//!   headroom: an overloaded survivor beats a dead host), and every
+//!   relay routed through the server is shed and counted.
+//! * **Up** restores the nominal capacity and runs the *re-admission
+//!   sweep*: the zone-scoped repair over all zones, pulling zones back
+//!   onto the recovered capacity and draining survivors still
+//!   overloaded from the degraded window. Neither direction ever
+//!   escalates to the full repair or panics; an engine with every
+//!   server down simply reports infeasible and keeps its books.
+//! * **Degraded mode** is governed by [`DegradationPolicy`]: admission
+//!   control sheds ([`AdmissionPolicy::Reject`]) or defers
+//!   ([`AdmissionPolicy::Queue`]) joins whose target is over the
+//!   headroom line, and a bounded ingest queue pushes back with
+//!   [`ServeError::QueueFull`]. All decisions read only committed
+//!   load books, so they are bit-identical across repeated runs and
+//!   thread counts.
+//! * [`run_recovery_stream`] replays a seeded
+//!   [`FaultSchedule`](dve_world::FaultSchedule) under live churn and
+//!   reports the recovery trajectory ([`RecoveryReport`]): pre-failure
+//!   baseline, trough, and events-to-recover — the numbers the
+//!   `recover` bench gates in CI.
+//!
 //! ```no_run
 //! use dve_sim::experiments::{table1, ExpOptions};
 //!
@@ -32,6 +66,7 @@
 
 mod dynamics;
 pub mod experiments;
+mod fault;
 mod repair;
 mod runner;
 mod serve;
@@ -41,14 +76,16 @@ pub mod stats;
 pub use dynamics::{
     carry_assignment, run_dynamics, run_dynamics_once, CarryPolicy, DynamicsRecord,
 };
+pub use fault::{run_recovery_stream, RecoveryEpochRecord, RecoveryReport};
 pub use repair::{repair_assignment, repair_assignment_with, zone_migrations, RepairOutcome};
 pub use runner::{
     aggregate, run_churn, run_experiment, run_replication, AlgoStats, ChurnEpochRecord, RunRecord,
 };
 pub use serve::{
     run_mobility_stream, run_mobility_stream_with, run_stream, run_stream_batch_compat,
-    run_stream_with_warmup, ClientId, FlushReport, QualityEstimator, ServeConfig, ServeEngine,
-    ServeError, ServeStats, StreamEpochRecord, StreamEvent, StreamReport,
+    run_stream_with_warmup, AdmissionPolicy, ClientId, DegradationPolicy, FailoverReport,
+    FlushReport, QualityEstimator, RestoreReport, ServeConfig, ServeEngine, ServeError, ServeStats,
+    StreamEpochRecord, StreamEvent, StreamReport,
 };
 pub use setup::{build_replication, DelayMode, Replication, SimSetup, TopologySpec};
 pub use stats::{peak_rss_bytes, Accumulator, LatencyHistogram, Summary};

@@ -97,7 +97,11 @@ pub enum StreamEvent {
     },
 }
 
-/// Why a [`ServeEngine`] rejected an event at push time.
+/// The serving layer's error taxonomy: why a [`ServeEngine`] (or one of
+/// the stream runners built on it) refused to do what was asked. Every
+/// variant is a *refusal with a reason*, never a panic — infeasible
+/// seeds, full queues, and overload sheds all surface here so callers
+/// can retry, degrade, or report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeError {
     /// The id is not a live client (never joined, or already left).
@@ -124,6 +128,37 @@ pub enum ServeError {
         /// Node count.
         nodes: usize,
     },
+    /// The server index is out of range (fault events name servers).
+    UnknownServer {
+        /// Offending server.
+        server: usize,
+        /// Server count.
+        servers: usize,
+    },
+    /// The initial assignment could not be solved within capacities
+    /// (strict policies on over-demanded seeds). Carries the first zone
+    /// GreZ could not place when that is known. This is the error the
+    /// stream runners return instead of panicking on infeasible seeds.
+    Infeasible {
+        /// The unplaceable zone, when the solver identified one.
+        zone: Option<usize>,
+    },
+    /// The bounded ingest queue is full
+    /// ([`DegradationPolicy::max_pending`]): backpressure — the caller
+    /// should retry after a flush drains the buffer, or shed the event
+    /// itself.
+    QueueFull {
+        /// The configured bound that was hit.
+        bound: usize,
+    },
+    /// Admission control shed the event ([`AdmissionPolicy::Reject`]
+    /// under capacity pressure): the engine is protecting the serving
+    /// population instead of overcommitting. Counted in
+    /// [`ServeStats::shed_events`].
+    Shed {
+        /// The zone the shed join addressed.
+        zone: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -139,11 +174,90 @@ impl std::fmt::Display for ServeError {
             ServeError::NodeOutOfRange { node, nodes } => {
                 write!(f, "node {node} out of range (topology has {nodes})")
             }
+            ServeError::UnknownServer { server, servers } => {
+                write!(f, "server {server} out of range (instance has {servers})")
+            }
+            ServeError::Infeasible { zone: Some(zone) } => {
+                write!(
+                    f,
+                    "initial assignment infeasible: no capacity for zone {zone}"
+                )
+            }
+            ServeError::Infeasible { zone: None } => {
+                write!(f, "initial assignment infeasible within capacities")
+            }
+            ServeError::QueueFull { bound } => {
+                write!(f, "ingest queue at its bound of {bound} events")
+            }
+            ServeError::Shed { zone } => {
+                write!(f, "join into zone {zone} shed by admission control")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<IapError> for ServeError {
+    /// Maps an initial-solve failure into the serving taxonomy,
+    /// preserving the unplaceable zone when GreZ named one.
+    fn from(e: IapError) -> ServeError {
+        match e {
+            IapError::NoFeasibleServer { zone } => ServeError::Infeasible { zone: Some(zone) },
+            _ => ServeError::Infeasible { zone: None },
+        }
+    }
+}
+
+/// What a [`ServeEngine`] does with a join that fails the
+/// [`DegradationPolicy`] admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// No admission control: every valid join is applied (the
+    /// historical behavior).
+    #[default]
+    Open,
+    /// Refuse the join with [`ServeError::Shed`] (counted in
+    /// [`ServeStats::shed_events`]): load is shed at the door.
+    Reject,
+    /// Accept the join but hold it in a deferred queue until its
+    /// target's load drops back under the headroom line; the id is
+    /// assigned immediately, the client becomes live at the flush that
+    /// re-admits it (latency measured arrival-to-commit).
+    Queue,
+}
+
+/// Graceful-degradation policy of a [`ServeEngine`]: how the engine
+/// sheds or defers load instead of overcommitting when capacity is
+/// scarce (a failed server, a flash crowd).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// What to do with joins failing the headroom check.
+    pub admission: AdmissionPolicy,
+    /// Capacity headroom fraction: a join into zone `z` passes admission
+    /// only while its target server's booked load is at most
+    /// `(1 - headroom) x capacity`. 0.0 (with [`AdmissionPolicy::Open`])
+    /// disables the check entirely.
+    pub headroom: f64,
+    /// Bound on the engine's ingest buffer: a push arriving with this
+    /// many events already pending is refused with
+    /// [`ServeError::QueueFull`] (backpressure). `None` = unbounded;
+    /// the auto-flush at `max_batch` keeps the buffer short either way,
+    /// so this matters when flushes are deliberately deferred.
+    pub max_pending: Option<usize>,
+}
+
+impl Default for DegradationPolicy {
+    /// Open admission, no headroom, unbounded ingest — bit-identical to
+    /// the engine's historical behavior.
+    fn default() -> Self {
+        DegradationPolicy {
+            admission: AdmissionPolicy::Open,
+            headroom: 0.0,
+            max_pending: None,
+        }
+    }
+}
 
 /// Micro-batch coalescing policy of a [`ServeEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -164,16 +278,20 @@ pub struct ServeConfig {
     /// wall-clock deadline (see
     /// [`run_mobility_stream_with`]).
     pub arrival: InterArrival,
+    /// Graceful-degradation policy: admission control and ingest
+    /// bounds. The default is fully open (historical behavior).
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for ServeConfig {
     /// 64-event micro-batches, flushed after at most 4 idle ticks,
-    /// events at tick boundaries.
+    /// events at tick boundaries, open admission.
     fn default() -> Self {
         ServeConfig {
             max_batch: 64,
             max_staleness: 4,
             arrival: InterArrival::AtTick,
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -214,6 +332,20 @@ pub struct ServeStats {
     /// Per-event latency of warm-up windows (initial-population
     /// admission, cold caches) — recorded, reported, not gated.
     pub warmup: LatencyHistogram,
+    /// Load shed for capacity protection: joins refused by admission
+    /// control plus relays force-shed off a failed server.
+    pub shed_events: u64,
+    /// Joins refused with [`ServeError::Shed`]
+    /// ([`AdmissionPolicy::Reject`]).
+    pub rejected_joins: u64,
+    /// Joins accepted into the deferred queue
+    /// ([`AdmissionPolicy::Queue`]); they leave the queue at the flush
+    /// that re-admits them.
+    pub queued_joins: u64,
+    /// [`ServeEngine::fail_server`] mass evacuations executed.
+    pub failovers: u64,
+    /// [`ServeEngine::restore_server`] re-admission sweeps executed.
+    pub recoveries: u64,
 }
 
 /// What one flush did.
@@ -227,6 +359,45 @@ pub struct FlushReport {
     pub zones_migrated: usize,
     /// Whether the flush escalated to the full repair pass.
     pub full_repair: bool,
+}
+
+/// What a [`ServeEngine::fail_server`] mass evacuation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// The failed server.
+    pub server: usize,
+    /// Zones evacuated off the failed server (every hosted zone, when
+    /// at least one survivor exists).
+    pub zones_evacuated: usize,
+    /// Relayed clients shed off the failed server's forwarding books.
+    pub relays_shed: usize,
+    /// Whether every surviving server ended within capacity — `false`
+    /// is the degraded-mode signal: the survivors absorbed more than
+    /// they fit and admission control should start pushing back.
+    pub feasible: bool,
+}
+
+/// What a [`ServeEngine::restore_server`] re-admission sweep did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// The recovered server.
+    pub server: usize,
+    /// Zones migrated by the sweep (pulled onto the recovered capacity
+    /// or drained off overloaded survivors).
+    pub zones_migrated: usize,
+    /// Whether every server ended within capacity.
+    pub feasible: bool,
+}
+
+/// A join accepted by [`AdmissionPolicy::Queue`] but not yet admitted:
+/// it keeps its arrival stamp so the latency histogram measures
+/// arrival-to-commit across the deferral.
+#[derive(Debug, Clone, Copy)]
+struct DeferredJoin {
+    node: usize,
+    zone: usize,
+    id: ClientId,
+    at: Instant,
 }
 
 /// A buffered event with its arrival time.
@@ -279,6 +450,16 @@ pub struct ServeEngine {
     /// Whether every server was within capacity at the end of the last
     /// flush (initially: of the initial assignment).
     capacity_ok: bool,
+    /// Per-server failure flags ([`ServeEngine::fail_server`]). A down
+    /// server carries capacity 0 in the instance, so every fit check in
+    /// the repair path excludes it without special cases.
+    down: Vec<bool>,
+    /// Nominal (boot-time) capacities, restored on
+    /// [`ServeEngine::restore_server`].
+    nominal_capacity: Vec<f64>,
+    /// Joins held back by [`AdmissionPolicy::Queue`], FIFO; retried at
+    /// every flush.
+    deferred: Vec<DeferredJoin>,
     id_of_client: Vec<ClientId>,
     index_of_id: HashMap<ClientId, usize>,
     next_id: ClientId,
@@ -314,11 +495,15 @@ impl ServeEngine {
         policy: StuckPolicy,
         config: ServeConfig,
         rng: StdRng,
-    ) -> Result<ServeEngine, IapError> {
+    ) -> Result<ServeEngine, ServeError> {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         assert!(
             config.max_staleness >= 1,
             "max_staleness must be at least 1"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.degradation.headroom),
+            "headroom must be in [0, 1)"
         );
         assert_eq!(
             delays.num_servers(),
@@ -329,12 +514,16 @@ impl ServeEngine {
         let target_of_zone = grez_with(&instance, &matrix, policy)?;
         let contact_of_client = grec(&instance, &target_of_zone);
         let k = instance.num_clients();
+        let m = instance.num_servers();
         let mut engine = ServeEngine {
             zone_load: Vec::new(),
             forward_load: Vec::new(),
             fwd_contrib: Vec::new(),
             relayed_of_server: Vec::new(),
             capacity_ok: false,
+            down: vec![false; m],
+            nominal_capacity: (0..m).map(|s| instance.capacity(s)).collect(),
+            deferred: Vec::new(),
             id_of_client: (0..k as ClientId).collect(),
             index_of_id: (0..k).map(|c| (c as ClientId, c)).collect(),
             next_id: k as ClientId,
@@ -475,8 +664,21 @@ impl ServeEngine {
 
     /// Accepts one event. Joins return the assigned [`ClientId`].
     /// Triggers a flush when the buffer reaches `max_batch`.
+    ///
+    /// Under a [`DegradationPolicy`] this is also the admission door:
+    /// a full ingest buffer refuses with [`ServeError::QueueFull`]
+    /// (backpressure), and a join into a zone whose target is over the
+    /// headroom line is shed ([`ServeError::Shed`]) or deferred,
+    /// depending on the policy. Both decisions read only committed
+    /// (post-flush) load books, so they are bit-identical across
+    /// repeated runs and thread counts.
     pub fn push(&mut self, event: StreamEvent) -> Result<Option<ClientId>, ServeError> {
         let at = Instant::now();
+        if let Some(bound) = self.config.degradation.max_pending {
+            if self.pending.len() >= bound {
+                return Err(ServeError::QueueFull { bound });
+            }
+        }
         let assigned = match event {
             StreamEvent::Join { node, zone } => {
                 if zone >= self.inst.num_zones() {
@@ -491,6 +693,23 @@ impl ServeEngine {
                         nodes: self.delays.nodes(),
                     });
                 }
+                if !self.admit_join(zone) {
+                    match self.config.degradation.admission {
+                        AdmissionPolicy::Open => unreachable!("open admission always admits"),
+                        AdmissionPolicy::Reject => {
+                            self.stats.shed_events += 1;
+                            self.stats.rejected_joins += 1;
+                            return Err(ServeError::Shed { zone });
+                        }
+                        AdmissionPolicy::Queue => {
+                            let id = self.next_id;
+                            self.next_id += 1;
+                            self.stats.queued_joins += 1;
+                            self.deferred.push(DeferredJoin { node, zone, id, at });
+                            return Ok(Some(id));
+                        }
+                    }
+                }
                 let id = self.next_id;
                 self.next_id += 1;
                 self.pending_joins.insert(id);
@@ -498,6 +717,12 @@ impl ServeEngine {
                 Some(id)
             }
             StreamEvent::Leave { id } => {
+                // A queued joiner that leaves before being admitted just
+                // departs the deferred queue: it was never live.
+                if let Some(pos) = self.deferred.iter().position(|d| d.id == id) {
+                    self.deferred.remove(pos);
+                    return Ok(None);
+                }
                 self.check_live(id)?;
                 self.pending_leaves.insert(id);
                 self.pending.push(Pending::Leave { id, at });
@@ -509,6 +734,12 @@ impl ServeEngine {
                         zone,
                         zones: self.inst.num_zones(),
                     });
+                }
+                // A queued joiner may move zones while waiting; it will
+                // be admitted into its latest zone.
+                if let Some(pos) = self.deferred.iter().position(|d| d.id == id) {
+                    self.deferred[pos].zone = zone;
+                    return Ok(None);
                 }
                 self.check_live(id)?;
                 self.pending.push(Pending::Move { id, zone, at });
@@ -522,9 +753,10 @@ impl ServeEngine {
     }
 
     /// Heartbeat for quiet periods: counts one staleness tick and flushes
-    /// once `max_staleness` ticks accumulate with events pending.
+    /// once `max_staleness` ticks accumulate with events pending (joins
+    /// deferred by admission control count: their retry rides the flush).
     pub fn tick(&mut self) -> Option<FlushReport> {
-        if self.pending.is_empty() {
+        if self.pending.is_empty() && self.deferred.is_empty() {
             self.staleness = 0;
             return None;
         }
@@ -547,8 +779,12 @@ impl ServeEngine {
 
     /// Applies every buffered event as one micro-batch and runs the
     /// incremental repair. Returns `None` when nothing was pending.
+    /// Joins deferred by [`AdmissionPolicy::Queue`] are retried first
+    /// (FIFO, stopping at the first still-blocked join so the queue
+    /// order is preserved) and ride this flush when re-admitted.
     pub fn flush_now(&mut self) -> Option<FlushReport> {
         self.staleness = 0;
+        self.readmit_deferred();
         if self.pending.is_empty() {
             return None;
         }
@@ -609,6 +845,217 @@ impl ServeEngine {
     #[inline]
     fn load(&self, s: usize) -> f64 {
         self.zone_load[s] + self.forward_load[s]
+    }
+
+    /// The admission check: a join into `zone` passes while the zone's
+    /// target server is at most `(1 - headroom) x capacity` booked.
+    /// Reads only committed load books (as of the last flush), so the
+    /// decision is deterministic and thread-count-invariant. Open
+    /// admission always passes.
+    fn admit_join(&self, zone: usize) -> bool {
+        let policy = self.config.degradation;
+        if matches!(policy.admission, AdmissionPolicy::Open) {
+            return true;
+        }
+        let target = self.target_of_zone[zone];
+        self.load(target) <= (1.0 - policy.headroom) * self.inst.capacity(target) + 1e-9
+    }
+
+    /// Retries deferred joins in FIFO order, stopping at the first one
+    /// still blocked (preserving queue order); re-admitted joins keep
+    /// their original arrival stamp, so the latency histogram measures
+    /// arrival-to-commit across the deferral.
+    fn readmit_deferred(&mut self) {
+        while let Some(d) = self.deferred.first().copied() {
+            if !self.admit_join(d.zone) {
+                break;
+            }
+            self.deferred.remove(0);
+            self.pending_joins.insert(d.id);
+            self.pending.push(Pending::Join {
+                node: d.node,
+                zone: d.zone,
+                id: d.id,
+                at: d.at,
+            });
+        }
+    }
+
+    /// Fails server `server` through the live stream path: flushes
+    /// pending work, retires the server's capacity to zero (so every
+    /// downstream fit check excludes it with no special cases), then
+    /// runs the **mass evacuation** — every hosted zone leaves,
+    /// largest-demand first, to the cheapest `C^I` survivor with room,
+    /// or (degraded mode) to the survivor with the most headroom when
+    /// none fits: a deliberately overloaded survivor beats a dead host.
+    /// Every relay still routed through the server is then shed
+    /// (counted in [`ServeStats::shed_events`]).
+    ///
+    /// Never escalates to a full repair and never panics: if no
+    /// survivor exists at all, hosted zones stay pinned to the dead
+    /// server and the engine simply reports infeasible. Idempotent on
+    /// an already-down server.
+    pub fn fail_server(&mut self, server: usize) -> Result<FailoverReport, ServeError> {
+        let m = self.inst.num_servers();
+        if server >= m {
+            return Err(ServeError::UnknownServer { server, servers: m });
+        }
+        self.flush_now();
+        if self.down[server] {
+            return Ok(FailoverReport {
+                server,
+                zones_evacuated: 0,
+                relays_shed: 0,
+                feasible: self.capacity_ok,
+            });
+        }
+        self.down[server] = true;
+        self.inst.set_capacity(server, 0.0);
+        self.stats.failovers += 1;
+
+        let mut zones: Vec<usize> = (0..self.inst.num_zones())
+            .filter(|&z| self.target_of_zone[z] == server)
+            .collect();
+        zones.sort_by(|&a, &b| {
+            self.inst
+                .zone_bps(b)
+                .partial_cmp(&self.inst.zone_bps(a))
+                .expect("finite")
+        });
+        let mut evacuated = 0usize;
+        for z in zones {
+            if let Some(dest) = self.evacuation_dest(server, z) {
+                self.migrate_zone(z, dest);
+                evacuated += 1;
+            }
+        }
+        // Relays from zones hosted elsewhere may still route through
+        // the dead server; shed them all (each re-decision shrinks the
+        // list — capacity 0 keeps re-picking it impossible).
+        let mut shed = 0usize;
+        while let Some(&c) = self.relayed_of_server[server].last() {
+            self.decide_contact(c);
+            shed += 1;
+        }
+        self.stats.zones_migrated += evacuated as u64;
+        self.stats.shed_events += shed as u64;
+        self.capacity_ok = (0..m).all(|s| self.load(s) <= self.inst.capacity(s) + 1e-9);
+        Ok(FailoverReport {
+            server,
+            zones_evacuated: evacuated,
+            relays_shed: shed,
+            feasible: self.capacity_ok,
+        })
+    }
+
+    /// Where zone `z` evacuates to when `from` fails: the cheapest
+    /// `C^I` survivor with room, else the survivor with the most
+    /// capacity headroom (ties: lowest index — deterministic). `None`
+    /// only when every other server is down too.
+    fn evacuation_dest(&self, from: usize, z: usize) -> Option<usize> {
+        let m = self.inst.num_servers();
+        let demand = self.inst.zone_bps(z);
+        let fit = (0..m)
+            .filter(|&d| {
+                d != from && !self.down[d] && self.load(d) + demand <= self.inst.capacity(d) + 1e-9
+            })
+            .min_by(|&a, &b| {
+                self.matrix
+                    .cost(a, z)
+                    .partial_cmp(&self.matrix.cost(b, z))
+                    .expect("finite")
+            });
+        if fit.is_some() {
+            return fit;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for d in 0..m {
+            if d == from || self.down[d] {
+                continue;
+            }
+            let headroom = self.inst.capacity(d) - self.load(d);
+            if best.is_none_or(|(h, _)| headroom > h) {
+                best = Some((headroom, d));
+            }
+        }
+        best.map(|(_, d)| d)
+    }
+
+    /// Recovers server `server`: flushes pending work, restores the
+    /// nominal capacity, and runs the **re-admission sweep** — the same
+    /// zone-scoped repair the flush path uses, over every zone: quality
+    /// shifts pull zones onto the recovered capacity where that wins,
+    /// and the evacuation loop drains any survivor still overloaded
+    /// from the degraded window. Deterministic, and never escalates to
+    /// the full-repair fallback (the sweep either restores feasibility
+    /// locally or the engine was already infeasible before the flush,
+    /// which disarms the escalation guard). Idempotent on an up server.
+    pub fn restore_server(&mut self, server: usize) -> Result<RestoreReport, ServeError> {
+        let m = self.inst.num_servers();
+        if server >= m {
+            return Err(ServeError::UnknownServer { server, servers: m });
+        }
+        self.flush_now();
+        if !self.down[server] {
+            return Ok(RestoreReport {
+                server,
+                zones_migrated: 0,
+                feasible: self.capacity_ok,
+            });
+        }
+        self.down[server] = false;
+        self.inst
+            .set_capacity(server, self.nominal_capacity[server]);
+        self.stats.recoveries += 1;
+        // Zones still pinned to a dead host (stranded by a window with
+        // no survivors) force-move onto live capacity first — same
+        // forced-placement rule as the failover evacuation.
+        let mut rescued = 0usize;
+        for z in 0..self.inst.num_zones() {
+            let pinned = self.target_of_zone[z];
+            if self.down[pinned] {
+                if let Some(dest) = self.evacuation_dest(pinned, z) {
+                    self.migrate_zone(z, dest);
+                    rescued += 1;
+                }
+            }
+        }
+        let all: Vec<usize> = (0..self.inst.num_zones()).collect();
+        let (migrated, full) = self.repair_targets(&all);
+        debug_assert!(!full, "restore sweep never escalates to full repair");
+        if !full {
+            self.repair_contacts(&all, &migrated, &[]);
+        }
+        self.stats.zones_migrated += (rescued + migrated.len()) as u64;
+        self.capacity_ok = (0..m).all(|s| self.load(s) <= self.inst.capacity(s) + 1e-9);
+        Ok(RestoreReport {
+            server,
+            zones_migrated: rescued + migrated.len(),
+            feasible: self.capacity_ok,
+        })
+    }
+
+    /// Whether `server` is currently failed.
+    pub fn is_server_down(&self, server: usize) -> bool {
+        self.down[server]
+    }
+
+    /// Currently failed servers, ascending.
+    pub fn down_servers(&self) -> Vec<usize> {
+        (0..self.inst.num_servers())
+            .filter(|&s| self.down[s])
+            .collect()
+    }
+
+    /// The nominal (boot-time) capacity of `server` — what
+    /// [`ServeEngine::restore_server`] restores.
+    pub fn nominal_capacity(&self, server: usize) -> f64 {
+        self.nominal_capacity[server]
+    }
+
+    /// Joins accepted by [`AdmissionPolicy::Queue`] and still deferred.
+    pub fn deferred_joins(&self) -> usize {
+        self.deferred.len()
     }
 
     fn apply_leave(&mut self, id: ClientId, touched: &mut Vec<usize>) {
@@ -756,12 +1203,15 @@ impl ServeEngine {
                 restored = false;
             }
         }
-        if !restored && self.capacity_ok {
+        if !restored && self.capacity_ok && !self.down.iter().any(|&d| d) {
             // The engine was feasible and a local evacuation cannot keep
             // it so: escalate to the full repair (GreC included) and
             // rebuild the load books. The fast path's own migrations
             // already sit in `migrated`; add the full repair's on top so
-            // the counters cover everything this flush moved.
+            // the counters cover everything this flush moved. With any
+            // server down the escalation stays disarmed: a global
+            // repair cannot conjure the missing capacity, and degraded
+            // mode promises bounded (zone-scoped) work per flush.
             let previous = self.target_of_zone.clone();
             let outcome = repair_assignment_with(&self.inst, &self.matrix, &previous);
             self.target_of_zone = outcome.assignment.target_of_zone;
@@ -986,6 +1436,9 @@ pub struct StreamReport {
 /// bit-identical (up to the documented index permutation) to the batch
 /// carry over the same events; with estimation error the engine samples
 /// joiner estimates from its own seeded RNG.
+///
+/// Returns [`ServeError::Infeasible`] (instead of panicking) when the
+/// initial assignment cannot be solved under `policy`.
 pub fn run_stream(
     setup: &SimSetup,
     index: usize,
@@ -993,7 +1446,7 @@ pub fn run_stream(
     epochs: usize,
     policy: StuckPolicy,
     config: ServeConfig,
-) -> StreamReport {
+) -> Result<StreamReport, ServeError> {
     run_stream_with_warmup(setup, index, batch, 0, epochs, policy, config)
 }
 
@@ -1010,7 +1463,7 @@ pub fn run_stream_with_warmup(
     epochs: usize,
     policy: StuckPolicy,
     config: ServeConfig,
-) -> StreamReport {
+) -> Result<StreamReport, ServeError> {
     let rep = build_replication(setup, index);
     let error = ErrorModel::new(setup.error_factor);
     let engine_rng = StdRng::seed_from_u64(setup.base_seed.wrapping_add(index as u64) ^ 0x5e4e);
@@ -1022,8 +1475,7 @@ pub fn run_stream_with_warmup(
         policy,
         config,
         engine_rng,
-    )
-    .unwrap_or_else(|e| panic!("initial GreZ failed on run {index}: {e}"));
+    )?;
 
     let mut world = rep.world;
     let mut rng = rep.rng;
@@ -1061,6 +1513,9 @@ pub fn run_stream_with_warmup(
                         .expect("joins are assigned an id");
                     join_ids.push(id);
                 }
+                WorldEvent::ServerDown { .. } | WorldEvent::ServerUp { .. } => {
+                    unreachable!("dynamics traces carry no infrastructure events")
+                }
             }
         }
         engine.flush_now();
@@ -1090,10 +1545,10 @@ pub fn run_stream_with_warmup(
         }
         seen = (stats.zones_migrated, stats.full_repairs, stats.flushes);
     }
-    StreamReport {
+    Ok(StreamReport {
         records,
         stats: engine.stats().clone(),
-    }
+    })
 }
 
 /// Drives a [`ServeEngine`] from a [`MobilityModel`] instead of Table 3
@@ -1112,7 +1567,7 @@ pub fn run_mobility_stream(
     ticks: usize,
     policy: StuckPolicy,
     config: ServeConfig,
-) -> StreamReport {
+) -> Result<StreamReport, ServeError> {
     run_mobility_stream_with(
         setup,
         index,
@@ -1149,7 +1604,7 @@ pub fn run_mobility_stream_with(
     policy: StuckPolicy,
     config: ServeConfig,
     quality: QualityEstimator,
-) -> StreamReport {
+) -> Result<StreamReport, ServeError> {
     let rep = build_replication(setup, index);
     let error = ErrorModel::new(setup.error_factor);
     let engine_rng = StdRng::seed_from_u64(setup.base_seed.wrapping_add(index as u64) ^ 0x306b);
@@ -1161,8 +1616,7 @@ pub fn run_mobility_stream_with(
         policy,
         config,
         engine_rng,
-    )
-    .unwrap_or_else(|e| panic!("initial GreZ failed on run {index}: {e}"));
+    )?;
 
     let mut world = rep.world;
     let mut rng = rep.rng;
@@ -1247,10 +1701,10 @@ pub fn run_mobility_stream_with(
             .expect("mobility events are valid");
     }
     engine.flush_now();
-    StreamReport {
+    Ok(StreamReport {
         records,
         stats: engine.stats().clone(),
-    }
+    })
 }
 
 /// The batch-equivalence harness: the same per-event stream as
@@ -1566,7 +2020,8 @@ mod tests {
                 max_staleness: 4,
                 ..Default::default()
             },
-        );
+        )
+        .expect("feasible seed");
         assert_eq!(report.records.len(), 5);
         for (s, b) in report.records.iter().zip(&churn) {
             assert_eq!(s.clients, b.clients, "populations must match");
@@ -1638,9 +2093,11 @@ mod tests {
             max_staleness: 4,
             ..Default::default()
         };
-        let plain = run_stream(&setup, 0, &batch, 3, StuckPolicy::BestEffort, config);
+        let plain =
+            run_stream(&setup, 0, &batch, 3, StuckPolicy::BestEffort, config).expect("feasible");
         let warmed =
-            run_stream_with_warmup(&setup, 0, &batch, 1, 2, StuckPolicy::BestEffort, config);
+            run_stream_with_warmup(&setup, 0, &batch, 1, 2, StuckPolicy::BestEffort, config)
+                .expect("feasible");
         assert_eq!(warmed.records.len(), 2);
         assert_eq!(warmed.stats.warmup.count(), 40);
         assert_eq!(warmed.stats.latency.count(), 80);
@@ -1669,7 +2126,8 @@ mod tests {
             max_staleness: 2,
             ..Default::default()
         };
-        let report = run_mobility_stream(&setup, 0, &model, 6, StuckPolicy::BestEffort, config);
+        let report = run_mobility_stream(&setup, 0, &model, 6, StuckPolicy::BestEffort, config)
+            .expect("feasible");
         assert_eq!(report.records.len(), 6);
         for r in &report.records {
             assert_eq!(r.clients, 120, "mobility never changes population");
@@ -1682,7 +2140,8 @@ mod tests {
             report.stats.events
         );
         assert_eq!(report.stats.events, report.stats.latency.count());
-        let again = run_mobility_stream(&setup, 0, &model, 6, StuckPolicy::BestEffort, config);
+        let again = run_mobility_stream(&setup, 0, &model, 6, StuckPolicy::BestEffort, config)
+            .expect("feasible");
         for (a, b) in report.records.iter().zip(&again.records) {
             assert_eq!(a.pqos, b.pqos);
             assert_eq!(a.zones_migrated, b.zones_migrated);
@@ -1722,6 +2181,7 @@ mod tests {
             arrival: InterArrival::Exponential {
                 mean_gap_ticks: 0.02,
             },
+            ..Default::default()
         };
         let report = run_mobility_stream_with(
             &setup,
@@ -1731,7 +2191,8 @@ mod tests {
             StuckPolicy::BestEffort,
             timed_config,
             QualityEstimator::Exact,
-        );
+        )
+        .expect("feasible");
         assert_eq!(report.records.len(), 6);
         for r in &report.records {
             assert_eq!(r.clients, 120, "mobility never changes population");
@@ -1756,7 +2217,8 @@ mod tests {
             StuckPolicy::BestEffort,
             timed_config,
             QualityEstimator::Exact,
-        );
+        )
+        .expect("feasible");
         for (a, b) in report.records.iter().zip(&again.records) {
             assert_eq!(a.pqos, b.pqos);
             assert_eq!(a.flushes, b.flushes);
@@ -1777,8 +2239,10 @@ mod tests {
             max_staleness: 3,
             ..Default::default()
         };
-        let a = run_stream(&setup, 0, &batch, 3, StuckPolicy::BestEffort, config);
-        let b = run_stream(&setup, 0, &batch, 3, StuckPolicy::BestEffort, config);
+        let a =
+            run_stream(&setup, 0, &batch, 3, StuckPolicy::BestEffort, config).expect("feasible");
+        let b =
+            run_stream(&setup, 0, &batch, 3, StuckPolicy::BestEffort, config).expect("feasible");
         for (x, y) in a.records.iter().zip(&b.records) {
             assert_eq!(x.clients, y.clients);
             assert_eq!(x.pqos, y.pqos);
@@ -1842,5 +2306,320 @@ mod tests {
         assert!(stream
             .iter()
             .all(|r| (0.0..=1.0).contains(&r.pqos_repaired)));
+    }
+
+    /// Picks the most loaded server, one of its zones, and a headroom
+    /// that puts that server strictly over the admission line — the
+    /// deterministic fixture for the admission-control tests.
+    fn blocked_fixture(setup: &SimSetup) -> (usize, usize, f64) {
+        let probe = boot_engine(setup, ServeConfig::default());
+        let loads = probe.assignment().server_loads(probe.instance());
+        let s_max = (0..loads.len())
+            .max_by(|&a, &b| {
+                (loads[a] / probe.instance().capacity(a))
+                    .total_cmp(&(loads[b] / probe.instance().capacity(b)))
+            })
+            .expect("servers exist");
+        let zone = probe
+            .targets()
+            .iter()
+            .position(|&s| s == s_max)
+            .expect("the most loaded server hosts a zone");
+        let frac = loads[s_max] / probe.instance().capacity(s_max);
+        assert!(frac > 0.0, "fixture server carries load");
+        // Admission line at half the current load fraction: blocked now,
+        // unblocked once enough of the load drains.
+        let headroom = (1.0 - frac / 2.0).clamp(0.0, 0.999);
+        (s_max, zone, headroom)
+    }
+
+    /// Reject admission: a join into a zone whose target is over the
+    /// headroom line is refused with `Shed` and counted, and the
+    /// population is untouched.
+    #[test]
+    fn reject_admission_sheds_joins_over_the_headroom_line() {
+        let setup = small_setup();
+        let (_, zone, headroom) = blocked_fixture(&setup);
+        let mut engine = boot_engine(
+            &setup,
+            ServeConfig {
+                degradation: DegradationPolicy {
+                    admission: AdmissionPolicy::Reject,
+                    headroom,
+                    max_pending: None,
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            engine.push(StreamEvent::Join { node: 0, zone }),
+            Err(ServeError::Shed { zone })
+        );
+        assert_eq!(engine.stats().rejected_joins, 1);
+        assert_eq!(engine.stats().shed_events, 1);
+        assert_eq!(engine.num_clients(), 120);
+        assert_eq!(engine.pending_events(), 0);
+        // Shed decisions burn no ids: the next admitted client's id is
+        // still dense.
+        assert_engine_consistent(&engine);
+    }
+
+    /// Queue admission: a blocked join is deferred with a live id
+    /// reservation; moves re-target it and a leave cancels it; once the
+    /// blocking load drains, the flush re-admits it with its original
+    /// arrival stamp.
+    #[test]
+    fn queue_admission_defers_and_readmits_when_load_drains() {
+        let setup = small_setup();
+        let (s_max, zone, headroom) = blocked_fixture(&setup);
+        let mut engine = boot_engine(
+            &setup,
+            ServeConfig {
+                max_batch: 1,
+                max_staleness: 1,
+                degradation: DegradationPolicy {
+                    admission: AdmissionPolicy::Queue,
+                    headroom,
+                    max_pending: None,
+                },
+                ..Default::default()
+            },
+        );
+        // Deferred, not live, not buffered.
+        let id = engine
+            .push(StreamEvent::Join { node: 0, zone })
+            .unwrap()
+            .expect("queued joins still get ids");
+        assert_eq!(engine.deferred_joins(), 1);
+        assert_eq!(engine.index_of(id), None);
+        assert_eq!(engine.num_clients(), 120);
+        // A queued joiner can move while waiting and leave while waiting.
+        engine.push(StreamEvent::Move { id, zone: 0 }).unwrap();
+        assert_eq!(engine.deferred_joins(), 1);
+        engine.push(StreamEvent::Leave { id }).unwrap();
+        assert_eq!(engine.deferred_joins(), 0);
+        assert_eq!(engine.stats().queued_joins, 1);
+
+        // Queue another, then drain the blocking server's load by
+        // leaving its clients until the flush re-admits the joiner.
+        let qid = engine
+            .push(StreamEvent::Join { node: 0, zone })
+            .unwrap()
+            .expect("queued");
+        let mut admitted = false;
+        for _ in 0..200 {
+            engine.flush_now();
+            if engine.deferred_joins() == 0 {
+                admitted = true;
+                break;
+            }
+            let Some(c) = (0..engine.num_clients())
+                .find(|&c| engine.targets()[engine.instance().zone_of(c)] == s_max)
+            else {
+                break;
+            };
+            let leaver = engine.id_at(c);
+            engine.push(StreamEvent::Leave { id: leaver }).unwrap();
+        }
+        assert!(admitted, "the deferred join was never re-admitted");
+        let c = engine.index_of(qid).expect("re-admitted join is live");
+        assert_eq!(engine.instance().zone_of(c), zone);
+        assert_engine_consistent(&engine);
+    }
+
+    /// The bounded ingest queue: pushes beyond `max_pending` are
+    /// refused with `QueueFull` until a flush drains the buffer.
+    #[test]
+    fn bounded_ingest_queue_applies_backpressure() {
+        let setup = small_setup();
+        let mut engine = boot_engine(
+            &setup,
+            ServeConfig {
+                max_batch: 100,
+                max_staleness: 100,
+                degradation: DegradationPolicy {
+                    max_pending: Some(3),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        for id in 0..3 {
+            engine.push(StreamEvent::Move { id, zone: 1 }).unwrap();
+        }
+        assert_eq!(
+            engine.push(StreamEvent::Move { id: 3, zone: 1 }),
+            Err(ServeError::QueueFull { bound: 3 })
+        );
+        assert_eq!(
+            engine.pending_events(),
+            3,
+            "the refused event is not buffered"
+        );
+        engine.flush_now();
+        engine.push(StreamEvent::Move { id: 3, zone: 1 }).unwrap();
+        assert_eq!(engine.pending_events(), 1);
+        engine.flush_now();
+        assert_engine_consistent(&engine);
+    }
+
+    /// Mass evacuation: failing a server moves every hosted zone to a
+    /// survivor and sheds every relay through it; restore brings the
+    /// capacities back bit-identical and the whole cycle is
+    /// deterministic.
+    #[test]
+    fn fail_then_restore_recovers_bit_identical_capacities() {
+        let setup = small_setup();
+        let run = || {
+            let mut engine = boot_engine(&setup, ServeConfig::default());
+            let victim = engine.targets()[0];
+            let nominal = engine.instance().capacity(victim);
+            let report = engine.fail_server(victim).expect("server in range");
+            assert!(engine.is_server_down(victim));
+            assert_eq!(engine.down_servers(), vec![victim]);
+            assert_eq!(engine.instance().capacity(victim), 0.0);
+            assert!(
+                engine.targets().iter().all(|&s| s != victim),
+                "every zone evacuated the failed server"
+            );
+            assert!(
+                engine.contacts().iter().all(|&s| s != victim),
+                "no client is served or relayed through the failed server"
+            );
+            assert!(report.zones_evacuated > 0, "the victim hosted zones");
+            assert_engine_consistent(&engine);
+
+            // Serving continues on the degraded engine.
+            let id = engine
+                .push(StreamEvent::Join { node: 1, zone: 2 })
+                .unwrap()
+                .unwrap();
+            engine.push(StreamEvent::Move { id, zone: 4 }).unwrap();
+            engine.flush_now();
+            assert!(engine.contacts().iter().all(|&s| s != victim));
+
+            let restore = engine.restore_server(victim).expect("server in range");
+            assert!(!engine.is_server_down(victim));
+            assert_eq!(engine.instance().capacity(victim), nominal);
+            assert!(restore.feasible, "small tier refits after recovery");
+            assert_engine_consistent(&engine);
+            assert_eq!(engine.stats().failovers, 1);
+            assert_eq!(engine.stats().recoveries, 1);
+            assert_eq!(engine.stats().full_repairs, 0);
+            // Idempotence: both directions are no-ops when already there.
+            assert_eq!(engine.restore_server(victim).unwrap().zones_migrated, 0);
+            (
+                engine.targets().to_vec(),
+                engine.contacts().to_vec(),
+                engine.metrics().pqos,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "failure/recovery decisions are deterministic");
+    }
+
+    /// Forced evacuation when no survivor has room: with four of five
+    /// servers failed, the last survivor absorbs every zone — feasible
+    /// or not — because an overloaded survivor beats a dead host.
+    #[test]
+    fn evacuation_forces_placement_when_all_survivors_are_overloaded() {
+        let setup = small_setup();
+        let mut engine = boot_engine(&setup, ServeConfig::default());
+        for s in 0..4 {
+            engine.fail_server(s).expect("in range");
+        }
+        assert_eq!(engine.down_servers(), vec![0, 1, 2, 3]);
+        assert!(
+            engine.targets().iter().all(|&s| s == 4),
+            "the sole survivor hosts every zone"
+        );
+        assert!(
+            engine.contacts().iter().all(|&s| s == 4),
+            "no contact can route anywhere else"
+        );
+        assert_engine_consistent(&engine);
+        // The engine keeps serving and never escalates to a full repair
+        // while degraded, even if the survivor is overloaded.
+        let before = engine.num_clients();
+        engine
+            .push(StreamEvent::Join { node: 0, zone: 1 })
+            .unwrap()
+            .unwrap();
+        engine.flush_now();
+        assert_eq!(engine.num_clients(), before + 1);
+        assert_eq!(engine.stats().full_repairs, 0);
+        assert_engine_consistent(&engine);
+    }
+
+    /// Failing the last server of every zone's contact set — no
+    /// survivors at all: zones stay pinned to their dead host, the
+    /// engine reports infeasible, keeps its books, and never panics.
+    #[test]
+    fn failing_every_server_degrades_without_panic() {
+        let setup = small_setup();
+        let mut engine = boot_engine(&setup, ServeConfig::default());
+        for s in 0..5 {
+            engine.fail_server(s).expect("in range");
+        }
+        assert!(!engine.is_feasible(), "no capacity anywhere");
+        assert_eq!(engine.num_clients(), 120, "population is retained");
+        assert_engine_consistent(&engine);
+        // Unknown servers are a typed refusal, not a panic.
+        assert_eq!(
+            engine.fail_server(99),
+            Err(ServeError::UnknownServer {
+                server: 99,
+                servers: 5
+            })
+        );
+        // Recovery from total loss works server by server.
+        engine.restore_server(0).expect("in range");
+        assert!(
+            engine.targets().iter().all(|&s| s == 0),
+            "the first recovered server re-hosts everything"
+        );
+        assert_engine_consistent(&engine);
+    }
+
+    /// Thread-count invariance of the degraded state (DVE_THREADS ∈
+    /// {1, 2, 8}): the carried matrix and the violator scan agree with
+    /// every parallel width after failure and after recovery — the
+    /// propose-parallel/commit-serial seam is failure-transparent.
+    #[test]
+    fn degraded_state_is_thread_count_invariant() {
+        use dve_assign::{violating_clients, violating_clients_threads};
+        let setup = small_setup();
+        let mut engine = boot_engine(&setup, ServeConfig::default());
+        let victim = engine.targets()[3];
+        engine.fail_server(victim).expect("in range");
+        // Churn on the degraded engine.
+        for i in 0..10 {
+            engine
+                .push(StreamEvent::Join {
+                    node: i,
+                    zone: i % 15,
+                })
+                .unwrap();
+        }
+        engine.flush_now();
+        for phase in 0..2 {
+            let serial = violating_clients(engine.instance(), engine.targets());
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    &CostMatrix::build_threads(engine.instance(), threads),
+                    engine.matrix(),
+                    "phase {phase}: carried matrix diverges at {threads} threads"
+                );
+                assert_eq!(
+                    violating_clients_threads(engine.instance(), engine.targets(), threads),
+                    serial,
+                    "phase {phase}: violator scan diverges at {threads} threads"
+                );
+            }
+            if phase == 0 {
+                engine.restore_server(victim).expect("in range");
+            }
+        }
     }
 }

@@ -1,0 +1,215 @@
+//! Deterministic server-failure schedules for the robustness scenarios.
+//!
+//! The paper assigns clients assuming every server stays up; a
+//! production DVE engine must survive a server dying mid-stream and
+//! report how fast quality recovers. This module generates the *fault
+//! side* of such scenarios as [`WorldEvent::ServerDown`] /
+//! [`WorldEvent::ServerUp`] streams keyed by tick, so every engine
+//! consumes failures through the same event vocabulary as churn:
+//!
+//! * [`FaultKind::Single`] — one server fails once and stays down (the
+//!   m→m−1 mass-evacuation drill, the inverse of the flash crowd);
+//! * [`FaultKind::Correlated`] — several distinct servers fail at the
+//!   same tick (a rack/AZ loss: the hardest evacuation shape, because
+//!   the survivors absorb everything at once);
+//! * [`FaultKind::FailRecover`] — a server fails and recovers
+//!   `down_for` ticks later (m→m−1→m), exercising the re-admission
+//!   path.
+//!
+//! Schedules are seeded and bit-reproducible: the same `(kind, servers,
+//! ticks, seed)` always yields the same events, which is what lets the
+//! recovery bench replay a schedule and CI gate its recovery time.
+
+use crate::stream::WorldEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated failure schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// One server fails at the schedule's midpoint and stays down.
+    Single,
+    /// `failures` distinct servers fail together at the midpoint.
+    Correlated {
+        /// How many servers fail at once (clamped to `servers - 1`:
+        /// at least one survivor always remains).
+        failures: usize,
+    },
+    /// One server fails at the midpoint and recovers `down_for` ticks
+    /// later (clamped to land inside the schedule).
+    FailRecover {
+        /// Ticks between the [`WorldEvent::ServerDown`] and its
+        /// [`WorldEvent::ServerUp`].
+        down_for: usize,
+    },
+}
+
+/// A seeded, tick-keyed server fault schedule. Generate once with
+/// [`FaultSchedule::generate`], then drain each tick's events with
+/// [`FaultSchedule::events_at`] as the serving loop advances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    ticks: usize,
+    /// (tick, event), ascending by tick; downs precede ups within a tick.
+    events: Vec<(usize, WorldEvent)>,
+}
+
+impl FaultSchedule {
+    /// Generates a deterministic schedule of `kind` over `ticks` ticks
+    /// against a pool of `servers` servers. Which servers fail is drawn
+    /// from `seed`; the failure tick is the schedule midpoint, so every
+    /// run has a pre-failure window to baseline quality against and a
+    /// post-failure window to recover in.
+    ///
+    /// Panics if `servers < 2` (a schedule that downs the only server
+    /// has no survivors to evacuate to and no recovery to measure) or
+    /// `ticks < 2`.
+    pub fn generate(kind: FaultKind, servers: usize, ticks: usize, seed: u64) -> FaultSchedule {
+        assert!(servers >= 2, "need at least one survivor");
+        assert!(ticks >= 2, "need a pre-failure and a post-failure window");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fail_at = ticks / 2;
+        let mut events = Vec::new();
+        match kind {
+            FaultKind::Single => {
+                let victim = rng.gen_range(0..servers);
+                events.push((fail_at, WorldEvent::ServerDown { server: victim }));
+            }
+            FaultKind::Correlated { failures } => {
+                let failures = failures.clamp(1, servers - 1);
+                // Distinct victims, draw order preserved (Floyd-style
+                // rejection keeps the draw count data-independent enough
+                // while staying simple and seeded).
+                let mut victims: Vec<usize> = Vec::with_capacity(failures);
+                while victims.len() < failures {
+                    let v = rng.gen_range(0..servers);
+                    if !victims.contains(&v) {
+                        victims.push(v);
+                    }
+                }
+                for v in victims {
+                    events.push((fail_at, WorldEvent::ServerDown { server: v }));
+                }
+            }
+            FaultKind::FailRecover { down_for } => {
+                let victim = rng.gen_range(0..servers);
+                let up_at = (fail_at + down_for.max(1)).min(ticks - 1);
+                events.push((fail_at, WorldEvent::ServerDown { server: victim }));
+                events.push((up_at, WorldEvent::ServerUp { server: victim }));
+            }
+        }
+        FaultSchedule { ticks, events }
+    }
+
+    /// Ticks the schedule spans.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Every scheduled event with its tick, ascending.
+    pub fn events(&self) -> &[(usize, WorldEvent)] {
+        &self.events
+    }
+
+    /// The events scheduled for `tick` (possibly empty), in order.
+    pub fn events_at(&self, tick: usize) -> impl Iterator<Item = WorldEvent> + '_ {
+        self.events
+            .iter()
+            .filter(move |(t, _)| *t == tick)
+            .map(|(_, e)| *e)
+    }
+
+    /// The tick of the first [`WorldEvent::ServerDown`], if any.
+    pub fn first_failure_tick(&self) -> Option<usize> {
+        self.events
+            .iter()
+            .find(|(_, e)| matches!(e, WorldEvent::ServerDown { .. }))
+            .map(|(t, _)| *t)
+    }
+
+    /// Servers downed anywhere in the schedule, in event order.
+    pub fn downed_servers(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                WorldEvent::ServerDown { server } => Some(*server),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_schedule_downs_one_server_at_midpoint() {
+        let s = FaultSchedule::generate(FaultKind::Single, 10, 8, 7);
+        assert_eq!(s.events().len(), 1);
+        assert_eq!(s.first_failure_tick(), Some(4));
+        let victims = s.downed_servers();
+        assert_eq!(victims.len(), 1);
+        assert!(victims[0] < 10);
+        assert_eq!(s.events_at(4).count(), 1);
+        assert_eq!(s.events_at(3).count(), 0);
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        for kind in [
+            FaultKind::Single,
+            FaultKind::Correlated { failures: 3 },
+            FaultKind::FailRecover { down_for: 2 },
+        ] {
+            let a = FaultSchedule::generate(kind, 20, 12, 99);
+            let b = FaultSchedule::generate(kind, 20, 12, 99);
+            assert_eq!(a, b);
+        }
+        let a = FaultSchedule::generate(FaultKind::Single, 20, 12, 1);
+        let b = FaultSchedule::generate(FaultKind::Single, 20, 12, 2);
+        // Different seeds may pick different victims (not guaranteed,
+        // but the schedule shape always matches).
+        assert_eq!(a.events().len(), b.events().len());
+    }
+
+    #[test]
+    fn correlated_failures_are_distinct_and_leave_a_survivor() {
+        let s = FaultSchedule::generate(FaultKind::Correlated { failures: 99 }, 5, 6, 3);
+        let mut victims = s.downed_servers();
+        assert_eq!(victims.len(), 4, "clamped to servers - 1");
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 4, "victims are distinct");
+        assert!(
+            s.events().iter().all(|(t, _)| *t == 3),
+            "one correlated tick"
+        );
+    }
+
+    #[test]
+    fn fail_recover_emits_up_after_down_inside_the_schedule() {
+        let s = FaultSchedule::generate(FaultKind::FailRecover { down_for: 3 }, 8, 10, 5);
+        assert_eq!(s.events().len(), 2);
+        let (down_t, down) = s.events()[0];
+        let (up_t, up) = s.events()[1];
+        assert_eq!(down_t, 5);
+        assert_eq!(up_t, 8);
+        let WorldEvent::ServerDown { server: d } = down else {
+            panic!("first event must be the failure");
+        };
+        let WorldEvent::ServerUp { server: u } = up else {
+            panic!("second event must be the recovery");
+        };
+        assert_eq!(d, u, "the recovering server is the failed one");
+        // A down_for longer than the schedule clamps to the last tick.
+        let s = FaultSchedule::generate(FaultKind::FailRecover { down_for: 100 }, 8, 10, 5);
+        assert_eq!(s.events()[1].0, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "survivor")]
+    fn single_server_pools_are_rejected() {
+        FaultSchedule::generate(FaultKind::Single, 1, 10, 0);
+    }
+}

@@ -15,7 +15,12 @@
 //! * [`apply_dynamics`] — join/leave/move population dynamics (Table 3);
 //! * [`WorldEvent`] / [`DeltaBuffer`] — the same dynamics as a continuous
 //!   event stream, coalesced into batch-shaped deltas for the serving
-//!   engine in `dve-sim`;
+//!   engine in `dve-sim`; the buffer optionally carries a capacity bound
+//!   with a coalesce-or-shed overload policy and admission timestamps;
+//! * [`FaultSchedule`] — deterministic seeded server failure/recovery
+//!   schedules ([`WorldEvent::ServerDown`]/[`WorldEvent::ServerUp`]) for
+//!   the robustness scenarios: single failure, correlated multi-failure,
+//!   fail-then-recover;
 //! * [`WorldDelays`] — the delay handle of the pipeline: a shared
 //!   [`DelaySource`] plus the gathered node→server RTT table, replacing
 //!   the dense node×node `DelayMatrix` everywhere downstream
@@ -43,6 +48,7 @@ mod delays;
 mod distribution;
 mod dynamics;
 mod error;
+mod fault;
 mod mobility;
 mod scenario;
 mod stream;
@@ -58,6 +64,7 @@ pub use dynamics::{
     apply_dynamics, ClientJoin, ClientLeave, DynamicsBatch, DynamicsOutcome, WorldDelta, ZoneMove,
 };
 pub use error::ErrorModel;
+pub use fault::{FaultKind, FaultSchedule};
 pub use mobility::{MobilityModel, ZoneGrid};
 pub use scenario::{CapacityPolicy, NotationError, ScenarioConfig};
 pub use stream::{DeltaBuffer, StreamError, WorldEvent};

@@ -30,6 +30,7 @@
 
 use crate::dynamics::{ClientJoin, ClientLeave, DynamicsOutcome, WorldDelta, ZoneMove};
 use crate::world::{Client, World};
+use std::time::Instant;
 
 /// One churn event against a base world: the world state at the time the
 /// owning [`DeltaBuffer`] was created or last flushed. `client` fields
@@ -55,6 +56,24 @@ pub enum WorldEvent {
         /// Destination zone.
         zone: usize,
     },
+    /// Server `server` fails: its capacity leaves the system and every
+    /// zone and relay it carries must be evacuated. Fault events are
+    /// *infrastructure* events — they address the serving layer, not the
+    /// client population, so a [`DeltaBuffer`] (which coalesces client
+    /// churn into batch deltas) rejects them; the serving engine in
+    /// `dve-sim` applies them immediately through its mass-evacuation
+    /// path instead.
+    ServerDown {
+        /// The failing server.
+        server: usize,
+    },
+    /// Server `server` recovers: its capacity re-enters the system and
+    /// the serving layer may rebalance back onto it. Same routing rule
+    /// as [`WorldEvent::ServerDown`].
+    ServerUp {
+        /// The recovering server.
+        server: usize,
+    },
 }
 
 /// Why a [`DeltaBuffer`] rejected an event.
@@ -79,6 +98,22 @@ pub enum StreamError {
         /// The departed client.
         client: usize,
     },
+    /// The buffer is at its capacity bound and the event would create a
+    /// new entry (coalescing updates of already-buffered clients are
+    /// always admitted). Backpressure: the producer must retry after a
+    /// flush, or shed the event (see [`DeltaBuffer::push_or_shed`]).
+    QueueFull {
+        /// The configured bound that was hit.
+        bound: usize,
+    },
+    /// Fault events ([`WorldEvent::ServerDown`]/[`WorldEvent::ServerUp`])
+    /// address the serving layer, not the client population: they cannot
+    /// be coalesced into a batch delta and must be routed to the engine
+    /// directly.
+    ServerEvent {
+        /// The server the rejected event named.
+        server: usize,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -94,6 +129,15 @@ impl std::fmt::Display for StreamError {
                 write!(
                     f,
                     "client {client} has a buffered leave and cannot act again"
+                )
+            }
+            StreamError::QueueFull { bound } => {
+                write!(f, "delta buffer is at its bound of {bound} entries")
+            }
+            StreamError::ServerEvent { server } => {
+                write!(
+                    f,
+                    "server fault event (server {server}) cannot be buffered as client churn"
                 )
             }
         }
@@ -129,10 +173,24 @@ pub struct DeltaBuffer {
     /// Pending joiners, in arrival order: (topology node, zone).
     joins: Vec<(usize, usize)>,
     events: usize,
+    /// Capacity bound on *entries* (touched clients + pending joins).
+    /// `None` = unbounded (the historical behavior). When the bound is
+    /// hit, events that would create a new entry are refused with
+    /// [`StreamError::QueueFull`]; coalescing updates of
+    /// already-buffered clients are always admitted — the
+    /// coalesce-or-shed policy of the ingest boundary.
+    bound: Option<usize>,
+    /// Admission timestamps of every accepted event since the last
+    /// flush, in arrival order — drained by
+    /// [`DeltaBuffer::take_admissions`] so latency can be measured
+    /// arrival-to-commit rather than flush-to-commit.
+    admitted: Vec<Instant>,
+    shed: u64,
+    coalesced: u64,
 }
 
 impl DeltaBuffer {
-    /// Creates an empty buffer based on `world`.
+    /// Creates an empty, unbounded buffer based on `world`.
     pub fn new(world: &World) -> DeltaBuffer {
         DeltaBuffer {
             base_clients: world.clients.len(),
@@ -141,7 +199,23 @@ impl DeltaBuffer {
             touched: Vec::new(),
             joins: Vec::new(),
             events: 0,
+            bound: None,
+            admitted: Vec::new(),
+            shed: 0,
+            coalesced: 0,
         }
+    }
+
+    /// [`DeltaBuffer::new`] with a capacity bound: at most `bound`
+    /// distinct entries (touched clients + pending joins) buffer between
+    /// flushes. Under a flash-crowd burst the buffer then sheds or
+    /// coalesces instead of growing without bound — see
+    /// [`DeltaBuffer::push_or_shed`].
+    pub fn with_bound(world: &World, bound: usize) -> DeltaBuffer {
+        assert!(bound >= 1, "a zero-entry buffer cannot accept anything");
+        let mut buffer = DeltaBuffer::new(world);
+        buffer.bound = Some(bound);
+        buffer
     }
 
     /// Number of events accepted since the last flush (coalesced events
@@ -150,13 +224,50 @@ impl DeltaBuffer {
         self.events
     }
 
+    /// Distinct buffered entries: touched base-world clients plus
+    /// pending joins — the quantity the capacity bound limits.
+    pub fn pending_entries(&self) -> usize {
+        self.touched.len() + self.joins.len()
+    }
+
+    /// The configured entry bound, if any.
+    pub fn bound(&self) -> Option<usize> {
+        self.bound
+    }
+
+    /// Lifetime count of events shed by [`DeltaBuffer::push_or_shed`]
+    /// because the buffer was full.
+    pub fn shed_events(&self) -> u64 {
+        self.shed
+    }
+
+    /// Lifetime count of events absorbed into an existing entry (a
+    /// move/leave updating an already-buffered client) instead of
+    /// occupying a new one.
+    pub fn coalesced_events(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Drains the admission timestamps of the events accepted since the
+    /// last flush (arrival order). Take them right *before*
+    /// [`DeltaBuffer::flush`] and subtract from the post-flush clock to
+    /// measure arrival-to-commit latency per event (the engine-side
+    /// analogue is `ServeEngine`'s per-event histogram); a flush clears
+    /// any timestamps not taken.
+    pub fn take_admissions(&mut self) -> Vec<Instant> {
+        std::mem::take(&mut self.admitted)
+    }
+
     /// Whether the buffer holds nothing to flush.
     pub fn is_empty(&self) -> bool {
         self.events == 0
     }
 
     /// Accepts one event, coalescing it against the buffered ones (see
-    /// the module docs for the rules).
+    /// the module docs for the rules). With a bound configured, an event
+    /// that would create a new entry while the buffer is full is refused
+    /// with [`StreamError::QueueFull`] — backpressure; coalescing
+    /// updates are always admitted.
     pub fn push(&mut self, event: WorldEvent) -> Result<(), StreamError> {
         match event {
             WorldEvent::Join { node, zone } => {
@@ -166,6 +277,7 @@ impl DeltaBuffer {
                         zones: self.zones,
                     });
                 }
+                self.check_room()?;
                 self.joins.push((node, zone));
             }
             WorldEvent::Leave { client } => {
@@ -180,9 +292,36 @@ impl DeltaBuffer {
                 }
                 self.mark(client, PendingOp::Move(zone))?;
             }
+            WorldEvent::ServerDown { server } | WorldEvent::ServerUp { server } => {
+                return Err(StreamError::ServerEvent { server });
+            }
         }
         self.events += 1;
+        self.admitted.push(Instant::now());
         Ok(())
+    }
+
+    /// [`DeltaBuffer::push`] with the shed half of the coalesce-or-shed
+    /// policy: a [`StreamError::QueueFull`] refusal drops the event and
+    /// counts it in [`DeltaBuffer::shed_events`] instead of propagating.
+    /// Returns whether the event was admitted; every other error still
+    /// propagates (they are caller bugs, not load).
+    pub fn push_or_shed(&mut self, event: WorldEvent) -> Result<bool, StreamError> {
+        match self.push(event) {
+            Ok(()) => Ok(true),
+            Err(StreamError::QueueFull { .. }) => {
+                self.shed += 1;
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn check_room(&self) -> Result<(), StreamError> {
+        match self.bound {
+            Some(bound) if self.pending_entries() >= bound => Err(StreamError::QueueFull { bound }),
+            _ => Ok(()),
+        }
     }
 
     fn mark(&mut self, client: usize, op: PendingOp) -> Result<(), StreamError> {
@@ -195,12 +334,14 @@ impl DeltaBuffer {
         match self.ops[client] {
             PendingOp::Leave => Err(StreamError::AlreadyLeft { client }),
             PendingOp::None => {
+                self.check_room()?;
                 self.ops[client] = op;
                 self.touched.push(client);
                 Ok(())
             }
             PendingOp::Move(_) => {
                 self.ops[client] = op;
+                self.coalesced += 1;
                 Ok(())
             }
         }
@@ -275,6 +416,7 @@ impl DeltaBuffer {
         self.touched.clear();
         self.joins.clear();
         self.events = 0;
+        self.admitted.clear();
         self.base_clients = clients.len();
         self.ops.resize(self.base_clients, PendingOp::None);
 
@@ -494,6 +636,100 @@ mod tests {
                 zone: 99,
                 zones: 15
             })
+        );
+        assert!(buffer.is_empty());
+    }
+
+    /// The coalesce-or-shed policy under a flash-crowd-shaped burst: a
+    /// bounded buffer admits up to its bound of distinct entries, keeps
+    /// absorbing same-client updates (coalesce), refuses new entries
+    /// (backpressure) or sheds them counted — and never grows past the
+    /// bound.
+    #[test]
+    fn bounded_buffer_sheds_and_coalesces_instead_of_growing() {
+        let w = small_world(10);
+        let mut buffer = DeltaBuffer::with_bound(&w, 8);
+        assert_eq!(buffer.bound(), Some(8));
+        // Fill the bound with distinct movers.
+        for client in 0..8 {
+            buffer.push(WorldEvent::Move { client, zone: 1 }).unwrap();
+        }
+        assert_eq!(buffer.pending_entries(), 8);
+        // A 9th distinct client is backpressured...
+        assert_eq!(
+            buffer.push(WorldEvent::Move { client: 8, zone: 2 }),
+            Err(StreamError::QueueFull { bound: 8 })
+        );
+        assert_eq!(
+            buffer.push(WorldEvent::Join { node: 0, zone: 0 }),
+            Err(StreamError::QueueFull { bound: 8 })
+        );
+        // ...or shed (counted), while same-client updates still coalesce.
+        assert_eq!(
+            buffer.push_or_shed(WorldEvent::Leave { client: 9 }),
+            Ok(false)
+        );
+        assert_eq!(buffer.shed_events(), 1);
+        buffer
+            .push(WorldEvent::Move { client: 3, zone: 5 })
+            .unwrap();
+        assert_eq!(buffer.coalesced_events(), 1);
+        assert_eq!(buffer.pending_entries(), 8, "coalescing adds no entry");
+        // Leave-after-move coalesces too (the move entry is reused).
+        buffer.push(WorldEvent::Leave { client: 4 }).unwrap();
+        assert_eq!(buffer.pending_entries(), 8);
+        // A flush drains the bound; the buffer accepts again.
+        let out = buffer.flush(&w);
+        assert_eq!(out.delta.moves.len(), 7);
+        assert_eq!(out.delta.leaves.len(), 1);
+        buffer
+            .push(WorldEvent::Move { client: 0, zone: 2 })
+            .unwrap();
+        assert_eq!(buffer.pending_entries(), 1);
+    }
+
+    /// Admission timestamps cover exactly the accepted events, in
+    /// arrival order, and reset at flush — the arrival-to-commit
+    /// measurement hook of the ingest boundary.
+    #[test]
+    fn admission_timestamps_track_accepted_events() {
+        let w = small_world(11);
+        let mut buffer = DeltaBuffer::with_bound(&w, 2);
+        buffer.push(WorldEvent::Leave { client: 0 }).unwrap();
+        buffer
+            .push(WorldEvent::Move { client: 1, zone: 3 })
+            .unwrap();
+        // A shed event gets no admission stamp.
+        assert_eq!(
+            buffer.push_or_shed(WorldEvent::Leave { client: 2 }),
+            Ok(false)
+        );
+        let admissions = buffer.take_admissions();
+        assert_eq!(admissions.len(), 2);
+        assert!(admissions[0] <= admissions[1], "arrival order");
+        let before = Instant::now();
+        buffer.flush(&w);
+        // Arrival-to-commit spans are measurable against the taken stamps.
+        for at in &admissions {
+            assert!(before.duration_since(*at) >= std::time::Duration::ZERO);
+        }
+        assert!(buffer.take_admissions().is_empty(), "flush cleared them");
+    }
+
+    /// Server fault events are infrastructure events: the churn
+    /// coalescer refuses them so they cannot be silently dropped into a
+    /// batch delta.
+    #[test]
+    fn server_fault_events_are_rejected_by_the_coalescer() {
+        let w = small_world(12);
+        let mut buffer = DeltaBuffer::new(&w);
+        assert_eq!(
+            buffer.push(WorldEvent::ServerDown { server: 2 }),
+            Err(StreamError::ServerEvent { server: 2 })
+        );
+        assert_eq!(
+            buffer.push(WorldEvent::ServerUp { server: 2 }),
+            Err(StreamError::ServerEvent { server: 2 })
         );
         assert!(buffer.is_empty());
     }
