@@ -22,11 +22,15 @@
 //! trajectory** instead — per schedule scenario, `events_to_recover`
 //! must not grow past the threshold (floored at one 600-event epoch:
 //! recovery is epoch-quantized) and `full_repairs` must be zero.
-//! Mixing a recovery record with a Table 1 baseline is a usage error.
+//! When both sides are `BENCH_burst.json` records it gates the **ingest
+//! tail** — per burst scenario, `p999_ms` must not grow past the
+//! threshold (floored at 2 ms: sub-floor tails are scheduler jitter)
+//! and `shed_leaves` must be zero. Mixing record kinds is a usage
+//! error.
 
 use dve_bench::diff::{
-    compare, compare_recover, entries, is_recover_doc, parse, recover_entries, thread_mismatch,
-    BenchEntry, DiffReport, Json, RecoverEntry,
+    compare, compare_burst, compare_recover, entries, is_burst_doc, is_recover_doc, parse,
+    recover_entries, thread_mismatch, BenchEntry, BurstEntry, DiffReport, Json, RecoverEntry,
 };
 
 fn load_doc(path: &str) -> Json {
@@ -54,9 +58,75 @@ fn recovery_entries(doc: &Json, path: &str) -> Vec<RecoverEntry> {
     })
 }
 
+fn burst_scenarios(doc: &Json, path: &str) -> Vec<BurstEntry> {
+    dve_bench::diff::burst_entries(doc).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// One 600-event churn epoch: recovery is observed at epoch boundaries,
 /// so `events_to_recover` deltas inside one epoch are quantization.
 const RECOVER_FLOOR_EVENTS: f64 = 600.0;
+
+/// Tail-latency floor for the burst gate: when both sides' p99.9 sits
+/// at or under 2 ms, the delta is shared-runner scheduler jitter, not a
+/// code change (the bench's own hard budget is 5 ms).
+const BURST_FLOOR_MS: f64 = 2.0;
+
+fn diff_burst(paths: &[String], fresh: &[BurstEntry], baseline: &[BurstEntry], threshold: f64) {
+    let report = compare_burst(fresh, baseline, threshold, BURST_FLOOR_MS);
+    println!(
+        "bench_diff: {} vs {} (burst records): {} scenarios compared, {} within the \
+         {BURST_FLOOR_MS:.0} ms jitter floor, threshold +{:.0}%",
+        paths[0],
+        paths[1],
+        report.compared,
+        report.below_floor,
+        threshold * 100.0
+    );
+    for base in baseline {
+        if let Some(new) = fresh.iter().find(|e| e.scenario == base.scenario) {
+            println!(
+                "  {:<14} p999 {:>7.3} ms -> {:>7.3} ms  shed {:.0} -> {:.0}  \
+                 shed_leaves {:.0} -> {:.0}  events {:.0} -> {:.0}",
+                base.scenario,
+                base.p999_ms,
+                new.p999_ms,
+                base.shed_events,
+                new.shed_events,
+                base.shed_leaves,
+                new.shed_leaves,
+                base.events,
+                new.events,
+            );
+        }
+    }
+    for added in &report.added {
+        println!("  NEW scenario (no baseline yet, not gated): {added}");
+    }
+    for missing in &report.missing {
+        println!("  MISSING in fresh results: {missing}");
+    }
+    for r in &report.regressions {
+        if r.algorithm == "shed_leaves" {
+            println!(
+                "  REGRESSION {:<14} {:.0} Leave(s) shed at the buffer bound (must be 0)",
+                r.config, r.fresh_ms
+            );
+        } else {
+            println!(
+                "  REGRESSION {:<14} p999 {:.3} ms -> {:.3} ms ({:.2}x, limit {:.2}x)",
+                r.config,
+                r.baseline_ms,
+                r.fresh_ms,
+                r.ratio(),
+                1.0 + threshold
+            );
+        }
+    }
+    finish(&report);
+}
 
 fn diff_recover(
     paths: &[String],
@@ -175,22 +245,38 @@ fn main() {
         );
         std::process::exit(2);
     }
-    match (is_recover_doc(&fresh_doc), is_recover_doc(&baseline_doc)) {
-        (true, true) => {
+    let kind = |doc: &Json| {
+        if is_recover_doc(doc) {
+            "recovery"
+        } else if is_burst_doc(doc) {
+            "burst"
+        } else {
+            "table1"
+        }
+    };
+    let (fresh_kind, baseline_kind) = (kind(&fresh_doc), kind(&baseline_doc));
+    if fresh_kind != baseline_kind {
+        eprintln!(
+            "bench_diff: refusing to compare: {} is a {fresh_kind} record but {} is a \
+             {baseline_kind} record — both sides must come from the same bench",
+            paths[0], paths[1]
+        );
+        std::process::exit(2);
+    }
+    match fresh_kind {
+        "recovery" => {
             let fresh = recovery_entries(&fresh_doc, &paths[0]);
             let baseline = recovery_entries(&baseline_doc, &paths[1]);
             diff_recover(&paths, &fresh, &baseline, threshold);
             return;
         }
-        (false, false) => {}
-        _ => {
-            eprintln!(
-                "bench_diff: refusing to compare: exactly one of {} / {} is a recovery record — \
-                 both sides must come from the same bench",
-                paths[0], paths[1]
-            );
-            std::process::exit(2);
+        "burst" => {
+            let fresh = burst_scenarios(&fresh_doc, &paths[0]);
+            let baseline = burst_scenarios(&baseline_doc, &paths[1]);
+            diff_burst(&paths, &fresh, &baseline, threshold);
+            return;
         }
+        _ => {}
     }
     let fresh = table1_entries(&fresh_doc, &paths[0]);
     let baseline = table1_entries(&baseline_doc, &paths[1]);

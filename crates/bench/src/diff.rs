@@ -454,6 +454,118 @@ pub fn compare_recover(
     report
 }
 
+/// One scenario row of a `BENCH_burst.json` document — the ingest
+/// front end's burst gate (see `benches/burst.rs`): arrival-to-commit
+/// tail latency and shed accounting for one replayed schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstEntry {
+    /// Schedule shape, e.g. `flash_crowd` / `exponential`.
+    pub scenario: String,
+    /// p99.9 arrival-to-commit latency, milliseconds — the gated
+    /// statistic (best-of-attempts in the bench, so the committed
+    /// number is already noise-shielded).
+    pub p999_ms: f64,
+    /// Events shed across the ring and the buffer bound (reported and
+    /// bounded by the bench itself; diffed only through the baseline).
+    pub shed_events: f64,
+    /// Departures shed at the buffer bound. Gated at **zero**
+    /// regardless of the baseline: a shed Leave is a phantom client.
+    pub shed_leaves: f64,
+    /// Gated arrivals in the replay (reported, not gated).
+    pub events: f64,
+}
+
+/// Whether a parsed document is a burst record (`BENCH_burst.json`) —
+/// `bench_diff` dispatches on this.
+pub fn is_burst_doc(doc: &Json) -> bool {
+    doc.get("experiment").and_then(Json::as_str) == Some("burst")
+}
+
+/// Extracts the per-scenario measurements of a `BENCH_burst.json`
+/// document.
+pub fn burst_entries(doc: &Json) -> Result<Vec<BurstEntry>, String> {
+    let rows = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'scenarios' array")?;
+    let mut out = Vec::new();
+    for row in rows {
+        let num = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("scenario without '{key}'"))
+        };
+        out.push(BurstEntry {
+            scenario: row
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or("scenario without a name")?
+                .to_string(),
+            p999_ms: num("p999_ms")?,
+            shed_events: num("shed_events")?,
+            shed_leaves: num("shed_leaves")?,
+            events: num("events")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Compares fresh burst measurements against the committed baseline.
+///
+/// Gates, per scenario:
+/// * `shed_leaves` must be **zero** in the fresh record (absolute, like
+///   the recovery gate's `full_repairs` — the invariant holds no matter
+///   what the baseline says);
+/// * `p999_ms` must not exceed `baseline * (1 + threshold)` — unless
+///   both sides sit at or under `floor_ms` (tail latencies under the
+///   floor are scheduler jitter on a shared runner, not signal);
+/// * scenarios present in the baseline must still be measured; new
+///   scenarios are additions and never gated.
+///
+/// Reuses [`DiffReport`]: `config` carries the scenario name and
+/// `algorithm` the gated statistic.
+pub fn compare_burst(
+    fresh: &[BurstEntry],
+    baseline: &[BurstEntry],
+    threshold: f64,
+    floor_ms: f64,
+) -> DiffReport {
+    let mut report = DiffReport::default();
+    for new in fresh {
+        if new.shed_leaves > 0.0 {
+            report.regressions.push(Regression {
+                config: new.scenario.clone(),
+                algorithm: "shed_leaves".to_string(),
+                baseline_ms: 0.0,
+                fresh_ms: new.shed_leaves,
+            });
+        }
+        if !baseline.iter().any(|e| e.scenario == new.scenario) {
+            report.added.push(new.scenario.clone());
+        }
+    }
+    for base in baseline {
+        let Some(new) = fresh.iter().find(|e| e.scenario == base.scenario) else {
+            report.missing.push(base.scenario.clone());
+            continue;
+        };
+        if base.p999_ms <= floor_ms && new.p999_ms <= floor_ms {
+            report.below_floor += 1;
+            continue;
+        }
+        report.compared += 1;
+        if new.p999_ms > base.p999_ms * (1.0 + threshold) {
+            report.regressions.push(Regression {
+                config: base.scenario.clone(),
+                algorithm: "p999_ms".to_string(),
+                baseline_ms: base.p999_ms,
+                fresh_ms: new.p999_ms,
+            });
+        }
+    }
+    report
+}
+
 /// The top-level `threads` field of a baseline document, when present
 /// (baselines predating the field have none).
 pub fn doc_threads(doc: &Json) -> Option<u64> {
@@ -807,6 +919,122 @@ mod tests {
         }
         // Identical files never regress against themselves.
         let report = compare_recover(&list, &list, 0.25, 600.0);
+        assert!(report.passed());
+    }
+
+    fn burst_entry(scenario: &str, p999_ms: f64, shed_leaves: f64) -> BurstEntry {
+        BurstEntry {
+            scenario: scenario.to_string(),
+            p999_ms,
+            shed_events: 0.0,
+            shed_leaves,
+            events: 16000.0,
+        }
+    }
+
+    #[test]
+    fn burst_documents_are_recognised_and_parsed() {
+        let doc = parse(
+            r#"{"experiment": "burst", "threads": 1, "scenarios": [
+                {"scenario": "flash_crowd", "events": 16000, "committed": 16000,
+                 "flushes": 125, "coalesced": 0, "shed_events": 0, "shed_leaves": 0,
+                 "mean_ms": 1.6, "p99_ms": 3.1, "p999_ms": 4.5}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(is_burst_doc(&doc));
+        assert!(!is_recover_doc(&doc));
+        let list = burst_entries(&doc).unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].scenario, "flash_crowd");
+        assert_eq!(list[0].p999_ms, 4.5);
+        assert_eq!(list[0].shed_leaves, 0.0);
+        assert_eq!(list[0].events, 16000.0);
+        // Neither a Table 1 nor a recovery record is a burst record.
+        let table1 = parse(r#"{"rows": []}"#).unwrap();
+        assert!(!is_burst_doc(&table1));
+        assert!(burst_entries(&table1).is_err());
+        // A scenario row missing the gated statistic refuses to parse.
+        let truncated = parse(
+            r#"{"experiment": "burst", "scenarios": [
+                {"scenario": "flash_crowd", "events": 16000,
+                 "shed_events": 0, "shed_leaves": 0}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(burst_entries(&truncated).is_err());
+    }
+
+    #[test]
+    fn burst_gate_bounds_p999_and_forbids_shed_leaves() {
+        let baseline = vec![
+            burst_entry("flash_crowd", 4.5, 0.0),
+            burst_entry("exponential", 2.5, 0.0),
+        ];
+        // Within threshold: passes.
+        let fresh = vec![
+            burst_entry("flash_crowd", 5.0, 0.0),
+            burst_entry("exponential", 2.5, 0.0),
+        ];
+        let report = compare_burst(&fresh, &baseline, 0.25, 2.0);
+        assert!(report.passed());
+        assert_eq!(report.compared, 2);
+        // Tail latency past the threshold: fails.
+        let slow = vec![
+            burst_entry("flash_crowd", 6.0, 0.0),
+            burst_entry("exponential", 2.5, 0.0),
+        ];
+        let report = compare_burst(&slow, &baseline, 0.25, 2.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].algorithm, "p999_ms");
+        assert!(!report.passed());
+        // A shed Leave fails even with a faster tail — and even when the
+        // (broken) baseline shed one too.
+        let shedding = vec![
+            burst_entry("flash_crowd", 3.0, 1.0),
+            burst_entry("exponential", 2.5, 0.0),
+        ];
+        let mut broken_baseline = baseline.clone();
+        broken_baseline[0].shed_leaves = 2.0;
+        let report = compare_burst(&shedding, &broken_baseline, 0.25, 2.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].algorithm, "shed_leaves");
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn burst_gate_floors_jitter_and_tracks_row_churn() {
+        // Both tails under the floor: runner jitter, not a regression.
+        let baseline = vec![burst_entry("exponential", 1.0, 0.0)];
+        let fresh = vec![burst_entry("exponential", 1.9, 0.0)];
+        let report = compare_burst(&fresh, &baseline, 0.25, 2.0);
+        assert!(report.passed());
+        assert_eq!(report.below_floor, 1);
+        assert_eq!(report.compared, 0);
+        // New scenarios are additions; vanished scenarios fail.
+        let moved = vec![burst_entry("diurnal", 1.0, 0.0)];
+        let report = compare_burst(&moved, &baseline, 0.25, 2.0);
+        assert_eq!(report.added, vec!["diurnal".to_string()]);
+        assert_eq!(report.missing, vec!["exponential".to_string()]);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn parses_the_committed_burst_baseline() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_burst.json");
+        let text = std::fs::read_to_string(path).expect("committed burst baseline exists");
+        let doc = parse(&text).expect("committed burst baseline parses");
+        assert!(is_burst_doc(&doc));
+        assert_eq!(doc_threads(&doc), Some(1), "baselines are single-core");
+        let list = burst_entries(&doc).expect("committed burst baseline has the shape");
+        assert!(list.len() >= 2, "flash_crowd + exponential");
+        for e in &list {
+            assert_eq!(e.shed_leaves, 0.0, "{}: gated at zero", e.scenario);
+            assert!(e.p999_ms <= 5.0, "{}: inside the bench budget", e.scenario);
+            assert!(e.events > 0.0);
+        }
+        // Identical files never regress against themselves.
+        let report = compare_burst(&list, &list, 0.25, 2.0);
         assert!(report.passed());
     }
 

@@ -229,8 +229,18 @@ pub struct CapInstance {
     zone_of_client: Vec<usize>,
     /// Clients per zone (indices).
     clients_of_zone: Vec<Vec<usize>>,
-    /// `R^T_c` per client, bits/s.
+    /// `R^T_c` per client, bits/s. Authoritative only for zones whose
+    /// `uniform_target_bps` entry is `None`; once a zone goes through
+    /// [`CapInstance::refresh_zone_bandwidth`] its members' entries here
+    /// are stale and the per-zone override wins (see
+    /// [`CapInstance::client_target_bps`]).
     client_target_bps: Vec<f64>,
+    /// Per-zone lazy override of the members' `R^T_c`. The target rate is
+    /// a pure function of the zone population, so a population change
+    /// need only rewrite this one slot instead of every member's entry —
+    /// that is what keeps `stream_move`/`stream_join`/`stream_leave` out
+    /// of O(zone population) on the bandwidth side.
+    uniform_target_bps: Vec<Option<f64>>,
     /// `R_z` per zone, bits/s.
     zone_bps: Vec<f64>,
     /// `C_s` per server, bits/s.
@@ -328,6 +338,7 @@ impl CapInstance {
             zone_of_client,
             clients_of_zone,
             client_target_bps,
+            uniform_target_bps: vec![None; zones],
             zone_bps,
             capacity,
             delay_bound,
@@ -681,6 +692,7 @@ impl CapInstance {
             zone_of_client,
             clients_of_zone,
             client_target_bps,
+            uniform_target_bps: vec![None; zones],
             zone_bps,
             capacity: world.servers.iter().map(|s| s.capacity_bps).collect(),
             delay_bound,
@@ -801,6 +813,8 @@ impl CapInstance {
                     .bandwidth
                     .client_target_bps(self.clients_of_zone[z].len())
             }));
+        // The per-client entries are authoritative again.
+        self.uniform_target_bps.iter_mut().for_each(|o| *o = None);
         for (z, bps) in self.zone_bps.iter_mut().enumerate() {
             *bps = world
                 .config
@@ -946,15 +960,13 @@ impl CapInstance {
     /// Recomputes `zone_bps` and the members' `R^T_c` for one zone from
     /// its current population — the same formulas
     /// [`CapInstance::build`] evaluates, so incrementally maintained
-    /// values are bit-identical to a fresh build's.
+    /// values are bit-identical to a fresh build's. O(1): the target rate
+    /// is uniform across the zone, so it lands in the per-zone override
+    /// slot instead of every member's `client_target_bps` entry.
     fn refresh_zone_bandwidth(&mut self, z: usize, model: &BandwidthModel) {
         let population = self.clients_of_zone[z].len();
         self.zone_bps[z] = model.zone_bps(population);
-        let target_bps = model.client_target_bps(population);
-        for i in 0..population {
-            let c = self.clients_of_zone[z][i];
-            self.client_target_bps[c] = target_bps;
-        }
+        self.uniform_target_bps[z] = Some(model.client_target_bps(population));
     }
 
     /// Builds an instance directly from raw parts (tests and synthetic
@@ -999,6 +1011,7 @@ impl CapInstance {
             zone_of_client,
             clients_of_zone,
             client_target_bps,
+            uniform_target_bps: vec![None; zones],
             zone_bps,
             capacity,
             delay_bound,
@@ -1109,12 +1122,15 @@ impl CapInstance {
 
     /// `R^T_c` for client `c` (bits/s).
     pub fn client_target_bps(&self, c: usize) -> f64 {
-        self.client_target_bps[c]
+        match self.uniform_target_bps[self.zone_of_client[c]] {
+            Some(bps) => bps,
+            None => self.client_target_bps[c],
+        }
     }
 
     /// `R^C_c = 2 R^T_c` forwarding overhead for client `c` (bits/s).
     pub fn client_forwarding_bps(&self, c: usize) -> f64 {
-        2.0 * self.client_target_bps[c]
+        2.0 * self.client_target_bps(c)
     }
 
     /// `R_z` for zone `z` (bits/s).

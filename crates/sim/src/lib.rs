@@ -16,6 +16,12 @@
 //!   applied in place with a zone-scoped incremental repair and a
 //!   per-event latency histogram ([`run_stream_batch_compat`] pins the
 //!   stream path to `run_churn` bit for bit at epoch granularity);
+//! * [`run_ingest_stream`] / [`IngestStream`] — the line-rate ingest
+//!   front end: drains a `dve_world::IngestRing` (fed in-process or by
+//!   the `dvecap serve` wire protocol) through a bounded `DeltaBuffer`
+//!   into the engine, translating stable client ids to buffer indices
+//!   and carrying ring-enqueue admission stamps so latency is
+//!   arrival-to-commit end to end;
 //! * [`experiments`] — Table 1, Fig. 4, Fig. 5, Fig. 6, Table 3, Table 4
 //!   and the ablation study, each with a paper-style `render()`;
 //! * [`stats`] — replication statistics (mean, std, CI95).
@@ -67,6 +73,7 @@
 mod dynamics;
 pub mod experiments;
 mod fault;
+mod ingest;
 mod repair;
 mod runner;
 mod serve;
@@ -77,7 +84,10 @@ pub use dynamics::{
     carry_assignment, run_dynamics, run_dynamics_once, CarryPolicy, DynamicsRecord,
 };
 pub use fault::{run_recovery_stream, RecoveryEpochRecord, RecoveryReport};
-pub use repair::{repair_assignment, repair_assignment_with, zone_migrations, RepairOutcome};
+pub use ingest::{run_ingest_stream, IngestConfig, IngestReport, IngestStream};
+pub use repair::{
+    repair_assignment, repair_assignment_with, repair_targets_with, zone_migrations, RepairOutcome,
+};
 pub use runner::{
     aggregate, run_churn, run_experiment, run_replication, AlgoStats, ChurnEpochRecord, RunRecord,
 };

@@ -51,6 +51,34 @@ pub fn repair_assignment_with(
     matrix: &CostMatrix,
     previous_targets: &[usize],
 ) -> RepairOutcome {
+    let targets = repair_targets_with(inst, matrix, previous_targets);
+    let zones_migrated = zone_migrations(previous_targets, &targets);
+    let contact_of_client = grec(inst, &targets);
+    RepairOutcome {
+        assignment: Assignment {
+            target_of_zone: targets,
+            contact_of_client,
+        },
+        zones_migrated,
+    }
+}
+
+/// The zone-level half of [`repair_assignment_with`] — steps 1–3 of the
+/// module strategy (capacity evacuation + shift sweep) without the GreC
+/// contact pass. O(zones × servers), independent of the client count:
+/// the serving engine's escalation path uses this and re-decides only
+/// the members of zones whose target actually changed, where the full
+/// `repair_assignment_with` would pay an O(clients × servers) GreC over
+/// the entire population inside one latency-accounted flush.
+///
+/// Loads are counted from zone demands only (the repair decides where
+/// zones live; forwarding overhead is contact-level state that the
+/// caller re-derives after applying the migrations).
+pub fn repair_targets_with(
+    inst: &CapInstance,
+    matrix: &CostMatrix,
+    previous_targets: &[usize],
+) -> Vec<usize> {
     assert_eq!(previous_targets.len(), inst.num_zones());
     assert_eq!(matrix.num_zones(), inst.num_zones());
     let m = inst.num_servers();
@@ -103,36 +131,42 @@ pub fn repair_assignment_with(
     }
 
     // Step 2: one shift-only improvement sweep (cheap QoS wins without
-    // cascading migrations).
+    // cascading migrations). Decision-identical to a full
+    // min-over-fitting-servers scan per zone, but O(1) for zones that
+    // cannot move: a demand above the best headroom on any server fits
+    // nowhere, and the matrix's (cost, index)-sorted order lets a zone
+    // already on its cheapest server exit at the first entry.
+    let mut headroom = (0..m)
+        .map(|s| inst.capacity(s) - loads[s])
+        .fold(f64::NEG_INFINITY, f64::max);
     for z in 0..inst.num_zones() {
         let cur = targets[z];
-        if matrix.count(cur, z) == 0 {
+        let cur_count = matrix.count(cur, z);
+        if cur_count == 0 {
             continue;
         }
-        let cur_cost = matrix.cost(cur, z);
         let demand = inst.zone_bps(z);
-        let better = (0..m)
-            .filter(|&s| s != cur && loads[s] + demand <= inst.capacity(s) + 1e-9)
-            .map(|s| (matrix.cost(s, z), s))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-        if let Some((cost, s)) = better {
-            if cost < cur_cost {
+        if demand > headroom + 1e-9 {
+            continue;
+        }
+        for i in 0..m {
+            let s = matrix.order(z)[i] as usize;
+            if matrix.count(s, z) >= cur_count {
+                break;
+            }
+            if loads[s] + demand <= inst.capacity(s) + 1e-9 {
                 loads[cur] -= demand;
                 loads[s] += demand;
                 targets[z] = s;
+                headroom = (0..m)
+                    .map(|s| inst.capacity(s) - loads[s])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                break;
             }
         }
     }
 
-    let zones_migrated = zone_migrations(previous_targets, &targets);
-    let contact_of_client = grec(inst, &targets);
-    RepairOutcome {
-        assignment: Assignment {
-            target_of_zone: targets,
-            contact_of_client,
-        },
-        zones_migrated,
-    }
+    targets
 }
 
 #[cfg(test)]

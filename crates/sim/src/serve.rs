@@ -26,11 +26,13 @@
 //!   columns, scoped evacuation of servers pushed over capacity, and
 //!   contact re-decisions for joiners, movers, migrated-zone members and
 //!   the zone-scoped violator rescan
-//!   ([`violating_clients_in`](dve_assign::violating_clients_in)). When
+//!   ([`violating_clients_in`](dve_assign::violating_clients_in),
+//!   served by incrementally maintained per-zone unserved lists). When
 //!   an overload cannot be evacuated locally and the engine was feasible
-//!   before the flush, it **falls back** to the full
-//!   [`repair_assignment_with`] + GreC pass and rebuilds its load
-//!   bookkeeping.
+//!   before the flush, it **falls back** to the global zone-level repair
+//!   ([`repair_targets_with`](crate::repair_targets_with)), applying
+//!   each changed target through the scoped zone migration — contact
+//!   re-decisions stay bounded by the membership of zones that moved.
 //! * [`run_stream`] — the stream runner: replays the exact event
 //!   sequence of a batch dynamics trace through the engine, recording
 //!   per-event latencies ([`LatencyHistogram`]) and per-epoch quality.
@@ -50,13 +52,12 @@
 //! per-epoch pQoS tracks the batch path closely without being
 //! float-identical. All capacity accounting is exact either way.
 
-use crate::repair::repair_assignment_with;
+use crate::repair::repair_targets_with;
 use crate::runner::ChurnEpochRecord;
 use crate::setup::{build_replication, SimSetup};
 use crate::stats::LatencyHistogram;
 use dve_assign::{
-    evaluate, grec, grez_with, violating_clients_in, Assignment, CapInstance, CostMatrix, IapError,
-    Metrics, StuckPolicy,
+    evaluate, grec, grez_with, Assignment, CapInstance, CostMatrix, IapError, Metrics, StuckPolicy,
 };
 use dve_world::{
     apply_dynamics, BandwidthModel, DeltaBuffer, DynamicsBatch, ErrorModel, InterArrival,
@@ -447,6 +448,40 @@ pub struct ServeEngine {
     /// when forwarding growth overloads a server. Unordered; entries are
     /// swap-removed.
     relayed_of_server: Vec<Vec<usize>>,
+    /// Clients currently relayed out of each zone — the same relay set as
+    /// [`ServeEngine::relayed_of_server`], keyed by zone. Only relayed
+    /// members can have a stale forwarding booking when their zone's
+    /// population changes (`R^C_c` is population-dependent), so
+    /// [`ServeEngine::refresh_zone_forwarding`] walks this list instead
+    /// of the whole membership. Unordered; entries are swap-removed.
+    relayed_of_zone: Vec<Vec<usize>>,
+    /// Per-zone **unserved violators**: members beyond the delay bound
+    /// of their zone's target whose contact still *is* that target (no
+    /// relay found yet) — exactly the set the flush-path violator rescan
+    /// retries. Maintained incrementally by the event appliers and
+    /// [`ServeEngine::decide_contact_among`], so the rescan never sweeps
+    /// a full zone membership. Unordered; entries are swap-removed.
+    unserved_of_zone: Vec<Vec<usize>>,
+    /// Position of each client in its zone's unserved list
+    /// (`usize::MAX` when not listed) — O(1) membership and removal.
+    unserved_pos: Vec<usize>,
+    /// Position of each client in its contact's
+    /// [`ServeEngine::relayed_of_server`] list (`usize::MAX` when not
+    /// relayed) — O(1) removal. Without it every unrelay scanned the
+    /// list, and a flash crowd's hot zone can relay thousands of
+    /// clients through the same few servers.
+    relay_pos_server: Vec<usize>,
+    /// Position of each client in its zone's
+    /// [`ServeEngine::relayed_of_zone`] list (`usize::MAX` when not
+    /// relayed) — O(1) removal, same reason.
+    relay_pos_zone: Vec<usize>,
+    /// Zones currently hosted by each server (the inverse of
+    /// `target_of_zone`), so evacuations list a server's zones without
+    /// scanning the whole zone table — under a flash crowd dozens of
+    /// servers can sit overloaded on every flush, and the naive
+    /// O(servers × zones) rescan was a per-flush latency tax. Unordered;
+    /// entries are swap-removed.
+    zones_of_server: Vec<Vec<usize>>,
     /// Whether every server was within capacity at the end of the last
     /// flush (initially: of the initial assignment).
     capacity_ok: bool,
@@ -520,6 +555,12 @@ impl ServeEngine {
             forward_load: Vec::new(),
             fwd_contrib: Vec::new(),
             relayed_of_server: Vec::new(),
+            relayed_of_zone: Vec::new(),
+            unserved_of_zone: Vec::new(),
+            unserved_pos: Vec::new(),
+            relay_pos_server: Vec::new(),
+            relay_pos_zone: Vec::new(),
+            zones_of_server: Vec::new(),
             capacity_ok: false,
             down: vec![false; m],
             nominal_capacity: (0..m).map(|s| instance.capacity(s)).collect(),
@@ -601,6 +642,12 @@ impl ServeEngine {
         self.inst.num_clients()
     }
 
+    /// Topology nodes the engine's delay handle covers — the validation
+    /// bound for join events' `node` field.
+    pub fn nodes(&self) -> usize {
+        self.delays.nodes()
+    }
+
     /// Events buffered and not yet applied.
     pub fn pending_events(&self) -> usize {
         self.pending.len()
@@ -672,8 +719,28 @@ impl ServeEngine {
     /// depending on the policy. Both decisions read only committed
     /// (post-flush) load books, so they are bit-identical across
     /// repeated runs and thread counts.
+    ///
+    /// Latency semantics are **per arrival**: every accepted event
+    /// carries its own admission stamp and contributes exactly one
+    /// sample to the latency histogram at the flush that applies it —
+    /// the engine does not coalesce, so sample counts always equal
+    /// accepted-event counts (the upstream [`DeltaBuffer`] layer keys
+    /// its stamps to surviving entries instead; see
+    /// `dve_world::FlushAdmissions`).
     pub fn push(&mut self, event: StreamEvent) -> Result<Option<ClientId>, ServeError> {
-        let at = Instant::now();
+        self.push_admitted(event, Instant::now())
+    }
+
+    /// [`ServeEngine::push`] with an explicit admission stamp: `at` is
+    /// when the event arrived at the ingest boundary (e.g. was enqueued
+    /// on a `dve_world::IngestRing`), which may be well before it
+    /// reached the engine — the latency histogram then measures
+    /// arrival-to-commit end to end, queueing delay included.
+    pub fn push_admitted(
+        &mut self,
+        event: StreamEvent,
+        at: Instant,
+    ) -> Result<Option<ClientId>, ServeError> {
         if let Some(bound) = self.config.degradation.max_pending {
             if self.pending.len() >= bound {
                 return Err(ServeError::QueueFull { bound });
@@ -847,6 +914,16 @@ impl ServeEngine {
         self.zone_load[s] + self.forward_load[s]
     }
 
+    /// Largest spare capacity on any server right now. A demand above
+    /// this fits nowhere, which lets the repair sweep skip whole zones
+    /// without probing every server (recomputed after any migration,
+    /// since moving a zone frees its old host).
+    fn max_headroom(&self) -> f64 {
+        (0..self.inst.num_servers())
+            .map(|s| self.inst.capacity(s) - self.load(s))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
     /// The admission check: a join into `zone` passes while the zone's
     /// target server is at most `(1 - headroom) x capacity` booked.
     /// Reads only committed load books (as of the last flush), so the
@@ -913,14 +990,13 @@ impl ServeEngine {
         self.inst.set_capacity(server, 0.0);
         self.stats.failovers += 1;
 
-        let mut zones: Vec<usize> = (0..self.inst.num_zones())
-            .filter(|&z| self.target_of_zone[z] == server)
-            .collect();
+        let mut zones = self.zones_of_server[server].clone();
         zones.sort_by(|&a, &b| {
             self.inst
                 .zone_bps(b)
                 .partial_cmp(&self.inst.zone_bps(a))
                 .expect("finite")
+                .then(a.cmp(&b))
         });
         let mut evacuated = 0usize;
         for z in zones {
@@ -1062,6 +1138,7 @@ impl ServeEngine {
         let c = self.index_of_id.remove(&id).expect("validated at push");
         let zone = self.inst.zone_of(c);
         self.matrix.retire_client(&self.inst, c, zone);
+        self.clear_unserved(zone, c);
         self.unrelay(c);
         self.forward_load[self.contact_of_client[c]] -= self.fwd_contrib[c];
         let before = self.inst.zone_bps(zone);
@@ -1072,21 +1149,33 @@ impl ServeEngine {
             let moved_id = self.id_of_client[last];
             self.id_of_client[c] = moved_id;
             self.index_of_id.insert(moved_id, c);
+            self.relay_pos_server[c] = self.relay_pos_server[last];
+            self.relay_pos_zone[c] = self.relay_pos_zone[last];
             if self.fwd_contrib[c] > 0.0 {
                 // The relocated client keeps its relay; re-key its shed
-                // list entry from its old index to its new one.
+                // list and zone relay list entries from its old index to
+                // its new one.
                 let contact = self.contact_of_client[c];
-                let pos = self.relayed_of_server[contact]
-                    .iter()
-                    .position(|&x| x == last)
-                    .expect("relay book is consistent");
+                let pos = self.relay_pos_server[c];
                 self.relayed_of_server[contact][pos] = c;
+                let z = self.inst.zone_of(c);
+                let pos = self.relay_pos_zone[c];
+                self.relayed_of_zone[z][pos] = c;
+            }
+            let pos = self.unserved_pos[last];
+            self.unserved_pos[c] = pos;
+            if pos != usize::MAX {
+                let z = self.inst.zone_of(c);
+                self.unserved_of_zone[z][pos] = c;
             }
         }
         let k = self.inst.num_clients();
         self.contact_of_client.truncate(k);
         self.fwd_contrib.truncate(k);
         self.id_of_client.truncate(k);
+        self.unserved_pos.truncate(k);
+        self.relay_pos_server.truncate(k);
+        self.relay_pos_zone.truncate(k);
         self.zone_load[self.target_of_zone[zone]] += self.inst.zone_bps(zone) - before;
         self.refresh_zone_forwarding(zone);
         touched.push(zone);
@@ -1108,6 +1197,12 @@ impl ServeEngine {
         self.fwd_contrib.push(0.0);
         self.id_of_client.push(id);
         self.index_of_id.insert(id, idx);
+        self.unserved_pos.push(usize::MAX);
+        self.relay_pos_server.push(usize::MAX);
+        self.relay_pos_zone.push(usize::MAX);
+        if self.inst.obs_cs(idx, target) > self.inst.delay_bound() {
+            self.mark_unserved(zone, idx);
+        }
         self.zone_load[target] += self.inst.zone_bps(zone) - before;
         self.refresh_zone_forwarding(zone);
         touched.push(zone);
@@ -1121,6 +1216,18 @@ impl ServeEngine {
             return false;
         }
         self.matrix.retire_client(&self.inst, c, from);
+        self.clear_unserved(from, c);
+        if self.fwd_contrib[c] > 0.0 {
+            // The mover's relay travels with it: relocate its zone relay
+            // list entry so the refreshes below see it in the new zone.
+            let pos = self.relay_pos_zone[c];
+            self.relayed_of_zone[from].swap_remove(pos);
+            if let Some(&moved) = self.relayed_of_zone[from].get(pos) {
+                self.relay_pos_zone[moved] = pos;
+            }
+            self.relay_pos_zone[c] = self.relayed_of_zone[zone].len();
+            self.relayed_of_zone[zone].push(c);
+        }
         let before_from = self.inst.zone_bps(from);
         let before_to = self.inst.zone_bps(zone);
         self.inst.stream_move(c, zone, &self.model);
@@ -1132,20 +1239,46 @@ impl ServeEngine {
         // target and the contact repair re-decides it.
         self.refresh_zone_forwarding(from);
         self.refresh_zone_forwarding(zone);
+        // A direct mover whose kept contact differs from the new zone's
+        // target has just *become* relayed — the one transition the relay
+        // lists cannot see coming; book it explicitly.
+        let contact = self.contact_of_client[c];
+        let target = self.target_of_zone[zone];
+        if self.fwd_contrib[c] == 0.0 && contact != target {
+            let overhead = self.inst.client_forwarding_bps(c);
+            self.forward_load[contact] += overhead;
+            self.fwd_contrib[c] = overhead;
+            self.relay_pos_server[c] = self.relayed_of_server[contact].len();
+            self.relayed_of_server[contact].push(c);
+            self.relay_pos_zone[c] = self.relayed_of_zone[zone].len();
+            self.relayed_of_zone[zone].push(c);
+        } else if contact == target && self.inst.obs_cs(c, target) > self.inst.delay_bound() {
+            // On its new target but beyond the bound: eligible for the
+            // violator rescan until a relay is found.
+            self.mark_unserved(zone, c);
+        }
         touched.push(from);
         touched.push(zone);
         true
     }
 
-    /// Re-books the forwarding contribution of every member of `z`
-    /// against the zone's current target and population-dependent
-    /// overhead (`R^C_c` changes whenever the zone population does; a
-    /// zone migration can flip members between relayed and direct),
-    /// keeping the per-server shed lists in step.
+    /// Re-books the forwarding contribution of every **relayed** member
+    /// of `z` against the zone's current target and
+    /// population-dependent overhead (`R^C_c` changes whenever the zone
+    /// population does), keeping the per-server shed lists in step.
+    ///
+    /// Only already-relayed members are visited — O(relays in `z`), not
+    /// O(members): a direct member (`fwd_contrib == 0`) sits on its
+    /// zone's target by invariant and stays direct under a population
+    /// change. The one direct→relayed transition a zone event can cause
+    /// — a mover whose kept contact differs from its new zone's target —
+    /// is booked explicitly by [`ServeEngine::apply_move`]; target
+    /// migrations re-decide every member inline.
     fn refresh_zone_forwarding(&mut self, z: usize) {
         let target = self.target_of_zone[z];
-        for i in 0..self.inst.clients_in_zone(z).len() {
-            let c = self.inst.clients_in_zone(z)[i];
+        let mut i = 0;
+        while i < self.relayed_of_zone[z].len() {
+            let c = self.relayed_of_zone[z][i];
             let contact = self.contact_of_client[c];
             let desired = if contact != target {
                 self.inst.client_forwarding_bps(c)
@@ -1153,16 +1286,17 @@ impl ServeEngine {
                 0.0
             };
             let booked = self.fwd_contrib[c];
-            if desired == booked {
-                continue;
+            if desired != booked {
+                self.forward_load[contact] += desired - booked;
+                if desired == 0.0 {
+                    // unrelay swap-removes entry `i`; revisit the slot.
+                    self.unrelay(c);
+                    self.fwd_contrib[c] = 0.0;
+                    continue;
+                }
+                self.fwd_contrib[c] = desired;
             }
-            self.forward_load[contact] += desired - booked;
-            if booked > 0.0 && desired == 0.0 {
-                self.unrelay(c);
-            } else if booked == 0.0 && desired > 0.0 {
-                self.relayed_of_server[contact].push(c);
-            }
-            self.fwd_contrib[c] = desired;
+            i += 1;
         }
     }
 
@@ -1175,21 +1309,39 @@ impl ServeEngine {
         let mut migrated: Vec<usize> = Vec::new();
 
         // Quality shifts (the same rule as `repair_assignment_with`'s
-        // improvement sweep, restricted to touched columns).
+        // improvement sweep, restricted to touched columns). Two exact
+        // prunes keep the sweep O(1) per settled zone where the naive
+        // form pays O(m) for every touched zone:
+        // * a zone whose demand exceeds the best headroom on any server
+        //   cannot fit anywhere, so no scan can move it (the saturated
+        //   regime, where every server a flash crowd filled would be
+        //   probed and rejected);
+        // * otherwise, walking the matrix's (cost, index)-sorted order —
+        //   refreshed for exactly these zones just before this runs —
+        //   picks the same server a full scan's `min_by` over fitting
+        //   servers would, and a zone already on its cheapest server
+        //   exits at the first entry (the quiet regime).
+        let mut headroom = self.max_headroom();
         for &z in touched {
             let cur = self.target_of_zone[z];
-            if self.matrix.count(cur, z) == 0 {
+            let cur_count = self.matrix.count(cur, z);
+            if cur_count == 0 {
                 continue;
             }
             let demand = self.inst.zone_bps(z);
-            let best = (0..m)
-                .filter(|&s| s != cur && self.load(s) + demand <= self.inst.capacity(s) + 1e-9)
-                .map(|s| (self.matrix.cost(s, z), s))
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-            if let Some((cost, s)) = best {
-                if cost < self.matrix.cost(cur, z) {
+            if demand > headroom + 1e-9 {
+                continue;
+            }
+            for i in 0..m {
+                let s = self.matrix.order(z)[i] as usize;
+                if self.matrix.count(s, z) >= cur_count {
+                    break;
+                }
+                if self.load(s) + demand <= self.inst.capacity(s) + 1e-9 {
                     self.migrate_zone(z, s);
                     migrated.push(z);
+                    headroom = self.max_headroom();
+                    break;
                 }
             }
         }
@@ -1205,22 +1357,26 @@ impl ServeEngine {
         }
         if !restored && self.capacity_ok && !self.down.iter().any(|&d| d) {
             // The engine was feasible and a local evacuation cannot keep
-            // it so: escalate to the full repair (GreC included) and
-            // rebuild the load books. The fast path's own migrations
-            // already sit in `migrated`; add the full repair's on top so
+            // it so: escalate to the global zone-level repair. Only the
+            // zone→server map is recomputed (O(zones × servers)); each
+            // changed target is then applied through `migrate_zone`, so
+            // contact re-decisions stay scoped to the members of zones
+            // that actually moved — where a full `repair_assignment_with`
+            // would re-run GreC over the entire population inside one
+            // latency-accounted flush. The fast path's own migrations
+            // already sit in `migrated`; the escalation's go on top so
             // the counters cover everything this flush moved. With any
             // server down the escalation stays disarmed: a global
             // repair cannot conjure the missing capacity, and degraded
             // mode promises bounded (zone-scoped) work per flush.
-            let previous = self.target_of_zone.clone();
-            let outcome = repair_assignment_with(&self.inst, &self.matrix, &previous);
-            self.target_of_zone = outcome.assignment.target_of_zone;
-            self.contact_of_client = outcome.assignment.contact_of_client;
-            self.rebuild_loads();
+            let plan = repair_targets_with(&self.inst, &self.matrix, &self.target_of_zone);
+            for (z, &dest) in plan.iter().enumerate() {
+                if dest != self.target_of_zone[z] {
+                    self.migrate_zone(z, dest);
+                    migrated.push(z);
+                }
+            }
             self.stats.full_repairs += 1;
-            migrated.extend(
-                (0..self.target_of_zone.len()).filter(|&z| self.target_of_zone[z] != previous[z]),
-            );
             migrated.sort_unstable();
             migrated.dedup();
             return (migrated, true);
@@ -1237,9 +1393,16 @@ impl ServeEngine {
     /// would show the repair loop a transient overload that is not real.
     fn migrate_zone(&mut self, z: usize, s: usize) {
         let demand = self.inst.zone_bps(z);
-        self.zone_load[self.target_of_zone[z]] -= demand;
+        let old = self.target_of_zone[z];
+        self.zone_load[old] -= demand;
         self.zone_load[s] += demand;
         self.target_of_zone[z] = s;
+        let pos = self.zones_of_server[old]
+            .iter()
+            .position(|&x| x == z)
+            .expect("hosted-zone book is consistent");
+        self.zones_of_server[old].swap_remove(pos);
+        self.zones_of_server[s].push(z);
         for i in 0..self.inst.clients_in_zone(z).len() {
             let c = self.inst.clients_in_zone(z)[i];
             self.decide_contact(c);
@@ -1255,6 +1418,19 @@ impl ServeEngine {
     /// whether `s` ended within capacity.
     fn evacuate(&mut self, s: usize, migrated: &mut Vec<usize>) -> bool {
         let m = self.inst.num_servers();
+        // Restricting each shed re-decision to servers with *any*
+        // headroom right now is exact: a relay fit needs
+        // `load + overhead <= capacity` with `overhead > 0`, so a server
+        // already at or over capacity can never win, and during this
+        // loop every other server's load only grows (a shed client
+        // re-relays elsewhere or goes unserved) while `s` itself stays
+        // over capacity for as long as the loop runs — the fit check
+        // inside `decide_contact_among` remains authoritative. Under a
+        // flash crowd almost every server is saturated, so this turns
+        // thousands of full-width scans into a handful of probes.
+        let room: Vec<usize> = (0..m)
+            .filter(|&d| d != s && self.load(d) < self.inst.capacity(d) + 1e-9)
+            .collect();
         while self.load(s) > self.inst.capacity(s) + 1e-9 {
             let Some(&c) = self.relayed_of_server[s].last() else {
                 break;
@@ -1263,22 +1439,30 @@ impl ServeEngine {
             // (the list shrinks), or it re-picks `s` — which the fit
             // check only allows once `s` is back within capacity, ending
             // the loop either way.
-            self.decide_contact(c);
+            self.decide_contact_among(c, Some(&room));
         }
-        let mut zones: Vec<usize> = (0..self.inst.num_zones())
-            .filter(|&z| self.target_of_zone[z] == s)
-            .collect();
+        // The hosted-zone book plus a (demand desc, zone asc) sort is
+        // exactly the order the old full-table scan produced (ascending
+        // zone indices through a stable sort on demand).
+        let mut zones = self.zones_of_server[s].clone();
         zones.sort_by(|&a, &b| {
             self.inst
                 .zone_bps(b)
                 .partial_cmp(&self.inst.zone_bps(a))
                 .expect("finite")
+                .then(a.cmp(&b))
         });
+        let mut headroom = self.max_headroom();
         for z in zones {
             if self.load(s) <= self.inst.capacity(s) + 1e-9 {
                 break;
             }
             let demand = self.inst.zone_bps(z);
+            // No server can take this zone: the scan below could only
+            // fail, so skip it (exact — the fit bound is the same).
+            if demand > headroom + 1e-9 {
+                continue;
+            }
             let dest = (0..m)
                 .filter(|&d| d != s && self.load(d) + demand <= self.inst.capacity(d) + 1e-9)
                 .min_by(|&a, &b| {
@@ -1290,6 +1474,7 @@ impl ServeEngine {
             if let Some(dest) = dest {
                 self.migrate_zone(z, dest);
                 migrated.push(z);
+                headroom = self.max_headroom();
             }
         }
         self.load(s) <= self.inst.capacity(s) + 1e-9
@@ -1311,14 +1496,35 @@ impl ServeEngine {
         // columns this batch touched (their zone-mates changed the
         // forwarding economics, or they were never rescued) retry a
         // relay. Members of migrated zones were already fully re-decided.
-        let rescan: Vec<usize> = touched
-            .iter()
-            .copied()
-            .filter(|z| !migrated.contains(z))
-            .collect();
-        for c in violating_clients_in(&self.inst, &self.target_of_zone, &rescan) {
-            if self.contact_of_client[c] == self.target_of_zone[self.inst.zone_of(c)] {
-                self.decide_contact(c);
+        //
+        // The relay overhead `R^C` is uniform across a zone's members,
+        // so which servers could host a relay at all is a per-zone
+        // question — answered once up front. An empty candidate set
+        // means no violator in the zone can be rescued this flush and
+        // the whole sweep is skipped, which is what keeps a saturated
+        // flash crowd (thousands of unrescuable violators in one zone,
+        // touched by every batch) from costing O(violators × servers)
+        // per flush. Loads only grow while the sweep books relays, so
+        // the precomputed set over-approximates exactly the servers the
+        // full per-member scan could ever pick; the fit check inside
+        // `decide_contact_among` stays authoritative.
+        for &z in touched {
+            if migrated.contains(&z) || self.unserved_of_zone[z].is_empty() {
+                continue;
+            }
+            let candidates = self.relay_candidates(z);
+            if candidates.is_empty() {
+                continue;
+            }
+            // A rescued entry is swap-removed from under the cursor
+            // (revisit the slot); an unrescued one stays put (advance).
+            let mut i = 0;
+            while i < self.unserved_of_zone[z].len() {
+                let c = self.unserved_of_zone[z][i];
+                self.decide_contact_among(c, Some(&candidates));
+                if self.unserved_pos[c] == i {
+                    i += 1;
+                }
             }
         }
     }
@@ -1328,6 +1534,16 @@ impl ServeEngine {
     /// servers with forwarding capacity (ties: lowest index; the target
     /// itself always fits at zero overhead).
     fn decide_contact(&mut self, c: usize) {
+        self.decide_contact_among(c, None);
+    }
+
+    /// [`ServeEngine::decide_contact`] with the relay scan restricted to
+    /// `candidates` (`None` scans every server). Callers sweeping a whole
+    /// zone pass [`ServeEngine::relay_candidates`] so the per-member scan
+    /// skips servers that cannot fit the zone's uniform overhead; the fit
+    /// check here remains authoritative against loads the sweep itself
+    /// booked in the meantime.
+    fn decide_contact_among(&mut self, c: usize, candidates: Option<&[usize]>) {
         let z = self.inst.zone_of(c);
         let target = self.target_of_zone[z];
         // Take the current relay (if any) off the books first.
@@ -1337,37 +1553,106 @@ impl ServeEngine {
         self.fwd_contrib[c] = 0.0;
         self.contact_of_client[c] = target;
         if self.inst.obs_cs(c, target) <= self.inst.delay_bound() {
+            self.clear_unserved(z, c);
             return;
         }
         let overhead = self.inst.client_forwarding_bps(c);
-        let m = self.inst.num_servers();
         let mut best = (self.inst.rap_cost(c, target, target), target);
-        for s in 0..m {
-            if s == target || self.load(s) + overhead > self.inst.capacity(s) + 1e-9 {
-                continue;
+        let fits = |engine: &Self, s: usize| {
+            s != target && engine.load(s) + overhead <= engine.inst.capacity(s) + 1e-9
+        };
+        match candidates {
+            Some(list) => {
+                for &s in list {
+                    if !fits(self, s) {
+                        continue;
+                    }
+                    let cost = self.inst.rap_cost(c, s, target);
+                    if cost < best.0 {
+                        best = (cost, s);
+                    }
+                }
             }
-            let cost = self.inst.rap_cost(c, s, target);
-            if cost < best.0 {
-                best = (cost, s);
+            None => {
+                for s in 0..self.inst.num_servers() {
+                    if !fits(self, s) {
+                        continue;
+                    }
+                    let cost = self.inst.rap_cost(c, s, target);
+                    if cost < best.0 {
+                        best = (cost, s);
+                    }
+                }
             }
         }
         if best.1 != target {
             self.contact_of_client[c] = best.1;
             self.fwd_contrib[c] = overhead;
             self.forward_load[best.1] += overhead;
+            self.relay_pos_server[c] = self.relayed_of_server[best.1].len();
             self.relayed_of_server[best.1].push(c);
+            self.relay_pos_zone[c] = self.relayed_of_zone[z].len();
+            self.relayed_of_zone[z].push(c);
+            self.clear_unserved(z, c);
+        } else {
+            self.mark_unserved(z, c);
         }
     }
 
-    /// Removes `c` from its contact's shed list when it is relayed.
+    /// Servers that currently have room for one relay out of zone `z`
+    /// (the overhead `R^C` is uniform across a zone's members, so this
+    /// is a per-zone question). Ascending order, so a scan restricted to
+    /// the list breaks ties exactly as the full scan does.
+    fn relay_candidates(&self, z: usize) -> Vec<usize> {
+        let Some(&member) = self.inst.clients_in_zone(z).first() else {
+            return Vec::new();
+        };
+        let overhead = self.inst.client_forwarding_bps(member);
+        (0..self.inst.num_servers())
+            .filter(|&s| self.load(s) + overhead <= self.inst.capacity(s) + 1e-9)
+            .collect()
+    }
+
+    /// Adds `c` to zone `z`'s unserved list (no-op when already listed).
+    /// `z` must be `c`'s current zone.
+    fn mark_unserved(&mut self, z: usize, c: usize) {
+        if self.unserved_pos[c] == usize::MAX {
+            self.unserved_pos[c] = self.unserved_of_zone[z].len();
+            self.unserved_of_zone[z].push(c);
+        }
+    }
+
+    /// Removes `c` from zone `z`'s unserved list (no-op when not
+    /// listed). `z` must be the zone whose list holds `c`.
+    fn clear_unserved(&mut self, z: usize, c: usize) {
+        let pos = self.unserved_pos[c];
+        if pos != usize::MAX {
+            self.unserved_pos[c] = usize::MAX;
+            self.unserved_of_zone[z].swap_remove(pos);
+            if let Some(&moved) = self.unserved_of_zone[z].get(pos) {
+                self.unserved_pos[moved] = pos;
+            }
+        }
+    }
+
+    /// Removes `c` from its contact's shed list and its zone's relay
+    /// list when it is relayed.
     fn unrelay(&mut self, c: usize) {
         if self.fwd_contrib[c] > 0.0 {
             let contact = self.contact_of_client[c];
-            let pos = self.relayed_of_server[contact]
-                .iter()
-                .position(|&x| x == c)
-                .expect("relay book is consistent");
+            let pos = self.relay_pos_server[c];
             self.relayed_of_server[contact].swap_remove(pos);
+            if let Some(&moved) = self.relayed_of_server[contact].get(pos) {
+                self.relay_pos_server[moved] = pos;
+            }
+            self.relay_pos_server[c] = usize::MAX;
+            let z = self.inst.zone_of(c);
+            let pos = self.relay_pos_zone[c];
+            self.relayed_of_zone[z].swap_remove(pos);
+            if let Some(&moved) = self.relayed_of_zone[z].get(pos) {
+                self.relay_pos_zone[moved] = pos;
+            }
+            self.relay_pos_zone[c] = usize::MAX;
         }
     }
 
@@ -1379,20 +1664,46 @@ impl ServeEngine {
         self.zone_load.resize(m, 0.0);
         self.forward_load.clear();
         self.forward_load.resize(m, 0.0);
+        self.zones_of_server.clear();
+        self.zones_of_server.resize(m, Vec::new());
         for (z, &s) in self.target_of_zone.iter().enumerate() {
             self.zone_load[s] += self.inst.zone_bps(z);
+            self.zones_of_server[s].push(z);
         }
         self.fwd_contrib.clear();
         self.fwd_contrib.resize(self.inst.num_clients(), 0.0);
         self.relayed_of_server.clear();
         self.relayed_of_server.resize(m, Vec::new());
+        self.relayed_of_zone.clear();
+        self.relayed_of_zone
+            .resize(self.inst.num_zones(), Vec::new());
+        self.unserved_of_zone.clear();
+        self.unserved_of_zone
+            .resize(self.inst.num_zones(), Vec::new());
+        self.unserved_pos.clear();
+        self.unserved_pos
+            .resize(self.inst.num_clients(), usize::MAX);
+        self.relay_pos_server.clear();
+        self.relay_pos_server
+            .resize(self.inst.num_clients(), usize::MAX);
+        self.relay_pos_zone.clear();
+        self.relay_pos_zone
+            .resize(self.inst.num_clients(), usize::MAX);
         for c in 0..self.inst.num_clients() {
             let contact = self.contact_of_client[c];
-            if contact != self.target_of_zone[self.inst.zone_of(c)] {
+            let z = self.inst.zone_of(c);
+            let target = self.target_of_zone[z];
+            if contact != target {
                 let overhead = self.inst.client_forwarding_bps(c);
                 self.forward_load[contact] += overhead;
                 self.fwd_contrib[c] = overhead;
+                self.relay_pos_server[c] = self.relayed_of_server[contact].len();
                 self.relayed_of_server[contact].push(c);
+                self.relay_pos_zone[c] = self.relayed_of_zone[z].len();
+                self.relayed_of_zone[z].push(c);
+            } else if self.inst.obs_cs(c, target) > self.inst.delay_bound() {
+                self.unserved_pos[c] = self.unserved_of_zone[z].len();
+                self.unserved_of_zone[z].push(c);
             }
         }
         self.capacity_ok = (0..m).all(|s| self.load(s) <= self.inst.capacity(s) + 1e-9);
@@ -1799,9 +2110,13 @@ mod tests {
         // forwarding contribution, exactly once.
         let mut listed = vec![0usize; engine.num_clients()];
         for (s, list) in engine.relayed_of_server.iter().enumerate() {
-            for &c in list {
+            for (pos, &c) in list.iter().enumerate() {
                 assert_eq!(engine.contacts()[c], s, "shed list entry on wrong server");
                 assert!(engine.fwd_contrib[c] > 0.0, "shed list entry not relayed");
+                assert_eq!(
+                    engine.relay_pos_server[c], pos,
+                    "shed list position out of step"
+                );
                 listed[c] += 1;
             }
         }
@@ -1812,6 +2127,69 @@ mod tests {
                 "client {c}: shed list membership out of step"
             );
         }
+        // Zone relay book: same relay set, keyed by the client's zone.
+        let mut zone_listed = vec![0usize; engine.num_clients()];
+        for (z, list) in engine.relayed_of_zone.iter().enumerate() {
+            for (pos, &c) in list.iter().enumerate() {
+                assert_eq!(
+                    engine.instance().zone_of(c),
+                    z,
+                    "zone relay entry in wrong zone"
+                );
+                assert!(engine.fwd_contrib[c] > 0.0, "zone relay entry not relayed");
+                assert_eq!(
+                    engine.relay_pos_zone[c], pos,
+                    "zone relay position out of step"
+                );
+                zone_listed[c] += 1;
+            }
+        }
+        for c in 0..engine.num_clients() {
+            assert_eq!(
+                zone_listed[c],
+                usize::from(engine.fwd_contrib[c] > 0.0),
+                "client {c}: zone relay membership out of step"
+            );
+        }
+        // Unserved lists: exactly the on-target violators, with the
+        // position index in step.
+        let inst = engine.instance();
+        for (z, list) in engine.unserved_of_zone.iter().enumerate() {
+            let mut expected: Vec<usize> =
+                dve_assign::violating_clients_in(inst, &engine.assignment().target_of_zone, &[z])
+                    .into_iter()
+                    .filter(|&c| engine.contacts()[c] == engine.assignment().target_of_zone[z])
+                    .collect();
+            let mut got = list.clone();
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected, "zone {z}: unserved list out of step");
+            for (pos, &c) in list.iter().enumerate() {
+                assert_eq!(engine.unserved_pos[c], pos, "unserved position out of step");
+            }
+        }
+        for c in 0..engine.num_clients() {
+            if engine.unserved_pos[c] != usize::MAX {
+                let z = inst.zone_of(c);
+                assert_eq!(engine.unserved_of_zone[z][engine.unserved_pos[c]], c);
+            }
+        }
+        // Hosted-zone book: exactly the inverse of the zone→server map.
+        let mut hosted = vec![0usize; inst.num_zones()];
+        for (s, list) in engine.zones_of_server.iter().enumerate() {
+            for &z in list {
+                assert_eq!(
+                    engine.assignment().target_of_zone[z],
+                    s,
+                    "hosted-zone entry on wrong server"
+                );
+                hosted[z] += 1;
+            }
+        }
+        assert!(
+            hosted.iter().all(|&n| n == 1),
+            "hosted-zone book must cover every zone exactly once"
+        );
         assert_eq!(
             engine.index_of_id.len(),
             engine.num_clients(),
@@ -1865,6 +2243,50 @@ mod tests {
         assert_eq!(
             engine.push(StreamEvent::Move { id: 3, zone: 0 }),
             Err(ServeError::AlreadyLeaving { id: 3 })
+        );
+    }
+
+    /// The engine's latency semantics are per **arrival**: it does not
+    /// coalesce, so a move-then-move-back window is two accepted events
+    /// and exactly two latency samples — sample counts always equal
+    /// accepted-event counts, even when the pair nets out to a no-op
+    /// placement-wise.
+    #[test]
+    fn move_then_move_back_records_one_sample_per_arrival() {
+        let mut engine = boot_engine(&small_setup(), ServeConfig::default());
+        let base = engine.instance().zone_of(6);
+        let other = (base + 1) % engine.instance().num_zones();
+        engine
+            .push(StreamEvent::Move { id: 6, zone: other })
+            .unwrap();
+        engine
+            .push(StreamEvent::Move { id: 6, zone: base })
+            .unwrap();
+        engine.flush_now();
+        assert_eq!(engine.stats().events, 2);
+        assert_eq!(
+            engine.stats().latency.count(),
+            2,
+            "two arrivals, two samples"
+        );
+        assert_eq!(engine.instance().zone_of(engine.index_of(6).unwrap()), base);
+    }
+
+    /// `push_admitted` carries an upstream admission stamp into the
+    /// histogram: the sample measures arrival-to-commit, queueing delay
+    /// included.
+    #[test]
+    fn push_admitted_measures_from_the_given_stamp() {
+        let mut engine = boot_engine(&small_setup(), ServeConfig::default());
+        let at = Instant::now() - std::time::Duration::from_millis(250);
+        engine
+            .push_admitted(StreamEvent::Leave { id: 0 }, at)
+            .unwrap();
+        engine.flush_now();
+        assert_eq!(engine.stats().latency.count(), 1);
+        assert!(
+            engine.stats().latency.mean_ns() >= 250_000_000.0,
+            "the queueing delay before push is part of the sample"
         );
     }
 

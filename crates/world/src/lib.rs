@@ -24,7 +24,30 @@
 //! * [`WorldDelays`] — the delay handle of the pipeline: a shared
 //!   [`DelaySource`] plus the gathered node→server RTT table, replacing
 //!   the dense node×node `DelayMatrix` everywhere downstream
-//!   (O(nodes × servers) instead of O(nodes²) or O(clients × servers)).
+//!   (O(nodes × servers) instead of O(nodes²) or O(clients × servers));
+//! * [`IngestRing`] — bounded SPSC ring in front of the [`DeltaBuffer`]:
+//!   the line-rate ingest seam, admission-stamping events at enqueue so
+//!   latency is arrival-to-commit end to end;
+//! * [`wire`] — the length-prefixed wire protocol `dvecap serve` speaks
+//!   (see below).
+//!
+//! ## Wire protocol
+//!
+//! Remote producers stream events as length-prefixed frames, integers
+//! little-endian:
+//!
+//! ```text
+//! [u32 length][u8 opcode][u64 fields...]
+//! ```
+//!
+//! `length` counts the opcode plus the payload (not itself). Opcodes:
+//! `0x01` Join(node, zone), `0x02` Leave(client), `0x03` Move(client,
+//! zone), `0x04` ServerDown(server), `0x05` ServerUp(server) — so Join
+//! and Move frames are 17 body bytes, the rest 9. On the wire `client`
+//! is a *stable* client id (the serving engine's id discipline), not a
+//! base-world index; the engine-side pull loop owns the translation. A
+//! length prefix past [`wire::MAX_FRAME`] is refused outright. See
+//! [`wire`] for the encoder and the incremental [`wire::FrameReader`].
 //!
 //! ```
 //! use dve_world::{ScenarioConfig, World};
@@ -49,9 +72,11 @@ mod distribution;
 mod dynamics;
 mod error;
 mod fault;
+mod ingest;
 mod mobility;
 mod scenario;
 mod stream;
+pub mod wire;
 mod world;
 
 pub use arrival::InterArrival;
@@ -65,7 +90,8 @@ pub use dynamics::{
 };
 pub use error::ErrorModel;
 pub use fault::{FaultKind, FaultSchedule};
+pub use ingest::{Admitted, IngestError, IngestRing};
 pub use mobility::{MobilityModel, ZoneGrid};
 pub use scenario::{CapacityPolicy, NotationError, ScenarioConfig};
-pub use stream::{DeltaBuffer, StreamError, WorldEvent};
+pub use stream::{DeltaBuffer, DrainDelta, FlushAdmissions, StreamError, WorldEvent};
 pub use world::{Client, Server, World, WorldError};

@@ -7,7 +7,20 @@
 //! dvecap bounds    <notation> [--seed S]
 //! dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies>
 //!                  [--runs N] [--exact-runs N] [--seed S] [--quick]
+//! dvecap serve     <notation> [--port P] [--ring N] [--bound N] [--batch N]
+//!                  [--staleness-ms F] [--seed S]
 //! ```
+//!
+//! `serve` boots the streaming engine on the scenario, listens on
+//! 127.0.0.1 for one connection speaking the `dve_world::wire`
+//! length-prefixed protocol, and drains decoded events through the
+//! ingest ring into the engine — the line-rate front end. On the wire,
+//! clients are addressed by stable id (the engine's discipline: the
+//! initial population is `0..k`); joiner ids are not echoed back in
+//! this version, so a connection can address only the initial
+//! population. The session summary (arrival-to-commit latency
+//! quantiles, shed counters, final pQoS) prints when the producer hangs
+//! up.
 
 use dve::assign::{
     evaluate, iap_lower_bound, iap_lp_bound, iap_total_cost, solve, CapAlgorithm, CapInstance,
@@ -16,23 +29,32 @@ use dve::assign::{
 use dve::sim::experiments::{
     ablation, fig4, fig5, fig6, repair_study, table1, table3, table4, topologies, ExpOptions,
 };
-use dve::sim::{build_replication, SimSetup, TopologySpec};
+use dve::sim::{
+    build_replication, run_ingest_stream, IngestConfig, ServeConfig, ServeEngine, SimSetup,
+    TopologySpec,
+};
 use dve::topology::{
     hierarchical, transit_stub, us_backbone, waxman_incremental, HierarchicalConfig, Topology,
     TopologyKind, TopologyStats, TransitStubConfig, WaxmanParams,
 };
-use dve::world::ScenarioConfig;
+use dve::world::wire::FrameReader;
+use dve::world::{ErrorModel, IngestRing, ScenarioConfig, WorldEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::io::Read;
+use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dvecap topology [--kind hierarchical|transit-stub|waxman|backbone] [--seed S]\n  \
          dvecap solve <notation> [--algo NAME] [--delay-bound MS] [--correlation D] [--error E] [--seed S]\n  \
          dvecap bounds <notation> [--seed S]\n  \
-         dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies> [--runs N] [--quick]"
+         dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies> [--runs N] [--quick]\n  \
+         dvecap serve <notation> [--port P] [--ring N] [--bound N] [--batch N] [--staleness-ms F] [--seed S]"
     );
     ExitCode::from(2)
 }
@@ -232,6 +254,175 @@ fn cmd_experiment(positional: &[String], flags: &HashMap<String, String>) -> Exi
     ExitCode::SUCCESS
 }
 
+/// Socket reader: pulls bytes off one connection, decodes frames, and
+/// feeds the ring. Leaves and server faults use the blocking push (they
+/// must never shed); joins and moves shed under pressure, counted on
+/// the ring. Closes the ring when the producer hangs up or framing is
+/// lost, so the consumer loop drains and stops.
+fn read_connection(mut conn: impl Read, ring: &IngestRing) {
+    let mut frames = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match conn.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("serve: read error: {e}");
+                break;
+            }
+        };
+        frames.feed(&buf[..n]);
+        loop {
+            match frames.next_event() {
+                Ok(Some(event)) => {
+                    let must_deliver = matches!(
+                        event,
+                        WorldEvent::Leave { .. }
+                            | WorldEvent::ServerDown { .. }
+                            | WorldEvent::ServerUp { .. }
+                    );
+                    let refused = if must_deliver {
+                        ring.push_blocking(event).is_err()
+                    } else {
+                        ring.push_or_shed(event).is_err()
+                    };
+                    if refused {
+                        // Only a closed ring refuses here: shut down.
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("serve: wire error: {e}; dropping connection");
+                    return;
+                }
+            }
+        }
+    }
+    if frames.pending_bytes() > 0 {
+        eprintln!(
+            "serve: connection closed mid-frame ({} bytes pending)",
+            frames.pending_bytes()
+        );
+    }
+}
+
+fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(notation) = positional.first() else {
+        return usage();
+    };
+    let mut scenario = match ScenarioConfig::from_notation(notation) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    scenario.correlation = flag_parse(flags, "correlation", scenario.correlation);
+    let setup = SimSetup {
+        scenario,
+        topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+        delay_bound_ms: flag_parse(flags, "delay-bound", 250.0),
+        error_factor: flag_parse(flags, "error", 1.0),
+        base_seed: flag_parse(flags, "seed", 42),
+        runs: 1,
+        ..Default::default()
+    };
+    let port: u16 = flag_parse(flags, "port", 0);
+    let ring_slots: usize = flag_parse(flags, "ring", 4_096);
+    let bound: usize = flag_parse(flags, "bound", 1_024);
+    let max_batch: usize = flag_parse(flags, "batch", 64);
+    let staleness_ms: f64 = flag_parse(flags, "staleness-ms", 1.0);
+
+    let rep = build_replication(&setup, 0);
+    let world = rep.world;
+    let serve_config = ServeConfig {
+        max_batch,
+        ..Default::default()
+    };
+    let mut engine = match ServeEngine::new(
+        rep.instance,
+        &world,
+        rep.delays,
+        ErrorModel::PERFECT,
+        StuckPolicy::BestEffort,
+        serve_config,
+        rep.rng,
+    ) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("serve: cannot boot the engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("serve: listening on {addr} ({notation})"),
+        Err(e) => eprintln!("serve: local_addr: {e}"),
+    }
+
+    let (conn, peer) = match listener.accept() {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("serve: accept failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serve: client connected from {peer}");
+
+    let ring = Arc::new(IngestRing::with_capacity(ring_slots));
+    let reader_ring = Arc::clone(&ring);
+    let reader = std::thread::spawn(move || {
+        read_connection(conn, &reader_ring);
+        reader_ring.close();
+    });
+
+    let ingest_config = IngestConfig {
+        max_batch,
+        max_staleness: Duration::from_secs_f64(staleness_ms / 1_000.0),
+    };
+    let report = run_ingest_stream(&mut engine, &ring, &world, bound, ingest_config);
+    if reader.join().is_err() {
+        eprintln!("serve: reader thread panicked");
+    }
+
+    let stats = engine.stats();
+    println!("serve: connection closed; session summary");
+    println!(
+        "  arrivals {}  committed {}  flushes {}  dropped {}  server events {}",
+        report.arrivals, report.committed, report.flushes, report.dropped, report.server_events
+    );
+    println!(
+        "  shed: ring {} + buffer {} (leaves shed: {})  coalesced {}  ineffective {}",
+        ring.shed_events(),
+        report.shed,
+        report.shed_leaves,
+        report.coalesced,
+        report.ineffective
+    );
+    println!(
+        "  arrival-to-commit: mean {:.3} ms  p99 {:.3} ms  p99.9 {:.3} ms ({} samples)",
+        stats.latency.mean_ns() / 1e6,
+        stats.latency.quantile_upper_ns(0.99) as f64 / 1e6,
+        stats.latency.quantile_upper_ns(0.999) as f64 / 1e6,
+        stats.latency.count()
+    );
+    println!(
+        "  population {}  pQoS {:.3}  feasible {}",
+        engine.num_clients(),
+        engine.metrics().pqos,
+        engine.is_feasible()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((positional, flags)) = parse(&args) else {
@@ -246,6 +437,7 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(rest, &flags),
         "bounds" => cmd_bounds(rest, &flags),
         "experiment" => cmd_experiment(rest, &flags),
+        "serve" => cmd_serve(rest, &flags),
         _ => usage(),
     }
 }
