@@ -1,0 +1,177 @@
+//! The zone-sharded *serving* acceptance run (`scale-mc` CI gate).
+//!
+//! Claim checked in release mode **on a multi-core runner** (the run
+//! degrades to a report-only SKIP below four workers, so single-core
+//! boxes and tier-1 CI stay green): a [`ShardedServeEngine`] on its
+//! persistent worker team serves churn at the production
+//! [`LARGE_TIER`] (`100s-1000z-50000c`) at least **2×** the
+//! single-shard event throughput — while committing **bit-identical
+//! decisions** to the single-shard engine (asserted in-process, per
+//! client, before timing anything).
+//!
+//! The timed span is pure serving: push + micro-batch flush (zone-scoped
+//! refresh on the team, serial repair commit) over a fixed move-heavy
+//! trace. Engine boot (world generation, initial solve) happens once
+//! per width outside the clock.
+//!
+//! Results land in `BENCH_serve_mc.json` keyed by `threads` +
+//! `peak_rss_bytes`, so committed baselines are compared like for like
+//! (`bench_diff` refuses cross-width diffs and gates `events_per_s`).
+//!
+//! ```bash
+//! cargo bench -p dve-bench --bench serve_mc
+//! ```
+
+use dve_assign::StuckPolicy;
+use dve_sim::experiments::scaling::LARGE_TIER;
+use dve_sim::{
+    build_replication, ServeConfig, ServeSink, ShardedServeEngine, SimSetup, StreamEvent,
+    TopologySpec,
+};
+use dve_topology::HierarchicalConfig;
+use dve_world::{ErrorModel, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Timed repetitions per width; the gated statistic is the minimum.
+const RUNS: usize = 3;
+
+/// Move events per timed repetition. Moves are idempotent workload
+/// (a live id can move forever), so every repetition replays the same
+/// population without rebooting the engine.
+const EVENTS: usize = 24_000;
+
+/// Events per micro-batch flush: large enough that a flush touches
+/// hundreds of the tier's 1000 zones, which is the span the team
+/// parallelises.
+const BATCH: usize = 512;
+
+/// The gate arms at this many workers: below it the refresh share of a
+/// flush (Amdahl) cannot reach 2× end-to-end, and the run reports SKIP
+/// like the `mc` bench does on one core.
+const MIN_GATE_WIDTH: usize = 4;
+
+fn boot(setup: &SimSetup, shards: usize) -> ShardedServeEngine {
+    let rep = build_replication(setup, 0);
+    ShardedServeEngine::new(
+        rep.instance,
+        &rep.world,
+        rep.delays,
+        ErrorModel::PERFECT,
+        StuckPolicy::BestEffort,
+        ServeConfig {
+            max_batch: BATCH,
+            ..ServeConfig::default()
+        },
+        StdRng::seed_from_u64(0x5eac),
+        shards,
+    )
+    .expect("the large tier solves")
+}
+
+/// The deterministic move trace: client `i`'s avatar hops to a zone
+/// derived from its id and the round, spread across the full zone space.
+fn drive(engine: &mut ShardedServeEngine, clients: usize, zones: usize, round: usize) {
+    for i in 0..EVENTS {
+        let id = (i % clients) as u64;
+        let zone = (i * 31 + round * 7 + i / clients) % zones;
+        engine
+            .push(StreamEvent::Move { id, zone })
+            .expect("moves of live clients are always admitted");
+    }
+    engine.flush_now();
+}
+
+/// Minimum wall-clock over [`RUNS`] trace replays, ms.
+fn min_serve_ms(engine: &mut ShardedServeEngine, clients: usize, zones: usize) -> f64 {
+    (0..RUNS)
+        .map(|round| {
+            let t = Instant::now();
+            drive(engine, clients, zones, round);
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let threads = dve_par::default_threads();
+    let setup = SimSetup {
+        scenario: ScenarioConfig::from_notation(LARGE_TIER).expect("static notation"),
+        topology: TopologySpec::Hierarchical(HierarchicalConfig::default()),
+        runs: 1,
+        ..Default::default()
+    };
+    let scenario = ScenarioConfig::from_notation(LARGE_TIER).expect("static notation");
+    let (clients, zones) = (scenario.clients, scenario.zones);
+
+    // Correctness first: the sharded engine must commit the single-shard
+    // run's per-client decisions bit for bit before its speed means
+    // anything. One full trace replay on each, then compare everything.
+    let mut serial = boot(&setup, 1);
+    let mut wide = boot(&setup, threads);
+    drive(&mut serial, clients, zones, 0);
+    drive(&mut wide, clients, zones, 0);
+    assert_eq!(
+        serial.engine().targets(),
+        wide.engine().targets(),
+        "sharded serving diverged from the single-shard target decisions"
+    );
+    assert_eq!(
+        serial.engine().contacts(),
+        wide.engine().contacts(),
+        "sharded serving diverged from the single-shard contact decisions"
+    );
+    assert_eq!(serial.engine().stats().events, wide.engine().stats().events);
+    assert_eq!(
+        serial.engine().stats().zones_migrated,
+        wide.engine().stats().zones_migrated
+    );
+    assert_eq!(
+        serial.engine().stats().full_repairs,
+        wide.engine().stats().full_repairs,
+        "sharding must not change when the engine falls back to a full repair"
+    );
+    let routed: u64 = wide.shard_stats().iter().map(|b| b.events).sum();
+    assert_eq!(routed, wide.engine().stats().events);
+
+    let serial_ms = min_serve_ms(&mut serial, clients, zones);
+    let wide_ms = min_serve_ms(&mut wide, clients, zones);
+    let serial_eps = EVENTS as f64 / (serial_ms / 1e3);
+    let wide_eps = EVENTS as f64 / (wide_ms / 1e3);
+    let speedup = serial_ms / wide_ms;
+    println!(
+        "serve_mc/acceptance: {EVENTS} moves on {LARGE_TIER} at {threads} shard(s): \
+         min {wide_ms:.1} ms ({wide_eps:.0} events/s; 1-shard {serial_ms:.1} ms, \
+         {serial_eps:.0} events/s -> {speedup:.2}x)"
+    );
+
+    dve_bench::write_bench_record(
+        "serve_mc",
+        &[
+            ("tier", format!("\"{LARGE_TIER}\"")),
+            ("runs", format!("{RUNS}")),
+            ("events", format!("{EVENTS}")),
+            ("batch", format!("{BATCH}")),
+            ("serve_min_ms", format!("{wide_ms:.3}")),
+            ("serve_min_ms_1shard", format!("{serial_ms:.3}")),
+            ("events_per_s", format!("{wide_eps:.1}")),
+            ("events_per_s_1shard", format!("{serial_eps:.1}")),
+            ("speedup_in_process", format!("{speedup:.3}")),
+        ],
+    );
+
+    if threads < MIN_GATE_WIDTH {
+        println!(
+            "serve_mc: SKIP ({threads} worker(s) available — the >=2x serving gate needs \
+             at least {MIN_GATE_WIDTH}; measurements recorded in BENCH_serve_mc.json)"
+        );
+        return;
+    }
+    assert!(
+        speedup >= 2.0,
+        "sharded serving at {threads} shards is only {speedup:.2}x the single-shard \
+         throughput ({wide_eps:.0} vs {serial_eps:.0} events/s; gate: >= 2x)"
+    );
+    println!("serve_mc: PASS ({speedup:.2}x single-shard serving throughput at {threads} shards)");
+}

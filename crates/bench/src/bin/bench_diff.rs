@@ -25,12 +25,17 @@
 //! When both sides are `BENCH_burst.json` records it gates the **ingest
 //! tail** — per burst scenario, `p999_ms` must not grow past the
 //! threshold (floored at 2 ms: sub-floor tails are scheduler jitter)
-//! and `shed_leaves` must be zero. Mixing record kinds is a usage
-//! error.
+//! and `shed_leaves` must be zero. When both sides are
+//! `BENCH_serve_mc.json` records it gates the **sharded serving
+//! throughput** — `events_per_s` must not fall below
+//! `baseline / (1 + threshold)` (note the inversion: throughput, not
+//! latency). Mixing record kinds is a usage error, as is mixing widths
+//! (every record carries `threads`).
 
 use dve_bench::diff::{
-    compare, compare_burst, compare_recover, entries, is_burst_doc, is_recover_doc, parse,
-    recover_entries, thread_mismatch, BenchEntry, BurstEntry, DiffReport, Json, RecoverEntry,
+    compare, compare_burst, compare_recover, compare_serve_mc, entries, is_burst_doc,
+    is_recover_doc, is_serve_mc_doc, parse, recover_entries, serve_mc_entry, thread_mismatch,
+    BenchEntry, BurstEntry, DiffReport, Json, RecoverEntry, ServeMcEntry,
 };
 
 fn load_doc(path: &str) -> Json {
@@ -60,6 +65,13 @@ fn recovery_entries(doc: &Json, path: &str) -> Vec<RecoverEntry> {
 
 fn burst_scenarios(doc: &Json, path: &str) -> Vec<BurstEntry> {
     dve_bench::diff::burst_entries(doc).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn serve_mc_record(doc: &Json, path: &str) -> ServeMcEntry {
+    serve_mc_entry(doc).unwrap_or_else(|e| {
         eprintln!("bench_diff: {path}: {e}");
         std::process::exit(2);
     })
@@ -187,6 +199,40 @@ fn diff_recover(
     finish(&report);
 }
 
+fn diff_serve_mc(paths: &[String], fresh: &ServeMcEntry, baseline: &ServeMcEntry, threshold: f64) {
+    let report = compare_serve_mc(fresh, baseline, threshold);
+    println!(
+        "bench_diff: {} vs {} (sharded-serving records): tier {}, threshold -{:.0}% throughput",
+        paths[0],
+        paths[1],
+        baseline.tier,
+        threshold * 100.0
+    );
+    println!(
+        "  events/s {:.0} -> {:.0}  (1-shard {:.0} -> {:.0}, in-process speedup {:.2}x -> {:.2}x)",
+        baseline.events_per_s,
+        fresh.events_per_s,
+        baseline.events_per_s_1shard,
+        fresh.events_per_s_1shard,
+        baseline.speedup_in_process,
+        fresh.speedup_in_process,
+    );
+    for missing in &report.missing {
+        println!("  MISSING in fresh results: tier {missing} (tier changed — re-baseline)");
+    }
+    for r in &report.regressions {
+        println!(
+            "  REGRESSION {:<14} events/s {:.0} -> {:.0} ({:.2}x, limit {:.2}x of baseline)",
+            r.config,
+            r.baseline_ms,
+            r.fresh_ms,
+            r.fresh_ms / r.baseline_ms,
+            1.0 / (1.0 + threshold)
+        );
+    }
+    finish(&report);
+}
+
 /// Prints the verdict and exits non-zero on failure (shared tail of
 /// both diff modes).
 fn finish(report: &DiffReport) {
@@ -250,6 +296,8 @@ fn main() {
             "recovery"
         } else if is_burst_doc(doc) {
             "burst"
+        } else if is_serve_mc_doc(doc) {
+            "serve_mc"
         } else {
             "table1"
         }
@@ -274,6 +322,12 @@ fn main() {
             let fresh = burst_scenarios(&fresh_doc, &paths[0]);
             let baseline = burst_scenarios(&baseline_doc, &paths[1]);
             diff_burst(&paths, &fresh, &baseline, threshold);
+            return;
+        }
+        "serve_mc" => {
+            let fresh = serve_mc_record(&fresh_doc, &paths[0]);
+            let baseline = serve_mc_record(&baseline_doc, &paths[1]);
+            diff_serve_mc(&paths, &fresh, &baseline, threshold);
             return;
         }
         _ => {}

@@ -566,6 +566,79 @@ pub fn compare_burst(
     report
 }
 
+/// The single measurement row of a `BENCH_serve_mc.json` document —
+/// the zone-sharded serving acceptance record (see
+/// `benches/serve_mc.rs`): event throughput at the recorded width, with
+/// the in-process single-shard comparison alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMcEntry {
+    /// Scenario notation the trace ran on (e.g. the production
+    /// `100s-1000z-50000c-65000cp` tier).
+    pub tier: String,
+    /// Serving throughput at the recorded width, events per second —
+    /// the gated statistic.
+    pub events_per_s: f64,
+    /// In-process single-shard throughput, events per second (reported;
+    /// the bench itself gates the width-over-1 ratio).
+    pub events_per_s_1shard: f64,
+    /// In-process width-over-single-shard speedup (reported).
+    pub speedup_in_process: f64,
+}
+
+/// Whether a parsed document is a sharded-serving record
+/// (`BENCH_serve_mc.json`) — `bench_diff` dispatches on this.
+pub fn is_serve_mc_doc(doc: &Json) -> bool {
+    doc.get("experiment").and_then(Json::as_str) == Some("serve_mc")
+}
+
+/// Extracts the measurement of a `BENCH_serve_mc.json` document.
+pub fn serve_mc_entry(doc: &Json) -> Result<ServeMcEntry, String> {
+    let num = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing '{key}'"))
+    };
+    Ok(ServeMcEntry {
+        tier: doc
+            .get("tier")
+            .and_then(Json::as_str)
+            .ok_or("missing 'tier'")?
+            .to_string(),
+        events_per_s: num("events_per_s")?,
+        events_per_s_1shard: num("events_per_s_1shard")?,
+        speedup_in_process: num("speedup_in_process")?,
+    })
+}
+
+/// Compares a fresh sharded-serving measurement against the committed
+/// baseline: `events_per_s` (throughput — *higher* is better, unlike
+/// the solve-time gates) must not fall below
+/// `baseline / (1 + threshold)`. A tier change makes the documents
+/// incomparable and is reported as a missing measurement. The
+/// cross-width refusal is [`thread_mismatch`], shared with every other
+/// record kind.
+pub fn compare_serve_mc(
+    fresh: &ServeMcEntry,
+    baseline: &ServeMcEntry,
+    threshold: f64,
+) -> DiffReport {
+    let mut report = DiffReport::default();
+    if fresh.tier != baseline.tier {
+        report.missing.push(baseline.tier.clone());
+        return report;
+    }
+    report.compared = 1;
+    if fresh.events_per_s < baseline.events_per_s / (1.0 + threshold) {
+        report.regressions.push(Regression {
+            config: baseline.tier.clone(),
+            algorithm: "events_per_s".to_string(),
+            baseline_ms: baseline.events_per_s,
+            fresh_ms: fresh.events_per_s,
+        });
+    }
+    report
+}
+
 /// The top-level `threads` field of a baseline document, when present
 /// (baselines predating the field have none).
 pub fn doc_threads(doc: &Json) -> Option<u64> {
@@ -1035,6 +1108,78 @@ mod tests {
         }
         // Identical files never regress against themselves.
         let report = compare_burst(&list, &list, 0.25, 2.0);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn serve_mc_documents_are_recognised_and_parsed() {
+        let doc = parse(
+            r#"{"experiment": "serve_mc", "threads": 8, "peak_rss_bytes": 1000,
+                "tier": "100s-1000z-50000c-65000cp", "runs": 3, "events": 24000,
+                "batch": 512, "serve_min_ms": 120.0, "serve_min_ms_1shard": 300.0,
+                "events_per_s": 200000.0, "events_per_s_1shard": 80000.0,
+                "speedup_in_process": 2.5}"#,
+        )
+        .unwrap();
+        assert!(is_serve_mc_doc(&doc));
+        assert!(!is_burst_doc(&doc));
+        assert!(!is_recover_doc(&doc));
+        assert_eq!(doc_threads(&doc), Some(8));
+        let entry = serve_mc_entry(&doc).unwrap();
+        assert_eq!(entry.tier, "100s-1000z-50000c-65000cp");
+        assert_eq!(entry.events_per_s, 200000.0);
+        assert_eq!(entry.speedup_in_process, 2.5);
+        // A document missing the gated statistic refuses to parse.
+        let truncated = parse(r#"{"experiment": "serve_mc", "tier": "x"}"#).unwrap();
+        assert!(serve_mc_entry(&truncated).is_err());
+    }
+
+    /// The serving-throughput gate is inverted relative to the solve
+    /// gates: lower events/s is the regression.
+    #[test]
+    fn serve_mc_gate_bounds_throughput_loss() {
+        let base = ServeMcEntry {
+            tier: "100s-1000z-50000c-65000cp".to_string(),
+            events_per_s: 100_000.0,
+            events_per_s_1shard: 40_000.0,
+            speedup_in_process: 2.5,
+        };
+        // Within threshold: 25% slower at the 25% threshold passes.
+        let ok = ServeMcEntry {
+            events_per_s: 80_001.0,
+            ..base.clone()
+        };
+        assert!(compare_serve_mc(&ok, &base, 0.25).passed());
+        // Past it: fails with the throughput numbers attached.
+        let slow = ServeMcEntry {
+            events_per_s: 70_000.0,
+            ..base.clone()
+        };
+        let report = compare_serve_mc(&slow, &base, 0.25);
+        assert!(!report.passed());
+        assert_eq!(report.regressions[0].algorithm, "events_per_s");
+        // A tier change is incomparable, reported as missing.
+        let moved = ServeMcEntry {
+            tier: "10s-100z-5000c".to_string(),
+            ..base.clone()
+        };
+        let report = compare_serve_mc(&moved, &base, 0.25);
+        assert_eq!(report.missing, vec![base.tier.clone()]);
+        // Identical records never regress against themselves.
+        assert!(compare_serve_mc(&base, &base, 0.25).passed());
+    }
+
+    #[test]
+    fn parses_the_committed_serve_mc_baseline() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve_mc.json");
+        let text = std::fs::read_to_string(path).expect("committed serve_mc baseline exists");
+        let doc = parse(&text).expect("committed serve_mc baseline parses");
+        assert!(is_serve_mc_doc(&doc));
+        assert!(doc_threads(&doc).is_some(), "baseline is width-keyed");
+        let entry = serve_mc_entry(&doc).expect("committed serve_mc baseline has the shape");
+        assert!(entry.events_per_s > 0.0);
+        assert!(entry.events_per_s_1shard > 0.0);
+        let report = compare_serve_mc(&entry, &entry, 0.25);
         assert!(report.passed());
     }
 

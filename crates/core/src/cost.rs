@@ -51,6 +51,21 @@ pub struct CostMatrix {
     regret: Vec<f64>,
 }
 
+impl Default for CostMatrix {
+    /// An empty (0 servers, 0 zones) matrix — the placeholder
+    /// `std::mem::take` leaves behind when a sharded refresh moves the
+    /// real matrix into a shared snapshot for the propose phase.
+    fn default() -> CostMatrix {
+        CostMatrix {
+            servers: 0,
+            zones: 0,
+            cost: Vec::new(),
+            order: Vec::new(),
+            regret: Vec::new(),
+        }
+    }
+}
+
 impl CostMatrix {
     /// Builds the matrix in a single parallel O(k·m) pass on
     /// [`dve_par::default_threads`] workers: see
@@ -280,6 +295,28 @@ impl CostMatrix {
             self.order[z * m..(z + 1) * m].copy_from_slice(&row);
             self.regret[z] = rho;
         }
+    }
+
+    /// The propose half of a sharded refresh: derives zone `z`'s new
+    /// desirability order and regret from the current counts **without
+    /// mutating the matrix**. Reads only the zone's own column and
+    /// previous order, so disjoint zones can be proposed concurrently
+    /// from a shared snapshot; committing each result with
+    /// [`CostMatrix::commit_zone_order`] reproduces
+    /// [`CostMatrix::refresh_zones`] bit-for-bit in any commit order.
+    pub fn propose_zone_order(&self, z: usize) -> (Vec<u32>, f64) {
+        let m = self.servers;
+        let mut row = self.order[z * m..(z + 1) * m].to_vec();
+        let rho = reorder_zone(&self.cost[z * m..(z + 1) * m], &mut row);
+        (row, rho)
+    }
+
+    /// The commit half of a sharded refresh: installs an order/regret
+    /// pair computed by [`CostMatrix::propose_zone_order`] for zone `z`.
+    pub fn commit_zone_order(&mut self, z: usize, row: &[u32], regret: f64) {
+        let m = self.servers;
+        self.order[z * m..(z + 1) * m].copy_from_slice(row);
+        self.regret[z] = regret;
     }
 
     /// Number of servers `m`.
@@ -704,6 +741,45 @@ mod tests {
         let mut matrix = CostMatrix::build(&old);
         matrix.apply_delta(&old, &new, &outcome.delta);
         assert_eq!(matrix, CostMatrix::build(&new));
+    }
+
+    /// The sharded-refresh seam: on a stale matrix (counts updated,
+    /// orderings not), proposing every touched zone from a frozen
+    /// snapshot and committing the results — in a deliberately scrambled
+    /// order — is bit-identical to [`CostMatrix::refresh_zones`], and
+    /// both equal a fresh build.
+    #[test]
+    fn propose_commit_equals_refresh() {
+        let (old, new, outcome) = churn_fixture(9, 18, 22, 14);
+        let delta = &outcome.delta;
+        let mut stale = CostMatrix::build(&old);
+        stale.retire_departures(&old, delta);
+        for mv in &delta.moves {
+            stale.admit_client(&new, mv.new_index, mv.to);
+        }
+        for join in &delta.joins {
+            stale.admit_client(&new, join.client, join.zone);
+        }
+        let touched = delta.touched_zones();
+
+        let mut refreshed = stale.clone();
+        refreshed.refresh_zones(&touched);
+
+        let mut committed = stale.clone();
+        let proposals: Vec<(usize, Vec<u32>, f64)> = touched
+            .iter()
+            .map(|&z| {
+                let (row, rho) = stale.propose_zone_order(z);
+                (z, row, rho)
+            })
+            .collect();
+        // Commit order must not matter: disjoint zones, reversed here.
+        for (z, row, rho) in proposals.into_iter().rev() {
+            committed.commit_zone_order(z, &row, rho);
+        }
+
+        assert_eq!(committed, refreshed);
+        assert_eq!(committed, CostMatrix::build(&new));
     }
 
     #[test]

@@ -46,7 +46,7 @@
 //!   at any thread count** (property-tested across
 //!   `DVE_THREADS ∈ {1, 2, 8}` via the explicit `*_threads` variants).
 //!
-//! The pre-refactor implementations survive in [`reference`] solely for
+//! The pre-refactor implementations survive in [`mod@reference`] solely for
 //! equivalence tests and the `scale` bench's speedup measurement.
 //!
 //! ```

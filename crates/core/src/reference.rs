@@ -17,7 +17,7 @@
 //! Production code must never call them; they are `#[doc(hidden)]` and
 //! deliberately kept byte-for-byte equivalent in **cost-driven decision
 //! order** to the originals. One deliberate exception: both reference
-//! and engine call the current demand-aware [`best_effort_server`] —
+//! and engine call the current demand-aware `best_effort_server` —
 //! the fallback was changed on its own merits (it used to ignore the
 //! zone's demand), so the `BestEffort` stuck-path is compared against
 //! the *new* fallback, not the pre-refactor one.

@@ -16,10 +16,31 @@
 //! * [`par_for_each_mut`] — in-place parallel mutation of disjoint elements.
 //! * [`ThreadPool`] — a small persistent pool for `'static` jobs, used by
 //!   long-running sweeps that want to amortise thread spawning.
+//! * [`WorkerTeam`] — a persistent **thread-affine** team: job `i` of a
+//!   scatter always runs on worker `i`, results return in worker-index
+//!   order. This is the substrate of the zone-sharded serving engine.
 //!
-//! The implementation uses dynamic work stealing via a shared atomic index
+//! The free functions use dynamic work stealing via a shared atomic index
 //! (fine-grained enough for the heterogeneous run times of simulation
 //! replications) and `crossbeam::scope` so borrowed inputs need no `Arc`.
+//! Scoped spawns are per-call — fine for coarse batches, wrong for
+//! µs-scale micro-batches, which is what the persistent pool and team
+//! exist for. Every thread this crate ever creates is counted by
+//! [`threads_spawned`], so callers can assert their hot path spawns
+//! nothing.
+//!
+//! ## When bit-identity holds
+//!
+//! The reduce seam ([`par_map_reduce_with`]) splits items into contiguous
+//! chunks and merges per-worker accumulators in worker-index order. The
+//! schedule is a pure function of `(threads, items.len())`, so a run is
+//! bit-reproducible at a fixed width; the result is bit-identical at
+//! **any** width exactly when the accumulation is exactly associative —
+//! integer counters, `u32`/`u64` sums, index-keyed concatenation.
+//! Floating-point sums are only reproducible per width: reassociating
+//! them across chunk boundaries changes rounding. Compute layers that
+//! promise width-invariance (the sharded solve and serve paths) keep
+//! floats out of this seam or derive them after the exact merge.
 //!
 //! ```
 //! let squares = dve_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
@@ -30,10 +51,32 @@
 #![warn(missing_docs)]
 
 mod pool;
+mod team;
 
 pub use pool::ThreadPool;
+pub use team::WorkerTeam;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Process-wide count of OS threads spawned by this crate, ever.
+static SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Records one thread spawn; every spawn site in this crate calls this.
+pub(crate) fn note_spawn() {
+    SPAWNED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total OS threads this crate has spawned since process start — scoped
+/// workers of the free functions, [`ThreadPool`] workers, and
+/// [`WorkerTeam`] workers alike.
+///
+/// This is the observable behind the "no per-flush spawns" contract:
+/// tests snapshot it, drive a hot path, and assert the delta is zero.
+/// The counter is process-global, so such assertions must run in their
+/// own test binary (the default harness runs tests concurrently).
+pub fn threads_spawned() -> u64 {
+    SPAWNED.load(Ordering::Relaxed)
+}
 
 /// Returns the worker count used by the free parallel functions: the value
 /// of the `DVE_THREADS` environment variable if set and positive, otherwise
@@ -90,6 +133,7 @@ where
     let buckets: Vec<Vec<(usize, R)>> = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
+                note_spawn();
                 scope.spawn(move |_| {
                     let mut local = Vec::new();
                     loop {
@@ -183,6 +227,7 @@ where
     let accs: Vec<A> = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
+                note_spawn();
                 scope.spawn(move |_| {
                     let lo = w * per;
                     let hi = ((w + 1) * per).min(n);
@@ -251,6 +296,7 @@ where
             let base = start;
             start += take;
             rest = tail;
+            note_spawn();
             scope.spawn(move |_| {
                 for (off, t) in head.iter_mut().enumerate() {
                     f(base + off, t);
@@ -271,6 +317,7 @@ where
     RB: Send,
 {
     crossbeam::scope(|scope| {
+        note_spawn();
         let hb = scope.spawn(|_| b());
         let ra = a();
         let rb = hb.join().expect("dve-par join arm panicked");

@@ -58,6 +58,7 @@ impl ThreadPool {
             .map(|i| {
                 let receiver = receiver.clone();
                 let shared = Arc::clone(&shared);
+                crate::note_spawn();
                 std::thread::Builder::new()
                     .name(format!("dve-par-{i}"))
                     .spawn(move || {

@@ -1,0 +1,235 @@
+//! A persistent, thread-affine worker team for sharded engines.
+//!
+//! The free functions in the crate root spin up scoped workers per call
+//! and [`crate::ThreadPool`] distributes jobs over one MPMC channel —
+//! any worker may take any job. Neither fits a *sharded* engine, where
+//! shard `i` must always run on worker `i` (thread-affine state, and a
+//! merge step that consumes results in worker-index order). `WorkerTeam`
+//! keeps one channel **per worker**: [`WorkerTeam::scatter`] sends job
+//! `i` to worker `i` and returns results in slot order, so a
+//! worker-index-order merge is just iterating the returned `Vec`.
+//!
+//! Workers are spawned once in [`WorkerTeam::new`] and live until the
+//! team is dropped; a scatter never spawns. [`crate::threads_spawned`]
+//! counts every thread this crate ever creates, which is how the
+//! no-per-flush-spawn property tests verify that claim.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed team of worker threads with per-worker queues: job `i` of a
+/// [`WorkerTeam::scatter`] always runs on worker `i`.
+///
+/// Because the job→worker mapping is static, any state a caller keys by
+/// worker index (shard books, scratch buffers shipped through the job
+/// closures) is touched by exactly one thread per scatter, and the
+/// results come back in worker-index order — the serial-merge half of
+/// the propose-∥/commit-serial discipline falls out of the return value.
+///
+/// ```
+/// let team = dve_par::WorkerTeam::new(3);
+/// let jobs: Vec<_> = (0..3).map(|i| move |w: usize| (i, w)).collect();
+/// let out = team.scatter(jobs);
+/// assert_eq!(out, vec![(0, 0), (1, 1), (2, 2)]);
+/// ```
+pub struct WorkerTeam {
+    senders: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerTeam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerTeam")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerTeam {
+    /// Spawns a team of `threads` workers (clamped to at least 1). This
+    /// is the only place a team creates threads.
+    pub fn new(threads: usize) -> WorkerTeam {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+            senders.push(sender);
+            crate::note_spawn();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dve-team-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = receiver.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn dve-par team worker"),
+            );
+        }
+        WorkerTeam { senders, workers }
+    }
+
+    /// Creates a team with [`crate::default_threads`] workers.
+    pub fn with_default_threads() -> WorkerTeam {
+        WorkerTeam::new(crate::default_threads())
+    }
+
+    /// Number of workers on the team.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `jobs[i]` on worker `i` (each receives its worker index) and
+    /// blocks until all complete, returning results in slot order.
+    ///
+    /// At most [`WorkerTeam::threads`] jobs per scatter — the mapping is
+    /// the point, so excess jobs are a caller bug, not queued work.
+    /// Panics if a worker dies mid-scatter (a panicking job kills its
+    /// worker; the team is not repaired).
+    pub fn scatter<R, F>(&self, jobs: Vec<F>) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(usize) -> R + Send + 'static,
+    {
+        let n = jobs.len();
+        assert!(
+            n <= self.threads(),
+            "scatter of {n} jobs onto {} workers",
+            self.threads()
+        );
+        let (done, results) = unbounded::<(usize, R)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let done = done.clone();
+            self.senders[i]
+                .send(Box::new(move || {
+                    let r = job(i);
+                    let _ = done.send((i, r));
+                }))
+                .expect("dve-par team worker channel closed");
+        }
+        drop(done);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, r) = results
+                .recv()
+                .expect("dve-par team worker died mid-scatter");
+            debug_assert!(slots[i].is_none(), "slot {i} produced twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("dve-par team lost a result slot"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerTeam {
+    fn drop(&mut self) {
+        // Closing the per-worker channels lets each worker drain and exit.
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn scatter_returns_results_in_slot_order() {
+        let team = WorkerTeam::new(4);
+        let jobs: Vec<_> = (0..4)
+            .map(|i| {
+                move |w: usize| {
+                    // Stagger completion so slot order must come from the
+                    // merge, not from completion order.
+                    std::thread::sleep(std::time::Duration::from_millis(4 - i as u64));
+                    (i * 10, w)
+                }
+            })
+            .collect();
+        assert_eq!(team.scatter(jobs), vec![(0, 0), (10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn jobs_are_thread_affine() {
+        // The same slot must land on the same OS thread across scatters.
+        let team = WorkerTeam::new(3);
+        let names: Vec<Vec<String>> = (0..5)
+            .map(|_| {
+                let jobs: Vec<_> = (0..3)
+                    .map(|_| {
+                        |_w: usize| {
+                            std::thread::current()
+                                .name()
+                                .unwrap_or_default()
+                                .to_string()
+                        }
+                    })
+                    .collect();
+                team.scatter(jobs)
+            })
+            .collect();
+        for round in &names[1..] {
+            assert_eq!(round, &names[0]);
+        }
+        assert_eq!(names[0][0], "dve-team-0");
+        assert_eq!(names[0][2], "dve-team-2");
+    }
+
+    #[test]
+    fn partial_scatter_uses_leading_workers() {
+        let team = WorkerTeam::new(4);
+        let jobs: Vec<_> = (0..2).map(|_| |w: usize| w).collect();
+        assert_eq!(team.scatter(jobs), vec![0, 1]);
+    }
+
+    #[test]
+    fn scatter_spawns_no_threads() {
+        let team = WorkerTeam::new(4);
+        let before = crate::threads_spawned();
+        for _ in 0..100 {
+            let jobs: Vec<_> = (0..4).map(|_| |w: usize| w).collect();
+            team.scatter(jobs);
+        }
+        assert_eq!(crate::threads_spawned(), before);
+    }
+
+    #[test]
+    fn thread_count_clamped() {
+        let team = WorkerTeam::new(0);
+        assert_eq!(team.threads(), 1);
+    }
+
+    #[test]
+    fn reusable_across_scatters() {
+        let team = WorkerTeam::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let jobs: Vec<_> = (0..2)
+                .map(|_| {
+                    let hits = Arc::clone(&hits);
+                    move |_w: usize| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .collect();
+            team.scatter(jobs);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_scatter_is_a_no_op() {
+        let team = WorkerTeam::new(2);
+        let out: Vec<u32> = team.scatter(Vec::<fn(usize) -> u32>::new());
+        assert!(out.is_empty());
+    }
+}

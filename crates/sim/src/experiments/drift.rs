@@ -11,8 +11,9 @@
 //! over the same world trajectory and quantifies the gap:
 //!
 //! * **carried** — the production delta path: instance and
-//!   [`CostMatrix`] carried across every [`WorldDelta`], survivors keep
-//!   their estimates, only joiners sample fresh ones;
+//!   [`CostMatrix`] carried across every
+//!   [`WorldDelta`](dve_world::WorldDelta), survivors keep their
+//!   estimates, only joiners sample fresh ones;
 //! * **fresh** — a full rebuild per epoch: every client's estimates
 //!   re-drawn, matrix rebuilt from all k clients.
 //!

@@ -1,5 +1,10 @@
 //! Engine-side pull loop draining an [`IngestRing`] through the
-//! [`DeltaBuffer`] coalesce-or-shed boundary into a [`ServeEngine`].
+//! [`DeltaBuffer`] coalesce-or-shed boundary into any [`ServeSink`] —
+//! a plain [`ServeEngine`](crate::ServeEngine) or the zone-sharded
+//! [`ShardedServeEngine`](crate::ShardedServeEngine).
+//!
+//! The wire frames a remote producer feeds the ring with are specified
+//! in `docs/WIRE.md` at the repository root.
 //!
 //! This is the consumer half of the line-rate ingest front end: a
 //! producer (the `dvecap serve` socket reader, or a burst replayer)
@@ -38,7 +43,7 @@
 //! [`IngestReport::shed_leaves`] stays zero, which the burst bench
 //! gates.
 
-use crate::serve::{ClientId, ServeEngine, ServeError, StreamEvent};
+use crate::serve::{ClientId, ServeError, ServeSink, StreamEvent};
 use dve_world::{DeltaBuffer, IngestRing, World, WorldEvent};
 use std::time::{Duration, Instant};
 
@@ -107,7 +112,9 @@ pub struct IngestReport {
 }
 
 /// The pull-loop state machine: mirror world, id tables, bounded
-/// buffer, counters. See the [module docs](self).
+/// buffer, counters. See the module-level docs of
+/// [`run_ingest_stream`]'s module for the flush policy and id
+/// discipline.
 #[derive(Debug)]
 pub struct IngestStream {
     buffer: DeltaBuffer,
@@ -125,10 +132,17 @@ impl IngestStream {
     /// Binds a stream to `engine` and the world it was booted on.
     /// `bound` caps the buffer's distinct entries (the coalesce-or-shed
     /// boundary). The engine's live population must still be the boot
-    /// world's `0..k` id range (i.e. attach before serving churn).
-    pub fn new(engine: &ServeEngine, world: &World, bound: usize, config: IngestConfig) -> Self {
+    /// world's `0..k` id range (i.e. attach before serving churn). Any
+    /// [`ServeSink`] works — a plain engine or the zone-sharded
+    /// [`ShardedServeEngine`](crate::ShardedServeEngine).
+    pub fn new<E: ServeSink>(
+        engine: &E,
+        world: &World,
+        bound: usize,
+        config: IngestConfig,
+    ) -> Self {
         assert_eq!(
-            engine.num_clients(),
+            engine.engine().num_clients(),
             world.clients.len(),
             "engine and world populations must match"
         );
@@ -153,7 +167,7 @@ impl IngestStream {
     /// engine per the [`IngestConfig`] policy, and returns how many
     /// events were popped. Call in a loop (the consumer side of the
     /// SPSC contract) until the ring is closed and empty.
-    pub fn pump(&mut self, engine: &mut ServeEngine, ring: &IngestRing) -> u64 {
+    pub fn pump<E: ServeSink>(&mut self, engine: &mut E, ring: &IngestRing) -> u64 {
         let mut popped = 0u64;
         while let Some(admitted) = ring.pop() {
             popped += 1;
@@ -180,7 +194,7 @@ impl IngestStream {
 
     /// Final drain: flushes anything still buffered and returns the
     /// session's counters.
-    pub fn finish(mut self, engine: &mut ServeEngine) -> IngestReport {
+    pub fn finish<E: ServeSink>(mut self, engine: &mut E) -> IngestReport {
         if !self.buffer.is_empty() {
             self.flush(engine);
         }
@@ -190,10 +204,10 @@ impl IngestStream {
 
     /// Routes one ring event: client churn into the buffer (translated
     /// id → mirror index), server faults around it to the engine.
-    fn accept(&mut self, engine: &mut ServeEngine, event: WorldEvent, at: Instant) {
+    fn accept<E: ServeSink>(&mut self, engine: &mut E, event: WorldEvent, at: Instant) {
         match event {
             WorldEvent::Join { node, zone } => {
-                if node >= engine.nodes() {
+                if node >= engine.engine().nodes() {
                     self.report.dropped += 1;
                     return;
                 }
@@ -276,7 +290,7 @@ impl IngestStream {
     /// property the burst bench gates), feed the delta-aligned events
     /// with their admission stamps into the engine, flush the engine,
     /// and replay the drain's `swap_remove`s onto the id tables.
-    fn flush(&mut self, engine: &mut ServeEngine) {
+    fn flush<E: ServeSink>(&mut self, engine: &mut E) {
         if self.buffer.is_empty() {
             return;
         }
@@ -344,9 +358,9 @@ impl IngestStream {
     /// retrying once across an engine flush on `QueueFull`. Returns
     /// `None` when the event was dropped, `Some(join_result)` when the
     /// engine took it.
-    fn feed(
+    fn feed<E: ServeSink>(
         &mut self,
-        engine: &mut ServeEngine,
+        engine: &mut E,
         event: StreamEvent,
         at: Instant,
     ) -> Option<Option<ClientId>> {
@@ -377,11 +391,12 @@ impl IngestStream {
 /// the session counters. `world` must be the world `engine` was booted
 /// on (the id-discipline anchor); `bound` caps the buffer entries.
 ///
-/// The latency histogram in [`ServeEngine::stats`] measures each
+/// The latency histogram in
+/// [`ServeEngine::stats`](crate::ServeEngine::stats) measures each
 /// arrival from its ring enqueue to the end of the flush that committed
 /// it — the end-to-end serving SLO the burst bench gates at p99.9.
-pub fn run_ingest_stream(
-    engine: &mut ServeEngine,
+pub fn run_ingest_stream<E: ServeSink>(
+    engine: &mut E,
     ring: &IngestRing,
     world: &World,
     bound: usize,
@@ -403,7 +418,7 @@ pub fn run_ingest_stream(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::serve::ServeConfig;
+    use crate::serve::{ServeConfig, ServeEngine};
     use crate::setup::{build_replication, SimSetup, TopologySpec};
     use dve_assign::StuckPolicy;
     use dve_topology::HierarchicalConfig;

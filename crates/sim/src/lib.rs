@@ -21,7 +21,15 @@
 //!   the `dvecap serve` wire protocol) through a bounded `DeltaBuffer`
 //!   into the engine, translating stable client ids to buffer indices
 //!   and carrying ring-enqueue admission stamps so latency is
-//!   arrival-to-commit end to end;
+//!   arrival-to-commit end to end (the wire frames the ring speaks are
+//!   specified in `docs/WIRE.md` at the repository root);
+//! * [`ShardedServeEngine`] / [`run_stream_sharded`] /
+//!   [`run_recovery_stream_sharded`] — zone-sharded serving on a
+//!   persistent `dve_par::WorkerTeam`: shard `i` owns zones
+//!   `z % shards == i` (matrix columns at refresh time, shard-local
+//!   event/latency books), flushes propose in parallel and commit
+//!   serially, and decisions stay bit-identical to the unsharded
+//!   engine at any shard count;
 //! * [`experiments`] — Table 1, Fig. 4, Fig. 5, Fig. 6, Table 3, Table 4
 //!   and the ablation study, each with a paper-style `render()`;
 //! * [`stats`] — replication statistics (mean, std, CI95).
@@ -78,6 +86,7 @@ mod repair;
 mod runner;
 mod serve;
 mod setup;
+mod shard;
 pub mod stats;
 
 pub use dynamics::{
@@ -94,8 +103,9 @@ pub use runner::{
 pub use serve::{
     run_mobility_stream, run_mobility_stream_with, run_stream, run_stream_batch_compat,
     run_stream_with_warmup, AdmissionPolicy, ClientId, DegradationPolicy, FailoverReport,
-    FlushReport, QualityEstimator, RestoreReport, ServeConfig, ServeEngine, ServeError, ServeStats,
-    StreamEpochRecord, StreamEvent, StreamReport,
+    FlushReport, QualityEstimator, RestoreReport, ServeConfig, ServeEngine, ServeError, ServeSink,
+    ServeStats, StreamEpochRecord, StreamEvent, StreamReport,
 };
 pub use setup::{build_replication, DelayMode, Replication, SimSetup, TopologySpec};
+pub use shard::{run_recovery_stream_sharded, run_stream_sharded, ShardStats, ShardedServeEngine};
 pub use stats::{peak_rss_bytes, Accumulator, LatencyHistogram, Summary};

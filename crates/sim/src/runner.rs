@@ -2,6 +2,13 @@
 //! delta-aware churn engine: a long-running loop that carries the
 //! [`CostMatrix`] across join/leave/move epochs instead of rebuilding
 //! the world per epoch.
+//!
+//! The churn loop here is the *batch* ancestor of the serving path:
+//! [`run_stream`](crate::run_stream) serves the same trace event by
+//! event (proven bit-identical to the carry), and
+//! [`run_stream_sharded`](crate::run_stream_sharded) does so
+//! zone-sharded on a persistent worker team — see
+//! [`ShardedServeEngine`](crate::ShardedServeEngine).
 
 use crate::dynamics::{carry_assignment, CarryPolicy};
 use crate::repair::repair_assignment_with;

@@ -59,6 +59,7 @@ use crate::stats::LatencyHistogram;
 use dve_assign::{
     evaluate, grec, grez_with, Assignment, CapInstance, CostMatrix, IapError, Metrics, StuckPolicy,
 };
+use dve_par::WorkerTeam;
 use dve_world::{
     apply_dynamics, BandwidthModel, DeltaBuffer, DynamicsBatch, ErrorModel, InterArrival,
     MobilityModel, World, WorldDelays, WorldEvent,
@@ -66,6 +67,7 @@ use dve_world::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Stable identity of a client across its lifetime in a [`ServeEngine`].
@@ -429,6 +431,31 @@ impl Pending {
     }
 }
 
+/// How a flush re-derives the touched zones' cost-matrix orderings.
+///
+/// Both modes produce bit-identical matrices — the refresh of each zone
+/// reads only that zone's own counts and previous order — so this is a
+/// scheduling choice, not a semantic one.
+#[derive(Clone)]
+pub(crate) enum RefreshMode {
+    /// The historical path: [`CostMatrix::refresh_zones`], which spins
+    /// up scoped workers per call when the touched set is large.
+    Inline,
+    /// Zone-sharded propose on a persistent worker team (owned by the
+    /// [`ShardedServeEngine`](crate::ShardedServeEngine) wrapper), with
+    /// the serial commit done worker-index-first — no per-flush spawns.
+    Team(Arc<WorkerTeam>),
+}
+
+impl std::fmt::Debug for RefreshMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefreshMode::Inline => write!(f, "Inline"),
+            RefreshMode::Team(team) => write!(f, "Team({} workers)", team.threads()),
+        }
+    }
+}
+
 /// The always-on serving engine. See the module docs for the design.
 #[derive(Debug)]
 pub struct ServeEngine {
@@ -508,6 +535,16 @@ pub struct ServeEngine {
     staleness: usize,
     /// Whether flushes currently record into the warm-up histogram.
     warming_up: bool,
+    /// How flushes refresh touched matrix columns (see [`RefreshMode`]).
+    refresh: RefreshMode,
+    /// When set, each flush appends one `(zone, latency_ns)` sample per
+    /// applied event to [`ServeEngine::flush_samples`] — the feed of the
+    /// sharded wrapper's per-shard books. A leave is sampled in the zone
+    /// it departs, a move in the zone it arrives in.
+    capture_samples: bool,
+    /// Samples appended by flushes while capture is on; drained with
+    /// [`ServeEngine::take_flush_samples`].
+    flush_samples: Vec<(usize, u64)>,
     config: ServeConfig,
     stats: ServeStats,
 }
@@ -577,6 +614,9 @@ impl ServeEngine {
             pending_leaves: HashSet::new(),
             staleness: 0,
             warming_up: false,
+            refresh: RefreshMode::Inline,
+            capture_samples: false,
+            flush_samples: Vec::new(),
             config,
             stats: ServeStats::default(),
             inst: instance,
@@ -863,7 +903,16 @@ impl ServeEngine {
         // Joiners and effective movers need a contact decision by id
         // (indices shift under later leaves in the same batch).
         let mut redecide: Vec<ClientId> = Vec::new();
+        let mut ev_zones: Vec<usize> = Vec::new();
         for ev in &events {
+            if self.capture_samples {
+                // A leave's zone must be read before the apply recycles
+                // the client's slot.
+                ev_zones.push(match *ev {
+                    Pending::Join { zone, .. } | Pending::Move { zone, .. } => zone,
+                    Pending::Leave { id, .. } => self.inst.zone_of(self.index_of_id[&id]),
+                });
+            }
             match *ev {
                 Pending::Join { node, zone, id, .. } => {
                     self.apply_join(node, zone, id, &mut touched);
@@ -879,7 +928,7 @@ impl ServeEngine {
         }
         touched.sort_unstable();
         touched.dedup();
-        self.matrix.refresh_zones(&touched);
+        self.refresh_touched(&touched);
 
         let (migrated, full_repair) = self.repair_targets(&touched);
         if !full_repair {
@@ -897,6 +946,13 @@ impl ServeEngine {
         for ev in &events {
             histogram.record(finished.duration_since(ev.at()));
         }
+        if self.capture_samples {
+            for (ev, &zone) in events.iter().zip(&ev_zones) {
+                let ns = finished.duration_since(ev.at()).as_nanos();
+                self.flush_samples
+                    .push((zone, ns.min(u128::from(u64::MAX)) as u64));
+            }
+        }
         self.stats.events += events.len() as u64;
         self.stats.flushes += 1;
         self.stats.zones_migrated += migrated.len() as u64;
@@ -906,6 +962,40 @@ impl ServeEngine {
             zones_migrated: migrated.len(),
             full_repair,
         })
+    }
+
+    /// Refreshes the touched zones' orderings through the configured
+    /// [`RefreshMode`]. Both arms are bit-identical (each zone's refresh
+    /// reads only its own column), so every downstream decision is too.
+    fn refresh_touched(&mut self, touched: &[usize]) {
+        match &self.refresh {
+            RefreshMode::Inline => self.matrix.refresh_zones(touched),
+            RefreshMode::Team(team) => {
+                let team = Arc::clone(team);
+                crate::shard::refresh_on_team(&mut self.matrix, touched, &team);
+            }
+        }
+    }
+
+    /// Routes flush-time matrix refreshes onto a persistent worker team
+    /// (the sharded wrapper installs its team here at boot).
+    pub(crate) fn set_refresh_team(&mut self, team: Arc<WorkerTeam>) {
+        self.refresh = RefreshMode::Team(team);
+    }
+
+    /// Turns on per-event `(zone, latency)` capture; see
+    /// [`ServeEngine::take_flush_samples`].
+    pub(crate) fn set_sample_capture(&mut self, on: bool) {
+        self.capture_samples = on;
+        if !on {
+            self.flush_samples.clear();
+        }
+    }
+
+    /// Drains the samples appended by flushes since the last drain (one
+    /// per applied event, in apply order).
+    pub(crate) fn take_flush_samples(&mut self) -> Vec<(usize, u64)> {
+        std::mem::take(&mut self.flush_samples)
     }
 
     /// Total load of server `s`: hosted zones plus forwarding overheads.
@@ -1710,6 +1800,75 @@ impl ServeEngine {
     }
 }
 
+/// The engine-shaped surface the stream drivers need: both the plain
+/// [`ServeEngine`] and the zone-sharded wrapper
+/// ([`ShardedServeEngine`](crate::ShardedServeEngine)) implement it, so
+/// every runner in this crate — trace replay, recovery replay, the
+/// ingest pull loop — can drive either without duplicating its loop.
+///
+/// Read-only state goes through [`ServeSink::engine`]; the wrapper
+/// exposes its inner engine immutably, which cannot bypass the
+/// wrapper's shard books (only the mutating entry points, which the
+/// wrapper intercepts, produce samples to route).
+pub trait ServeSink {
+    /// The underlying engine, for read-only accessors (stats, metrics,
+    /// id tables, feasibility).
+    fn engine(&self) -> &ServeEngine;
+    /// See [`ServeEngine::push_admitted`].
+    fn push_admitted(
+        &mut self,
+        event: StreamEvent,
+        at: Instant,
+    ) -> Result<Option<ClientId>, ServeError>;
+    /// See [`ServeEngine::push`].
+    fn push(&mut self, event: StreamEvent) -> Result<Option<ClientId>, ServeError> {
+        self.push_admitted(event, Instant::now())
+    }
+    /// See [`ServeEngine::tick`].
+    fn tick(&mut self) -> Option<FlushReport>;
+    /// See [`ServeEngine::flush_now`].
+    fn flush_now(&mut self) -> Option<FlushReport>;
+    /// See [`ServeEngine::fail_server`].
+    fn fail_server(&mut self, server: usize) -> Result<FailoverReport, ServeError>;
+    /// See [`ServeEngine::restore_server`].
+    fn restore_server(&mut self, server: usize) -> Result<RestoreReport, ServeError>;
+    /// See [`ServeEngine::begin_warmup`].
+    fn begin_warmup(&mut self);
+    /// See [`ServeEngine::end_warmup`].
+    fn end_warmup(&mut self);
+}
+
+impl ServeSink for ServeEngine {
+    fn engine(&self) -> &ServeEngine {
+        self
+    }
+    fn push_admitted(
+        &mut self,
+        event: StreamEvent,
+        at: Instant,
+    ) -> Result<Option<ClientId>, ServeError> {
+        ServeEngine::push_admitted(self, event, at)
+    }
+    fn tick(&mut self) -> Option<FlushReport> {
+        ServeEngine::tick(self)
+    }
+    fn flush_now(&mut self) -> Option<FlushReport> {
+        ServeEngine::flush_now(self)
+    }
+    fn fail_server(&mut self, server: usize) -> Result<FailoverReport, ServeError> {
+        ServeEngine::fail_server(self, server)
+    }
+    fn restore_server(&mut self, server: usize) -> Result<RestoreReport, ServeError> {
+        ServeEngine::restore_server(self, server)
+    }
+    fn begin_warmup(&mut self) {
+        ServeEngine::begin_warmup(self)
+    }
+    fn end_warmup(&mut self) {
+        ServeEngine::end_warmup(self)
+    }
+}
+
 /// Per-epoch record of a [`run_stream`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamEpochRecord {
@@ -1787,9 +1946,33 @@ pub fn run_stream_with_warmup(
         config,
         engine_rng,
     )?;
+    Ok(drive_stream(
+        &mut engine,
+        rep.world,
+        rep.rng,
+        rep.topology.node_count(),
+        batch,
+        warmup_epochs,
+        epochs,
+    ))
+}
 
-    let mut world = rep.world;
-    let mut rng = rep.rng;
+/// The replay loop of [`run_stream_with_warmup`], generic over the
+/// [`ServeSink`] so the zone-sharded wrapper reuses it verbatim
+/// ([`run_stream_sharded`](crate::run_stream_sharded)): streams each
+/// epoch's trace events, flushes at the boundary, re-keys the trace
+/// world's indices to engine ids, and records quality.
+pub(crate) fn drive_stream<E: ServeSink>(
+    engine: &mut E,
+    world: World,
+    rng: StdRng,
+    node_count: usize,
+    batch: &DynamicsBatch,
+    warmup_epochs: usize,
+    epochs: usize,
+) -> StreamReport {
+    let mut world = world;
+    let mut rng = rng;
     let mut ids: Vec<ClientId> = (0..world.clients.len() as ClientId).collect();
     let mut records = Vec::with_capacity(epochs);
     let mut seen = (0u64, 0u64, 0u64); // (migrated, full repairs, flushes)
@@ -1797,10 +1980,10 @@ pub fn run_stream_with_warmup(
         engine.begin_warmup();
     }
     for epoch in 0..warmup_epochs + epochs {
-        if epoch == warmup_epochs && engine.is_warming_up() {
+        if epoch == warmup_epochs && engine.engine().is_warming_up() {
             engine.end_warmup();
         }
-        let outcome = apply_dynamics(&world, batch, rep.topology.node_count(), &mut rng);
+        let outcome = apply_dynamics(&world, batch, node_count, &mut rng);
         let mut join_ids = Vec::with_capacity(outcome.delta.joins.len());
         for event in outcome.to_events() {
             match event {
@@ -1843,12 +2026,12 @@ pub fn run_stream_with_warmup(
             .collect();
         world = outcome.world;
 
-        let stats = engine.stats();
+        let stats = engine.engine().stats();
         if epoch >= warmup_epochs {
             records.push(StreamEpochRecord {
                 epoch: epoch - warmup_epochs,
-                clients: engine.num_clients(),
-                pqos: engine.metrics().pqos,
+                clients: engine.engine().num_clients(),
+                pqos: engine.engine().metrics().pqos,
                 zones_migrated: stats.zones_migrated - seen.0,
                 full_repairs: stats.full_repairs - seen.1,
                 flushes: stats.flushes - seen.2,
@@ -1856,10 +2039,10 @@ pub fn run_stream_with_warmup(
         }
         seen = (stats.zones_migrated, stats.full_repairs, stats.flushes);
     }
-    Ok(StreamReport {
+    StreamReport {
         records,
-        stats: engine.stats().clone(),
-    })
+        stats: engine.engine().stats().clone(),
+    }
 }
 
 /// Drives a [`ServeEngine`] from a [`MobilityModel`] instead of Table 3
@@ -2022,12 +2205,13 @@ pub fn run_mobility_stream_with(
 /// [`run_stream`], but coalesced by a [`DeltaBuffer`] at epoch
 /// granularity and applied through the *batch* carry
 /// (`CapInstance::apply_delta`, two-phase matrix update, carried
-/// assignment, full [`repair_assignment_with`]) — step for step the
-/// [`run_churn`](crate::run_churn) loop. Because the buffer reconstructs
-/// each epoch's [`WorldDelta`](dve_world::WorldDelta) bit-identically
-/// from the events, every record this returns equals the corresponding
-/// [`run_churn`] record exactly (modulo wall-clock `update_ms`) — the
-/// property the stream equivalence tests pin.
+/// assignment, full [`repair_assignment_with`](crate::repair_assignment_with))
+/// — step for step the [`run_churn`](crate::run_churn) loop. Because
+/// the buffer reconstructs each epoch's
+/// [`WorldDelta`](dve_world::WorldDelta) bit-identically from the
+/// events, every record this returns equals the corresponding
+/// [`run_churn`](crate::run_churn) record exactly (modulo wall-clock
+/// `update_ms`) — the property the stream equivalence tests pin.
 pub fn run_stream_batch_compat(
     setup: &SimSetup,
     index: usize,

@@ -252,6 +252,23 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// Folds another histogram into this one — element-wise bucket
+    /// addition plus exact total/sum/min/max combination, so merging is
+    /// commutative and associative: per-shard histograms merged in any
+    /// order equal one histogram that recorded every event. This is what
+    /// lets the sharded serving engine keep latency books per shard and
+    /// still report one global distribution.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// One-line rendering of the distribution (microseconds).
     pub fn render_us(&self) -> String {
         format!(
@@ -405,6 +422,28 @@ mod tests {
                 "q={q}: bound {bound} too loose for {exact}"
             );
         }
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_recorder() {
+        let values: Vec<u64> = (0..500u64).map(|i| i * i * 37 + 3).collect();
+        let mut whole = LatencyHistogram::new();
+        for &v in &values {
+            whole.record_ns(v);
+        }
+        // Shard by residue, merge in an arbitrary order.
+        let mut shards = vec![LatencyHistogram::new(); 3];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % 3].record_ns(v);
+        }
+        let mut merged = LatencyHistogram::new();
+        for shard in [&shards[2], &shards[0], &shards[1]] {
+            merged.merge(shard);
+        }
+        assert_eq!(merged, whole);
+        // Merging an empty histogram is the identity.
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged, whole);
     }
 
     #[test]

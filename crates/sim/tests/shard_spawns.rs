@@ -1,0 +1,79 @@
+//! The "no per-flush spawns" property: a [`ShardedServeEngine`]'s
+//! worker team is created once at boot, and no flush, failover, or
+//! recovery ever creates a thread afterwards.
+//!
+//! This file must stay a **single-test binary**: the observable is
+//! [`dve_par::threads_spawned`], a process-global counter, and any
+//! concurrently running test that touches a parallel path would corrupt
+//! the deltas.
+
+use dve_assign::StuckPolicy;
+use dve_sim::{
+    build_replication, ServeConfig, ServeSink, ShardedServeEngine, SimSetup, StreamEvent,
+    TopologySpec,
+};
+use dve_topology::HierarchicalConfig;
+use dve_world::{ErrorModel, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn serving_never_spawns_after_boot() {
+    let setup = SimSetup {
+        scenario: ScenarioConfig::from_notation("8s-40z-600c-100cp").unwrap(),
+        topology: TopologySpec::Hierarchical(HierarchicalConfig {
+            as_count: 5,
+            routers_per_as: 8,
+            ..Default::default()
+        }),
+        runs: 1,
+        ..Default::default()
+    };
+    let rep = build_replication(&setup, 0);
+    let shards = 4;
+    let before_boot = dve_par::threads_spawned();
+    let mut engine = ShardedServeEngine::new(
+        rep.instance,
+        &rep.world,
+        rep.delays,
+        ErrorModel::PERFECT,
+        StuckPolicy::BestEffort,
+        ServeConfig::default(),
+        StdRng::seed_from_u64(7),
+        shards,
+    )
+    .expect("engine solves");
+    let booted = dve_par::threads_spawned();
+    assert!(
+        booted - before_boot >= shards as u64,
+        "boot creates the worker team (plus any build-time scoped workers)"
+    );
+
+    // Serve hard: enough churn per flush to clear the team-dispatch
+    // threshold, plus a failover and a recovery. The spawn counter must
+    // not move at all.
+    let after_boot = dve_par::threads_spawned();
+    for round in 0..20usize {
+        for step in 0..30usize {
+            let id = (round * 30 + step) as u64 % 500;
+            engine
+                .push(StreamEvent::Move {
+                    id,
+                    zone: (id as usize * 13 + round) % 40,
+                })
+                .expect("move admitted");
+        }
+        engine.flush_now();
+        if round == 7 {
+            engine.fail_server(1).expect("fail");
+        }
+        if round == 11 {
+            engine.restore_server(1).expect("restore");
+        }
+    }
+    assert_eq!(
+        dve_par::threads_spawned(),
+        after_boot,
+        "a sharded engine must never spawn a thread per flush"
+    );
+}

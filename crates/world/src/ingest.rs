@@ -122,7 +122,7 @@ pub struct Admitted {
 }
 
 /// Bounded single-producer/single-consumer ring of admission-stamped
-/// [`WorldEvent`]s — see the [module docs](self) for the contract.
+/// [`WorldEvent`]s — see the module-level docs for the SPSC contract.
 pub struct IngestRing {
     slots: Vec<Slot>,
     /// Consumer cursor: slots `[head, tail)` hold pending events.

@@ -9,7 +9,7 @@
 //!   capacities, clients with physical nodes and virtual zones;
 //! * [`DistributionType`] — the PW/VW clustering taxonomy of Table 2;
 //! * [`CorrelationModel`] — the physical/virtual correlation `delta` model;
-//! * [`BandwidthModel`] — the quadratic zone-bandwidth model of [20]
+//! * [`BandwidthModel`] — the quadratic zone-bandwidth model of \[20\]
 //!   (25 msg/s x 100 B defaults);
 //! * [`ErrorModel`] — King/IDMaps-style delay estimation error (Table 4);
 //! * [`apply_dynamics`] — join/leave/move population dynamics (Table 3);
@@ -47,7 +47,32 @@
 //! is a *stable* client id (the serving engine's id discipline), not a
 //! base-world index; the engine-side pull loop owns the translation. A
 //! length prefix past [`wire::MAX_FRAME`] is refused outright. See
-//! [`wire`] for the encoder and the incremental [`wire::FrameReader`].
+//! [`wire`] for the encoder and the incremental [`wire::FrameReader`],
+//! and `docs/WIRE.md` at the repository root for the standalone spec
+//! with a worked `dvecap serve` transcript.
+//!
+//! ## Ingest invariants
+//!
+//! The ring and the buffer are the two backpressure layers in front of
+//! the serving engine, and they hold distinct contracts:
+//!
+//! * **[`IngestRing`] is strictly SPSC and never blocks.** One producer
+//!   (`try_push`), one consumer (`pop`); a full ring *refuses* —
+//!   the producer decides whether to retry or shed, and every refusal
+//!   is counted on the ring. Events are admission-stamped at enqueue,
+//!   so downstream latency accounting covers time spent queued.
+//! * **[`DeltaBuffer`] coalesces per client and sheds at its bound —
+//!   except Leaves.** A bounded buffer refuses *new entries* past the
+//!   bound (joins, first-touch moves), but a departure strictly frees
+//!   capacity everywhere downstream, so a Leave is admitted past any
+//!   bound, unconditionally. **Never shed a Leave**: a shed Leave
+//!   would leave a phantom client holding server capacity forever.
+//!   The burst bench and the ingest tests gate `shed_leaves == 0`.
+//! * **Coalescing preserves batch semantics.** Draining the buffer
+//!   yields the same [`WorldDelta`] a batch [`apply_dynamics`] step
+//!   would produce for the net effect of the window (move-then-back
+//!   windows vanish as no-ops), which is what keeps the streaming
+//!   path bit-compatible with the batch carry.
 //!
 //! ```
 //! use dve_world::{ScenarioConfig, World};

@@ -7,14 +7,18 @@
 //! dvecap bounds    <notation> [--seed S]
 //! dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies>
 //!                  [--runs N] [--exact-runs N] [--seed S] [--quick]
-//! dvecap serve     <notation> [--port P] [--ring N] [--bound N] [--batch N]
-//!                  [--staleness-ms F] [--seed S]
+//! dvecap serve     <notation> [--port P] [--ring N] [--bound N] [--max-batch N]
+//!                  [--max-staleness-ms F] [--seed S]
 //! ```
 //!
 //! `serve` boots the streaming engine on the scenario, listens on
 //! 127.0.0.1 for one connection speaking the `dve_world::wire`
-//! length-prefixed protocol, and drains decoded events through the
-//! ingest ring into the engine — the line-rate front end. On the wire,
+//! length-prefixed protocol (specified in `docs/WIRE.md`), and drains
+//! decoded events through the ingest ring into the engine — the
+//! line-rate front end. `--max-batch` and `--max-staleness-ms` mirror
+//! the fields of `dve_sim::IngestConfig` and default to its
+//! `Default` values (1024 arrivals, 1 ms), which is the single source
+//! of truth for the flush policy. On the wire,
 //! clients are addressed by stable id (the engine's discipline: the
 //! initial population is `0..k`); joiner ids are not echoed back in
 //! this version, so a connection can address only the initial
@@ -54,7 +58,7 @@ fn usage() -> ExitCode {
          dvecap solve <notation> [--algo NAME] [--delay-bound MS] [--correlation D] [--error E] [--seed S]\n  \
          dvecap bounds <notation> [--seed S]\n  \
          dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies> [--runs N] [--quick]\n  \
-         dvecap serve <notation> [--port P] [--ring N] [--bound N] [--batch N] [--staleness-ms F] [--seed S]"
+         dvecap serve <notation> [--port P] [--ring N] [--bound N] [--max-batch N] [--max-staleness-ms F] [--seed S]"
     );
     ExitCode::from(2)
 }
@@ -331,8 +335,16 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
     let port: u16 = flag_parse(flags, "port", 0);
     let ring_slots: usize = flag_parse(flags, "ring", 4_096);
     let bound: usize = flag_parse(flags, "bound", 1_024);
-    let max_batch: usize = flag_parse(flags, "batch", 64);
-    let staleness_ms: f64 = flag_parse(flags, "staleness-ms", 1.0);
+    // Flag names and defaults mirror `IngestConfig` — the one source of
+    // truth for the flush policy (`--max-batch` also sizes the engine's
+    // own micro-batch so the two layers flush in step).
+    let ingest_defaults = IngestConfig::default();
+    let max_batch: usize = flag_parse(flags, "max-batch", ingest_defaults.max_batch);
+    let staleness_ms: f64 = flag_parse(
+        flags,
+        "max-staleness-ms",
+        ingest_defaults.max_staleness.as_secs_f64() * 1e3,
+    );
 
     let rep = build_replication(&setup, 0);
     let world = rep.world;
