@@ -44,6 +44,11 @@ const RUNS: usize = 5;
 /// `GreZ-LS-GreC` baseline and the million-tier solve).
 const LS_SWEEPS: usize = 2;
 
+/// Widths the solve-time curve samples (capped at the machine's worker
+/// count) — the same scale-trajectory shape `serve_mc` records for the
+/// serving path, here for the full solve pipeline.
+const CURVE_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
 /// Pins `DVE_THREADS` so *every* internal width read (GreC's violator
 /// scan and desirability sort have no explicit-width entry point)
 /// matches the measurement's nominal width. Bench `main` is
@@ -131,6 +136,30 @@ fn main() {
 
     let serial_ms = min_solve_ms(&rep.instance, 1);
     let wide_ms = min_solve_ms(&rep.instance, threads);
+
+    // The solve-time curve: every width the machine can host, reusing
+    // the already-timed width-1 and headline measurements.
+    let mut curve: Vec<(usize, f64)> = Vec::new();
+    for &w in CURVE_WIDTHS.iter().filter(|&&w| w <= threads.max(1)) {
+        let ms = if w == 1 {
+            serial_ms
+        } else if w == threads {
+            wide_ms
+        } else {
+            min_solve_ms(&rep.instance, w)
+        };
+        println!("mc/curve: {w} thread(s): min {ms:.1} ms");
+        curve.push((w, ms));
+    }
+    let curve_json = format!(
+        "[{}]",
+        curve
+            .iter()
+            .map(|(w, ms)| format!("{{\"threads\": {w}, \"solve_min_ms\": {ms:.3}}}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
     pin_width(threads); // restore: the record stamps the nominal width
     let in_process = serial_ms / wide_ms;
     let committed = committed_baseline_ms();
@@ -154,6 +183,7 @@ fn main() {
             ("solve_min_ms", format!("{wide_ms:.3}")),
             ("solve_min_ms_1thread", format!("{serial_ms:.3}")),
             ("speedup_in_process", format!("{in_process:.3}")),
+            ("curve", curve_json),
             (
                 "committed_baseline_ms",
                 committed.map_or("null".to_string(), |b| format!("{b:.3}")),

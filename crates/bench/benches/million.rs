@@ -26,6 +26,14 @@
 //!   ~1.3× head-room);
 //! * `DVE_MILLION_RSS_CEILING_MB` — memory ceiling, default 1024;
 //! * `DVE_MILLION_BUDGET_S` — wall-clock budget, default 900;
+//! * `DVE_MILLION_SHARDS` — when > 1, replays the same warm-up +
+//!   steady trace through a [`ShardedServeEngine`] of that width
+//!   (concurrent disjoint-shard flushes on a persistent worker team),
+//!   asserts its decisions bit-identical to the single-core engine,
+//!   and — at >= 4 workers — gates the sharded steady p99 **below**
+//!   the committed width-1 `steady_p99_ns` in `BENCH_million.json`
+//!   (default 1: the phase is skipped and the headline run stays the
+//!   single-core claim);
 //! * `DVE_MILLION_JSON` — output path, default `BENCH_million.json`.
 //!
 //! ```bash
@@ -39,7 +47,7 @@ use dve_assign::{
 use dve_sim::experiments::scaling::MILLION_TIER;
 use dve_sim::{
     peak_rss_bytes, run_mobility_stream_with, DelayMode, QualityEstimator, ServeConfig,
-    ServeEngine, SimSetup, StreamEvent,
+    ServeEngine, ServeSink, ShardedServeEngine, SimSetup, StreamEvent,
 };
 use dve_topology::{hierarchical, HierarchicalConfig, OnDemandDelays};
 use dve_world::{ErrorModel, InterArrival, MobilityModel, ScenarioConfig, World, WorldDelays};
@@ -74,6 +82,81 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .unwrap_or(default)
+}
+
+/// Streams the seeded serve trace through a sink: [`WARMUP_EVENTS`]
+/// joins inside the warm-up window, then [`STEADY_EVENTS`] mixed
+/// join/leave/move events and one final flush. The event stream is
+/// derived from its own `StdRng::seed_from_u64(44)`, so every engine
+/// fed by this function sees the identical trace — which is what lets
+/// the sharded phase assert bit-identity against the single-core run.
+/// Returns `(warmup_ms, steady_ms)`.
+fn serve_trace<E: ServeSink>(engine: &mut E, nodes: usize, zones: usize) -> (f64, f64) {
+    let mut event_rng = StdRng::seed_from_u64(44);
+
+    let t = Instant::now();
+    engine.begin_warmup();
+    let mut live: Vec<dve_sim::ClientId> = Vec::with_capacity(WARMUP_EVENTS);
+    for _ in 0..WARMUP_EVENTS {
+        let id = engine
+            .push(StreamEvent::Join {
+                node: event_rng.gen_range(0..nodes),
+                zone: event_rng.gen_range(0..zones),
+            })
+            .expect("valid join")
+            .expect("joins get ids");
+        live.push(id);
+    }
+    engine.end_warmup();
+    let warmup_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    for _ in 0..STEADY_EVENTS {
+        match event_rng.gen_range(0..3) {
+            0 if live.len() > 100 => {
+                let pick = event_rng.gen_range(0..live.len());
+                let id = live.swap_remove(pick);
+                engine.push(StreamEvent::Leave { id }).expect("valid leave");
+            }
+            1 => {
+                let id = engine
+                    .push(StreamEvent::Join {
+                        node: event_rng.gen_range(0..nodes),
+                        zone: event_rng.gen_range(0..zones),
+                    })
+                    .expect("valid join")
+                    .expect("joins get ids");
+                live.push(id);
+            }
+            _ => {
+                let pick = event_rng.gen_range(0..live.len());
+                engine
+                    .push(StreamEvent::Move {
+                        id: live[pick],
+                        zone: event_rng.gen_range(0..zones),
+                    })
+                    .expect("valid move");
+            }
+        }
+    }
+    engine.flush_now();
+    let steady_ms = t.elapsed().as_secs_f64() * 1e3;
+    (warmup_ms, steady_ms)
+}
+
+/// The committed width-1 steady-serve p99 from `BENCH_million.json` —
+/// the bound the sharded phase must beat at >= 4 workers. `None` when
+/// the committed record is absent or was not measured at width 1.
+fn committed_steady_p99_ns() -> Option<u64> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_million.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = dve_bench::diff::parse(&text).ok()?;
+    if dve_bench::diff::doc_threads(&doc) != Some(1) {
+        return None;
+    }
+    doc.get("steady_p99_ns")
+        .and_then(dve_bench::diff::Json::as_num)
+        .map(|x| x as u64)
 }
 
 /// The tier to run: the canonical [`MILLION_TIER`], or a reduced-size
@@ -181,57 +264,9 @@ fn main() {
         engine_rng,
     )
     .expect("tier solves");
-    let mut event_rng = StdRng::seed_from_u64(44);
     let nodes = delays.nodes();
     let zones = config.zones;
-
-    let t = Instant::now();
-    engine.begin_warmup();
-    let mut live: Vec<dve_sim::ClientId> = Vec::with_capacity(WARMUP_EVENTS);
-    for _ in 0..WARMUP_EVENTS {
-        let id = engine
-            .push(StreamEvent::Join {
-                node: event_rng.gen_range(0..nodes),
-                zone: event_rng.gen_range(0..zones),
-            })
-            .expect("valid join")
-            .expect("joins get ids");
-        live.push(id);
-    }
-    engine.end_warmup();
-    let warmup_ms = t.elapsed().as_secs_f64() * 1e3;
-
-    let t = Instant::now();
-    for _ in 0..STEADY_EVENTS {
-        match event_rng.gen_range(0..3) {
-            0 if live.len() > 100 => {
-                let pick = event_rng.gen_range(0..live.len());
-                let id = live.swap_remove(pick);
-                engine.push(StreamEvent::Leave { id }).expect("valid leave");
-            }
-            1 => {
-                let id = engine
-                    .push(StreamEvent::Join {
-                        node: event_rng.gen_range(0..nodes),
-                        zone: event_rng.gen_range(0..zones),
-                    })
-                    .expect("valid join")
-                    .expect("joins get ids");
-                live.push(id);
-            }
-            _ => {
-                let pick = event_rng.gen_range(0..live.len());
-                engine
-                    .push(StreamEvent::Move {
-                        id: live[pick],
-                        zone: event_rng.gen_range(0..zones),
-                    })
-                    .expect("valid move");
-            }
-        }
-    }
-    engine.flush_now();
-    let steady_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (warmup_ms, steady_ms) = serve_trace(&mut engine, nodes, zones);
 
     let stats = engine.stats();
     assert_eq!(stats.warmup.count(), WARMUP_EVENTS as u64);
@@ -256,6 +291,82 @@ fn main() {
         &CostMatrix::build(engine.instance()),
         "carried matrix diverged from a fresh build"
     );
+
+    // --- Sharded steady serve: the concurrent-flush path at width. ---
+    // Opt-in (DVE_MILLION_SHARDS > 1): the identical warm-up + steady
+    // trace replayed through a ShardedServeEngine whose flushes propose
+    // on the persistent worker team and commit serially. Decisions must
+    // be bit-identical to the single-core engine above; at >= 4 workers
+    // the steady p99 must beat the committed width-1 record. Read the
+    // committed bound *before* the record below overwrites the file.
+    let shards = env_u64("DVE_MILLION_SHARDS", 1) as usize;
+    let committed_p99 = committed_steady_p99_ns();
+    let mut sharded_steady_ms = None;
+    let mut sharded_p99 = None;
+    if shards > 1 {
+        // The single-core engine consumed the first instance; rebuild it
+        // with the same blocked pass (PERFECT error never draws from the
+        // rng, so the rebuild is bit-identical).
+        let mut inst_rng = StdRng::seed_from_u64(45);
+        let (inst2, _) = CapInstance::from_world_with_matrix(
+            &world,
+            &delays,
+            0.5,
+            250.0,
+            ErrorModel::PERFECT,
+            DelayLayout::SharedByNode,
+            &mut inst_rng,
+        );
+        let mut sharded = ShardedServeEngine::new(
+            inst2,
+            &world,
+            delays.clone(),
+            ErrorModel::PERFECT,
+            StuckPolicy::BestEffort,
+            ServeConfig {
+                max_batch: 64,
+                max_staleness: 4,
+                ..Default::default()
+            },
+            StdRng::seed_from_u64(43),
+            shards,
+        )
+        .expect("tier solves");
+        let (_, s_steady_ms) = serve_trace(&mut sharded, nodes, zones);
+        assert_eq!(
+            sharded.engine().targets(),
+            engine.targets(),
+            "sharded steady serve diverged from the single-core target decisions"
+        );
+        assert_eq!(
+            sharded.engine().contacts(),
+            engine.contacts(),
+            "sharded steady serve diverged from the single-core contact decisions"
+        );
+        let sstats = sharded.engine().stats();
+        assert_eq!(sstats.latency.count(), STEADY_EVENTS as u64);
+        let p99 = sstats.latency.quantile_upper_ns(0.99);
+        println!(
+            "million/sharded: {shards} shards, steady {STEADY_EVENTS} events in \
+             {s_steady_ms:.0} ms [{}] (committed width-1 steady p99 {})",
+            sstats.latency.render_us(),
+            committed_p99.map_or("absent".to_string(), |ns| format!("{ns} ns")),
+        );
+        if shards >= 4 {
+            let committed = committed_p99.expect(
+                "BENCH_million.json must carry a committed width-1 steady_p99_ns \
+                 for the sharded p99 gate",
+            );
+            assert!(
+                p99 < committed,
+                "sharded steady p99 {p99} ns at {shards} workers does not beat the \
+                 committed width-1 steady p99 {committed} ns"
+            );
+            println!("million/sharded: PASS (p99 {p99} ns < committed width-1 {committed} ns)");
+        }
+        sharded_steady_ms = Some(s_steady_ms);
+        sharded_p99 = Some(p99);
+    }
 
     // --- Mobility: avatar-walk epochs at the same tier. ---
     // A fresh million-tier replication (on-demand delays, shared rows)
@@ -360,6 +471,15 @@ fn main() {
                 format!("{}", stats.latency.quantile_upper_ns(0.99)),
             ),
             ("full_repairs", format!("{}", stats.full_repairs)),
+            ("sharded_shards", format!("{shards}")),
+            (
+                "sharded_steady_ms",
+                sharded_steady_ms.map_or("null".to_string(), |x: f64| format!("{x:.3}")),
+            ),
+            (
+                "sharded_steady_p99_ns",
+                sharded_p99.map_or("null".to_string(), |x: u64| format!("{x}")),
+            ),
             ("mobility_ticks", format!("{MOBILITY_TICKS}")),
             ("mobility_events", format!("{}", mobility.stats.events)),
             ("mobility_ms", format!("{mobility_ms:.3}")),

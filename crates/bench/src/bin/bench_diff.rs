@@ -29,7 +29,10 @@
 //! `BENCH_serve_mc.json` records it gates the **sharded serving
 //! throughput** — `events_per_s` must not fall below
 //! `baseline / (1 + threshold)` (note the inversion: throughput, not
-//! latency). Mixing record kinds is a usage error, as is mixing widths
+//! latency), and every width of the baseline's speedup `curve` is held
+//! to the same bound individually, so parallel efficiency lost at one
+//! width cannot hide behind the headline.
+//! Mixing record kinds is a usage error, as is mixing widths
 //! (every record carries `threads`).
 
 use dve_bench::diff::{
@@ -217,8 +220,16 @@ fn diff_serve_mc(paths: &[String], fresh: &ServeMcEntry, baseline: &ServeMcEntry
         baseline.speedup_in_process,
         fresh.speedup_in_process,
     );
+    for &(threads, base_eps) in &baseline.curve {
+        if let Some(&(_, new_eps)) = fresh.curve.iter().find(|(w, _)| *w == threads) {
+            println!("  curve @ {threads:>2} workers: {base_eps:.0} -> {new_eps:.0} events/s");
+        }
+    }
+    for added in &report.added {
+        println!("  NEW curve width (no baseline yet, not gated): {added}");
+    }
     for missing in &report.missing {
-        println!("  MISSING in fresh results: tier {missing} (tier changed — re-baseline)");
+        println!("  MISSING in fresh results: {missing} (re-baseline if intentional)");
     }
     for r in &report.regressions {
         println!(

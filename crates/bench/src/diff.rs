@@ -583,6 +583,12 @@ pub struct ServeMcEntry {
     pub events_per_s_1shard: f64,
     /// In-process width-over-single-shard speedup (reported).
     pub speedup_in_process: f64,
+    /// The speedup curve: `(threads, events_per_s)` per measured width,
+    /// ascending. Empty for baselines predating the curve. Each width a
+    /// committed baseline carries is gated individually — a regression
+    /// confined to one width (say, 4 workers stopped scaling while 8
+    /// still clears) must not hide behind the headline number.
+    pub curve: Vec<(u64, f64)>,
 }
 
 /// Whether a parsed document is a sharded-serving record
@@ -598,6 +604,20 @@ pub fn serve_mc_entry(doc: &Json) -> Result<ServeMcEntry, String> {
             .and_then(Json::as_num)
             .ok_or_else(|| format!("missing '{key}'"))
     };
+    let mut curve = Vec::new();
+    if let Some(points) = doc.get("curve").and_then(Json::as_arr) {
+        for point in points {
+            let threads = point
+                .get("threads")
+                .and_then(Json::as_num)
+                .ok_or("curve point without 'threads'")? as u64;
+            let events_per_s = point
+                .get("events_per_s")
+                .and_then(Json::as_num)
+                .ok_or("curve point without 'events_per_s'")?;
+            curve.push((threads, events_per_s));
+        }
+    }
     Ok(ServeMcEntry {
         tier: doc
             .get("tier")
@@ -607,6 +627,7 @@ pub fn serve_mc_entry(doc: &Json) -> Result<ServeMcEntry, String> {
         events_per_s: num("events_per_s")?,
         events_per_s_1shard: num("events_per_s_1shard")?,
         speedup_in_process: num("speedup_in_process")?,
+        curve,
     })
 }
 
@@ -617,6 +638,13 @@ pub fn serve_mc_entry(doc: &Json) -> Result<ServeMcEntry, String> {
 /// incomparable and is reported as a missing measurement. The
 /// cross-width refusal is [`thread_mismatch`], shared with every other
 /// record kind.
+///
+/// The speedup **curve** is gated point by point: every width the
+/// baseline's curve carries must still be measured (a vanished width
+/// fails like a vanished Table 1 pair) and must hold its throughput to
+/// the same threshold — parallel efficiency lost at one width is a
+/// regression even when the headline width still clears. Fresh widths
+/// absent from the baseline are additions.
 pub fn compare_serve_mc(
     fresh: &ServeMcEntry,
     baseline: &ServeMcEntry,
@@ -635,6 +663,30 @@ pub fn compare_serve_mc(
             baseline_ms: baseline.events_per_s,
             fresh_ms: fresh.events_per_s,
         });
+    }
+    for &(threads, base_eps) in &baseline.curve {
+        let Some(&(_, new_eps)) = fresh.curve.iter().find(|(w, _)| *w == threads) else {
+            report
+                .missing
+                .push(format!("{} @ {threads} workers", baseline.tier));
+            continue;
+        };
+        report.compared += 1;
+        if new_eps < base_eps / (1.0 + threshold) {
+            report.regressions.push(Regression {
+                config: format!("{} @ {threads} workers", baseline.tier),
+                algorithm: "events_per_s".to_string(),
+                baseline_ms: base_eps,
+                fresh_ms: new_eps,
+            });
+        }
+    }
+    for &(threads, _) in &fresh.curve {
+        if !baseline.curve.iter().any(|(w, _)| *w == threads) {
+            report
+                .added
+                .push(format!("{} @ {threads} workers", fresh.tier));
+        }
     }
     report
 }
@@ -1118,7 +1170,10 @@ mod tests {
                 "tier": "100s-1000z-50000c-65000cp", "runs": 3, "events": 24000,
                 "batch": 512, "serve_min_ms": 120.0, "serve_min_ms_1shard": 300.0,
                 "events_per_s": 200000.0, "events_per_s_1shard": 80000.0,
-                "speedup_in_process": 2.5}"#,
+                "speedup_in_process": 2.5,
+                "curve": [{"threads": 1, "events_per_s": 80000.0},
+                          {"threads": 2, "events_per_s": 140000.0},
+                          {"threads": 4, "events_per_s": 200000.0}]}"#,
         )
         .unwrap();
         assert!(is_serve_mc_doc(&doc));
@@ -1129,9 +1184,28 @@ mod tests {
         assert_eq!(entry.tier, "100s-1000z-50000c-65000cp");
         assert_eq!(entry.events_per_s, 200000.0);
         assert_eq!(entry.speedup_in_process, 2.5);
+        assert_eq!(
+            entry.curve,
+            vec![(1, 80000.0), (2, 140000.0), (4, 200000.0)]
+        );
+        // A pre-curve baseline still parses, with an empty curve.
+        let legacy = parse(
+            r#"{"experiment": "serve_mc", "tier": "x", "events_per_s": 1.0,
+                "events_per_s_1shard": 1.0, "speedup_in_process": 1.0}"#,
+        )
+        .unwrap();
+        assert_eq!(serve_mc_entry(&legacy).unwrap().curve, vec![]);
         // A document missing the gated statistic refuses to parse.
         let truncated = parse(r#"{"experiment": "serve_mc", "tier": "x"}"#).unwrap();
         assert!(serve_mc_entry(&truncated).is_err());
+        // A curve point missing its statistic refuses to parse.
+        let bad_point = parse(
+            r#"{"experiment": "serve_mc", "tier": "x", "events_per_s": 1.0,
+                "events_per_s_1shard": 1.0, "speedup_in_process": 1.0,
+                "curve": [{"threads": 2}]}"#,
+        )
+        .unwrap();
+        assert!(serve_mc_entry(&bad_point).is_err());
     }
 
     /// The serving-throughput gate is inverted relative to the solve
@@ -1143,6 +1217,7 @@ mod tests {
             events_per_s: 100_000.0,
             events_per_s_1shard: 40_000.0,
             speedup_in_process: 2.5,
+            curve: vec![],
         };
         // Within threshold: 25% slower at the 25% threshold passes.
         let ok = ServeMcEntry {
@@ -1167,6 +1242,54 @@ mod tests {
         assert_eq!(report.missing, vec![base.tier.clone()]);
         // Identical records never regress against themselves.
         assert!(compare_serve_mc(&base, &base, 0.25).passed());
+    }
+
+    /// Each width of a committed speedup curve is gated on its own: a
+    /// lost width fails, a slowed width fails even when the headline
+    /// clears, and a fresh extra width is an addition.
+    #[test]
+    fn serve_mc_gate_holds_every_curve_width() {
+        let base = ServeMcEntry {
+            tier: "100s-1000z-50000c-65000cp".to_string(),
+            events_per_s: 200_000.0,
+            events_per_s_1shard: 80_000.0,
+            speedup_in_process: 2.5,
+            curve: vec![(1, 80_000.0), (2, 140_000.0), (4, 200_000.0)],
+        };
+        // Identical curves never regress, and every point is compared.
+        let report = compare_serve_mc(&base, &base, 0.25);
+        assert!(report.passed());
+        assert_eq!(report.compared, 1 + 3);
+        // One mid-curve width loses its scaling while the headline
+        // holds: still a regression, pinned to that width.
+        let sagging = ServeMcEntry {
+            curve: vec![(1, 80_000.0), (2, 90_000.0), (4, 200_000.0)],
+            ..base.clone()
+        };
+        let report = compare_serve_mc(&sagging, &base, 0.25);
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].config.contains("@ 2 workers"));
+        // A vanished width fails; a new wider point is an addition.
+        let reshaped = ServeMcEntry {
+            curve: vec![(1, 80_000.0), (4, 200_000.0), (8, 320_000.0)],
+            ..base.clone()
+        };
+        let report = compare_serve_mc(&reshaped, &base, 0.25);
+        assert!(!report.passed());
+        assert_eq!(report.missing.len(), 1);
+        assert!(report.missing[0].contains("@ 2 workers"));
+        assert_eq!(report.added.len(), 1);
+        assert!(report.added[0].contains("@ 8 workers"));
+        // A legacy baseline with no curve gates only the headline, so a
+        // fresh record that *gains* a curve passes with additions.
+        let legacy = ServeMcEntry {
+            curve: vec![],
+            ..base.clone()
+        };
+        let report = compare_serve_mc(&base, &legacy, 0.25);
+        assert!(report.passed());
+        assert_eq!(report.added.len(), 3);
     }
 
     #[test]

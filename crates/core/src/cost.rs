@@ -266,11 +266,13 @@ impl CostMatrix {
 
     /// [`CostMatrix::refresh_zones`] on an explicit worker team. Zones
     /// are refreshed independently (each sort reads only its own counts
-    /// and previous order), so workers compute the new orderings against
-    /// the pre-refresh state and a serial pass writes them back in list
-    /// order — bit-identical to the serial loop at any width, duplicate
-    /// zone entries included (a second reorder of a sorted row is the
-    /// identity).
+    /// and previous order), so each worker sorts its zones' order rows
+    /// **in place** — per-shard owned column installs, no proposal
+    /// buffers and no serial copy-back pass. The zone list is sorted and
+    /// deduplicated first (required to carve the storage into disjoint
+    /// mutable rows; exact, because re-sorting an already-sorted row is
+    /// the identity and its regret recomputes to the same value), so the
+    /// result is bit-identical to the serial loop at any width.
     pub fn refresh_zones_threads(&mut self, zones: &[usize], threads: usize) {
         let m = self.servers;
         if threads <= 1 || zones.len() < PAR_ZONE_MIN {
@@ -284,17 +286,32 @@ impl CostMatrix {
             }
             return;
         }
+        let mut zs: Vec<usize> = zones.to_vec();
+        zs.sort_unstable();
+        zs.dedup();
+        // Carve `order`/`regret` into one disjoint mutable row per zone
+        // by walking the sorted list with successive splits; `cost` stays
+        // a shared read-only borrow of a different field.
         let cost = &self.cost;
-        let order = &self.order;
-        let refreshed: Vec<(Vec<u32>, f64)> = dve_par::par_map_with(threads, zones, |_, &z| {
-            let mut row = order[z * m..(z + 1) * m].to_vec();
-            let rho = reorder_zone(&cost[z * m..(z + 1) * m], &mut row);
-            (row, rho)
-        });
-        for (&z, (row, rho)) in zones.iter().zip(refreshed) {
-            self.order[z * m..(z + 1) * m].copy_from_slice(&row);
-            self.regret[z] = rho;
+        let mut rows: Vec<(usize, &mut [u32], &mut f64)> = Vec::with_capacity(zs.len());
+        let mut order_tail: &mut [u32] = &mut self.order;
+        let mut regret_tail: &mut [f64] = &mut self.regret;
+        let mut consumed = 0usize; // zones already carved off the tails
+        for &z in &zs {
+            let tail = std::mem::take(&mut order_tail);
+            let (_, tail) = tail.split_at_mut((z - consumed) * m);
+            let (row, rest) = tail.split_at_mut(m);
+            order_tail = rest;
+            let rtail = std::mem::take(&mut regret_tail);
+            let (_, rtail) = rtail.split_at_mut(z - consumed);
+            let (rho, rrest) = rtail.split_at_mut(1);
+            regret_tail = rrest;
+            consumed = z + 1;
+            rows.push((z, row, &mut rho[0]));
         }
+        dve_par::par_for_each_mut_with(threads, &mut rows, |_, (z, row, rho)| {
+            **rho = reorder_zone(&cost[*z * m..(*z + 1) * m], row);
+        });
     }
 
     /// The propose half of a sharded refresh: derives zone `z`'s new

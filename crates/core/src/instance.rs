@@ -78,6 +78,15 @@ enum DelayTable {
     },
 }
 
+impl Default for DelayTable {
+    fn default() -> DelayTable {
+        DelayTable::Dense {
+            obs: Vec::new(),
+            tru: Vec::new(),
+        }
+    }
+}
+
 impl DelayTable {
     fn layout(&self) -> DelayLayout {
         match self {
@@ -260,6 +269,32 @@ pub struct StreamDeparture {
     /// departed client was itself last. Engine-side per-client state
     /// (contacts, ids) must apply the same relocation.
     pub relocated: Option<usize>,
+}
+
+impl Default for CapInstance {
+    /// An **empty placeholder** — 0 clients, servers, and zones, delay
+    /// bound 1.0. Exists so an engine can `std::mem::take` its instance
+    /// into an `Arc` snapshot for a propose scatter and restore it
+    /// afterwards; a defaulted instance is never solved against.
+    fn default() -> CapInstance {
+        CapInstance {
+            clients: 0,
+            servers: 0,
+            zones: 0,
+            row_of_client: Vec::new(),
+            free_rows: Vec::new(),
+            cs: DelayTable::default(),
+            obs_ss: Vec::new(),
+            true_ss: Vec::new(),
+            zone_of_client: Vec::new(),
+            clients_of_zone: Vec::new(),
+            client_target_bps: Vec::new(),
+            uniform_target_bps: Vec::new(),
+            zone_bps: Vec::new(),
+            capacity: Vec::new(),
+            delay_bound: 1.0,
+        }
+    }
 }
 
 impl CapInstance {

@@ -92,8 +92,8 @@ pub use anneal::{anneal_iap, anneal_iap_with, AnnealConfig, AnnealOutcome};
 pub use assignment::{Assignment, Violation};
 pub use cost::{CostMatrix, IncrementalEval};
 pub use iap::{
-    exact_iap, exact_iap_with, grez, grez_with, iap_gap, iap_gap_with, iap_total_cost, ranz,
-    IapError, StuckPolicy,
+    exact_iap, exact_iap_with, grez, grez_with, grez_with_threads, iap_gap, iap_gap_with,
+    iap_total_cost, ranz, IapError, StuckPolicy,
 };
 pub use instance::{
     CapInstance, DelayLayout, StreamDeparture, DEFAULT_DELAY_BOUND_MS, DEFAULT_PROVISIONING,

@@ -193,31 +193,49 @@ fn grec_impl<F: Fn(usize, usize) -> f64 + Sync>(
     // Desirability lists over all servers for each violating client —
     // read-only rows sorted by a strict total order, so the O(|L_E|·m
     // log m) bulk of GreC shards across the worker team with the
-    // result identical at any width; only the capacity-aware commit
-    // below is serial.
+    // result identical at any width. The same pass *proposes* each
+    // client's first-fit position under the initial load snapshot;
+    // because commit loads are monotone (relay cost is never negative),
+    // every entry before that position fails the live capacity check
+    // too, so the serial commit below resumes each scan from the
+    // proposed prefix and stays bit-identical to a full scan.
     let rows: Vec<usize> = (0..le.len()).collect();
     let cost = &cost;
     let mut lists: Vec<Vec<(f64, usize)>> = Vec::with_capacity(le.len());
+    let mut prefix: Vec<usize> = Vec::with_capacity(le.len());
     let mut regret: Vec<(f64, usize)> = Vec::with_capacity(le.len());
+    let loads0 = &loads;
     let desirability = |k: usize| {
         let mut mu: Vec<(f64, usize)> = (0..m).map(|s| (-cost(k, s), s)).collect();
         mu.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
         let rho = if m >= 2 { mu[0].0 - mu[1].0 } else { 0.0 };
-        (mu, rho)
+        let c = le[k];
+        let t = target_of_zone[inst.zone_of(c)];
+        let fwd = inst.client_forwarding_bps(c);
+        let from = mu
+            .iter()
+            .position(|&(_, s)| {
+                let rc = if s == t { 0.0 } else { fwd };
+                loads0[s] + rc <= inst.capacity(s) + 1e-9
+            })
+            .unwrap_or(m);
+        (mu, rho, from)
     };
     if dve_par::default_threads() > 1 && le.len() >= PAR_LE_MIN {
-        for (k, (mu, rho)) in dve_par::par_map(&rows, |&k| desirability(k))
+        for (k, (mu, rho, from)) in dve_par::par_map(&rows, |&k| desirability(k))
             .into_iter()
             .enumerate()
         {
             regret.push((rho, k));
             lists.push(mu);
+            prefix.push(from);
         }
     } else {
         for k in rows {
-            let (mu, rho) = desirability(k);
+            let (mu, rho, from) = desirability(k);
             regret.push((rho, k));
             lists.push(mu);
+            prefix.push(from);
         }
     }
     regret.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
@@ -225,7 +243,10 @@ fn grec_impl<F: Fn(usize, usize) -> f64 + Sync>(
     for &(_, k) in &regret {
         let c = le[k];
         let t = target_of_zone[inst.zone_of(c)];
-        for &(_, s) in &lists[k] {
+        // `prefix[k] == m` means nothing fit even under the smaller
+        // snapshot loads: the scan is empty and the Fig. 3 fallback
+        // (stay on the target) applies directly.
+        for &(_, s) in &lists[k][prefix[k]..] {
             let rc = if s == t {
                 0.0
             } else {

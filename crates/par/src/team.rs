@@ -124,6 +124,31 @@ impl WorkerTeam {
             .map(|s| s.expect("dve-par team lost a result slot"))
             .collect()
     }
+
+    /// [`WorkerTeam::scatter`] with per-worker wall-clock accounting:
+    /// each result is paired with the nanoseconds its job spent on its
+    /// worker (queue wait excluded — the clock starts when the job
+    /// actually runs). This is the observability hook of the sharded
+    /// serving flush: shard `i`'s propose time lands in shard `i`'s
+    /// flush-duration histogram without a second timing pass.
+    pub fn scatter_timed<R, F>(&self, jobs: Vec<F>) -> Vec<(R, u64)>
+    where
+        R: Send + 'static,
+        F: FnOnce(usize) -> R + Send + 'static,
+    {
+        self.scatter(
+            jobs.into_iter()
+                .map(|job| {
+                    move |w: usize| {
+                        let t = std::time::Instant::now();
+                        let r = job(w);
+                        let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        (r, ns)
+                    }
+                })
+                .collect(),
+        )
+    }
 }
 
 impl Drop for WorkerTeam {
@@ -231,5 +256,26 @@ mod tests {
         let team = WorkerTeam::new(2);
         let out: Vec<u32> = team.scatter(Vec::<fn(usize) -> u32>::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn timed_scatter_matches_plain_results() {
+        let team = WorkerTeam::new(3);
+        let jobs: Vec<_> = (0..3)
+            .map(|i| {
+                move |w: usize| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    i * 100 + w
+                }
+            })
+            .collect();
+        let out = team.scatter_timed(jobs);
+        assert_eq!(
+            out.iter().map(|&(r, _)| r).collect::<Vec<_>>(),
+            vec![0, 101, 202]
+        );
+        for &(_, ns) in &out {
+            assert!(ns >= 1_000_000, "job slept 1 ms but clocked {ns} ns");
+        }
     }
 }

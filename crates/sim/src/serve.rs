@@ -545,8 +545,95 @@ pub struct ServeEngine {
     /// Samples appended by flushes while capture is on; drained with
     /// [`ServeEngine::take_flush_samples`].
     flush_samples: Vec<(usize, u64)>,
+    /// Touched-zone knee of the concurrent flush: below this many
+    /// touched zones a flush stays serial even with a worker team
+    /// installed (the scatter round-trip costs more than it saves).
+    /// Scheduling only — both paths make bit-identical decisions. The
+    /// sharded wrapper forwards its [`crate::ShardConfig`] knee here.
+    shard_min: usize,
+    /// `(worker, propose_ns)` pairs appended by concurrent flushes —
+    /// each worker's on-thread propose time — drained by the sharded
+    /// wrapper into its per-shard flush-duration histograms with
+    /// [`ServeEngine::take_shard_timings`].
+    shard_timings: Vec<(usize, u64)>,
     config: ServeConfig,
     stats: ServeStats,
+}
+
+/// The immutable state a concurrent flush shares with the propose
+/// workers: everything a zone-order refresh, a repair shift prefix, or
+/// a contact plan reads. Moved out of the engine with `mem::take`
+/// behind an `Arc` for the scatter and moved back before the serial
+/// commit — no clone of the big tables, and the workers can never see
+/// a half-committed engine.
+struct FlushSnapshot {
+    inst: CapInstance,
+    matrix: CostMatrix,
+    targets: Vec<usize>,
+    unserved: Vec<Vec<usize>>,
+}
+
+/// A worker-proposed contact decision for one client: the relay
+/// candidates strictly cheaper (`C^R`) than staying on the planned
+/// target, sorted by `(cost, server)` ascending. The serial commit
+/// walks the list with **live** capacity checks and books the first
+/// fit — which is exactly the server the live full scan's
+/// strict-`<` minimum would pick (the scan keeps the lexicographically
+/// smallest fitting `(cost, index)` below the stay-home cost, and
+/// every fitting entry earlier in this list is exactly that). A plan
+/// is only consumed while the client's zone still has the planned
+/// target; the commit falls back to the live scan otherwise.
+struct ContactPlan {
+    target: usize,
+    ranked: Vec<(f64, usize)>,
+}
+
+/// One worker's output of a concurrent flush propose scatter.
+struct ShardProposal {
+    /// Per owned touched zone: `(zone, proposed order row, regret,
+    /// repair shift prefix)`. The prefix is the head of the *proposed*
+    /// row up to (excluding) the first server whose violator count
+    /// reaches the current target's — the exact candidate set the
+    /// serial quality-shift walk would consider before its
+    /// `count >= cur_count` break.
+    zones: Vec<(usize, Vec<u32>, f64, Vec<u32>)>,
+    /// Contact plans for the shard's redecide clients and (bounded)
+    /// snapshot-unserved members.
+    contacts: Vec<(usize, ContactPlan)>,
+}
+
+/// Per-zone cap on proposed contact plans for the violator rescan: a
+/// flash-crowd zone with thousands of unrescuable violators would
+/// otherwise cost every flush O(violators · m log m) of propose work
+/// that the serial path's candidates-empty skip avoids entirely. Over
+/// the cap the zone gets no plans and the rescan runs its (equally
+/// exact) live path.
+const RESCUE_PLAN_MAX: usize = 64;
+
+impl FlushSnapshot {
+    /// Proposes a contact decision for client `c` — the parallel half
+    /// of [`ServeEngine::decide_contact`]. Pure in the snapshot: the
+    /// ranked list depends only on delay rows and the planned target,
+    /// so recomputing it at commit time would yield the same floats.
+    fn plan_contact(&self, c: usize) -> (usize, ContactPlan) {
+        let z = self.inst.zone_of(c);
+        let target = self.targets[z];
+        let ranked = if self.inst.obs_cs(c, target) > self.inst.delay_bound() {
+            let best0 = self.inst.rap_cost(c, target, target);
+            let mut v: Vec<(f64, usize)> = (0..self.inst.num_servers())
+                .filter(|&s| s != target)
+                .map(|s| (self.inst.rap_cost(c, s, target), s))
+                .filter(|&(cost, _)| cost < best0)
+                .collect();
+            v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+            v
+        } else {
+            // Within bound on the target: the commit's early return
+            // never reads the list.
+            Vec::new()
+        };
+        (c, ContactPlan { target, ranked })
+    }
 }
 
 impl ServeEngine {
@@ -617,6 +704,8 @@ impl ServeEngine {
             refresh: RefreshMode::Inline,
             capture_samples: false,
             flush_samples: Vec::new(),
+            shard_min: crate::shard::TEAM_ZONE_MIN,
+            shard_timings: Vec::new(),
             config,
             stats: ServeStats::default(),
             inst: instance,
@@ -928,12 +1017,27 @@ impl ServeEngine {
         }
         touched.sort_unstable();
         touched.dedup();
-        self.refresh_touched(&touched);
-
-        let (migrated, full_repair) = self.repair_targets(&touched);
-        if !full_repair {
-            self.repair_contacts(&touched, &migrated, &redecide);
-        }
+        // With a worker team installed and enough touched zones, the
+        // whole flush tail — column refresh, repair shift prefixes, and
+        // contact plans — proposes concurrently on disjoint shards and
+        // commits serially (see `flush_concurrent`); otherwise the
+        // historical serial pipeline runs. Bit-identical either way.
+        let team = match &self.refresh {
+            RefreshMode::Team(team) if team.threads() > 1 && touched.len() >= self.shard_min => {
+                Some(Arc::clone(team))
+            }
+            _ => None,
+        };
+        let (migrated, full_repair) = if let Some(team) = team {
+            self.flush_concurrent(&touched, &redecide, &team)
+        } else {
+            self.refresh_touched(&touched);
+            let (migrated, full_repair) = self.repair_targets(&touched, None);
+            if !full_repair {
+                self.repair_contacts(&touched, &migrated, &redecide, None);
+            }
+            (migrated, full_repair)
+        };
         let m = self.inst.num_servers();
         self.capacity_ok = (0..m).all(|s| self.load(s) <= self.inst.capacity(s) + 1e-9);
 
@@ -972,7 +1076,7 @@ impl ServeEngine {
             RefreshMode::Inline => self.matrix.refresh_zones(touched),
             RefreshMode::Team(team) => {
                 let team = Arc::clone(team);
-                crate::shard::refresh_on_team(&mut self.matrix, touched, &team);
+                crate::shard::refresh_on_team(&mut self.matrix, touched, &team, self.shard_min);
             }
         }
     }
@@ -996,6 +1100,145 @@ impl ServeEngine {
     /// per applied event, in apply order).
     pub(crate) fn take_flush_samples(&mut self) -> Vec<(usize, u64)> {
         std::mem::take(&mut self.flush_samples)
+    }
+
+    /// Sets the touched-zone knee below which flushes stay serial even
+    /// with a team installed (see the `shard_min` field).
+    pub(crate) fn set_shard_min(&mut self, min: usize) {
+        self.shard_min = min.max(1);
+    }
+
+    /// Drains the `(worker, propose_ns)` timings appended by concurrent
+    /// flushes since the last drain.
+    pub(crate) fn take_shard_timings(&mut self) -> Vec<(usize, u64)> {
+        std::mem::take(&mut self.shard_timings)
+    }
+
+    /// The concurrent flush tail: everything between event application
+    /// and the load-coupled serial repair — zone-order refreshes, the
+    /// quality-shift candidate prefixes, and contact plans for
+    /// joiners/movers and unserved violators — is **proposed in
+    /// parallel** on disjoint zone shards (zone `z` on worker
+    /// `z % threads`) from one immutable snapshot of the engine, then
+    /// applied by a single serial merge that consumes the scatter's
+    /// results in worker-index order.
+    ///
+    /// Why this is bit-identical to the serial pipeline at any width:
+    ///
+    /// * **Refreshes** read only their own zone's column — same
+    ///   argument as [`crate::shard`]'s refresh scatter.
+    /// * **Shift prefixes** are count-based: violator counts cannot
+    ///   change between snapshot and commit (only events change counts,
+    ///   and they are all applied), and a zone's own target cannot
+    ///   change before its quality-shift turn, so the prefix equals
+    ///   exactly the candidates the serial walk's `count >= cur_count`
+    ///   break would visit. The *fit* checks stay live in the commit.
+    /// * **Contact plans** pre-rank relay candidates by `(C^R, index)`;
+    ///   loads only grow while the commit books relays, so walking the
+    ///   ranked list with live fit checks books the same server the
+    ///   live strict-`<` minimum scan would. Plans are guarded on the
+    ///   planned target still being the zone's target; any cross-shard
+    ///   effect the snapshot could not see (a migration, an evacuation
+    ///   shedding onto another shard's server) voids the plan and the
+    ///   commit falls back to the live scan.
+    ///
+    /// Cross-shard effects themselves — migrations, evacuation, relay
+    /// shedding, the full-repair escalation — run only in the serial
+    /// merge, where every load book is authoritative. The team's
+    /// workers are the boot-time persistent ones: no flush spawns.
+    fn flush_concurrent(
+        &mut self,
+        touched: &[usize],
+        redecide: &[ClientId],
+        team: &WorkerTeam,
+    ) -> (Vec<usize>, bool) {
+        let threads = team.threads();
+        // Partition the work by shard owner (zone % threads), resolving
+        // redecide ids serially while the engine still owns its state.
+        let mut zones_of: Vec<Vec<usize>> = vec![Vec::new(); threads];
+        for &z in touched {
+            zones_of[z % threads].push(z);
+        }
+        let mut clients_of: Vec<Vec<usize>> = vec![Vec::new(); threads];
+        for &id in redecide {
+            if let Some(&c) = self.index_of_id.get(&id) {
+                clients_of[self.inst.zone_of(c) % threads].push(c);
+            }
+        }
+        let snap = Arc::new(FlushSnapshot {
+            inst: std::mem::take(&mut self.inst),
+            matrix: std::mem::take(&mut self.matrix),
+            targets: std::mem::take(&mut self.target_of_zone),
+            unserved: std::mem::take(&mut self.unserved_of_zone),
+        });
+        let jobs: Vec<_> = zones_of
+            .into_iter()
+            .zip(clients_of)
+            .map(|(zones, clients)| {
+                let snap = Arc::clone(&snap);
+                move |_w: usize| -> ShardProposal {
+                    let mut p = ShardProposal {
+                        zones: Vec::with_capacity(zones.len()),
+                        contacts: Vec::new(),
+                    };
+                    for z in zones {
+                        let (row, rho) = snap.matrix.propose_zone_order(z);
+                        let cur = snap.targets[z];
+                        let cur_count = snap.matrix.count(cur, z);
+                        let mut prefix = Vec::new();
+                        if cur_count > 0 {
+                            for &s in &row {
+                                if snap.matrix.count(s as usize, z) >= cur_count {
+                                    break;
+                                }
+                                prefix.push(s);
+                            }
+                        }
+                        let unserved = &snap.unserved[z];
+                        if !unserved.is_empty() && unserved.len() <= RESCUE_PLAN_MAX {
+                            for &c in unserved {
+                                p.contacts.push(snap.plan_contact(c));
+                            }
+                        }
+                        p.zones.push((z, row, rho, prefix));
+                    }
+                    for c in clients {
+                        p.contacts.push(snap.plan_contact(c));
+                    }
+                    p
+                }
+            })
+            .collect();
+        let results = team.scatter_timed(jobs);
+        // Every job has run and dropped its snapshot clone; the state
+        // is exclusively ours again.
+        let snap = Arc::try_unwrap(snap)
+            .unwrap_or_else(|_| unreachable!("scatter jobs dropped their snapshots"));
+        self.inst = snap.inst;
+        self.matrix = snap.matrix;
+        self.target_of_zone = snap.targets;
+        self.unserved_of_zone = snap.unserved;
+        // Serial merge, worker-index order: install the zone orders and
+        // index the proposals for the repair passes (the maps are only
+        // ever *looked up* by the live sweeps below, so their iteration
+        // order never influences a decision).
+        let mut prefixes: HashMap<usize, Vec<u32>> = HashMap::new();
+        let mut plans: HashMap<usize, ContactPlan> = HashMap::new();
+        for (w, (proposal, ns)) in results.into_iter().enumerate() {
+            self.shard_timings.push((w, ns));
+            for (z, row, rho, prefix) in proposal.zones {
+                self.matrix.commit_zone_order(z, &row, rho);
+                prefixes.insert(z, prefix);
+            }
+            for (c, plan) in proposal.contacts {
+                plans.insert(c, plan);
+            }
+        }
+        let (migrated, full_repair) = self.repair_targets(touched, Some(&prefixes));
+        if !full_repair {
+            self.repair_contacts(touched, &migrated, redecide, Some(&plans));
+        }
+        (migrated, full_repair)
     }
 
     /// Total load of server `s`: hosted zones plus forwarding overheads.
@@ -1187,10 +1430,10 @@ impl ServeEngine {
             }
         }
         let all: Vec<usize> = (0..self.inst.num_zones()).collect();
-        let (migrated, full) = self.repair_targets(&all);
+        let (migrated, full) = self.repair_targets(&all, None);
         debug_assert!(!full, "restore sweep never escalates to full repair");
         if !full {
-            self.repair_contacts(&all, &migrated, &[]);
+            self.repair_contacts(&all, &migrated, &[], None);
         }
         self.stats.zones_migrated += (rescued + migrated.len()) as u64;
         self.capacity_ok = (0..m).all(|s| self.load(s) <= self.inst.capacity(s) + 1e-9);
@@ -1394,7 +1637,18 @@ impl ServeEngine {
     /// then scoped evacuation of any server pushed over capacity.
     /// Returns the migrated zones and whether it escalated to the full
     /// repair.
-    fn repair_targets(&mut self, touched: &[usize]) -> (Vec<usize>, bool) {
+    ///
+    /// `prefixes` (concurrent flushes only) maps a touched zone to the
+    /// worker-proposed candidate prefix of its refreshed order — the
+    /// servers before the `count >= cur_count` break. When present the
+    /// quality shift walks the prefix instead of re-deriving it; the
+    /// capacity fits (and everything downstream — evacuation,
+    /// escalation) stay live, so the decisions are identical.
+    fn repair_targets(
+        &mut self,
+        touched: &[usize],
+        prefixes: Option<&HashMap<usize, Vec<u32>>>,
+    ) -> (Vec<usize>, bool) {
         let m = self.inst.num_servers();
         let mut migrated: Vec<usize> = Vec::new();
 
@@ -1422,16 +1676,31 @@ impl ServeEngine {
             if demand > headroom + 1e-9 {
                 continue;
             }
-            for i in 0..m {
-                let s = self.matrix.order(z)[i] as usize;
-                if self.matrix.count(s, z) >= cur_count {
-                    break;
+            match prefixes.and_then(|p| p.get(&z)) {
+                Some(prefix) => {
+                    for &s in prefix {
+                        let s = s as usize;
+                        if self.load(s) + demand <= self.inst.capacity(s) + 1e-9 {
+                            self.migrate_zone(z, s);
+                            migrated.push(z);
+                            headroom = self.max_headroom();
+                            break;
+                        }
+                    }
                 }
-                if self.load(s) + demand <= self.inst.capacity(s) + 1e-9 {
-                    self.migrate_zone(z, s);
-                    migrated.push(z);
-                    headroom = self.max_headroom();
-                    break;
+                None => {
+                    for i in 0..m {
+                        let s = self.matrix.order(z)[i] as usize;
+                        if self.matrix.count(s, z) >= cur_count {
+                            break;
+                        }
+                        if self.load(s) + demand <= self.inst.capacity(s) + 1e-9 {
+                            self.migrate_zone(z, s);
+                            migrated.push(z);
+                            headroom = self.max_headroom();
+                            break;
+                        }
+                    }
                 }
             }
         }
@@ -1575,11 +1844,31 @@ impl ServeEngine {
     /// already re-decided inline): joiners and movers, then the
     /// zone-scoped violator rescan of the touched zones (violating
     /// members still on their target get a relay retry).
-    fn repair_contacts(&mut self, touched: &[usize], migrated: &[usize], redecide: &[ClientId]) {
+    ///
+    /// `plans` (concurrent flushes only) carries worker-proposed ranked
+    /// relay candidates per client. A plan is consumed only while its
+    /// planned target is still the client's zone target — a zone the
+    /// serial repair migrated re-decided its members inline and any
+    /// stale plan for them is skipped by that guard (and by the live
+    /// unserved lists, which no longer hold rescued members). Clients
+    /// without a valid plan take the live scan; both routes are
+    /// bit-identical (see [`ServeEngine::decide_contact_planned`]).
+    fn repair_contacts(
+        &mut self,
+        touched: &[usize],
+        migrated: &[usize],
+        redecide: &[ClientId],
+        plans: Option<&HashMap<usize, ContactPlan>>,
+    ) {
         for &id in redecide {
             // A joiner/mover may have left later in the same batch.
             if let Some(&c) = self.index_of_id.get(&id) {
-                self.decide_contact(c);
+                match plans.and_then(|p| p.get(&c)) {
+                    Some(plan) if self.target_of_zone[self.inst.zone_of(c)] == plan.target => {
+                        self.decide_contact_planned(c, plan.target, &plan.ranked);
+                    }
+                    _ => self.decide_contact(c),
+                }
             }
         }
         // Zone-scoped violator rescan: unserved violators in zones whose
@@ -1608,10 +1897,18 @@ impl ServeEngine {
             }
             // A rescued entry is swap-removed from under the cursor
             // (revisit the slot); an unrescued one stays put (advance).
+            // Violators the serial repair itself newly marked (an
+            // evacuation shed that found no relay) have no plan and
+            // take the live restricted scan — identical decisions.
             let mut i = 0;
             while i < self.unserved_of_zone[z].len() {
                 let c = self.unserved_of_zone[z][i];
-                self.decide_contact_among(c, Some(&candidates));
+                match plans.and_then(|p| p.get(&c)) {
+                    Some(plan) if self.target_of_zone[z] == plan.target => {
+                        self.decide_contact_planned(c, plan.target, &plan.ranked);
+                    }
+                    _ => self.decide_contact_among(c, Some(&candidates)),
+                }
                 if self.unserved_pos[c] == i {
                     i += 1;
                 }
@@ -1681,6 +1978,55 @@ impl ServeEngine {
             self.forward_load[best.1] += overhead;
             self.relay_pos_server[c] = self.relayed_of_server[best.1].len();
             self.relayed_of_server[best.1].push(c);
+            self.relay_pos_zone[c] = self.relayed_of_zone[z].len();
+            self.relayed_of_zone[z].push(c);
+            self.clear_unserved(z, c);
+        } else {
+            self.mark_unserved(z, c);
+        }
+    }
+
+    /// [`ServeEngine::decide_contact`] consuming a worker-proposed
+    /// [`ContactPlan`] instead of scanning every server. The ranked
+    /// list holds every candidate with relay cost strictly below
+    /// staying on `target`, `(cost, index)`-ascending; the first entry
+    /// that passes the **live** capacity fit is precisely the server
+    /// the live scan's strict-`<` minimum would keep (a fitting entry
+    /// earlier in the list would have beaten it there too, and the
+    /// unlisted servers cannot win at all). Prologue and booking are
+    /// identical to [`ServeEngine::decide_contact_among`], so the two
+    /// routes leave bit-identical state.
+    ///
+    /// The caller guards that `target` is still the zone's live target;
+    /// costs are pure functions of the instance's delay rows, which no
+    /// repair step mutates, so the plan's floats equal what a live
+    /// recomputation would produce.
+    fn decide_contact_planned(&mut self, c: usize, target: usize, ranked: &[(f64, usize)]) {
+        let z = self.inst.zone_of(c);
+        debug_assert_eq!(self.target_of_zone[z], target, "caller guards the plan");
+        self.unrelay(c);
+        let current = self.contact_of_client[c];
+        self.forward_load[current] -= self.fwd_contrib[c];
+        self.fwd_contrib[c] = 0.0;
+        self.contact_of_client[c] = target;
+        if self.inst.obs_cs(c, target) <= self.inst.delay_bound() {
+            self.clear_unserved(z, c);
+            return;
+        }
+        let overhead = self.inst.client_forwarding_bps(c);
+        let mut winner = None;
+        for &(_, s) in ranked {
+            if s != target && self.load(s) + overhead <= self.inst.capacity(s) + 1e-9 {
+                winner = Some(s);
+                break;
+            }
+        }
+        if let Some(s) = winner {
+            self.contact_of_client[c] = s;
+            self.fwd_contrib[c] = overhead;
+            self.forward_load[s] += overhead;
+            self.relay_pos_server[c] = self.relayed_of_server[s].len();
+            self.relayed_of_server[s].push(c);
             self.relay_pos_zone[c] = self.relayed_of_zone[z].len();
             self.relayed_of_zone[z].push(c);
             self.clear_unserved(z, c);

@@ -11,24 +11,34 @@
 //! ## The determinism discipline
 //!
 //! Every flush follows the propose-∥/commit-serial split the sharded
-//! *solve* paths established:
+//! *solve* paths established (see `docs/PARALLELISM.md` for the full
+//! argument):
 //!
-//! 1. **Propose in parallel.** The carried matrix moves into a shared
-//!    snapshot (`mem::take` + `Arc`); each shard's worker re-derives the
-//!    orderings/regrets of its own touched zones from the snapshot. A
-//!    zone's refresh reads only its own column and previous order, so
-//!    shards share nothing.
+//! 1. **Propose in parallel.** The engine's read-only flush state —
+//!    instance, matrix, targets, unserved lists — moves into a shared
+//!    snapshot (`mem::take` + `Arc`); each shard's worker derives, for
+//!    its own touched zones (`z % shards == w`), the refreshed
+//!    orderings/regrets, the repair shift-candidate prefixes, and
+//!    ranked contact plans for the shard's joiners/movers and unserved
+//!    violators. Everything proposed is either load-independent or
+//!    prunes by a **monotone** bound (loads only grow during a commit,
+//!    so a server that failed a fit under the snapshot can never pass
+//!    later), which is what makes the skipped work provably
+//!    re-derivable.
 //! 2. **Commit serially, worker-index first.** [`WorkerTeam::scatter`]
 //!    returns the per-shard proposal lists in worker-index order; one
-//!    serial pass installs them. Disjoint zones make the commit order
-//!    immaterial — the result is bit-identical to the serial refresh at
-//!    **any** `DVE_THREADS` width.
+//!    serial pass installs the zone orders and consumes the prefixes
+//!    and plans with **live** capacity checks. Disjoint zones make the
+//!    install order immaterial — the result is bit-identical to the
+//!    serial pipeline at **any** `DVE_THREADS` width.
 //! 3. **Cross-shard effects stay in the serial commit.** Everything
-//!    load-coupled — target shifts, relay shedding onto another shard's
-//!    server, evacuation, server failure and recovery — runs in the
-//!    engine's serial repair step, exactly as unsharded. A shard never
-//!    observes another shard's in-flight state, so there is nothing to
-//!    race and nothing to reorder.
+//!    load-coupled — target migrations, relay shedding onto another
+//!    shard's server, evacuation targets, server failure and recovery,
+//!    the full-repair escalation — runs in the serial merge, exactly
+//!    as unsharded. A plan invalidated by a cross-shard effect (its
+//!    zone's target moved) is voided by a guard and re-decided live. A
+//!    shard never observes another shard's in-flight state, so there
+//!    is nothing to race and nothing to reorder.
 //!
 //! The inter-shard message step is therefore the scatter's return path
 //! itself: shard-local proposals travel back to the serial committer in
@@ -53,14 +63,40 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Below this many touched zones a team scatter costs more than the
-/// serial refresh it replaces (channel round-trip per worker); the
-/// refresh falls back to the serial loop. Scheduling only — both paths
-/// produce bit-identical matrices.
-const TEAM_ZONE_MIN: usize = 8;
+/// Default touched-zone knee: below this many touched zones a team
+/// scatter costs more than the serial work it replaces (channel
+/// round-trip per worker) and the flush stays serial. Scheduling only —
+/// both paths make bit-identical decisions. Overridable per engine with
+/// [`ShardConfig::shard_min`] or the `DVE_SHARD_MIN` environment
+/// variable.
+pub(crate) const TEAM_ZONE_MIN: usize = 8;
+
+/// Tuning knobs of a [`ShardedServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Touched-zone knee below which a flush (refresh and repair
+    /// proposals included) stays serial. Scheduling only — decisions
+    /// are bit-identical on both sides of the knee. Clamped to ≥ 1.
+    pub shard_min: usize,
+}
+
+impl Default for ShardConfig {
+    /// `DVE_SHARD_MIN` when set to a positive integer, else
+    /// [`TEAM_ZONE_MIN`] (8) — so the knee is tunable per tier without
+    /// code changes.
+    fn default() -> ShardConfig {
+        let shard_min = std::env::var("DVE_SHARD_MIN")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or(TEAM_ZONE_MIN);
+        ShardConfig { shard_min }
+    }
+}
 
 /// Refreshes `zones` on the persistent `team`: the propose-∥/
-/// commit-serial form of [`CostMatrix::refresh_zones`].
+/// commit-serial form of [`CostMatrix::refresh_zones`]. `min` is the
+/// configured serial-fallback knee (see [`ShardConfig::shard_min`]).
 ///
 /// The matrix moves into an `Arc` snapshot; worker `w` proposes new
 /// orderings for its shard's zones (`z % threads == w`) via
@@ -69,9 +105,14 @@ const TEAM_ZONE_MIN: usize = 8;
 /// disjoint across shards and each proposal reads only its own column,
 /// so the result is bit-identical to the serial loop at any team width
 /// — and no thread is ever spawned here.
-pub(crate) fn refresh_on_team(matrix: &mut CostMatrix, zones: &[usize], team: &WorkerTeam) {
+pub(crate) fn refresh_on_team(
+    matrix: &mut CostMatrix,
+    zones: &[usize],
+    team: &WorkerTeam,
+    min: usize,
+) {
     let threads = team.threads();
-    if threads <= 1 || zones.len() < TEAM_ZONE_MIN {
+    if threads <= 1 || zones.len() < min.max(1) {
         matrix.refresh_zones_threads(zones, 1);
         return;
     }
@@ -118,6 +159,12 @@ pub struct ShardStats {
     /// phases combined — the phase split lives in the engine's global
     /// [`crate::ServeStats`]).
     pub latency: LatencyHistogram,
+    /// On-worker durations of this shard's flush propose jobs — one
+    /// sample per **concurrent** flush (serial flushes, below the
+    /// [`ShardConfig::shard_min`] knee, record nothing). Shards with
+    /// systematically longer propose times than their siblings expose
+    /// `z % S` ownership skew.
+    pub flush: LatencyHistogram,
 }
 
 /// A [`ServeEngine`] partitioned into zone shards on a persistent
@@ -152,10 +199,38 @@ impl ShardedServeEngine {
         rng: StdRng,
         shards: usize,
     ) -> Result<ShardedServeEngine, ServeError> {
+        ShardedServeEngine::with_config(
+            instance,
+            world,
+            delays,
+            error,
+            policy,
+            config,
+            rng,
+            shards,
+            ShardConfig::default(),
+        )
+    }
+
+    /// [`ShardedServeEngine::new`] with explicit [`ShardConfig`] tuning
+    /// (the plain constructor resolves it from the environment).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_config(
+        instance: CapInstance,
+        world: &World,
+        delays: WorldDelays,
+        error: ErrorModel,
+        policy: StuckPolicy,
+        config: ServeConfig,
+        rng: StdRng,
+        shards: usize,
+        shard_config: ShardConfig,
+    ) -> Result<ShardedServeEngine, ServeError> {
         let shards = shards.max(1);
         let mut engine = ServeEngine::new(instance, world, delays, error, policy, config, rng)?;
         engine.set_refresh_team(Arc::new(WorkerTeam::new(shards)));
         engine.set_sample_capture(true);
+        engine.set_shard_min(shard_config.shard_min);
         Ok(ShardedServeEngine {
             engine,
             shards: vec![ShardStats::default(); shards],
@@ -189,14 +264,29 @@ impl ShardedServeEngine {
         merged
     }
 
+    /// The spread of applied events across shard books:
+    /// `(max, min)` per-shard event counts. A wide gap exposes `z % S`
+    /// ownership skew — shards are static by residue, so a scenario
+    /// whose hot zones cluster on one residue leaves siblings idle.
+    pub fn event_imbalance(&self) -> (u64, u64) {
+        let max = self.shards.iter().map(|s| s.events).max().unwrap_or(0);
+        let min = self.shards.iter().map(|s| s.events).min().unwrap_or(0);
+        (max, min)
+    }
+
     /// Routes the samples of any flushes since the last call into the
-    /// shard books. Called after every mutating delegation.
+    /// shard books: per-event `(zone, latency)` samples by residue, and
+    /// per-worker propose timings of concurrent flushes into the shard
+    /// flush histograms. Called after every mutating delegation.
     fn absorb_samples(&mut self) {
         let shards = self.shards.len();
         for (zone, ns) in self.engine.take_flush_samples() {
             let shard = &mut self.shards[zone % shards];
             shard.events += 1;
             shard.latency.record_ns(ns);
+        }
+        for (worker, ns) in self.engine.take_shard_timings() {
+            self.shards[worker].flush.record_ns(ns);
         }
     }
 }

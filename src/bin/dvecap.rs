@@ -8,14 +8,18 @@
 //! dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies>
 //!                  [--runs N] [--exact-runs N] [--seed S] [--quick]
 //! dvecap serve     <notation> [--port P] [--ring N] [--bound N] [--max-batch N]
-//!                  [--max-staleness-ms F] [--seed S]
+//!                  [--max-staleness-ms F] [--shards N] [--seed S]
 //! ```
 //!
 //! `serve` boots the streaming engine on the scenario, listens on
 //! 127.0.0.1 for one connection speaking the `dve_world::wire`
 //! length-prefixed protocol (specified in `docs/WIRE.md`), and drains
 //! decoded events through the ingest ring into the engine — the
-//! line-rate front end. `--max-batch` and `--max-staleness-ms` mirror
+//! line-rate front end. `--shards N` (default 1) serves on a
+//! zone-sharded engine over a persistent N-worker team — decisions are
+//! bit-identical to the unsharded engine, and the session summary adds
+//! per-shard event books, concurrent-flush propose latencies, and the
+//! max/min shard-event imbalance. `--max-batch` and `--max-staleness-ms` mirror
 //! the fields of `dve_sim::IngestConfig` and default to its
 //! `Default` values (1024 arrivals, 1 ms), which is the single source
 //! of truth for the flush policy. On the wire,
@@ -34,8 +38,8 @@ use dve::sim::experiments::{
     ablation, fig4, fig5, fig6, repair_study, table1, table3, table4, topologies, ExpOptions,
 };
 use dve::sim::{
-    build_replication, run_ingest_stream, IngestConfig, ServeConfig, ServeEngine, SimSetup,
-    TopologySpec,
+    build_replication, run_ingest_stream, IngestConfig, ServeConfig, ServeEngine, ServeSink,
+    ShardedServeEngine, SimSetup, TopologySpec,
 };
 use dve::topology::{
     hierarchical, transit_stub, us_backbone, waxman_incremental, HierarchicalConfig, Topology,
@@ -58,7 +62,7 @@ fn usage() -> ExitCode {
          dvecap solve <notation> [--algo NAME] [--delay-bound MS] [--correlation D] [--error E] [--seed S]\n  \
          dvecap bounds <notation> [--seed S]\n  \
          dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies> [--runs N] [--quick]\n  \
-         dvecap serve <notation> [--port P] [--ring N] [--bound N] [--max-batch N] [--max-staleness-ms F] [--seed S]"
+         dvecap serve <notation> [--port P] [--ring N] [--bound N] [--max-batch N] [--max-staleness-ms F] [--shards N] [--seed S]"
     );
     ExitCode::from(2)
 }
@@ -345,6 +349,11 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         "max-staleness-ms",
         ingest_defaults.max_staleness.as_secs_f64() * 1e3,
     );
+    let shards: usize = flag_parse(flags, "shards", 1);
+    if shards == 0 {
+        eprintln!("serve: --shards must be >= 1");
+        return ExitCode::from(2);
+    }
 
     let rep = build_replication(&setup, 0);
     let world = rep.world;
@@ -352,15 +361,38 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         max_batch,
         ..Default::default()
     };
-    let mut engine = match ServeEngine::new(
-        rep.instance,
-        &world,
-        rep.delays,
-        ErrorModel::PERFECT,
-        StuckPolicy::BestEffort,
-        serve_config,
-        rep.rng,
-    ) {
+    // One of the two engine shapes, behind the shared ServeSink trait:
+    // the plain engine, or the zone-sharded engine on its worker team
+    // (bit-identical decisions; shard books in the session summary).
+    enum Booted {
+        Plain(ServeEngine),
+        Sharded(ShardedServeEngine),
+    }
+    let booted = if shards > 1 {
+        ShardedServeEngine::new(
+            rep.instance,
+            &world,
+            rep.delays,
+            ErrorModel::PERFECT,
+            StuckPolicy::BestEffort,
+            serve_config,
+            rep.rng,
+            shards,
+        )
+        .map(Booted::Sharded)
+    } else {
+        ServeEngine::new(
+            rep.instance,
+            &world,
+            rep.delays,
+            ErrorModel::PERFECT,
+            StuckPolicy::BestEffort,
+            serve_config,
+            rep.rng,
+        )
+        .map(Booted::Plain)
+    };
+    let mut booted = match booted {
         Ok(engine) => engine,
         Err(e) => {
             eprintln!("serve: cannot boot the engine: {e}");
@@ -400,11 +432,18 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         max_batch,
         max_staleness: Duration::from_secs_f64(staleness_ms / 1_000.0),
     };
-    let report = run_ingest_stream(&mut engine, &ring, &world, bound, ingest_config);
+    let report = match &mut booted {
+        Booted::Plain(engine) => run_ingest_stream(engine, &ring, &world, bound, ingest_config),
+        Booted::Sharded(engine) => run_ingest_stream(engine, &ring, &world, bound, ingest_config),
+    };
     if reader.join().is_err() {
         eprintln!("serve: reader thread panicked");
     }
 
+    let engine: &ServeEngine = match &booted {
+        Booted::Plain(engine) => engine,
+        Booted::Sharded(engine) => engine.engine(),
+    };
     let stats = engine.stats();
     println!("serve: connection closed; session summary");
     println!(
@@ -432,6 +471,21 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         engine.metrics().pqos,
         engine.is_feasible()
     );
+    if let Booted::Sharded(sharded) = &booted {
+        let (ev_max, ev_min) = sharded.event_imbalance();
+        println!(
+            "  shards: {}  event imbalance max {ev_max} / min {ev_min}",
+            sharded.shards()
+        );
+        for (shard, book) in sharded.shard_stats().iter().enumerate() {
+            println!(
+                "    shard {shard}: {} events  flush propose p99 {:.3} ms ({} samples)",
+                book.events,
+                book.flush.quantile_upper_ns(0.99) as f64 / 1e6,
+                book.flush.count()
+            );
+        }
+    }
     ExitCode::SUCCESS
 }
 
