@@ -43,6 +43,17 @@ use dve_world::{ErrorModel, IngestRing, ScenarioConfig, WorldEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+// Under `count-allocs` the run doubles as an attribution aid: the
+// counting allocator is installed and the whole-run totals are printed,
+// so an alloc-gate regression can be localised without a profiler.
+#[cfg(feature = "count-allocs")]
+#[path = "support/alloc_count.rs"]
+mod alloc_count;
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static COUNTER: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
+
 /// Ring capacity: deep enough to hold the largest burst chunk whole.
 const RING_CAP: usize = 4096;
 
@@ -429,4 +440,9 @@ fn main() {
         ],
     );
     println!("burst: record written to {path}");
+    #[cfg(feature = "count-allocs")]
+    {
+        let (allocs, bytes) = alloc_count::totals();
+        println!("burst/allocs: {allocs} allocations / {bytes} bytes over the whole run");
+    }
 }

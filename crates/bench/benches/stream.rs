@@ -30,6 +30,17 @@ use dve_world::{DynamicsBatch, ErrorModel, ScenarioConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+// Under `count-allocs` the run doubles as an attribution aid: the
+// counting allocator is installed and the whole-run totals are printed,
+// so an alloc-gate regression can be localised without a profiler.
+#[cfg(feature = "count-allocs")]
+#[path = "support/alloc_count.rs"]
+mod alloc_count;
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static COUNTER: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
+
 /// The paper's largest Table 1 configuration (criterion micro tier).
 const TABLE1_LARGEST: &str = "30s-160z-2000c-1000cp";
 
@@ -270,4 +281,9 @@ fn main() {
         ],
     );
     println!("stream: record written to {path}");
+    #[cfg(feature = "count-allocs")]
+    {
+        let (allocs, bytes) = alloc_count::totals();
+        println!("stream/allocs: {allocs} allocations / {bytes} bytes over the whole run");
+    }
 }

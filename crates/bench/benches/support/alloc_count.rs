@@ -1,0 +1,52 @@
+//! A counting wrapper around the system allocator, shared by the bench
+//! binaries via `#[path]` inclusion (this directory is not a bench
+//! target) and compiled only under the `count-allocs` feature.
+//!
+//! Counters are global relaxed atomics: cheap enough to leave on for a
+//! whole bench run, thread-safe so worker-team allocations are counted
+//! too. `alloc`, `alloc_zeroed`, and `realloc` each count as one
+//! allocation (a realloc that moves is the allocator's business — what
+//! the serve loop is gated on is how often it *asks*); frees are not
+//! tracked, so `bytes` is cumulative demand, not live footprint.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Install with `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Cumulative `(allocations, bytes)` since process start. Subtract two
+/// snapshots to attribute demand to a phase.
+pub fn totals() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}

@@ -32,13 +32,19 @@
 //! latency), and every width of the baseline's speedup `curve` is held
 //! to the same bound individually, so parallel efficiency lost at one
 //! width cannot hide behind the headline.
+//! When both sides are `BENCH_alloc.json` records it gates the
+//! **steady-state allocation budget** — `allocs_per_event` against the
+//! absolute landing budget (2/event; a crept-up baseline cannot launder
+//! more creep) and `bytes_per_event` against the threshold relative to
+//! the baseline (floored at 8 bytes/event).
 //! Mixing record kinds is a usage error, as is mixing widths
 //! (every record carries `threads`).
 
 use dve_bench::diff::{
-    compare, compare_burst, compare_recover, compare_serve_mc, entries, is_burst_doc,
-    is_recover_doc, is_serve_mc_doc, parse, recover_entries, serve_mc_entry, thread_mismatch,
-    BenchEntry, BurstEntry, DiffReport, Json, RecoverEntry, ServeMcEntry,
+    alloc_entry, compare, compare_alloc, compare_burst, compare_recover, compare_serve_mc, entries,
+    is_alloc_doc, is_burst_doc, is_recover_doc, is_serve_mc_doc, parse, recover_entries,
+    serve_mc_entry, thread_mismatch, AllocEntry, BenchEntry, BurstEntry, DiffReport, Json,
+    RecoverEntry, ServeMcEntry,
 };
 
 fn load_doc(path: &str) -> Json {
@@ -80,6 +86,13 @@ fn serve_mc_record(doc: &Json, path: &str) -> ServeMcEntry {
     })
 }
 
+fn alloc_record(doc: &Json, path: &str) -> AllocEntry {
+    alloc_entry(doc).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// One 600-event churn epoch: recovery is observed at epoch boundaries,
 /// so `events_to_recover` deltas inside one epoch are quantization.
 const RECOVER_FLOOR_EVENTS: f64 = 600.0;
@@ -88,6 +101,16 @@ const RECOVER_FLOOR_EVENTS: f64 = 600.0;
 /// at or under 2 ms, the delta is shared-runner scheduler jitter, not a
 /// code change (the bench's own hard budget is 5 ms).
 const BURST_FLOOR_MS: f64 = 2.0;
+
+/// Absolute allocation budget for the alloc gate: amortized allocations
+/// per steady-state serve event must stay at or under this no matter
+/// what the baseline recorded (the bench asserts the same bound).
+const ALLOC_BUDGET_PER_EVENT: f64 = 2.0;
+
+/// Byte floor for the alloc gate: when both sides allocate at most this
+/// many bytes per steady event, the relative delta is allocator
+/// bookkeeping noise, not a leak.
+const ALLOC_FLOOR_BYTES: f64 = 8.0;
 
 fn diff_burst(paths: &[String], fresh: &[BurstEntry], baseline: &[BurstEntry], threshold: f64) {
     let report = compare_burst(fresh, baseline, threshold, BURST_FLOOR_MS);
@@ -244,6 +267,53 @@ fn diff_serve_mc(paths: &[String], fresh: &ServeMcEntry, baseline: &ServeMcEntry
     finish(&report);
 }
 
+fn diff_alloc(paths: &[String], fresh: &AllocEntry, baseline: &AllocEntry, threshold: f64) {
+    let report = compare_alloc(
+        fresh,
+        baseline,
+        threshold,
+        ALLOC_BUDGET_PER_EVENT,
+        ALLOC_FLOOR_BYTES,
+    );
+    println!(
+        "bench_diff: {} vs {} (allocation records): tier {}, budget \
+         {ALLOC_BUDGET_PER_EVENT} allocs/event, bytes threshold +{:.0}%",
+        paths[0],
+        paths[1],
+        baseline.tier,
+        threshold * 100.0
+    );
+    println!(
+        "  allocs/event {:.4} -> {:.4}  bytes/event {:.1} -> {:.1}  over {:.0} steady events",
+        baseline.allocs_per_event,
+        fresh.allocs_per_event,
+        baseline.bytes_per_event,
+        fresh.bytes_per_event,
+        fresh.steady_events,
+    );
+    for missing in &report.missing {
+        println!("  MISSING in fresh results: {missing} (re-baseline if intentional)");
+    }
+    for r in &report.regressions {
+        if r.algorithm == "allocs_per_event" {
+            println!(
+                "  REGRESSION {:<14} {:.4} allocs/event over the absolute {:.1} budget",
+                r.config, r.fresh_ms, r.baseline_ms
+            );
+        } else {
+            println!(
+                "  REGRESSION {:<14} bytes/event {:.1} -> {:.1} ({:.2}x, limit {:.2}x)",
+                r.config,
+                r.baseline_ms,
+                r.fresh_ms,
+                r.ratio(),
+                1.0 + threshold
+            );
+        }
+    }
+    finish(&report);
+}
+
 /// Prints the verdict and exits non-zero on failure (shared tail of
 /// both diff modes).
 fn finish(report: &DiffReport) {
@@ -309,6 +379,8 @@ fn main() {
             "burst"
         } else if is_serve_mc_doc(doc) {
             "serve_mc"
+        } else if is_alloc_doc(doc) {
+            "alloc"
         } else {
             "table1"
         }
@@ -339,6 +411,12 @@ fn main() {
             let fresh = serve_mc_record(&fresh_doc, &paths[0]);
             let baseline = serve_mc_record(&baseline_doc, &paths[1]);
             diff_serve_mc(&paths, &fresh, &baseline, threshold);
+            return;
+        }
+        "alloc" => {
+            let fresh = alloc_record(&fresh_doc, &paths[0]);
+            let baseline = alloc_record(&baseline_doc, &paths[1]);
+            diff_alloc(&paths, &fresh, &baseline, threshold);
             return;
         }
         _ => {}

@@ -691,6 +691,99 @@ pub fn compare_serve_mc(
     report
 }
 
+/// The single measurement row of a `BENCH_alloc.json` document — the
+/// steady-state allocation gate (see `benches/alloc.rs`): amortized
+/// allocator traffic per steady serve event at the production tier,
+/// measured under the `count-allocs` counting allocator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocEntry {
+    /// Scenario notation the steady stream replayed (the production
+    /// `100s-1000z-50000c-65000cp` tier).
+    pub tier: String,
+    /// Amortized allocations per steady-state serve event — the gated
+    /// statistic (absolute budget, not drift).
+    pub allocs_per_event: f64,
+    /// Amortized allocated bytes per steady-state serve event (gated
+    /// relative to the baseline).
+    pub bytes_per_event: f64,
+    /// Steady events measured (reported, not gated).
+    pub steady_events: f64,
+}
+
+/// Whether a parsed document is an allocation record
+/// (`BENCH_alloc.json`) — `bench_diff` dispatches on this.
+pub fn is_alloc_doc(doc: &Json) -> bool {
+    doc.get("experiment").and_then(Json::as_str) == Some("alloc")
+}
+
+/// Extracts the measurement of a `BENCH_alloc.json` document.
+pub fn alloc_entry(doc: &Json) -> Result<AllocEntry, String> {
+    let num = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing '{key}'"))
+    };
+    Ok(AllocEntry {
+        tier: doc
+            .get("tier")
+            .and_then(Json::as_str)
+            .ok_or("missing 'tier'")?
+            .to_string(),
+        allocs_per_event: num("allocs_per_event")?,
+        bytes_per_event: num("bytes_per_event")?,
+        steady_events: num("steady_events")?,
+    })
+}
+
+/// Compares a fresh allocation measurement against the committed
+/// baseline.
+///
+/// Gates:
+/// * `allocs_per_event` against the **absolute** `alloc_budget` — the
+///   zero-alloc claim is a property of the HEAD build, so a baseline
+///   that itself crept up must not launder further creep;
+/// * `bytes_per_event` against `baseline * (1 + threshold)` — unless
+///   both sides sit at or under `floor_bytes` (single-digit bytes per
+///   event are allocator bookkeeping noise, not a leak);
+/// * a tier change makes the documents incomparable and is reported as
+///   a missing measurement.
+pub fn compare_alloc(
+    fresh: &AllocEntry,
+    baseline: &AllocEntry,
+    threshold: f64,
+    alloc_budget: f64,
+    floor_bytes: f64,
+) -> DiffReport {
+    let mut report = DiffReport::default();
+    if fresh.tier != baseline.tier {
+        report.missing.push(baseline.tier.clone());
+        return report;
+    }
+    report.compared = 1;
+    if fresh.allocs_per_event > alloc_budget {
+        report.regressions.push(Regression {
+            config: fresh.tier.clone(),
+            algorithm: "allocs_per_event".to_string(),
+            baseline_ms: alloc_budget,
+            fresh_ms: fresh.allocs_per_event,
+        });
+    }
+    if fresh.bytes_per_event <= floor_bytes && baseline.bytes_per_event <= floor_bytes {
+        report.below_floor += 1;
+    } else {
+        report.compared += 1;
+        if fresh.bytes_per_event > baseline.bytes_per_event * (1.0 + threshold) {
+            report.regressions.push(Regression {
+                config: baseline.tier.clone(),
+                algorithm: "bytes_per_event".to_string(),
+                baseline_ms: baseline.bytes_per_event,
+                fresh_ms: fresh.bytes_per_event,
+            });
+        }
+    }
+    report
+}
+
 /// The top-level `threads` field of a baseline document, when present
 /// (baselines predating the field have none).
 pub fn doc_threads(doc: &Json) -> Option<u64> {
@@ -1332,5 +1425,92 @@ mod tests {
         assert!(!report.passed());
         assert_eq!(report.added, vec!["tier2 / A".to_string()]);
         assert_eq!(report.missing, vec!["tier1 / A".to_string()]);
+    }
+
+    fn alloc_doc(tier: &str, allocs_per_event: f64, bytes_per_event: f64) -> AllocEntry {
+        AllocEntry {
+            tier: tier.to_string(),
+            allocs_per_event,
+            bytes_per_event,
+            steady_events: 3000.0,
+        }
+    }
+
+    #[test]
+    fn alloc_documents_are_recognised_and_parsed() {
+        let doc = parse(
+            r#"{"experiment": "alloc", "threads": 1, "peak_rss_bytes": 1000,
+                "tier": "100s-1000z-50000c-65000cp", "epochs": 5,
+                "steady_events": 3000, "steady_allocs": 722, "steady_bytes": 72318,
+                "allocs_per_event": 0.2407, "bytes_per_event": 24.1,
+                "steady_mean_ns": 100253, "steady_p99_ns": 720895, "pqos": 0.942849}"#,
+        )
+        .unwrap();
+        assert!(is_alloc_doc(&doc));
+        assert!(!is_burst_doc(&doc));
+        assert!(!is_recover_doc(&doc));
+        assert!(!is_serve_mc_doc(&doc));
+        let entry = alloc_entry(&doc).unwrap();
+        assert_eq!(entry.tier, "100s-1000z-50000c-65000cp");
+        assert_eq!(entry.allocs_per_event, 0.2407);
+        assert_eq!(entry.bytes_per_event, 24.1);
+        assert_eq!(entry.steady_events, 3000.0);
+        // A document missing the gated statistic refuses to parse.
+        let truncated = parse(r#"{"experiment": "alloc", "tier": "x"}"#).unwrap();
+        assert!(alloc_entry(&truncated).is_err());
+    }
+
+    #[test]
+    fn alloc_gate_is_absolute_on_allocs_and_relative_on_bytes() {
+        let baseline = alloc_doc("tier", 0.25, 24.0);
+        // Under budget and within the bytes threshold: passes, even when
+        // allocs drifted *up* relative to the baseline.
+        let fresh = alloc_doc("tier", 1.5, 26.0);
+        let report = compare_alloc(&fresh, &baseline, 0.25, 2.0, 8.0);
+        assert!(report.passed());
+        assert_eq!(report.compared, 2);
+        // Over the absolute budget: fails no matter what the baseline
+        // says — even a crept-up baseline cannot launder it.
+        let hungry = alloc_doc("tier", 2.5, 24.0);
+        let crept = alloc_doc("tier", 3.0, 24.0);
+        let report = compare_alloc(&hungry, &crept, 0.25, 2.0, 8.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].algorithm, "allocs_per_event");
+        assert!(!report.passed());
+        // Bytes past the relative threshold: fails.
+        let leaky = alloc_doc("tier", 0.25, 40.0);
+        let report = compare_alloc(&leaky, &baseline, 0.25, 2.0, 8.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].algorithm, "bytes_per_event");
+        // Both byte rates under the floor: bookkeeping noise, skipped.
+        let quiet_base = alloc_doc("tier", 0.0, 2.0);
+        let quiet_fresh = alloc_doc("tier", 0.0, 7.0);
+        let report = compare_alloc(&quiet_fresh, &quiet_base, 0.25, 2.0, 8.0);
+        assert!(report.passed());
+        assert_eq!(report.below_floor, 1);
+        assert_eq!(report.compared, 1);
+        // A tier change is incomparable, not a silent pass.
+        let moved = alloc_doc("other", 0.25, 24.0);
+        let report = compare_alloc(&moved, &baseline, 0.25, 2.0, 8.0);
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["tier".to_string()]);
+    }
+
+    #[test]
+    fn parses_the_committed_alloc_baseline() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alloc.json");
+        let text = std::fs::read_to_string(path).expect("committed alloc baseline exists");
+        let doc = parse(&text).expect("committed alloc baseline parses");
+        assert!(is_alloc_doc(&doc));
+        assert_eq!(doc_threads(&doc), Some(1), "baselines are single-core");
+        let entry = alloc_entry(&doc).expect("committed alloc baseline has the shape");
+        assert!(
+            entry.allocs_per_event <= 2.0,
+            "committed baseline must itself clear the landing budget"
+        );
+        assert!(entry.steady_events > 0.0);
+        // Identical files never regress against themselves.
+        let report = compare_alloc(&entry, &entry, 0.25, 2.0, 8.0);
+        assert!(report.passed());
     }
 }

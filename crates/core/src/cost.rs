@@ -322,10 +322,22 @@ impl CostMatrix {
     /// [`CostMatrix::commit_zone_order`] reproduces
     /// [`CostMatrix::refresh_zones`] bit-for-bit in any commit order.
     pub fn propose_zone_order(&self, z: usize) -> (Vec<u32>, f64) {
-        let m = self.servers;
-        let mut row = self.order[z * m..(z + 1) * m].to_vec();
-        let rho = reorder_zone(&self.cost[z * m..(z + 1) * m], &mut row);
+        let mut row = Vec::new();
+        let rho = self.propose_zone_order_into(z, &mut row);
         (row, rho)
+    }
+
+    /// [`CostMatrix::propose_zone_order`] writing into caller-owned
+    /// scratch: `row` is cleared and refilled with the proposed order,
+    /// so a recycled buffer produces the same bytes as a fresh
+    /// allocation (property-tested in this module). The serving layer's
+    /// flush pool threads the same buffers through every flush to keep
+    /// the steady-state loop allocation-free.
+    pub fn propose_zone_order_into(&self, z: usize, row: &mut Vec<u32>) -> f64 {
+        let m = self.servers;
+        row.clear();
+        row.extend_from_slice(&self.order[z * m..(z + 1) * m]);
+        reorder_zone(&self.cost[z * m..(z + 1) * m], row)
     }
 
     /// The commit half of a sharded refresh: installs an order/regret

@@ -94,6 +94,25 @@ impl WorkerTeam {
         R: Send + 'static,
         F: FnOnce(usize) -> R + Send + 'static,
     {
+        let mut slots: Vec<Option<R>> = Vec::new();
+        self.scatter_into(jobs, &mut slots);
+        slots
+            .into_iter()
+            .map(|s| s.expect("dve-par team lost a result slot"))
+            .collect()
+    }
+
+    /// [`WorkerTeam::scatter`] writing into caller-owned result slots:
+    /// `slots` is cleared and refilled with `Some(result)` per job, in
+    /// slot order, so a caller that keeps the `Vec` across scatters pays
+    /// no per-scatter result allocation once its capacity stabilises.
+    /// The slots are filled on the *calling* thread (the merge half of
+    /// the discipline), never by the workers.
+    pub fn scatter_into<R, F>(&self, jobs: Vec<F>, slots: &mut Vec<Option<R>>)
+    where
+        R: Send + 'static,
+        F: FnOnce(usize) -> R + Send + 'static,
+    {
         let n = jobs.len();
         assert!(
             n <= self.threads(),
@@ -111,7 +130,8 @@ impl WorkerTeam {
                 .expect("dve-par team worker channel closed");
         }
         drop(done);
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        slots.clear();
+        slots.resize_with(n, || None);
         for _ in 0..n {
             let (i, r) = results
                 .recv()
@@ -119,10 +139,6 @@ impl WorkerTeam {
             debug_assert!(slots[i].is_none(), "slot {i} produced twice");
             slots[i] = Some(r);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("dve-par team lost a result slot"))
-            .collect()
     }
 
     /// [`WorkerTeam::scatter`] with per-worker wall-clock accounting:
@@ -136,7 +152,24 @@ impl WorkerTeam {
         R: Send + 'static,
         F: FnOnce(usize) -> R + Send + 'static,
     {
-        self.scatter(
+        let mut slots: Vec<Option<(R, u64)>> = Vec::new();
+        self.scatter_timed_into(jobs, &mut slots);
+        slots
+            .into_iter()
+            .map(|s| s.expect("dve-par team lost a result slot"))
+            .collect()
+    }
+
+    /// [`WorkerTeam::scatter_timed`] writing into caller-owned result
+    /// slots (see [`WorkerTeam::scatter_into`]): the serving flush keeps
+    /// one slot `Vec` on its scratch pool so the timed scatter's result
+    /// collection is allocation-free at steady state.
+    pub fn scatter_timed_into<R, F>(&self, jobs: Vec<F>, slots: &mut Vec<Option<(R, u64)>>)
+    where
+        R: Send + 'static,
+        F: FnOnce(usize) -> R + Send + 'static,
+    {
+        self.scatter_into(
             jobs.into_iter()
                 .map(|job| {
                     move |w: usize| {
@@ -147,6 +180,7 @@ impl WorkerTeam {
                     }
                 })
                 .collect(),
+            slots,
         )
     }
 }
@@ -256,6 +290,39 @@ mod tests {
         let team = WorkerTeam::new(2);
         let out: Vec<u32> = team.scatter(Vec::<fn(usize) -> u32>::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scatter_into_reuses_caller_slots_and_matches_scatter() {
+        let team = WorkerTeam::new(3);
+        // Dirty, over-long recycled slots: must be cleared and refilled.
+        let mut slots: Vec<Option<usize>> = vec![Some(99); 7];
+        for round in 0..4 {
+            let jobs: Vec<_> = (0..3).map(|i| move |_w: usize| round * 10 + i).collect();
+            let expected = {
+                let jobs: Vec<_> = (0..3).map(|i| move |_w: usize| round * 10 + i).collect();
+                team.scatter(jobs)
+            };
+            team.scatter_into(jobs, &mut slots);
+            assert_eq!(slots.len(), 3);
+            let got: Vec<usize> = slots.iter().map(|s| s.unwrap()).collect();
+            assert_eq!(got, expected);
+        }
+        // A shrinking scatter shrinks the slot list, not just overwrites.
+        let jobs: Vec<_> = (0..1).map(|_| |w: usize| w).collect();
+        team.scatter_into(jobs, &mut slots);
+        assert_eq!(slots, vec![Some(0)]);
+    }
+
+    #[test]
+    fn timed_scatter_into_matches_timed_scatter() {
+        let team = WorkerTeam::new(2);
+        let mut slots: Vec<Option<(u64, u64)>> = vec![None; 5];
+        let jobs: Vec<_> = (0..2).map(|i| move |w: usize| (i + w) as u64).collect();
+        team.scatter_timed_into(jobs, &mut slots);
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].unwrap().0, 0);
+        assert_eq!(slots[1].unwrap().0, 2);
     }
 
     #[test]

@@ -556,6 +556,8 @@ pub struct ServeEngine {
     /// wrapper into its per-shard flush-duration histograms with
     /// [`ServeEngine::take_shard_timings`].
     shard_timings: Vec<(usize, u64)>,
+    /// Recycled flush-local buffers — see [`FlushScratch`].
+    scratch: FlushScratch,
     config: ServeConfig,
     stats: ServeStats,
 }
@@ -583,12 +585,14 @@ struct FlushSnapshot {
 /// every fitting entry earlier in this list is exactly that). A plan
 /// is only consumed while the client's zone still has the planned
 /// target; the commit falls back to the live scan otherwise.
+#[derive(Debug)]
 struct ContactPlan {
     target: usize,
     ranked: Vec<(f64, usize)>,
 }
 
 /// One worker's output of a concurrent flush propose scatter.
+#[derive(Debug, Default)]
 struct ShardProposal {
     /// Per owned touched zone: `(zone, proposed order row, regret,
     /// repair shift prefix)`. The prefix is the head of the *proposed*
@@ -600,6 +604,65 @@ struct ShardProposal {
     /// Contact plans for the shard's redecide clients and (bounded)
     /// snapshot-unserved members.
     contacts: Vec<(usize, ContactPlan)>,
+    /// The worker's zone work-list, riding back so the caller's
+    /// partition buffer recycles across flushes.
+    zone_list: Vec<usize>,
+    /// The worker's redecide-client work-list, riding back likewise.
+    client_list: Vec<usize>,
+    /// Unused row buffers from the worker's scratch stash, returned to
+    /// the engine's pool.
+    row_stash: Vec<Vec<u32>>,
+    /// Unused ranked-candidate buffers, returned likewise.
+    ranked_stash: Vec<Vec<(f64, usize)>>,
+}
+
+/// Recycled flush-local buffers, owned by the engine and threaded
+/// through every flush so the steady-state serve loop stops paying the
+/// allocator: after warm-up each buffer's capacity has converged to its
+/// high-water mark and a flush is amortized allocation-free. Reuse is
+/// invisible to decisions — every buffer is cleared before it is read,
+/// so a recycled buffer holds exactly the bytes a fresh allocation
+/// would (property-tested; see docs/PARALLELISM.md, "Buffer
+/// lifecycle").
+#[derive(Debug, Default)]
+struct FlushScratch {
+    /// `flush_now`'s touched-zone accumulator (also the all-zones list
+    /// of the restore sweep).
+    touched: Vec<usize>,
+    /// `flush_now`'s redecide-id accumulator.
+    redecide: Vec<ClientId>,
+    /// `flush_now`'s per-event zone list (sample-capture mode).
+    ev_zones: Vec<usize>,
+    /// `repair_targets`' migrated-zone accumulator.
+    migrated: Vec<usize>,
+    /// `repair_contacts`' per-zone relay-candidate list.
+    candidates: Vec<usize>,
+    /// `evacuate`'s servers-with-headroom list.
+    room: Vec<usize>,
+    /// `evacuate`/`fail_server`'s sorted hosted-zone list.
+    evac_zones: Vec<usize>,
+    /// Concurrent flush: per-worker zone partition (outer length is the
+    /// team width; inner lists recycle through the proposals).
+    zones_of: Vec<Vec<usize>>,
+    /// Concurrent flush: per-worker redecide partition.
+    clients_of: Vec<Vec<usize>>,
+    /// Concurrent flush: per-worker `(row, ranked)` buffer demand.
+    need: Vec<(usize, usize)>,
+    /// Pool of `u32` row buffers (order rows and shift prefixes).
+    rows: Vec<Vec<u32>>,
+    /// Pool of ranked-candidate buffers (`ContactPlan` backing stores).
+    ranked: Vec<Vec<(f64, usize)>>,
+    /// Recycled [`ShardProposal`] shells (their inner `Vec`s keep their
+    /// capacity across flushes).
+    shells: Vec<ShardProposal>,
+    /// Recycled scatter result slots
+    /// ([`WorkerTeam::scatter_timed_into`]).
+    slots: Vec<Option<(ShardProposal, u64)>>,
+    /// Merge-side shift-prefix index (drained back into `rows`).
+    prefixes: HashMap<usize, Vec<u32>>,
+    /// Merge-side contact-plan index (ranked stores drained back into
+    /// `ranked`).
+    plans: HashMap<usize, ContactPlan>,
 }
 
 /// Per-zone cap on proposed contact plans for the violator rescan: a
@@ -612,26 +675,28 @@ const RESCUE_PLAN_MAX: usize = 64;
 
 impl FlushSnapshot {
     /// Proposes a contact decision for client `c` — the parallel half
-    /// of [`ServeEngine::decide_contact`]. Pure in the snapshot: the
-    /// ranked list depends only on delay rows and the planned target,
-    /// so recomputing it at commit time would yield the same floats.
-    fn plan_contact(&self, c: usize) -> (usize, ContactPlan) {
+    /// of [`ServeEngine::decide_contact`] — writing the ranked list
+    /// into the caller-owned `ranked` buffer (cleared first, so a
+    /// recycled buffer yields the same bytes a fresh allocation would;
+    /// equivalence is tested below). Pure in the snapshot: the ranked
+    /// list depends only on delay rows and the planned target, so
+    /// recomputing it at commit time would yield the same floats.
+    fn plan_contact_with(&self, c: usize, mut ranked: Vec<(f64, usize)>) -> (usize, ContactPlan) {
         let z = self.inst.zone_of(c);
         let target = self.targets[z];
-        let ranked = if self.inst.obs_cs(c, target) > self.inst.delay_bound() {
+        ranked.clear();
+        if self.inst.obs_cs(c, target) > self.inst.delay_bound() {
             let best0 = self.inst.rap_cost(c, target, target);
-            let mut v: Vec<(f64, usize)> = (0..self.inst.num_servers())
-                .filter(|&s| s != target)
-                .map(|s| (self.inst.rap_cost(c, s, target), s))
-                .filter(|&(cost, _)| cost < best0)
-                .collect();
-            v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
-            v
-        } else {
-            // Within bound on the target: the commit's early return
-            // never reads the list.
-            Vec::new()
-        };
+            ranked.extend(
+                (0..self.inst.num_servers())
+                    .filter(|&s| s != target)
+                    .map(|s| (self.inst.rap_cost(c, s, target), s))
+                    .filter(|&(cost, _)| cost < best0),
+            );
+            ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+        }
+        // Within bound on the target the (cleared) list stays empty:
+        // the commit's early return never reads it.
         (c, ContactPlan { target, ranked })
     }
 }
@@ -706,6 +771,7 @@ impl ServeEngine {
             flush_samples: Vec::new(),
             shard_min: crate::shard::TEAM_ZONE_MIN,
             shard_timings: Vec::new(),
+            scratch: FlushScratch::default(),
             config,
             stats: ServeStats::default(),
             inst: instance,
@@ -984,15 +1050,21 @@ impl ServeEngine {
         if self.pending.is_empty() {
             return None;
         }
-        let events = std::mem::take(&mut self.pending);
+        let mut events = std::mem::take(&mut self.pending);
         self.pending_joins.clear();
         self.pending_leaves.clear();
 
-        let mut touched: Vec<usize> = Vec::new();
+        // Flush-local accumulators recycle through the scratch pool:
+        // cleared here, restored (with their grown capacity) before the
+        // report so steady-state flushes stop allocating.
+        let mut touched = std::mem::take(&mut self.scratch.touched);
+        touched.clear();
         // Joiners and effective movers need a contact decision by id
         // (indices shift under later leaves in the same batch).
-        let mut redecide: Vec<ClientId> = Vec::new();
-        let mut ev_zones: Vec<usize> = Vec::new();
+        let mut redecide = std::mem::take(&mut self.scratch.redecide);
+        redecide.clear();
+        let mut ev_zones = std::mem::take(&mut self.scratch.ev_zones);
+        ev_zones.clear();
         for ev in &events {
             if self.capture_samples {
                 // A leave's zone must be read before the apply recycles
@@ -1060,12 +1132,22 @@ impl ServeEngine {
         self.stats.events += events.len() as u64;
         self.stats.flushes += 1;
         self.stats.zones_migrated += migrated.len() as u64;
-        Some(FlushReport {
+        let report = FlushReport {
             events: events.len(),
             touched_zones: touched.len(),
             zones_migrated: migrated.len(),
             full_repair,
-        })
+        };
+        // Recycle: the drained event batch becomes the next pending
+        // buffer (nothing pushed to `pending` mid-flush), and the
+        // accumulators go back to the pool.
+        events.clear();
+        self.pending = events;
+        self.scratch.touched = touched;
+        self.scratch.redecide = redecide;
+        self.scratch.ev_zones = ev_zones;
+        self.scratch.migrated = migrated;
+        Some(report)
     }
 
     /// Refreshes the touched zones' orderings through the configured
@@ -1155,14 +1237,36 @@ impl ServeEngine {
         let threads = team.threads();
         // Partition the work by shard owner (zone % threads), resolving
         // redecide ids serially while the engine still owns its state.
-        let mut zones_of: Vec<Vec<usize>> = vec![Vec::new(); threads];
-        for &z in touched {
-            zones_of[z % threads].push(z);
+        // Partition lists, buffer pools, and result slots all recycle
+        // through the scratch — the worker stashes ride back inside the
+        // proposals, so after warm-up a concurrent flush reuses every
+        // proposal buffer it fills.
+        let mut zones_of = std::mem::take(&mut self.scratch.zones_of);
+        zones_of.resize_with(threads, Vec::new);
+        let mut clients_of = std::mem::take(&mut self.scratch.clients_of);
+        clients_of.resize_with(threads, Vec::new);
+        let mut need = std::mem::take(&mut self.scratch.need);
+        need.clear();
+        need.resize(threads, (0, 0));
+        for list in zones_of.iter_mut().chain(clients_of.iter_mut()) {
+            list.clear();
         }
-        let mut clients_of: Vec<Vec<usize>> = vec![Vec::new(); threads];
+        for &z in touched {
+            let w = z % threads;
+            zones_of[w].push(z);
+            // Each zone proposal fills one order row and one prefix;
+            // each (bounded) unserved member fills one ranked list.
+            need[w].0 += 2;
+            let u = self.unserved_of_zone[z].len();
+            if u > 0 && u <= RESCUE_PLAN_MAX {
+                need[w].1 += u;
+            }
+        }
         for &id in redecide {
             if let Some(&c) = self.index_of_id.get(&id) {
-                clients_of[self.inst.zone_of(c) % threads].push(c);
+                let w = self.inst.zone_of(c) % threads;
+                clients_of[w].push(c);
+                need[w].1 += 1;
             }
         }
         let snap = Arc::new(FlushSnapshot {
@@ -1171,21 +1275,34 @@ impl ServeEngine {
             targets: std::mem::take(&mut self.target_of_zone),
             unserved: std::mem::take(&mut self.unserved_of_zone),
         });
+        let mut rows_pool = std::mem::take(&mut self.scratch.rows);
+        let mut ranked_pool = std::mem::take(&mut self.scratch.ranked);
+        let mut shells = std::mem::take(&mut self.scratch.shells);
         let jobs: Vec<_> = zones_of
-            .into_iter()
-            .zip(clients_of)
-            .map(|(zones, clients)| {
+            .iter_mut()
+            .zip(clients_of.iter_mut())
+            .enumerate()
+            .map(|(w, (zone_list, client_list))| {
+                let zones = std::mem::take(zone_list);
+                let clients = std::mem::take(client_list);
+                let (row_need, ranked_need) = need[w];
+                let mut rows = rows_pool.split_off(rows_pool.len().saturating_sub(row_need));
+                let mut ranked =
+                    ranked_pool.split_off(ranked_pool.len().saturating_sub(ranked_need));
+                let mut p = shells.pop().unwrap_or_default();
+                p.zones.clear();
+                p.contacts.clear();
                 let snap = Arc::clone(&snap);
                 move |_w: usize| -> ShardProposal {
-                    let mut p = ShardProposal {
-                        zones: Vec::with_capacity(zones.len()),
-                        contacts: Vec::new(),
-                    };
-                    for z in zones {
-                        let (row, rho) = snap.matrix.propose_zone_order(z);
+                    for &z in &zones {
+                        let mut row = rows.pop().unwrap_or_default();
+                        let rho = snap.matrix.propose_zone_order_into(z, &mut row);
                         let cur = snap.targets[z];
                         let cur_count = snap.matrix.count(cur, z);
-                        let mut prefix = Vec::new();
+                        // Pool rows come back full; the prefix is
+                        // appended to, so clear it explicitly.
+                        let mut prefix = rows.pop().unwrap_or_default();
+                        prefix.clear();
                         if cur_count > 0 {
                             for &s in &row {
                                 if snap.matrix.count(s as usize, z) >= cur_count {
@@ -1197,19 +1314,27 @@ impl ServeEngine {
                         let unserved = &snap.unserved[z];
                         if !unserved.is_empty() && unserved.len() <= RESCUE_PLAN_MAX {
                             for &c in unserved {
-                                p.contacts.push(snap.plan_contact(c));
+                                p.contacts.push(
+                                    snap.plan_contact_with(c, ranked.pop().unwrap_or_default()),
+                                );
                             }
                         }
                         p.zones.push((z, row, rho, prefix));
                     }
-                    for c in clients {
-                        p.contacts.push(snap.plan_contact(c));
+                    for &c in &clients {
+                        p.contacts
+                            .push(snap.plan_contact_with(c, ranked.pop().unwrap_or_default()));
                     }
+                    p.zone_list = zones;
+                    p.client_list = clients;
+                    p.row_stash = rows;
+                    p.ranked_stash = ranked;
                     p
                 }
             })
             .collect();
-        let results = team.scatter_timed(jobs);
+        let mut slots = std::mem::take(&mut self.scratch.slots);
+        team.scatter_timed_into(jobs, &mut slots);
         // Every job has run and dropped its snapshot clone; the state
         // is exclusively ours again.
         let snap = Arc::try_unwrap(snap)
@@ -1222,22 +1347,44 @@ impl ServeEngine {
         // index the proposals for the repair passes (the maps are only
         // ever *looked up* by the live sweeps below, so their iteration
         // order never influences a decision).
-        let mut prefixes: HashMap<usize, Vec<u32>> = HashMap::new();
-        let mut plans: HashMap<usize, ContactPlan> = HashMap::new();
-        for (w, (proposal, ns)) in results.into_iter().enumerate() {
+        let mut prefixes = std::mem::take(&mut self.scratch.prefixes);
+        let mut plans = std::mem::take(&mut self.scratch.plans);
+        prefixes.clear();
+        plans.clear();
+        for (w, slot) in slots.iter_mut().enumerate() {
+            let (mut proposal, ns) = slot.take().expect("scatter filled every slot");
             self.shard_timings.push((w, ns));
-            for (z, row, rho, prefix) in proposal.zones {
+            for (z, row, rho, prefix) in proposal.zones.drain(..) {
                 self.matrix.commit_zone_order(z, &row, rho);
+                rows_pool.push(row);
                 prefixes.insert(z, prefix);
             }
-            for (c, plan) in proposal.contacts {
+            for (c, plan) in proposal.contacts.drain(..) {
                 plans.insert(c, plan);
             }
+            zones_of[w] = std::mem::take(&mut proposal.zone_list);
+            clients_of[w] = std::mem::take(&mut proposal.client_list);
+            rows_pool.append(&mut proposal.row_stash);
+            ranked_pool.append(&mut proposal.ranked_stash);
+            shells.push(proposal);
         }
         let (migrated, full_repair) = self.repair_targets(touched, Some(&prefixes));
         if !full_repair {
             self.repair_contacts(touched, &migrated, redecide, Some(&plans));
         }
+        // Drain the proposal indices back into the buffer pools and
+        // restore everything for the next flush.
+        rows_pool.extend(prefixes.drain().map(|(_, prefix)| prefix));
+        ranked_pool.extend(plans.drain().map(|(_, plan)| plan.ranked));
+        self.scratch.zones_of = zones_of;
+        self.scratch.clients_of = clients_of;
+        self.scratch.need = need;
+        self.scratch.rows = rows_pool;
+        self.scratch.ranked = ranked_pool;
+        self.scratch.shells = shells;
+        self.scratch.slots = slots;
+        self.scratch.prefixes = prefixes;
+        self.scratch.plans = plans;
         (migrated, full_repair)
     }
 
@@ -1323,7 +1470,9 @@ impl ServeEngine {
         self.inst.set_capacity(server, 0.0);
         self.stats.failovers += 1;
 
-        let mut zones = self.zones_of_server[server].clone();
+        let mut zones = std::mem::take(&mut self.scratch.evac_zones);
+        zones.clear();
+        zones.extend_from_slice(&self.zones_of_server[server]);
         zones.sort_by(|&a, &b| {
             self.inst
                 .zone_bps(b)
@@ -1332,12 +1481,13 @@ impl ServeEngine {
                 .then(a.cmp(&b))
         });
         let mut evacuated = 0usize;
-        for z in zones {
+        for &z in &zones {
             if let Some(dest) = self.evacuation_dest(server, z) {
                 self.migrate_zone(z, dest);
                 evacuated += 1;
             }
         }
+        self.scratch.evac_zones = zones;
         // Relays from zones hosted elsewhere may still route through
         // the dead server; shed them all (each re-decision shrinks the
         // list — capacity 0 keeps re-picking it impossible).
@@ -1429,17 +1579,22 @@ impl ServeEngine {
                 }
             }
         }
-        let all: Vec<usize> = (0..self.inst.num_zones()).collect();
+        let mut all = std::mem::take(&mut self.scratch.touched);
+        all.clear();
+        all.extend(0..self.inst.num_zones());
         let (migrated, full) = self.repair_targets(&all, None);
         debug_assert!(!full, "restore sweep never escalates to full repair");
         if !full {
             self.repair_contacts(&all, &migrated, &[], None);
         }
-        self.stats.zones_migrated += (rescued + migrated.len()) as u64;
+        self.scratch.touched = all;
+        let moved = rescued + migrated.len();
+        self.scratch.migrated = migrated;
+        self.stats.zones_migrated += moved as u64;
         self.capacity_ok = (0..m).all(|s| self.load(s) <= self.inst.capacity(s) + 1e-9);
         Ok(RestoreReport {
             server,
-            zones_migrated: rescued + migrated.len(),
+            zones_migrated: moved,
             feasible: self.capacity_ok,
         })
     }
@@ -1650,7 +1805,11 @@ impl ServeEngine {
         prefixes: Option<&HashMap<usize, Vec<u32>>>,
     ) -> (Vec<usize>, bool) {
         let m = self.inst.num_servers();
-        let mut migrated: Vec<usize> = Vec::new();
+        // The accumulator recycles through the scratch pool; callers
+        // restore it (`self.scratch.migrated = migrated`) once the
+        // returned list has been consumed.
+        let mut migrated = std::mem::take(&mut self.scratch.migrated);
+        migrated.clear();
 
         // Quality shifts (the same rule as `repair_assignment_with`'s
         // improvement sweep, restricted to touched columns). Two exact
@@ -1787,9 +1946,9 @@ impl ServeEngine {
         // inside `decide_contact_among` remains authoritative. Under a
         // flash crowd almost every server is saturated, so this turns
         // thousands of full-width scans into a handful of probes.
-        let room: Vec<usize> = (0..m)
-            .filter(|&d| d != s && self.load(d) < self.inst.capacity(d) + 1e-9)
-            .collect();
+        let mut room = std::mem::take(&mut self.scratch.room);
+        room.clear();
+        room.extend((0..m).filter(|&d| d != s && self.load(d) < self.inst.capacity(d) + 1e-9));
         while self.load(s) > self.inst.capacity(s) + 1e-9 {
             let Some(&c) = self.relayed_of_server[s].last() else {
                 break;
@@ -1800,10 +1959,13 @@ impl ServeEngine {
             // the loop either way.
             self.decide_contact_among(c, Some(&room));
         }
+        self.scratch.room = room;
         // The hosted-zone book plus a (demand desc, zone asc) sort is
         // exactly the order the old full-table scan produced (ascending
         // zone indices through a stable sort on demand).
-        let mut zones = self.zones_of_server[s].clone();
+        let mut zones = std::mem::take(&mut self.scratch.evac_zones);
+        zones.clear();
+        zones.extend_from_slice(&self.zones_of_server[s]);
         zones.sort_by(|&a, &b| {
             self.inst
                 .zone_bps(b)
@@ -1812,7 +1974,7 @@ impl ServeEngine {
                 .then(a.cmp(&b))
         });
         let mut headroom = self.max_headroom();
-        for z in zones {
+        for &z in &zones {
             if self.load(s) <= self.inst.capacity(s) + 1e-9 {
                 break;
             }
@@ -1836,6 +1998,7 @@ impl ServeEngine {
                 headroom = self.max_headroom();
             }
         }
+        self.scratch.evac_zones = zones;
         self.load(s) <= self.inst.capacity(s) + 1e-9
     }
 
@@ -1887,11 +2050,12 @@ impl ServeEngine {
         // the precomputed set over-approximates exactly the servers the
         // full per-member scan could ever pick; the fit check inside
         // `decide_contact_among` stays authoritative.
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
         for &z in touched {
             if migrated.contains(&z) || self.unserved_of_zone[z].is_empty() {
                 continue;
             }
-            let candidates = self.relay_candidates(z);
+            self.relay_candidates_into(z, &mut candidates);
             if candidates.is_empty() {
                 continue;
             }
@@ -1914,6 +2078,7 @@ impl ServeEngine {
                 }
             }
         }
+        self.scratch.candidates = candidates;
     }
 
     /// GreC's per-client rule: stay on the target when within bound,
@@ -1926,7 +2091,7 @@ impl ServeEngine {
 
     /// [`ServeEngine::decide_contact`] with the relay scan restricted to
     /// `candidates` (`None` scans every server). Callers sweeping a whole
-    /// zone pass [`ServeEngine::relay_candidates`] so the per-member scan
+    /// zone fill one via [`ServeEngine::relay_candidates_into`] so the scan
     /// skips servers that cannot fit the zone's uniform overhead; the fit
     /// check here remains authoritative against loads the sweep itself
     /// booked in the meantime.
@@ -2037,16 +2202,20 @@ impl ServeEngine {
 
     /// Servers that currently have room for one relay out of zone `z`
     /// (the overhead `R^C` is uniform across a zone's members, so this
-    /// is a per-zone question). Ascending order, so a scan restricted to
-    /// the list breaks ties exactly as the full scan does.
-    fn relay_candidates(&self, z: usize) -> Vec<usize> {
+    /// is a per-zone question), written into the caller-owned `out`
+    /// buffer (cleared first) so the rescan recycles one list across
+    /// zones and flushes. Ascending order, so a scan restricted to the
+    /// list breaks ties exactly as the full scan does.
+    fn relay_candidates_into(&self, z: usize, out: &mut Vec<usize>) {
+        out.clear();
         let Some(&member) = self.inst.clients_in_zone(z).first() else {
-            return Vec::new();
+            return;
         };
         let overhead = self.inst.client_forwarding_bps(member);
-        (0..self.inst.num_servers())
-            .filter(|&s| self.load(s) + overhead <= self.inst.capacity(s) + 1e-9)
-            .collect()
+        out.extend(
+            (0..self.inst.num_servers())
+                .filter(|&s| self.load(s) + overhead <= self.inst.capacity(s) + 1e-9),
+        );
     }
 
     /// Adds `c` to zone `z`'s unserved list (no-op when already listed).
@@ -3573,5 +3742,104 @@ mod tests {
                 engine.restore_server(victim).expect("in range");
             }
         }
+    }
+
+    /// Recycled ranked buffers are invisible to contact planning: a
+    /// snapshot plan written into a dirty buffer is bit-identical to
+    /// one written into a fresh allocation, for every live client.
+    #[test]
+    fn plan_contact_with_recycled_buffer_matches_fresh() {
+        let setup = small_setup();
+        let mut engine = boot_engine(&setup, ServeConfig::default());
+        // Churn a little so some clients sit out of bound.
+        for i in 0..20 {
+            engine
+                .push(StreamEvent::Join {
+                    node: i % 40,
+                    zone: (7 * i) % 15,
+                })
+                .unwrap();
+        }
+        engine.flush_now();
+        let snap = FlushSnapshot {
+            inst: engine.inst.clone(),
+            matrix: engine.matrix.clone(),
+            targets: engine.target_of_zone.clone(),
+            unserved: engine.unserved_of_zone.clone(),
+        };
+        let mut recycled = vec![(f64::NAN, usize::MAX); 11];
+        for c in 0..engine.num_clients() {
+            let (c_fresh, fresh) = snap.plan_contact_with(c, Vec::new());
+            let (c_dirty, dirty) = snap.plan_contact_with(c, recycled);
+            assert_eq!(c_fresh, c_dirty);
+            assert_eq!(fresh.target, dirty.target);
+            assert_eq!(fresh.ranked.len(), dirty.ranked.len(), "client {c}");
+            for (a, b) in fresh.ranked.iter().zip(&dirty.ranked) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits(), "client {c}: cost bytes");
+                assert_eq!(a.1, b.1, "client {c}: server");
+            }
+            recycled = dirty.ranked;
+        }
+    }
+
+    /// Fifty churn+fault flushes on one engine: the scratch pool
+    /// recycles through every serial flush, evacuation, failover, and
+    /// recovery sweep, and every carried book stays equivalent to a
+    /// fresh build after each one.
+    #[test]
+    fn scratch_reuse_stays_consistent_across_churn_and_fault_flushes() {
+        use rand::Rng;
+        let setup = small_setup();
+        let mut engine = boot_engine(
+            &setup,
+            ServeConfig {
+                max_batch: 64,
+                max_staleness: 64,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0xa110c);
+        let mut live: Vec<ClientId> = (0..engine.num_clients() as ClientId).collect();
+        for flush in 0..50 {
+            for _ in 0..8 {
+                match rng.gen_range(0..3) {
+                    0 if live.len() > 20 => {
+                        let pick = rng.gen_range(0..live.len());
+                        let id = live.swap_remove(pick);
+                        engine.push(StreamEvent::Leave { id }).unwrap();
+                    }
+                    1 => {
+                        let node = rng.gen_range(0..40);
+                        let zone = rng.gen_range(0..15);
+                        let id = engine
+                            .push(StreamEvent::Join { node, zone })
+                            .unwrap()
+                            .unwrap();
+                        live.push(id);
+                    }
+                    _ => {
+                        let pick = rng.gen_range(0..live.len());
+                        let zone = rng.gen_range(0..15);
+                        engine
+                            .push(StreamEvent::Move {
+                                id: live[pick],
+                                zone,
+                            })
+                            .unwrap();
+                    }
+                }
+            }
+            engine.flush_now();
+            match flush {
+                10 => drop(engine.fail_server(1).unwrap()),
+                20 => drop(engine.restore_server(1).unwrap()),
+                30 => drop(engine.fail_server(3).unwrap()),
+                40 => drop(engine.restore_server(3).unwrap()),
+                _ => {}
+            }
+            assert_engine_consistent(&engine);
+        }
+        assert_eq!(engine.num_clients(), live.len());
+        assert!(engine.stats().flushes >= 50);
     }
 }

@@ -82,7 +82,7 @@ pub struct ShardConfig {
 
 impl Default for ShardConfig {
     /// `DVE_SHARD_MIN` when set to a positive integer, else
-    /// [`TEAM_ZONE_MIN`] (8) — so the knee is tunable per tier without
+    /// `TEAM_ZONE_MIN` (8) — so the knee is tunable per tier without
     /// code changes.
     fn default() -> ShardConfig {
         let shard_min = std::env::var("DVE_SHARD_MIN")

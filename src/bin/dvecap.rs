@@ -8,14 +8,17 @@
 //! dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies>
 //!                  [--runs N] [--exact-runs N] [--seed S] [--quick]
 //! dvecap serve     <notation> [--port P] [--ring N] [--bound N] [--max-batch N]
-//!                  [--max-staleness-ms F] [--shards N] [--seed S]
+//!                  [--max-staleness-ms F] [--shards N] [--connections N] [--seed S]
 //! ```
 //!
 //! `serve` boots the streaming engine on the scenario, listens on
-//! 127.0.0.1 for one connection speaking the `dve_world::wire`
+//! 127.0.0.1 for connections speaking the `dve_world::wire`
 //! length-prefixed protocol (specified in `docs/WIRE.md`), and drains
 //! decoded events through the ingest ring into the engine — the
-//! line-rate front end. `--shards N` (default 1) serves on a
+//! line-rate front end. `--connections N` (default 1) accepts N
+//! sequential connections against the same serve loop: each producer's
+//! events land in the same ring and engine, and the session summary
+//! covers the whole sequence. `--shards N` (default 1) serves on a
 //! zone-sharded engine over a persistent N-worker team — decisions are
 //! bit-identical to the unsharded engine, and the session summary adds
 //! per-shard event books, concurrent-flush propose latencies, and the
@@ -62,7 +65,7 @@ fn usage() -> ExitCode {
          dvecap solve <notation> [--algo NAME] [--delay-bound MS] [--correlation D] [--error E] [--seed S]\n  \
          dvecap bounds <notation> [--seed S]\n  \
          dvecap experiment <table1|fig4|fig5|fig6|table3|table4|ablation|repair|topologies> [--runs N] [--quick]\n  \
-         dvecap serve <notation> [--port P] [--ring N] [--bound N] [--max-batch N] [--max-staleness-ms F] [--shards N] [--seed S]"
+         dvecap serve <notation> [--port P] [--ring N] [--bound N] [--max-batch N] [--max-staleness-ms F] [--shards N] [--connections N] [--seed S]"
     );
     ExitCode::from(2)
 }
@@ -354,6 +357,11 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         eprintln!("serve: --shards must be >= 1");
         return ExitCode::from(2);
     }
+    let connections: usize = flag_parse(flags, "connections", 1);
+    if connections == 0 {
+        eprintln!("serve: --connections must be >= 1");
+        return ExitCode::from(2);
+    }
 
     let rep = build_replication(&setup, 0);
     let world = rep.world;
@@ -412,19 +420,25 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         Err(e) => eprintln!("serve: local_addr: {e}"),
     }
 
-    let (conn, peer) = match listener.accept() {
-        Ok(pair) => pair,
-        Err(e) => {
-            eprintln!("serve: accept failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    println!("serve: client connected from {peer}");
-
+    // The reader thread owns the listener and serves `connections`
+    // producers back to back against the one ring; the engine-side pull
+    // loop below never sees the connection boundaries. The ring closes
+    // only after the last producer hangs up.
     let ring = Arc::new(IngestRing::with_capacity(ring_slots));
     let reader_ring = Arc::clone(&ring);
     let reader = std::thread::spawn(move || {
-        read_connection(conn, &reader_ring);
+        for n in 1..=connections {
+            let (conn, peer) = match listener.accept() {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    break;
+                }
+            };
+            println!("serve: client {n}/{connections} connected from {peer}");
+            read_connection(conn, &reader_ring);
+            println!("serve: client {n}/{connections} disconnected");
+        }
         reader_ring.close();
     });
 

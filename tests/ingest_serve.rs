@@ -138,6 +138,98 @@ fn wire_events_over_loopback_commit_into_the_engine() {
     assert!(engine.index_of(121).is_some(), "second joiner's id");
 }
 
+/// The `--connections N` shape of `dvecap serve`: two producers connect
+/// back to back, the reader accepts them sequentially against the same
+/// ring, and one serve loop commits both scripts into one engine. The
+/// second client observes state the first one created (the first
+/// joiner's id is live; a departed id is gone).
+#[test]
+fn two_sequential_clients_share_one_serve_loop() {
+    let setup = small_setup();
+    let rep = build_replication(&setup, 0);
+    let world = rep.world;
+    let mut engine = ServeEngine::new(
+        rep.instance,
+        &world,
+        rep.delays,
+        ErrorModel::PERFECT,
+        StuckPolicy::BestEffort,
+        ServeConfig::default(),
+        rep.rng,
+    )
+    .expect("small instances solve");
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    // Client 1 churns the initial population and joins one client
+    // (which takes id 120); client 2 connects after client 1 hangs up
+    // and addresses both the initial ids and that joiner.
+    let script_one: Vec<WorldEvent> = vec![
+        WorldEvent::Move { client: 0, zone: 3 },
+        WorldEvent::Leave { client: 1 },
+        WorldEvent::Join { node: 2, zone: 5 },
+    ];
+    let script_two: Vec<WorldEvent> = vec![
+        WorldEvent::Move {
+            client: 120,
+            zone: 7,
+        },
+        WorldEvent::Leave { client: 2 },
+        WorldEvent::Join { node: 4, zone: 9 },
+    ];
+    let total_events = script_one.len() + script_two.len();
+    let producer = std::thread::spawn(move || {
+        for script in [&script_one, &script_two] {
+            let mut bytes = Vec::new();
+            for ev in script {
+                encode_event(ev, &mut bytes);
+            }
+            let mut conn = TcpStream::connect(addr).unwrap();
+            for chunk in bytes.chunks(5) {
+                conn.write_all(chunk).unwrap();
+            }
+            // Dropping `conn` closes it; the next iteration dials a
+            // fresh connection that the reader accepts afterwards.
+        }
+    });
+
+    // The reader half of `dvecap serve --connections 2`: sequential
+    // accepts into the same ring, closed after the last hang-up.
+    let ring = Arc::new(IngestRing::with_capacity(64));
+    let reader_ring = Arc::clone(&ring);
+    let reader = std::thread::spawn(move || {
+        for _ in 0..2 {
+            let (conn, _) = listener.accept().unwrap();
+            read_into_ring(conn, &reader_ring);
+        }
+        reader_ring.close();
+    });
+
+    // max_batch = 3 pins a flush right after each client's script, so
+    // client 1's joiner id is live before client 2 addresses it no
+    // matter how the pump interleaves with the socket reads.
+    let config = IngestConfig {
+        max_batch: 3,
+        ..Default::default()
+    };
+    let report = run_ingest_stream(&mut engine, &ring, &world, 256, config);
+    producer.join().unwrap();
+    reader.join().unwrap();
+
+    assert_eq!(report.arrivals, total_events as u64);
+    assert_eq!(report.shed_leaves, 0);
+    assert_eq!(report.dropped, 0);
+    assert_eq!(ring.shed_events(), 0);
+    assert_eq!(engine.num_clients(), 120, "2 leaves + 2 joins net zero");
+    // Cross-connection state: ids departed or created by client 1 are
+    // what client 2 saw; client 2's join took the next fresh id.
+    assert_eq!(engine.index_of(1), None, "client 1's leave");
+    assert_eq!(engine.index_of(2), None, "client 2's leave");
+    assert!(engine.index_of(120).is_some(), "client 1's joiner");
+    assert!(engine.index_of(121).is_some(), "client 2's joiner");
+}
+
 /// A malformed stream (hostile length prefix) is refused at the frame
 /// layer without crashing anything downstream.
 #[test]
